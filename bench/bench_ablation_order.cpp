@@ -1,0 +1,52 @@
+// Ablation: work-queue discipline. The paper notes every pruning
+// strategy's effectiveness depends on exploration order (§3.1): "the
+// sooner a min-cost plan is encountered, the more effective the pruning."
+// Our fixpoint makes the order a knob: LIFO approximates depth-first
+// descent (cheap plans early), FIFO approximates breadth-first.
+#include <cstdio>
+
+#include "bench_util/bench_util.h"
+#include "core/declarative_optimizer.h"
+
+namespace iqro::bench {
+namespace {
+
+void Run() {
+  auto fixture = MakeTpchFixture(0.01);
+  TablePrinter table("Ablation: exploration order (queue discipline)",
+                     {"query", "discipline", "time(ms)", "entries explored",
+                      "alts costed", "steps"});
+  for (const char* q : {"Q5", "Q10", "Q8JoinS"}) {
+    for (QueueDiscipline d : {QueueDiscipline::kLifo, QueueDiscipline::kFifo}) {
+      OptimizerOptions options;
+      options.discipline = d;
+      double ms = MedianMs(3, [&] {
+        auto ctx = MakeContext(*fixture, q);
+        DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(),
+                                 &ctx->registry, options);
+        opt.Optimize();
+      });
+      auto ctx = MakeContext(*fixture, q);
+      DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry,
+                               options);
+      opt.Optimize();
+      table.AddRow({q, d == QueueDiscipline::kLifo ? "LIFO" : "FIFO", Num(ms, 3),
+                    Num(static_cast<double>(opt.metrics().eps_enumerated), 0),
+                    Num(static_cast<double>(opt.metrics().alts_full_costed), 0),
+                    Num(static_cast<double>(opt.metrics().round_steps), 0)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nBoth disciplines find the same optimal plan (correctness is order-\n"
+      "independent); they differ in how much of the space gets explored before\n"
+      "the pruning thresholds tighten.\n");
+}
+
+}  // namespace
+}  // namespace iqro::bench
+
+int main() {
+  iqro::bench::Run();
+  return 0;
+}

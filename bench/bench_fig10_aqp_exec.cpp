@@ -1,0 +1,127 @@
+// Figure 10: per-slice execution time of SegTollS under static plans vs
+// the adaptive loop (§5.4). The paper compares a "bad" and a "good" single
+// static plan against AQP with cumulative and non-cumulative statistics.
+//
+// On a drifting stream no single static plan fits every phase, so the
+// static lanes here are *candidates* fitted at different points (zero
+// information, early phase, late phase); the best- and worst-performing
+// candidates under replay play the paper's "good plan" / "bad plan" roles.
+// The adaptive lanes refit the plan at every slice boundary.
+#include <cstdio>
+
+#include "aqp/adaptive.h"
+#include "bench_util/bench_util.h"
+
+namespace iqro::bench {
+namespace {
+
+constexpr int kSlices = 15;
+
+LinearRoadConfig StreamConfig() {
+  LinearRoadConfig cfg;
+  cfg.events_per_second = 150;
+  cfg.num_cars = 600;
+  cfg.drift_period = 3;
+  cfg.zipf_theta = 1.0;
+  return cfg;
+}
+
+std::unique_ptr<PlanTree> StaticCandidate(int fit_slices) {
+  auto setup = MakeSegTollS();
+  AqpOptions opts;
+  opts.cumulative_stats = false;  // snap to the fitted phase
+  AdaptiveStreamProcessor proc(setup.get(), opts);
+  LinearRoadGenerator gen(StreamConfig());
+  for (int t = 0; t < fit_slices; ++t) {
+    proc.ProcessSlice(t == 0 ? std::vector<CarLocEvent>{} : gen.Second(t - 1), t);
+  }
+  return proc.current_plan()->Clone();
+}
+
+struct Lane {
+  std::string name;
+  std::unique_ptr<SegTollSetup> setup;
+  std::unique_ptr<AdaptiveStreamProcessor> proc;
+  std::unique_ptr<LinearRoadGenerator> gen;
+  std::vector<double> per_slice;
+  double total = 0;
+};
+
+Lane MakeFixedLane(std::string name, const PlanTree& plan) {
+  Lane lane;
+  lane.name = std::move(name);
+  lane.setup = MakeSegTollS();
+  AqpOptions opts;
+  opts.reopt = AqpOptions::ReoptMode::kNone;
+  lane.proc = std::make_unique<AdaptiveStreamProcessor>(lane.setup.get(), opts);
+  lane.proc->SetFixedPlan(plan.Clone());
+  lane.gen = std::make_unique<LinearRoadGenerator>(StreamConfig());
+  return lane;
+}
+
+Lane MakeAdaptiveLane(std::string name, bool cumulative) {
+  Lane lane;
+  lane.name = std::move(name);
+  lane.setup = MakeSegTollS();
+  AqpOptions opts;
+  opts.cumulative_stats = cumulative;
+  lane.proc = std::make_unique<AdaptiveStreamProcessor>(lane.setup.get(), opts);
+  lane.gen = std::make_unique<LinearRoadGenerator>(StreamConfig());
+  return lane;
+}
+
+void Run() {
+  // Static candidates: fitted with no data, to an early phase, and to a
+  // late phase of the drifting stream.
+  auto zero_info = StaticCandidate(1);
+  auto early_fit = StaticCandidate(3);
+  auto late_fit = StaticCandidate(kSlices);
+
+  std::vector<Lane> lanes;
+  lanes.push_back(MakeFixedLane("Static[zero-info]", *zero_info));
+  lanes.push_back(MakeFixedLane("Static[early-fit]", *early_fit));
+  lanes.push_back(MakeFixedLane("Static[late-fit]", *late_fit));
+  lanes.push_back(MakeAdaptiveLane("AQP-Cumulative", true));
+  lanes.push_back(MakeAdaptiveLane("AQP-NonCumulative", false));
+
+  std::vector<std::string> headers{"slice"};
+  for (const Lane& lane : lanes) headers.push_back(lane.name);
+  TablePrinter table("Figure 10: execution time per slice (ms)", headers);
+  for (int t = 0; t < kSlices; ++t) {
+    std::vector<std::string> row{Num(t, 0)};
+    for (Lane& lane : lanes) {
+      SliceReport r = lane.proc->ProcessSlice(lane.gen->Second(t), t);
+      lane.per_slice.push_back(r.exec_ms);
+      lane.total += r.exec_ms;
+      row.push_back(Num(r.exec_ms, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  const Lane* good = &lanes[0];
+  const Lane* bad = &lanes[0];
+  for (size_t i = 1; i < 3; ++i) {
+    if (lanes[i].total < good->total) good = &lanes[i];
+    if (lanes[i].total > bad->total) bad = &lanes[i];
+  }
+  std::printf("\ncumulative execution time over %d slices:\n", kSlices);
+  for (const Lane& lane : lanes) {
+    const char* tag = "";
+    if (&lane == good) tag = "   <- the paper's \"good plan\" role";
+    if (&lane == bad) tag = "   <- the paper's \"bad plan\" role";
+    std::printf("  %-20s %10.2f ms%s\n", lane.name.c_str(), lane.total, tag);
+  }
+  std::printf(
+      "\nPaper shape: a mis-fitted static plan degrades (the paper's pages to\n"
+      "disk; ours is bounded by in-memory execution), while the adaptive lanes\n"
+      "track or beat the best static plan by refitting to the current window.\n");
+}
+
+}  // namespace
+}  // namespace iqro::bench
+
+int main() {
+  iqro::bench::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 5: incremental re-optimization of TPC-H Q5 after a synthetic
+// change to one join expression's selectivity estimate, for expressions at
+// every level of the paper's join chain (A = region x nation up to
+// E = supplier x D) and ratios 1/8 .. 8 —
+// (a) re-optimization time relative to a full Volcano optimization,
+// (b)/(c) fraction of plan-table entries / alternatives touched.
+#include <cstdio>
+
+#include "baseline/volcano.h"
+#include "bench_util/bench_util.h"
+#include "core/declarative_optimizer.h"
+
+namespace iqro::bench {
+namespace {
+
+void Run() {
+  auto fixture = MakeTpchFixture(0.01);
+  auto ctx = MakeContext(*fixture, "Q5");
+  auto full = ctx->enumerator->CountFullSpace();
+
+  // Q5 relation slots: r=0, n=1, c=2, o=3, l=4, s=5 (see MakeQ5).
+  struct Level {
+    const char* name;
+    RelSet scope;
+  };
+  const Level levels[] = {
+      {"A=REGION*NATION", 0b000011},
+      {"B=CUSTOMER*A", 0b000111},
+      {"C=ORDERS*B", 0b001111},
+      {"D=LINEITEM*C", 0b011111},
+      {"E=SUPPLIER*D", 0b111111},
+  };
+  const double ratios[] = {0.125, 0.25, 0.5, 1, 2, 4, 8};
+
+  double volcano_ms = MedianMs(5, [&] {
+    auto fresh = MakeContext(*fixture, "Q5");
+    VolcanoOptimizer v(fresh->enumerator.get(), fresh->cost_model.get());
+    v.Optimize();
+  });
+
+  DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry);
+  opt.Optimize();
+
+  TablePrinter time_table(
+      "Figure 5(a): incremental re-opt time / Volcano full-opt time (Q5 join selectivity)",
+      {"change", "1/8", "1/4", "1/2", "1", "2", "4", "8"});
+  TablePrinter entries_table("Figure 5(b): update ratio, plan-table entries",
+                             {"change", "1/8", "1/4", "1/2", "1", "2", "4", "8"});
+  TablePrinter alts_table("Figure 5(c): update ratio, plan alternatives",
+                          {"change", "1/8", "1/4", "1/2", "1", "2", "4", "8"});
+
+  for (const Level& level : levels) {
+    std::vector<std::string> times{level.name};
+    std::vector<std::string> entries{level.name};
+    std::vector<std::string> alts{level.name};
+    for (double ratio : ratios) {
+      ctx->registry.SetCardMultiplier(level.scope, ratio);
+      double ms = OnceMs([&] { opt.Reoptimize(); });
+      times.push_back(Num(ms / volcano_ms, 4));
+      entries.push_back(Num(static_cast<double>(opt.metrics().round_touched_eps) /
+                                static_cast<double>(full.eps),
+                            3));
+      alts.push_back(Num(static_cast<double>(opt.metrics().round_touched_alts) /
+                             static_cast<double>(full.alts),
+                         3));
+      // Restore the base statistics before the next data point.
+      ctx->registry.SetCardMultiplier(level.scope, 1.0);
+      opt.Reoptimize();
+    }
+    time_table.AddRow(times);
+    entries_table.AddRow(entries);
+    alts_table.AddRow(alts);
+  }
+  time_table.Print();
+  entries_table.Print();
+  alts_table.Print();
+  std::printf(
+      "\nPaper shape: larger expressions are cheaper to update (E touches almost\n"
+      "nothing; A re-enumerates the most); every point is a small fraction of a\n"
+      "full optimization (speedups of 12x to >100x).\n");
+}
+
+}  // namespace
+}  // namespace iqro::bench
+
+int main() {
+  iqro::bench::Run();
+  return 0;
+}

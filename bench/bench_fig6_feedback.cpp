@@ -1,0 +1,77 @@
+// Figure 6: incremental re-optimization of Q5 driven by *real execution*
+// over skewed data partitions (§5.2.2): the query is optimized against
+// partition-0 statistics, then executed over differently-skewed partitions;
+// after each round the cumulatively observed cardinalities feed the
+// re-optimizer. (a) re-opt time vs a full Volcano optimization, (b)/(c)
+// fraction of state touched.
+#include <cstdio>
+
+#include "baseline/volcano.h"
+#include "bench_util/bench_util.h"
+#include "core/declarative_optimizer.h"
+#include "exec/executor.h"
+#include "exec/feedback.h"
+
+namespace iqro::bench {
+namespace {
+
+void Run() {
+  constexpr int kRounds = 9;
+  constexpr double kSf = 0.005;
+  constexpr double kZipf = 0.5;
+
+  // Partition 0 provides the initial statistics; rounds execute over
+  // partitions 1..9, each skewed differently.
+  auto base = MakeTpchFixture(kSf, kZipf, /*partition=*/0);
+  auto ctx = MakeContext(*base, "Q5");
+  auto full = ctx->enumerator->CountFullSpace();
+
+  double volcano_ms = MedianMs(5, [&] {
+    auto fresh = MakeContext(*base, "Q5");
+    VolcanoOptimizer v(fresh->enumerator.get(), fresh->cost_model.get());
+    v.Optimize();
+  });
+
+  DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry);
+  opt.Optimize();
+
+  TablePrinter table("Figure 6: re-optimization from real execution over skewed partitions",
+                     {"round", "reopt(ms)", "vs volcano", "entries touched", "alts touched",
+                      "plan changed"});
+
+  auto previous = opt.GetBestPlan();
+  for (int round = 1; round <= kRounds; ++round) {
+    auto partition = MakeTpchFixture(kSf, kZipf, static_cast<uint32_t>(round));
+    // Execute the current plan over this partition's data.
+    Executor exec(&partition->catalog, &ctx->query, ctx->graph.get(), &ctx->props);
+    ExecutionResult result = exec.Execute(*opt.GetBestPlan(), /*collect_rows=*/false);
+    // Cumulative observed statistics (§5.2.2) with a small dead band:
+    // converged estimates stop producing deltas.
+    ApplyObservedCardinalities(result.observed, &ctx->registry,
+                               1.0 / static_cast<double>(round), /*deadband=*/0.02);
+    double ms = OnceMs([&] { opt.Reoptimize(); });
+    auto plan = opt.GetBestPlan();
+    table.AddRow({Num(round, 0), Num(ms, 3), Num(ms / volcano_ms, 4),
+                  Num(static_cast<double>(opt.metrics().round_touched_eps) /
+                          static_cast<double>(full.eps),
+                      3),
+                  Num(static_cast<double>(opt.metrics().round_touched_alts) /
+                          static_cast<double>(full.alts),
+                      3),
+                  plan->SameShape(*previous) ? "no" : "yes"});
+    previous = std::move(plan);
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: each round of feedback-driven re-optimization costs a small\n"
+      "fraction of a full optimization (10x+ speedup), because only a small part\n"
+      "of the search space is touched.\n");
+}
+
+}  // namespace
+}  // namespace iqro::bench
+
+int main() {
+  iqro::bench::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 7: contribution of each pruning technique to *initial*
+// optimization, across the join workload — AggSel (aggregate selection +
+// tuple source suppression), +RefCount, +Branch&Bound, All — plus the
+// paper's omitted no-pruning configuration (§5.3).
+#include <cstdio>
+
+#include "baseline/volcano.h"
+#include "bench_util/bench_util.h"
+#include "core/declarative_optimizer.h"
+
+namespace iqro::bench {
+namespace {
+
+struct Config {
+  const char* name;
+  OptimizerOptions options;
+};
+
+void Run() {
+  auto fixture = MakeTpchFixture(0.01);
+  const Config configs[] = {
+      {"AggSel", OptimizerOptions::UseAggSel()},
+      {"AggSel+RefCount", OptimizerOptions::UseAggSelRefCount()},
+      {"AggSel+B&B", OptimizerOptions::UseAggSelBounding()},
+      {"All", OptimizerOptions::Default()},
+      {"NoPruning", OptimizerOptions::UseNoPruning()},
+  };
+
+  TablePrinter time_table("Figure 7(a): initial optimization time vs Volcano",
+                          {"query", "AggSel", "AggSel+RefCount", "AggSel+B&B", "All",
+                           "NoPruning"});
+  TablePrinter entries_table("Figure 7(b): pruning ratio, plan-table entries",
+                             {"query", "AggSel", "AggSel+RefCount", "AggSel+B&B", "All"});
+  TablePrinter alts_table("Figure 7(c): pruning ratio, plan alternatives",
+                          {"query", "AggSel", "AggSel+RefCount", "AggSel+B&B", "All"});
+
+  for (const std::string& q : JoinQueryNames()) {
+    double volcano_ms = MedianMs(5, [&] {
+      auto ctx = MakeContext(*fixture, q);
+      VolcanoOptimizer v(ctx->enumerator.get(), ctx->cost_model.get());
+      v.Optimize();
+    });
+    std::vector<std::string> times{q};
+    std::vector<std::string> entries{q};
+    std::vector<std::string> alts{q};
+    for (const Config& cfg : configs) {
+      double ms = MedianMs(3, [&] {
+        auto ctx = MakeContext(*fixture, q);
+        DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry,
+                                 cfg.options);
+        opt.Optimize();
+      });
+      times.push_back(Num(ms / volcano_ms));
+      if (std::string(cfg.name) != "NoPruning") {
+        auto ctx = MakeContext(*fixture, q);
+        auto full = ctx->enumerator->CountFullSpace();
+        DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry,
+                                 cfg.options);
+        opt.Optimize();
+        entries.push_back(Num(1.0 - static_cast<double>(opt.metrics().eps_enumerated) /
+                                        static_cast<double>(full.eps)));
+        alts.push_back(Num(1.0 - static_cast<double>(opt.NumViableAlts()) /
+                                     static_cast<double>(full.alts)));
+      }
+    }
+    time_table.AddRow(times);
+    entries_table.AddRow(entries);
+    alts_table.AddRow(alts);
+  }
+  time_table.Print();
+  entries_table.Print();
+  alts_table.Print();
+  std::printf(
+      "\nPaper shape: each added technique costs a little runtime during initial\n"
+      "optimization (<= ~10%% over AggSel alone) but prunes more state; the\n"
+      "no-pruning configuration is far slower than every pruned configuration.\n");
+}
+
+}  // namespace
+}  // namespace iqro::bench
+
+int main() {
+  iqro::bench::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 8: contribution of each pruning technique during *incremental*
+// re-optimization of Q5 when the Orders scan cost changes by 1/8 .. 8 —
+// (a) re-opt time vs a full Volcano optimization, (b)/(c) state pruned
+// during the re-optimization (suppressions+collections / suppressions).
+#include <cstdio>
+
+#include "baseline/volcano.h"
+#include "bench_util/bench_util.h"
+#include "core/declarative_optimizer.h"
+
+namespace iqro::bench {
+namespace {
+
+struct Config {
+  const char* name;
+  OptimizerOptions options;
+};
+
+void Run() {
+  auto fixture = MakeTpchFixture(0.01);
+  const Config configs[] = {
+      {"AggSel", OptimizerOptions::UseAggSel()},
+      {"AggSel+RefCount", OptimizerOptions::UseAggSelRefCount()},
+      {"AggSel+B&B", OptimizerOptions::UseAggSelBounding()},
+      {"All", OptimizerOptions::Default()},
+  };
+  const double ratios[] = {0.125, 0.25, 0.5, 1, 2, 4, 8};
+  const int orders_slot = 3;  // Q5 relation slots: r, n, c, o, l, s
+
+  double volcano_ms = MedianMs(5, [&] {
+    auto ctx = MakeContext(*fixture, "Q5");
+    VolcanoOptimizer v(ctx->enumerator.get(), ctx->cost_model.get());
+    v.Optimize();
+  });
+
+  TablePrinter time_table("Figure 8(a): incremental re-opt time / Volcano (Orders scan cost)",
+                          {"config", "1/8", "1/4", "1/2", "1", "2", "4", "8"});
+  TablePrinter entries_table("Figure 8(b): entries pruned during re-opt / full space",
+                             {"config", "1/8", "1/4", "1/2", "1", "2", "4", "8"});
+  TablePrinter alts_table("Figure 8(c): alternatives pruned during re-opt / full space",
+                          {"config", "1/8", "1/4", "1/2", "1", "2", "4", "8"});
+
+  for (const Config& cfg : configs) {
+    auto ctx = MakeContext(*fixture, "Q5");
+    auto full = ctx->enumerator->CountFullSpace();
+    DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry,
+                             cfg.options);
+    opt.Optimize();
+    std::vector<std::string> times{cfg.name};
+    std::vector<std::string> entries{cfg.name};
+    std::vector<std::string> alts{cfg.name};
+    for (double ratio : ratios) {
+      int64_t gcs0 = opt.metrics().ep_gcs + opt.metrics().ep_activations;
+      int64_t sup0 = opt.metrics().suppressions + opt.metrics().reintroductions;
+      ctx->registry.SetScanCostMultiplier(orders_slot, ratio);
+      double ms = OnceMs([&] { opt.Reoptimize(); });
+      times.push_back(Num(ms / volcano_ms, 4));
+      int64_t gcs1 = opt.metrics().ep_gcs + opt.metrics().ep_activations;
+      int64_t sup1 = opt.metrics().suppressions + opt.metrics().reintroductions;
+      entries.push_back(
+          Num(static_cast<double>(gcs1 - gcs0) / static_cast<double>(full.eps), 3));
+      alts.push_back(
+          Num(static_cast<double>(sup1 - sup0) / static_cast<double>(full.alts), 3));
+      ctx->registry.SetScanCostMultiplier(orders_slot, 1.0);
+      opt.Reoptimize();
+    }
+    time_table.AddRow(times);
+    entries_table.AddRow(entries);
+    alts_table.AddRow(alts);
+  }
+  time_table.Print();
+  entries_table.Print();
+  alts_table.Print();
+  std::printf(
+      "\nPaper shape: the techniques work best in combination; every configuration\n"
+      "re-optimizes in a small fraction of a full optimization, and the full\n"
+      "configuration prunes the most state per update. Zero rows mean the scan-cost\n"
+      "change did not flip any plan choice — the paper's Fig. 8(b)/(c) likewise\n"
+      "marks many data points as exactly zero.\n");
+}
+
+}  // namespace
+}  // namespace iqro::bench
+
+int main() {
+  iqro::bench::Run();
+  return 0;
+}

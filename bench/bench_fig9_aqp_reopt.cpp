@@ -1,0 +1,86 @@
+// Figure 9: adaptive stream processing re-optimization cost per slice on
+// the SegTollS query — a non-incremental re-optimizer pays a flat cost
+// every slice, while the incremental re-optimizer's cost decays toward
+// zero as statistics converge (§5.4).
+//
+// Two non-incremental baselines are shown: a from-scratch run of the same
+// declarative engine (isolating the value of incrementality, the paper's
+// comparison) and a from-scratch procedural Volcano optimization (our
+// Volcano is a very lean in-process baseline; see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "aqp/adaptive.h"
+#include "bench_util/bench_util.h"
+
+namespace iqro::bench {
+namespace {
+
+void Run() {
+  constexpr int kSlices = 120;
+  LinearRoadConfig cfg;
+  cfg.events_per_second = 50;
+  cfg.num_cars = 400;
+  cfg.drift_period = 20;
+
+  struct Lane {
+    const char* name;
+    AqpOptions::ReoptMode mode;
+    std::unique_ptr<SegTollSetup> setup;
+    std::unique_ptr<AdaptiveStreamProcessor> proc;
+    std::unique_ptr<LinearRoadGenerator> gen;
+    double total = 0;
+    double tail = 0;
+  };
+  std::vector<Lane> lanes;
+  for (auto [name, mode] :
+       std::initializer_list<std::pair<const char*, AqpOptions::ReoptMode>>{
+           {"incremental", AqpOptions::ReoptMode::kIncremental},
+           {"scratch-declarative", AqpOptions::ReoptMode::kScratchDeclarative},
+           {"scratch-volcano", AqpOptions::ReoptMode::kScratch}}) {
+    Lane lane;
+    lane.name = name;
+    lane.mode = mode;
+    lane.setup = MakeSegTollS();
+    AqpOptions opts;
+    opts.reopt = mode;
+    lane.proc = std::make_unique<AdaptiveStreamProcessor>(lane.setup.get(), opts);
+    lane.gen = std::make_unique<LinearRoadGenerator>(cfg);
+    lanes.push_back(std::move(lane));
+  }
+
+  TablePrinter table("Figure 9: re-optimization time per slice (ms)",
+                     {"slice", "scratch-decl", "scratch-volcano", "incremental",
+                      "inc. entries touched"});
+  for (int t = 0; t < kSlices; ++t) {
+    double ms[3] = {0, 0, 0};
+    int64_t touched = 0;
+    for (size_t l = 0; l < lanes.size(); ++l) {
+      SliceReport r = lanes[l].proc->ProcessSlice(lanes[l].gen->Second(t), t);
+      ms[l] = r.reopt_ms;
+      lanes[l].total += r.reopt_ms;
+      if (t >= kSlices - 30) lanes[l].tail += r.reopt_ms;
+      if (lanes[l].mode == AqpOptions::ReoptMode::kIncremental) touched = r.touched_eps;
+    }
+    if (t < 5 || t % 10 == 0) {
+      table.AddRow({Num(t, 0), Num(ms[1], 3), Num(ms[2], 3), Num(ms[0], 3),
+                    Num(static_cast<double>(touched), 0)});
+    }
+  }
+  table.Print();
+  std::printf("\ncumulative re-opt time over %d slices (ms):\n", kSlices);
+  for (Lane& lane : lanes) std::printf("  %-22s %10.2f\n", lane.name, lane.total);
+  std::printf("last-30-slice average (ms):\n");
+  for (Lane& lane : lanes) std::printf("  %-22s %10.4f\n", lane.name, lane.tail / 30.0);
+  std::printf(
+      "\nPaper shape: the non-incremental optimizer's per-slice cost stays flat\n"
+      "while the incremental optimizer's cost drops off rapidly, approaching zero\n"
+      "once the system converges on a plan.\n");
+}
+
+}  // namespace
+}  // namespace iqro::bench
+
+int main() {
+  iqro::bench::Run();
+  return 0;
+}

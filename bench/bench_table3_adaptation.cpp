@@ -1,0 +1,58 @@
+// Table 3: frequency of adaptation on a 20-second stream — per-slice
+// durations of 1 s, 5 s and 10 s; total re-optimization time vs execution
+// time. Finer slices buy better-fitted plans at higher optimization cost;
+// the incremental re-optimizer keeps that cost small (§5.4).
+#include <cstdio>
+
+#include "aqp/adaptive.h"
+#include "bench_util/bench_util.h"
+
+namespace iqro::bench {
+namespace {
+
+void Run() {
+  constexpr int kStreamSeconds = 20;
+  LinearRoadConfig cfg;
+  cfg.events_per_second = 150;
+  cfg.num_cars = 600;
+  cfg.drift_period = 5;
+
+  TablePrinter table("Table 3: frequency of adaptation (20 s stream)",
+                     {"per slice", "re-opt time (ms)", "exec time (ms)", "total (ms)",
+                      "plan changes"});
+  for (int slice_seconds : {1, 5, 10}) {
+    auto setup = MakeSegTollS();
+    AdaptiveStreamProcessor proc(setup.get(), AqpOptions{});
+    LinearRoadGenerator gen(cfg);
+    double reopt_ms = 0;
+    double exec_ms = 0;
+    int changes = 0;
+    std::vector<CarLocEvent> batch;
+    for (int t = 0; t < kStreamSeconds; ++t) {
+      auto sec = gen.Second(t);
+      batch.insert(batch.end(), sec.begin(), sec.end());
+      if ((t + 1) % slice_seconds == 0) {
+        SliceReport r = proc.ProcessSlice(batch, t);
+        batch.clear();
+        reopt_ms += r.reopt_ms;
+        exec_ms += r.exec_ms;
+        if (r.plan_changed) ++changes;
+      }
+    }
+    table.AddRow({Num(slice_seconds, 0) + " s", Num(reopt_ms, 2), Num(exec_ms, 2),
+                  Num(reopt_ms + exec_ms, 2), Num(changes, 0)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: shrinking the slice from 10 s to 5 s wins clearly; going to\n"
+      "1 s adds optimizer invocations but little further total-time change, since\n"
+      "the incremental re-optimizer is cheap once converged.\n");
+}
+
+}  // namespace
+}  // namespace iqro::bench
+
+int main() {
+  iqro::bench::Run();
+  return 0;
+}

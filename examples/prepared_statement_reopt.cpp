@@ -1,0 +1,65 @@
+// The paper's OLAP scenario (§1): a prepared statement executed repeatedly.
+// After each execution, observed cardinalities feed the optimizer, which
+// incrementally re-optimizes — with minimal overhead once converged.
+//
+//   $ ./build/examples/prepared_statement_reopt
+#include <chrono>
+#include <cstdio>
+
+#include "core/declarative_optimizer.h"
+#include "exec/executor.h"
+#include "exec/feedback.h"
+#include "workload/context.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+using namespace iqro;
+
+int main() {
+  Catalog catalog;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.005;
+  cfg.zipf_theta = 0.5;  // skewed data: histograms mis-estimate joins
+  GenerateTpch(&catalog, cfg);
+  auto stats = CollectCatalogStats(catalog);
+  auto ctx = MakeQueryContext(&catalog, MakeTpchQuery(&catalog, "Q5S"), stats);
+
+  DeclarativeOptimizer optimizer(ctx->enumerator.get(), ctx->cost_model.get(),
+                                 &ctx->registry);
+  optimizer.Optimize();
+  Executor executor(&catalog, &ctx->query, ctx->graph.get(), &ctx->props);
+
+  std::printf("%-5s %-12s %-12s %-14s %-12s %s\n", "run", "exec ms", "reopt ms",
+              "est. cost", "result rows", "plan changed");
+  auto previous = optimizer.GetBestPlan();
+  for (int run = 1; run <= 8; ++run) {
+    auto plan = optimizer.GetBestPlan();
+    bool changed = !plan->SameShape(*previous);
+    previous = plan->Clone();
+
+    auto t0 = std::chrono::steady_clock::now();
+    ExecutionResult result = executor.Execute(*plan, /*collect_rows=*/false);
+    double exec_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Feed back what execution actually observed, then re-optimize
+    // incrementally. After the first runs the statistics converge and the
+    // re-optimization cost drops to (near) zero — the "minimal overhead"
+    // property the paper targets for prepared statements.
+    ApplyObservedCardinalities(result.observed, &ctx->registry, 1.0 / run,
+                               /*deadband=*/0.01);
+    auto t1 = std::chrono::steady_clock::now();
+    optimizer.Reoptimize();
+    double reopt_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t1)
+            .count();
+
+    std::printf("%-5d %-12.3f %-12.3f %-14.1f %-12lld %s\n", run, exec_ms, reopt_ms,
+                plan->cost, static_cast<long long>(result.root_rows),
+                changed ? "yes" : "no");
+  }
+  optimizer.ValidateInvariants();
+  std::printf("\noptimizer state stayed consistent across all runs.\n");
+  return 0;
+}

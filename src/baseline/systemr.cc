@@ -1,0 +1,118 @@
+#include "baseline/systemr.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+
+namespace iqro {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+SystemROptimizer::SystemROptimizer(PlanEnumerator* enumerator, const CostModel* cost_model)
+    : enumerator_(enumerator), cost_model_(cost_model) {}
+
+void SystemROptimizer::Optimize() {
+  table_.clear();
+  metrics_ = SystemRMetrics{};
+
+  // Discover the reachable (expr, prop) pairs top-down once, then fill the
+  // dynamic-programming table bottom-up: by subset size, with the
+  // unordered (prop = none) variant of an expression before its sorted
+  // variants (the sort enforcer references it).
+  std::vector<EPKey> pairs;
+  {
+    std::unordered_map<EPKey, bool> seen;
+    std::deque<EPKey> queue;
+    EPKey root = enumerator_->RootKey();
+    queue.push_back(root);
+    seen[root] = true;
+    while (!queue.empty()) {
+      EPKey key = queue.front();
+      queue.pop_front();
+      pairs.push_back(key);
+      for (const Alt& a : enumerator_->Split(EPExpr(key), EPProp(key))) {
+        if (a.NumChildren() >= 1) {
+          EPKey l = MakeEPKey(a.lexpr, a.lprop);
+          if (!seen[l]) {
+            seen[l] = true;
+            queue.push_back(l);
+          }
+        }
+        if (a.NumChildren() == 2) {
+          EPKey r = MakeEPKey(a.rexpr, a.rprop);
+          if (!seen[r]) {
+            seen[r] = true;
+            queue.push_back(r);
+          }
+        }
+      }
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(), [](EPKey a, EPKey b) {
+    int pa = RelCount(EPExpr(a));
+    int pb = RelCount(EPExpr(b));
+    if (pa != pb) return pa < pb;
+    return EPProp(a) == kPropNone && EPProp(b) != kPropNone;
+  });
+
+  for (EPKey key : pairs) {
+    const RelSet expr = EPExpr(key);
+    const PropId prop = EPProp(key);
+    Entry entry;
+    entry.best = kInf;
+    const std::vector<Alt>& alts = enumerator_->Split(expr, prop);
+    for (size_t i = 0; i < alts.size(); ++i) {
+      const Alt& a = alts[i];
+      double total = 0;
+      switch (a.logop) {
+        case LogOp::kScan:
+          total = cost_model_->ScanCost(RelLowest(expr), a.phyop);
+          break;
+        case LogOp::kSort:
+          total = cost_model_->SortLocalCost(expr);
+          break;
+        case LogOp::kJoin:
+          total = cost_model_->JoinLocalCost(a.phyop, a.lexpr, a.rexpr);
+          break;
+      }
+      if (a.NumChildren() >= 1) total += BestCostOf(a.lexpr, a.lprop);
+      if (a.NumChildren() == 2) total += BestCostOf(a.rexpr, a.rprop);
+      ++metrics_.alts_costed;
+      if (total < entry.best) {
+        entry.best = total;
+        entry.best_alt = static_cast<int>(i);
+      }
+    }
+    IQRO_CHECK(entry.best < kInf);
+    table_[key] = entry;
+    ++metrics_.eps_computed;
+  }
+}
+
+double SystemROptimizer::BestCostOf(RelSet expr, PropId prop) const {
+  auto it = table_.find(MakeEPKey(expr, prop));
+  return it == table_.end() ? kInf : it->second.best;
+}
+
+double SystemROptimizer::BestCost() const {
+  EPKey root = enumerator_->RootKey();
+  return BestCostOf(EPExpr(root), EPProp(root));
+}
+
+std::unique_ptr<PlanTree> SystemROptimizer::GetBestPlan() const {
+  AltChooser chooser = [this](RelSet expr, PropId prop) -> std::pair<Alt, double> {
+    auto it = table_.find(MakeEPKey(expr, prop));
+    IQRO_CHECK(it != table_.end() && it->second.best_alt >= 0);
+    const std::vector<Alt>& alts = enumerator_->Split(expr, prop);
+    return {alts[static_cast<size_t>(it->second.best_alt)], it->second.best};
+  };
+  EPKey root = enumerator_->RootKey();
+  return BuildPlanTree(EPExpr(root), EPProp(root), chooser, cost_model_->summaries(),
+                       enumerator_->props());
+}
+
+}  // namespace iqro

@@ -1,0 +1,52 @@
+// SystemROptimizer: procedural bottom-up dynamic programming over connected
+// relation subsets with interesting orders (System-R style [23]) — the
+// paper's second baseline, and our tests' exhaustive ground truth: it costs
+// every alternative of every reachable (expr, prop) pair exactly once.
+#ifndef IQRO_BASELINE_SYSTEMR_H_
+#define IQRO_BASELINE_SYSTEMR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "enumerate/plan_enumerator.h"
+#include "enumerate/plan_tree.h"
+
+namespace iqro {
+
+struct SystemRMetrics {
+  int64_t eps_computed = 0;
+  int64_t alts_costed = 0;
+};
+
+class SystemROptimizer {
+ public:
+  SystemROptimizer(PlanEnumerator* enumerator, const CostModel* cost_model);
+
+  /// Full (from scratch) optimization. Clears any previous state.
+  void Optimize();
+
+  double BestCost() const;
+  std::unique_ptr<PlanTree> GetBestPlan() const;
+  const SystemRMetrics& metrics() const { return metrics_; }
+
+  /// Best cost of any reachable (expr, prop) pair; +infinity if the pair is
+  /// not part of the query's plan space. Used by tests as ground truth.
+  double BestCostOf(RelSet expr, PropId prop) const;
+
+ private:
+  struct Entry {
+    double best = 0;
+    int best_alt = -1;
+  };
+
+  PlanEnumerator* enumerator_;
+  const CostModel* cost_model_;
+  std::unordered_map<EPKey, Entry> table_;
+  SystemRMetrics metrics_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_BASELINE_SYSTEMR_H_

@@ -1,0 +1,109 @@
+#include "baseline/volcano.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace iqro {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+VolcanoOptimizer::VolcanoOptimizer(PlanEnumerator* enumerator, const CostModel* cost_model)
+    : enumerator_(enumerator), cost_model_(cost_model) {}
+
+void VolcanoOptimizer::Optimize() {
+  memo_.clear();
+  metrics_ = VolcanoMetrics{};
+  EPKey root = enumerator_->RootKey();
+  best_cost_ = OptimizeEP(EPExpr(root), EPProp(root), kInf);
+  IQRO_CHECK(best_cost_ < kInf);
+}
+
+double VolcanoOptimizer::OptimizeEP(RelSet expr, PropId prop, double limit) {
+  Entry& entry = memo_[MakeEPKey(expr, prop)];
+  if (entry.exact) return entry.best < limit ? entry.best : kInf;
+  if (entry.visited && limit <= entry.failed_limit) {
+    ++metrics_.cutoffs;  // proven: no plan cheaper than failed_limit exists
+    return kInf;
+  }
+  if (!entry.visited) {
+    entry.visited = true;
+    entry.failed_limit = 0;
+    entry.best = kInf;
+    ++metrics_.eps_visited;
+  }
+
+  const std::vector<Alt>& alts = enumerator_->Split(expr, prop);
+  double running_limit = limit;
+  double best = kInf;
+  int best_alt = -1;
+  for (size_t i = 0; i < alts.size(); ++i) {
+    const Alt& a = alts[i];
+    ++metrics_.alts_considered;
+    double local = 0;
+    switch (a.logop) {
+      case LogOp::kScan:
+        local = cost_model_->ScanCost(RelLowest(expr), a.phyop);
+        break;
+      case LogOp::kSort:
+        local = cost_model_->SortLocalCost(expr);
+        break;
+      case LogOp::kJoin:
+        local = cost_model_->JoinLocalCost(a.phyop, a.lexpr, a.rexpr);
+        break;
+    }
+    if (local >= running_limit) {
+      ++metrics_.cutoffs;
+      continue;
+    }
+    double total = local;
+    if (a.NumChildren() >= 1) {
+      double lcost = OptimizeEP(a.lexpr, a.lprop, running_limit - total);
+      if (lcost == kInf) {
+        ++metrics_.cutoffs;
+        continue;
+      }
+      total += lcost;
+    }
+    if (a.NumChildren() == 2) {
+      double rcost = OptimizeEP(a.rexpr, a.rprop, running_limit - total);
+      if (rcost == kInf) {
+        ++metrics_.cutoffs;
+        continue;
+      }
+      total += rcost;
+    }
+    ++metrics_.alts_completed;
+    if (total < best) {
+      best = total;
+      best_alt = static_cast<int>(i);
+      running_limit = std::min(running_limit, best);
+      ++metrics_.alts_won;
+    }
+  }
+
+  if (best < limit) {
+    entry.best = best;
+    entry.best_alt = best_alt;
+    entry.exact = true;  // every cutoff was provably >= best
+    return best;
+  }
+  entry.failed_limit = std::max(entry.failed_limit, limit);
+  return kInf;
+}
+
+std::unique_ptr<PlanTree> VolcanoOptimizer::GetBestPlan() const {
+  AltChooser chooser = [this](RelSet expr, PropId prop) -> std::pair<Alt, double> {
+    auto it = memo_.find(MakeEPKey(expr, prop));
+    IQRO_CHECK(it != memo_.end() && it->second.exact && it->second.best_alt >= 0);
+    const std::vector<Alt>& alts = enumerator_->Split(expr, prop);
+    return {alts[static_cast<size_t>(it->second.best_alt)], it->second.best};
+  };
+  EPKey root = enumerator_->RootKey();
+  return BuildPlanTree(EPExpr(root), EPProp(root), chooser, cost_model_->summaries(),
+                       enumerator_->props());
+}
+
+}  // namespace iqro

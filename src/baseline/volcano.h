@@ -1,0 +1,61 @@
+// VolcanoOptimizer: procedural top-down optimization with memoization and
+// branch-and-bound pruning (Volcano/Cascades style [11, 12]) — the paper's
+// primary baseline and the normalization target of every figure.
+//
+// Shares the PlanEnumerator (Fn_split) and CostModel with the declarative
+// optimizer, so both search exactly the same plan space with identical cost
+// inputs; only search order, dataflow and pruning differ.
+#ifndef IQRO_BASELINE_VOLCANO_H_
+#define IQRO_BASELINE_VOLCANO_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "cost/cost_model.h"
+#include "enumerate/plan_enumerator.h"
+#include "enumerate/plan_tree.h"
+
+namespace iqro {
+
+struct VolcanoMetrics {
+  int64_t eps_visited = 0;      // distinct (expr, prop) pairs entered
+  int64_t alts_considered = 0;  // alternative expansions started
+  int64_t alts_completed = 0;   // alternatives fully costed (not cut off)
+  int64_t alts_won = 0;         // alternatives that became the running best
+  int64_t cutoffs = 0;          // branch-and-bound cutoffs taken
+};
+
+class VolcanoOptimizer {
+ public:
+  VolcanoOptimizer(PlanEnumerator* enumerator, const CostModel* cost_model);
+
+  /// Full (from scratch) optimization. Clears any previous memo.
+  void Optimize();
+
+  double BestCost() const { return best_cost_; }
+  std::unique_ptr<PlanTree> GetBestPlan() const;
+  const VolcanoMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Entry {
+    double best = 0;
+    int best_alt = -1;
+    bool exact = false;       // best is the true optimum
+    double failed_limit = 0;  // explored up to this limit without a winner
+    bool visited = false;
+  };
+
+  /// Returns the optimal cost for (expr, prop) if it is < limit, otherwise
+  /// +infinity (the subtree was pruned under this limit).
+  double OptimizeEP(RelSet expr, PropId prop, double limit);
+
+  PlanEnumerator* enumerator_;
+  const CostModel* cost_model_;
+  std::unordered_map<EPKey, Entry> memo_;
+  VolcanoMetrics metrics_;
+  double best_cost_ = 0;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_BASELINE_VOLCANO_H_

@@ -1,0 +1,81 @@
+#include "bench_util/bench_util.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace iqro::bench {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::string sep;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c], '-') + "  ";
+  }
+  std::printf("%s\n", sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+double OnceMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double MedianMs(int reps, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) times.push_back(OnceMs(fn));
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+std::unique_ptr<TpchFixture> MakeTpchFixture(double scale_factor, double zipf_theta,
+                                             uint32_t partition, uint64_t seed) {
+  auto fixture = std::make_unique<TpchFixture>();
+  TpchConfig cfg;
+  cfg.scale_factor = scale_factor;
+  cfg.zipf_theta = zipf_theta;
+  cfg.partition = partition;
+  cfg.seed = seed;
+  GenerateTpch(&fixture->catalog, cfg);
+  fixture->stats = CollectCatalogStats(fixture->catalog);
+  return fixture;
+}
+
+std::unique_ptr<QueryContext> MakeContext(const TpchFixture& fixture,
+                                          const std::string& query_name) {
+  // MakeTpchQuery interns string literals; the catalog is logically const
+  // otherwise.
+  Catalog& catalog = const_cast<Catalog&>(fixture.catalog);
+  return MakeQueryContext(&fixture.catalog, MakeTpchQuery(&catalog, query_name),
+                          fixture.stats);
+}
+
+}  // namespace iqro::bench

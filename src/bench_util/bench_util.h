@@ -1,0 +1,55 @@
+// Shared helpers for the figure/table reproduction binaries: aligned table
+// printing, repetition timing, and TPC-H fixture construction.
+#ifndef IQRO_BENCH_UTIL_BENCH_UTIL_H_
+#define IQRO_BENCH_UTIL_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/context.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace iqro::bench {
+
+/// Fixed-width console table; prints a title, header row and data rows.
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` fractional digits.
+std::string Num(double v, int digits = 2);
+
+/// Median wall time of `fn` over `reps` runs, in milliseconds.
+double MedianMs(int reps, const std::function<void()>& fn);
+
+/// Wall time of one run of `fn`, in milliseconds.
+double OnceMs(const std::function<void()>& fn);
+
+/// A generated TPC-H catalog plus its collected statistics.
+struct TpchFixture {
+  Catalog catalog;
+  std::vector<TableStats> stats;
+};
+
+/// Builds (and caches nothing — call once per binary) a TPC-H fixture.
+std::unique_ptr<TpchFixture> MakeTpchFixture(double scale_factor, double zipf_theta = 0.0,
+                                             uint32_t partition = 0, uint64_t seed = 42);
+
+/// Wires a QueryContext for `query_name` over the fixture.
+std::unique_ptr<QueryContext> MakeContext(const TpchFixture& fixture,
+                                          const std::string& query_name);
+
+}  // namespace iqro::bench
+
+#endif  // IQRO_BENCH_UTIL_BENCH_UTIL_H_

@@ -1,0 +1,42 @@
+#include "catalog/catalog.h"
+
+#include "common/check.h"
+
+namespace iqro {
+
+TableId Catalog::CreateTable(Schema schema) {
+  IQRO_CHECK(!HasTable(schema.name));
+  TableId id = static_cast<TableId>(tables_.size());
+  by_name_.emplace(schema.name, id);
+  tables_.push_back(std::make_unique<Table>(std::move(schema)));
+  return id;
+}
+
+TableId Catalog::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+Table& Catalog::table(TableId id) {
+  IQRO_CHECK(id >= 0 && id < num_tables());
+  return *tables_[static_cast<size_t>(id)];
+}
+
+const Table& Catalog::table(TableId id) const {
+  IQRO_CHECK(id >= 0 && id < num_tables());
+  return *tables_[static_cast<size_t>(id)];
+}
+
+Table& Catalog::table(const std::string& name) {
+  TableId id = FindTable(name);
+  IQRO_CHECK(id >= 0);
+  return table(id);
+}
+
+const Table& Catalog::table(const std::string& name) const {
+  TableId id = FindTable(name);
+  IQRO_CHECK(id >= 0);
+  return table(id);
+}
+
+}  // namespace iqro

@@ -1,0 +1,43 @@
+// Catalog: named tables + the shared string dictionary.
+#ifndef IQRO_CATALOG_CATALOG_H_
+#define IQRO_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/dictionary.h"
+
+namespace iqro {
+
+using TableId = int32_t;
+
+class Catalog {
+ public:
+  /// Creates an empty table with `schema`; the name must be unused.
+  TableId CreateTable(Schema schema);
+
+  TableId FindTable(const std::string& name) const;  // -1 if absent
+  bool HasTable(const std::string& name) const { return FindTable(name) >= 0; }
+
+  Table& table(TableId id);
+  const Table& table(TableId id) const;
+  Table& table(const std::string& name);
+  const Table& table(const std::string& name) const;
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+  Dictionary dict_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_CATALOG_CATALOG_H_

@@ -1,0 +1,83 @@
+#include "catalog/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace iqro {
+
+int Schema::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {}
+
+void Table::AppendRow(std::span<const int64_t> row) {
+  IQRO_DCHECK(static_cast<int>(row.size()) == num_columns());
+  data_.insert(data_.end(), row.begin(), row.end());
+  for (auto& idx : indexes_) idx.Insert(row[static_cast<size_t>(idx.column())], num_rows_);
+  ++num_rows_;
+}
+
+void Table::SetClusteredOn(int column) {
+  IQRO_CHECK(column >= 0 && column < num_columns());
+#ifndef NDEBUG
+  for (uint32_t r = 1; r < num_rows_; ++r) {
+    IQRO_DCHECK(At(r - 1, column) <= At(r, column));
+  }
+#endif
+  clustered_on_ = column;
+}
+
+void Table::BuildIndex(int column) {
+  IQRO_CHECK(column >= 0 && column < num_columns());
+  for (auto& idx : indexes_) {
+    if (idx.column() == column) {
+      idx.Clear();
+      for (uint32_t r = 0; r < num_rows_; ++r) idx.Insert(At(r, column), r);
+      return;
+    }
+  }
+  indexes_.emplace_back(column);
+  for (uint32_t r = 0; r < num_rows_; ++r) indexes_.back().Insert(At(r, column), r);
+}
+
+bool Table::HasIndex(int column) const { return GetIndex(column) != nullptr; }
+
+const HashIndex* Table::GetIndex(int column) const {
+  for (const auto& idx : indexes_) {
+    if (idx.column() == column) return &idx;
+  }
+  return nullptr;
+}
+
+void Table::SortBy(int column) {
+  IQRO_CHECK(column >= 0 && column < num_columns());
+  std::vector<uint32_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) { return At(a, column) < At(b, column); });
+  std::vector<int64_t> sorted;
+  sorted.reserve(data_.size());
+  for (uint32_t r : order) {
+    auto row = Row(r);
+    sorted.insert(sorted.end(), row.begin(), row.end());
+  }
+  data_ = std::move(sorted);
+  clustered_on_ = column;
+  for (auto& idx : indexes_) {
+    int c = idx.column();
+    idx.Clear();
+    for (uint32_t r = 0; r < num_rows_; ++r) idx.Insert(At(r, c), r);
+  }
+}
+
+void Table::Clear() {
+  data_.clear();
+  num_rows_ = 0;
+  for (auto& idx : indexes_) idx.Clear();
+}
+
+}  // namespace iqro

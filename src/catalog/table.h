@@ -1,0 +1,107 @@
+// Row-oriented table storage with optional hash indexes and a clustering
+// (sort) column. All cells are int64_t; string columns hold dictionary
+// codes, date columns hold day numbers.
+#ifndef IQRO_CATALOG_TABLE_H_
+#define IQRO_CATALOG_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace iqro {
+
+enum class ColumnType : uint8_t {
+  kInt,
+  kString,  // dictionary code
+  kDate,    // days since epoch
+};
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+};
+
+struct Schema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  /// Returns the index of `column_name`, or -1.
+  int ColumnIndex(const std::string& column_name) const;
+};
+
+/// A secondary hash index over one column: value -> row ids.
+class HashIndex {
+ public:
+  explicit HashIndex(int column) : column_(column) {}
+
+  int column() const { return column_; }
+
+  void Insert(int64_t key, uint32_t row) { rows_[key].push_back(row); }
+
+  /// Row ids matching `key`; empty span if none.
+  std::span<const uint32_t> Probe(int64_t key) const {
+    auto it = rows_.find(key);
+    if (it == rows_.end()) return {};
+    return it->second;
+  }
+
+  void Clear() { rows_.clear(); }
+
+ private:
+  int column_;
+  std::unordered_map<int64_t, std::vector<uint32_t>> rows_;
+};
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return static_cast<int>(schema_.columns.size()); }
+  uint32_t num_rows() const { return num_rows_; }
+
+  /// Appends one row; `row.size()` must equal num_columns().
+  void AppendRow(std::span<const int64_t> row);
+
+  int64_t At(uint32_t row, int col) const {
+    IQRO_DCHECK(row < num_rows_);
+    return data_[static_cast<size_t>(row) * static_cast<size_t>(num_columns()) +
+                 static_cast<size_t>(col)];
+  }
+
+  std::span<const int64_t> Row(uint32_t row) const {
+    return {data_.data() + static_cast<size_t>(row) * static_cast<size_t>(num_columns()),
+            static_cast<size_t>(num_columns())};
+  }
+
+  /// Declares the table physically sorted on `column` (clustered storage).
+  /// Call after loading; verifies the order in debug builds.
+  void SetClusteredOn(int column);
+  int clustered_on() const { return clustered_on_; }
+
+  /// Builds (or rebuilds) a hash index on `column`.
+  void BuildIndex(int column);
+  bool HasIndex(int column) const;
+  const HashIndex* GetIndex(int column) const;
+
+  /// Sorts the stored rows by `column` ascending (stable), then marks the
+  /// table clustered on it. Indexes are rebuilt.
+  void SortBy(int column);
+
+  void Clear();
+
+ private:
+  Schema schema_;
+  std::vector<int64_t> data_;  // row-major
+  uint32_t num_rows_ = 0;
+  int clustered_on_ = -1;
+  std::vector<HashIndex> indexes_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_CATALOG_TABLE_H_

@@ -1,0 +1,39 @@
+// Lightweight invariant-checking macros.
+//
+// IQRO_CHECK fires in all build types: internal invariants of the optimizer
+// (reference counts, bound admissibility, delta bookkeeping) are cheap to
+// test and catastrophic to violate silently, so we keep them on in Release.
+// IQRO_DCHECK compiles out of Release builds and is used on hot paths.
+#ifndef IQRO_COMMON_CHECK_H_
+#define IQRO_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iqro {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "IQRO_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace iqro
+
+#define IQRO_CHECK(expr)                             \
+  do {                                               \
+    if (!(expr)) {                                   \
+      ::iqro::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                \
+  } while (0)
+
+#define IQRO_CHECK_OP(a, op, b) IQRO_CHECK((a)op(b))
+
+#ifdef NDEBUG
+#define IQRO_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define IQRO_DCHECK(expr) IQRO_CHECK(expr)
+#endif
+
+#endif  // IQRO_COMMON_CHECK_H_

@@ -1,0 +1,26 @@
+#include "common/dictionary.h"
+
+#include "common/check.h"
+
+namespace iqro {
+
+int64_t Dictionary::Intern(std::string_view s) {
+  auto it = codes_.find(std::string(s));
+  if (it != codes_.end()) return it->second;
+  int64_t code = static_cast<int64_t>(strings_.size());
+  strings_.emplace_back(s);
+  codes_.emplace(strings_.back(), code);
+  return code;
+}
+
+int64_t Dictionary::Lookup(std::string_view s) const {
+  auto it = codes_.find(std::string(s));
+  return it == codes_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::Decode(int64_t code) const {
+  IQRO_CHECK(code >= 0 && code < static_cast<int64_t>(strings_.size()));
+  return strings_[static_cast<size_t>(code)];
+}
+
+}  // namespace iqro

@@ -1,0 +1,35 @@
+// String dictionary: all table cells are stored as int64_t; string-typed
+// columns store dictionary codes. One dictionary is shared per catalog so
+// codes are comparable across tables (equi-joins on strings just work).
+#ifndef IQRO_COMMON_DICTIONARY_H_
+#define IQRO_COMMON_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace iqro {
+
+class Dictionary {
+ public:
+  /// Interns `s`, returning its stable code.
+  int64_t Intern(std::string_view s);
+
+  /// Returns the code for `s`, or -1 if never interned.
+  int64_t Lookup(std::string_view s) const;
+
+  /// Inverse of Intern. `code` must be valid.
+  const std::string& Decode(int64_t code) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int64_t> codes_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_COMMON_DICTIONARY_H_

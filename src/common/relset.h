@@ -1,0 +1,77 @@
+// RelSet: a set of base relations of one query, represented as a bitmask.
+//
+// Query expressions in the optimizer (the paper's `Expr` values) are sets of
+// base relations: two relational-algebra expressions over the same relation
+// set are logically equivalent up to join commutativity/associativity, which
+// is exactly the equivalence the memo ("SearchSpace") groups by. A query may
+// reference at most kMaxRelations relations (self-joins get distinct slots).
+#ifndef IQRO_COMMON_RELSET_H_
+#define IQRO_COMMON_RELSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace iqro {
+
+using RelSet = uint32_t;
+
+inline constexpr int kMaxRelations = 30;
+
+/// Singleton set containing relation `i`.
+constexpr RelSet RelSingleton(int i) { return RelSet{1} << i; }
+
+/// Number of relations in the set.
+constexpr int RelCount(RelSet s) { return std::popcount(s); }
+
+constexpr bool RelContains(RelSet s, int i) { return (s >> i) & 1; }
+
+/// True iff `sub` is a (non-strict) subset of `super`.
+constexpr bool RelIsSubset(RelSet sub, RelSet super) { return (sub & super) == sub; }
+
+constexpr bool RelDisjoint(RelSet a, RelSet b) { return (a & b) == 0; }
+
+/// Index of the lowest relation in a non-empty set.
+constexpr int RelLowest(RelSet s) { return std::countr_zero(s); }
+
+/// Invokes `fn(int rel)` for every member of `s`, ascending.
+template <typename Fn>
+void RelForEach(RelSet s, Fn&& fn) {
+  while (s != 0) {
+    int i = std::countr_zero(s);
+    fn(i);
+    s &= s - 1;
+  }
+}
+
+/// Invokes `fn(RelSet sub)` for every non-empty proper subset of `s` that
+/// contains the lowest member of `s`. Each unordered 2-partition {sub, s\sub}
+/// of `s` is therefore visited exactly once.
+template <typename Fn>
+void RelForEachHalfPartition(RelSet s, Fn&& fn) {
+  const RelSet low = s & (~s + 1);
+  // Enumerate submasks of s \ low and union `low` back in; skip the full set.
+  const RelSet rest = s ^ low;
+  for (RelSet sub = rest;; sub = (sub - 1) & rest) {
+    RelSet left = sub | low;
+    if (left != s) fn(left);
+    if (sub == 0) break;
+  }
+}
+
+/// "{0,2,3}" rendering for debugging.
+inline std::string RelSetToString(RelSet s) {
+  std::string out = "{";
+  bool first = true;
+  RelForEach(s, [&](int i) {
+    if (!first) out += ",";
+    out += std::to_string(i);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace iqro
+
+#endif  // IQRO_COMMON_RELSET_H_

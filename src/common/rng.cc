@@ -1,0 +1,102 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace iqro {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  IQRO_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  IQRO_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  IQRO_CHECK(n >= 1);
+  IQRO_CHECK(theta >= 0.0);
+  zetan_ = Zeta(n, theta);
+  zeta2_ = Zeta(2, theta);
+  alpha_ = theta == 1.0 ? 0.0 : 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  if (theta_ == 0.0) return 1 + rng.NextBelow(n_);
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  if (theta_ == 1.0) {
+    // Inverse-CDF walk is too slow for theta==1; approximate with the
+    // standard eta formula using alpha -> log form.
+    uint64_t v = 1 + static_cast<uint64_t>(static_cast<double>(n_) *
+                                           std::pow(eta_ * u - eta_ + 1.0, 2.0));
+    return v > n_ ? n_ : v;
+  }
+  uint64_t v = 1 + static_cast<uint64_t>(static_cast<double>(n_) *
+                                         std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v > n_ ? n_ : v;
+}
+
+std::vector<uint32_t> RandomPermutation(uint32_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    uint32_t j = static_cast<uint32_t>(rng.NextBelow(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace iqro

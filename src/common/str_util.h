@@ -1,0 +1,21 @@
+// Small string formatting helpers shared by EXPLAIN output and benches.
+#ifndef IQRO_COMMON_STR_UTIL_H_
+#define IQRO_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace iqro {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Renders a double compactly ("1.5", "0.042", "1.2e+06").
+std::string DoubleToString(double v);
+
+}  // namespace iqro
+
+#endif  // IQRO_COMMON_STR_UTIL_H_

@@ -1,0 +1,699 @@
+#include "core/declarative_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace iqro {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+DeclarativeOptimizer::DeclarativeOptimizer(PlanEnumerator* enumerator,
+                                           const CostModel* cost_model,
+                                           StatsRegistry* registry, OptimizerOptions options)
+    : enumerator_(enumerator),
+      cost_model_(cost_model),
+      registry_(registry),
+      options_(options) {
+  IQRO_CHECK(options_.Valid());
+}
+
+DeclarativeOptimizer::~DeclarativeOptimizer() = default;
+
+// ---------------------------------------------------------------------------
+// State access
+// ---------------------------------------------------------------------------
+
+DeclarativeOptimizer::EPState* DeclarativeOptimizer::GetOrCreateEP(RelSet expr, PropId prop) {
+  EPKey key = MakeEPKey(expr, prop);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second.get();
+  auto ep = std::make_unique<EPState>();
+  ep->expr = expr;
+  ep->prop = prop;
+  ep->id = static_cast<uint32_t>(eps_in_order_.size());
+  ep->last_best = kInf;
+  ep->last_bound = kInf;
+  EPState* raw = ep.get();
+  memo_.emplace(key, std::move(ep));
+  eps_in_order_.push_back(raw);
+  return raw;
+}
+
+DeclarativeOptimizer::EPState* DeclarativeOptimizer::FindEP(RelSet expr, PropId prop) const {
+  auto it = memo_.find(MakeEPKey(expr, prop));
+  return it == memo_.end() ? nullptr : it->second.get();
+}
+
+DeclarativeOptimizer::EPState* DeclarativeOptimizer::ChildEP(const AltState& alt,
+                                                             int side) const {
+  EPState* c = alt.child[side];
+  IQRO_CHECK(c != nullptr);
+  return c;
+}
+
+double DeclarativeOptimizer::CurrentBound(const EPState& ep) const {
+  double best = ep.best_agg.empty() ? kInf : ep.best_agg.MinValue();
+  double maxb = ep.parent_bounds.empty() ? kInf : ep.parent_bounds.MaxValue();
+  return std::min(best, maxb);  // rule r4
+}
+
+double DeclarativeOptimizer::Threshold(const EPState& ep) const {
+  if (!options_.use_agg_selection) return kInf;
+  if (options_.use_bounding) return CurrentBound(ep);
+  return ep.best_agg.empty() ? kInf : ep.best_agg.MinValue();
+}
+
+double DeclarativeOptimizer::LocalCost(const EPState& ep, const Alt& alt) const {
+  switch (alt.logop) {
+    case LogOp::kScan:
+      return cost_model_->ScanCost(RelLowest(ep.expr), alt.phyop);
+    case LogOp::kSort:
+      return cost_model_->SortLocalCost(ep.expr);
+    case LogOp::kJoin:
+      return cost_model_->JoinLocalCost(alt.phyop, alt.lexpr, alt.rexpr);
+  }
+  IQRO_CHECK(false);
+}
+
+double DeclarativeOptimizer::CachedLocalCost(const EPState& ep, AltState& alt) const {
+  const uint64_t epoch = registry_->epoch();
+  if (alt.local_epoch != epoch) {
+    alt.local_cost = LocalCost(ep, alt.def);
+    alt.local_epoch = epoch;
+  }
+  return alt.local_cost;
+}
+
+void DeclarativeOptimizer::Touch(EPState* ep) {
+  if (ep->touched_round != round_) {
+    ep->touched_round = round_;
+    ++metrics_.round_touched_eps;
+  }
+}
+
+void DeclarativeOptimizer::Touch(EPState* ep, uint32_t alt_idx) {
+  Touch(ep);
+  AltState& a = ep->alts[alt_idx];
+  if (a.touched_round != round_) {
+    a.touched_round = round_;
+    ++metrics_.round_touched_alts;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+void DeclarativeOptimizer::Push(Task t) { queue_.push_back(t); }
+
+void DeclarativeOptimizer::ScheduleEnumerate(EPState* ep) {
+  if (ep->enumerate_queued) return;
+  ep->enumerate_queued = true;
+  Push({Task::Kind::kEnumerate, ep, 0});
+}
+
+void DeclarativeOptimizer::ScheduleDrive(EPState* ep, uint32_t alt_idx) {
+  if (!ep->enumerated) return;  // will be driven by enumeration
+  AltState& a = ep->alts[alt_idx];
+  if (a.drive_queued) return;
+  a.drive_queued = true;
+  Push({Task::Kind::kDrive, ep, alt_idx});
+}
+
+void DeclarativeOptimizer::ScheduleBestDirty(EPState* ep) {
+  if (ep->best_dirty) return;
+  ep->best_dirty = true;
+  Push({Task::Kind::kBestDirty, ep, 0});
+}
+
+void DeclarativeOptimizer::ScheduleBoundDirty(EPState* ep) {
+  if (!options_.use_bounding) return;
+  if (ep->bound_dirty) return;
+  ep->bound_dirty = true;
+  Push({Task::Kind::kBoundDirty, ep, 0});
+}
+
+void DeclarativeOptimizer::Drain() {
+  while (!queue_.empty()) {
+    ++metrics_.steps;
+    ++metrics_.round_steps;
+    IQRO_CHECK(metrics_.steps < static_cast<int64_t>(options_.max_steps));
+    Task t;
+    if (options_.discipline == QueueDiscipline::kLifo) {
+      t = queue_.back();
+      queue_.pop_back();
+    } else {
+      t = queue_.front();
+      queue_.pop_front();
+    }
+    switch (t.kind) {
+      case Task::Kind::kEnumerate:
+        RunEnumerate(t.ep);
+        break;
+      case Task::Kind::kDrive:
+        RunDrive(t.ep, t.alt_idx);
+        break;
+      case Task::Kind::kBestDirty:
+        RunBestDirty(t.ep);
+        break;
+      case Task::Kind::kBoundDirty:
+        RunBoundDirty(t.ep);
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+void DeclarativeOptimizer::Optimize() {
+  if (optimized_) return;
+  optimized_ = true;
+  ++round_;
+  metrics_.BeginRound();
+  root_ = GetOrCreateEP(EPExpr(enumerator_->RootKey()), EPProp(enumerator_->RootKey()));
+  RefUp(root_);  // the query itself holds one virtual reference on the root
+  Drain();
+}
+
+void DeclarativeOptimizer::Reoptimize() {
+  IQRO_CHECK(optimized_);
+  ++round_;
+  metrics_.BeginRound();
+  std::vector<StatChange> changes = registry_->TakePending();
+  if (changes.empty()) return;
+
+  // Seed deltas bottom-up: children settle before parents, and the
+  // (expr, none) entry of an expression precedes its (expr, sorted(..))
+  // variants, whose sort enforcers reference it. Every ancestor of an
+  // affected pair is itself affected (its expression is a superset), so a
+  // single ascending pass evicts collected state before the live state
+  // referencing it is re-driven.
+  std::vector<EPState*> order = eps_in_order_;
+  std::stable_sort(order.begin(), order.end(), [](const EPState* a, const EPState* b) {
+    int pa = RelCount(a->expr);
+    int pb = RelCount(b->expr);
+    if (pa != pb) return pa < pb;
+    return (a->prop == kPropNone) && (b->prop != kPropNone);
+  });
+
+  for (EPState* ep : order) {
+    if (!ep->enumerated) continue;
+    bool affected = false;
+    for (const StatChange& c : changes) {
+      if (c.kind == StatChange::Kind::kCardinality) {
+        if (RelIsSubset(c.scope, ep->expr)) affected = true;
+      } else {  // kScanCost: only the relation's own leaf alternatives move
+        if (ep->expr == c.scope) affected = true;
+      }
+      if (affected) break;
+    }
+    if (!affected) continue;
+    if (!Live(*ep)) {
+      // Garbage-collected state that the update would invalidate: evict it
+      // now (§3.2 + §4 — pruned state is re-derived only if re-referenced).
+      Evict(ep);
+      continue;
+    }
+    for (uint32_t i = 0; i < ep->alts.size(); ++i) ScheduleDrive(ep, i);
+  }
+  Drain();
+}
+
+// ---------------------------------------------------------------------------
+// Task bodies
+// ---------------------------------------------------------------------------
+
+void DeclarativeOptimizer::RunEnumerate(EPState* ep) {
+  ep->enumerate_queued = false;
+  if (!ep->enumerated) {
+    ep->enumerated = true;
+    ++metrics_.eps_enumerated;
+    Touch(ep);
+    const std::vector<Alt>& alts = enumerator_->Split(ep->expr, ep->prop);
+    IQRO_CHECK(!alts.empty());  // every demanded (expr, prop) has an alternative
+    ep->alts.reserve(alts.size());
+    for (uint32_t i = 0; i < alts.size(); ++i) {
+      AltState a;
+      a.def = alts[i];
+      ep->alts.push_back(a);
+      ++metrics_.alts_created;
+      // Register permanent parent links (delta propagation and bounds) on
+      // the children; creation does not derive them.
+      for (int s = 0; s < a.def.NumChildren(); ++s) {
+        EPState* c = s == 0 ? GetOrCreateEP(a.def.lexpr, a.def.lprop)
+                            : GetOrCreateEP(a.def.rexpr, a.def.rprop);
+        ep->alts[i].child[s] = c;
+        c->parents.push_back({ep, i, static_cast<uint8_t>(s)});
+      }
+    }
+  }
+  // Drive cheapest-local-cost alternatives first: "the sooner a min-cost
+  // plan is encountered, the more effective the pruning is" (§3.1). With
+  // the LIFO discipline the last-pushed task runs first, so push in
+  // descending order of local cost.
+  std::vector<uint32_t> idx(ep->alts.size());
+  for (uint32_t i = 0; i < ep->alts.size(); ++i) idx[i] = i;
+  std::vector<double> locals(ep->alts.size());
+  for (uint32_t i = 0; i < ep->alts.size(); ++i) {
+    locals[i] = CachedLocalCost(*ep, ep->alts[i]);
+  }
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](uint32_t a, uint32_t b) { return locals[a] > locals[b]; });
+  if (options_.discipline == QueueDiscipline::kFifo) {
+    std::reverse(idx.begin(), idx.end());
+  }
+  for (uint32_t i : idx) ScheduleDrive(ep, i);
+}
+
+void DeclarativeOptimizer::RunDrive(EPState* ep, uint32_t alt_idx) {
+  AltState& a = ep->alts[alt_idx];
+  a.drive_queued = false;
+  if (!ep->enumerated) return;
+  // Dormant (evicted) state is not maintained; DemandChild or a reference
+  // resurrection wakes it up first.
+  if (ep->dormant) return;
+
+  const int nch = a.def.NumChildren();
+  const double local = CachedLocalCost(*ep, a);
+  EPState* lc = nch >= 1 ? ChildEP(a, 0) : nullptr;
+  EPState* rc = nch == 2 ? ChildEP(a, 1) : nullptr;
+  // Cross-pair reads go through the child's *propagated* best (last_best),
+  // never the raw aggregate: change detection dedups against the
+  // propagated value, so reading it keeps "value seen" and "delta
+  // delivered" consistent under any task order. A child's best is usable
+  // even when its reference count is zero — collected state stays exact
+  // until a statistics change evicts it.
+  const bool l_known = lc != nullptr && std::isfinite(lc->last_best);
+  const bool r_known = rc != nullptr && std::isfinite(rc->last_best);
+  const double l_best = l_known ? lc->last_best : 0.0;
+  const double r_best = r_known ? rc->last_best : 0.0;
+  const bool full = (nch == 0) || (nch == 1 && l_known) || (nch == 2 && l_known && r_known);
+
+  // ---- PlanCost maintenance (R6-R8): derivable tuples only ----
+  if (full) {
+    const double cost = CostModel::Sum(nch >= 1 ? l_best : 0.0, nch == 2 ? r_best : 0.0, local);
+    ++metrics_.cost_computations;
+    if (!a.ever_costed) {
+      a.ever_costed = true;
+      ++metrics_.alts_full_costed;
+    }
+    if (!a.cost_known || a.cost != cost) {
+      a.cost_known = true;
+      a.cost = cost;
+      Touch(ep, alt_idx);
+      if (ep->best_agg.Set(alt_idx, cost)) ScheduleBestDirty(ep);
+    }
+  } else if (a.cost_known) {
+    // Cascading deletion: a supporting child's BestCost is gone.
+    a.cost_known = false;
+    Touch(ep, alt_idx);
+    if (ep->best_agg.Erase(alt_idx)) ScheduleBestDirty(ep);
+  }
+
+  // ---- Aggregate selection (§3.1) / recursive bounding (§3.3) gate ----
+  const double cert = full ? a.cost : local + l_best + r_best;
+  const double thr = Threshold(*ep);
+  bool viable = true;
+  if (options_.use_agg_selection) {
+    const auto min_entry = ep->best_agg.MinEntry();
+    const bool is_min =
+        a.cost_known && min_entry.second == alt_idx && min_entry.first == a.cost;
+    viable = is_min || cert < thr;
+  }
+  if (!a.ever_won && a.cost_known) {
+    const auto min_entry = ep->best_agg.MinEntry();
+    if (min_entry.second == alt_idx && min_entry.first == a.cost) a.ever_won = true;
+  }
+
+  // ---- Exploration demand: staged descent, gated by the threshold ----
+  // Exploration is monotone within a fixpoint run; it re-fires whenever a
+  // child best drops or a threshold rises, which keeps every reachable
+  // pair converging to its exact optimum regardless of task order.
+  if (viable || !options_.use_source_suppression) {
+    if (nch >= 1) DemandChild(lc);
+    if (nch == 2) {
+      const bool gate = !options_.use_source_suppression ||
+                        (l_known && local + l_best < thr) || full;
+      if (gate) DemandChild(rc);
+    }
+  }
+
+  // ---- SearchSpace presence (tuple source suppression, §3.1/§4.1) ----
+  // Presence transitions only apply to live pairs; collected pairs hold no
+  // SearchSpace rows until re-referenced.
+  if (Live(*ep)) {
+    const bool want_active = options_.use_source_suppression ? viable : true;
+    if (want_active && !a.active) {
+      a.active = true;
+      Touch(ep, alt_idx);
+      if (a.ever_active) {
+        ++metrics_.reintroductions;  // undoing tuple source suppression (§4.1)
+      }
+      a.ever_active = true;
+      AltPresenceRefs(ep, alt_idx, +1);
+    } else if (!want_active && a.active) {
+      a.active = false;
+      Touch(ep, alt_idx);
+      ++metrics_.suppressions;
+      RemoveAltContributions(ep, alt_idx);
+      AltPresenceRefs(ep, alt_idx, -1);
+    }
+    if (options_.use_bounding && a.active) UpdateAltContributions(ep, alt_idx);
+  }
+}
+
+void DeclarativeOptimizer::RunBestDirty(EPState* ep) {
+  ep->best_dirty = false;
+  const double best = ep->best_agg.empty() ? kInf : ep->best_agg.MinValue();
+  if (best == ep->last_best) return;
+  ep->last_best = best;
+  Touch(ep);
+  // Propagate the BestCost delta to every registered parent alternative —
+  // present or suppressed (a suppressed parent may become viable again).
+  for (const ParentRef& pr : ep->parents) {
+    ScheduleDrive(pr.ep, pr.alt_idx);
+    // r1/r2: the sibling's bound contribution reads this best cost.
+    if (options_.use_bounding && pr.ep->alts[pr.alt_idx].active) {
+      UpdateAltContributions(pr.ep, pr.alt_idx);
+    }
+  }
+  // The pair's own threshold moved: re-check viability of its alternatives.
+  // Collected (dead) pairs hold no SearchSpace rows to re-check; their cost
+  // state is refreshed through parent-link drives on demand.
+  if (options_.use_agg_selection && Live(*ep)) {
+    for (uint32_t i = 0; i < ep->alts.size(); ++i) ScheduleDrive(ep, i);
+  }
+  if (options_.use_bounding) ScheduleBoundDirty(ep);  // r4
+}
+
+void DeclarativeOptimizer::RunBoundDirty(EPState* ep) {
+  ep->bound_dirty = false;
+  const double bound = CurrentBound(*ep);
+  if (bound == ep->last_bound) return;
+  ep->last_bound = bound;
+  Touch(ep);
+  // A raised bound may re-introduce previously pruned plans; a lowered
+  // bound may prune previously viable ones (§4.3 cases 2 and 3).
+  for (uint32_t i = 0; i < ep->alts.size(); ++i) ScheduleDrive(ep, i);
+  // The bound feeds the ParentBound contributions of this pair's own
+  // children (r1/r2), recursively.
+  for (uint32_t i = 0; i < ep->alts.size(); ++i) {
+    if (ep->alts[i].active) UpdateAltContributions(ep, i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alternative lifecycle
+// ---------------------------------------------------------------------------
+
+void DeclarativeOptimizer::DemandChild(EPState* child) {
+  if (!child->enumerated) {
+    ScheduleEnumerate(child);
+    return;
+  }
+  if (child->dormant || child->best_agg.empty()) {
+    // Evicted (or still-deriving) state: re-derive all of its
+    // alternatives; the schedule flags make repeated demands cheap.
+    child->dormant = false;
+    for (uint32_t i = 0; i < child->alts.size(); ++i) ScheduleDrive(child, i);
+  }
+}
+
+void DeclarativeOptimizer::AltPresenceRefs(EPState* ep, uint32_t alt_idx, int delta) {
+  const AltState& a = ep->alts[alt_idx];
+  for (int s = 0; s < a.def.NumChildren(); ++s) {
+    EPState* c = ChildEP(a, s);
+    if (delta > 0) {
+      RefUp(c);
+    } else {
+      RefDown(c);
+    }
+  }
+}
+
+void DeclarativeOptimizer::RefUp(EPState* child) {
+  ++child->refcount;
+  if (child->refcount == 1) {
+    ++metrics_.ep_activations;
+    child->ever_live = true;
+    child->dormant = false;
+    ScheduleEnumerate(child);
+    // Restore SearchSpace presence of a previously collected pair: its
+    // alternatives re-evaluate viability on the scheduled drives.
+    if (child->enumerated) {
+      for (uint32_t i = 0; i < child->alts.size(); ++i) ScheduleDrive(child, i);
+    }
+  }
+}
+
+void DeclarativeOptimizer::RefDown(EPState* child) {
+  IQRO_CHECK(child->refcount > 0);
+  --child->refcount;
+  if (child->refcount == 0 && options_.use_ref_counting) OnDeath(child);
+}
+
+void DeclarativeOptimizer::OnDeath(EPState* ep) {
+  // §3.2: a zero reference count removes every plan of this pair from the
+  // SearchSpace; the removal cascades through children's counts. The
+  // associated cost state stays exact until a statistics change evicts it.
+  ++metrics_.ep_gcs;
+  Touch(ep);
+  for (uint32_t i = 0; i < ep->alts.size(); ++i) {
+    AltState& a = ep->alts[i];
+    if (a.active) {
+      a.active = false;  // silent: presence teardown, not a pruning decision
+      RemoveAltContributions(ep, i);
+      AltPresenceRefs(ep, i, -1);
+    }
+  }
+}
+
+void DeclarativeOptimizer::Evict(EPState* ep) {
+  IQRO_CHECK(!Live(*ep));
+  Touch(ep);
+  ep->dormant = true;
+  for (AltState& a : ep->alts) a.cost_known = false;
+  ep->best_agg.Clear();
+  // The deletion of this pair's BestCost cascades to every dependent
+  // PlanCost tuple through the normal delta path.
+  ScheduleBestDirty(ep);
+  ScheduleBoundDirty(ep);
+}
+
+// ---------------------------------------------------------------------------
+// Recursive bounding (rules r1-r4)
+// ---------------------------------------------------------------------------
+
+uint64_t DeclarativeOptimizer::ContributionKey(const EPState& parent, uint32_t alt_idx,
+                                               int side) const {
+  return (static_cast<uint64_t>(parent.id) << 24) | (static_cast<uint64_t>(alt_idx) << 1) |
+         static_cast<uint64_t>(side);
+}
+
+void DeclarativeOptimizer::UpdateAltContributions(EPState* ep, uint32_t alt_idx) {
+  AltState& a = ep->alts[alt_idx];
+  if (!a.active) {
+    RemoveAltContributions(ep, alt_idx);
+    return;
+  }
+  const int nch = a.def.NumChildren();
+  if (nch == 0) return;
+  // Contributions derive from the *propagated* bound and sibling best, for
+  // the same consistency reason as RunDrive's child reads.
+  const double bound = ep->last_bound;
+  const double local = CachedLocalCost(*ep, a);
+  for (int s = 0; s < nch; ++s) {
+    EPState* child = ChildEP(a, s);
+    double contribution = kInf;
+    if (std::isfinite(bound)) {
+      double sibling_best = 0.0;  // unknown sibling: conservative (loosest)
+      if (nch == 2) {
+        EPState* sib = ChildEP(a, 1 - s);
+        if (std::isfinite(sib->last_best)) sibling_best = sib->last_best;
+      }
+      contribution = bound - local - sibling_best;  // r1/r2
+    }
+    if (child->parent_bounds.Set(ContributionKey(*ep, alt_idx, s), contribution)) {
+      ScheduleBoundDirty(child);  // r3: MaxBound is the max of contributions
+    }
+  }
+}
+
+void DeclarativeOptimizer::RemoveAltContributions(EPState* ep, uint32_t alt_idx) {
+  if (!options_.use_bounding) return;
+  const AltState& a = ep->alts[alt_idx];
+  for (int s = 0; s < a.def.NumChildren(); ++s) {
+    EPState* child = ChildEP(a, s);
+    if (child->parent_bounds.Erase(ContributionKey(*ep, alt_idx, s))) {
+      ScheduleBoundDirty(child);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Results and inspection
+// ---------------------------------------------------------------------------
+
+double DeclarativeOptimizer::BestCost() const {
+  if (root_ == nullptr || root_->best_agg.empty()) return kInf;
+  return root_->best_agg.MinValue();
+}
+
+std::unique_ptr<PlanTree> DeclarativeOptimizer::GetBestPlan() const {
+  IQRO_CHECK(root_ != nullptr && !root_->best_agg.empty());
+  AltChooser chooser = [this](RelSet expr, PropId prop) -> std::pair<Alt, double> {
+    EPState* ep = FindEP(expr, prop);
+    IQRO_CHECK(ep != nullptr && !ep->best_agg.empty());
+    auto [cost, idx] = ep->best_agg.MinEntry();
+    return {ep->alts[idx].def, cost};
+  };
+  return BuildPlanTree(root_->expr, root_->prop, chooser, cost_model_->summaries(),
+                       enumerator_->props());
+}
+
+int64_t DeclarativeOptimizer::NumLiveEps() const {
+  int64_t n = 0;
+  for (const EPState* ep : eps_in_order_) {
+    if (Live(*ep) && ep->enumerated) ++n;
+  }
+  return n;
+}
+
+int64_t DeclarativeOptimizer::NumActiveAlts() const {
+  int64_t n = 0;
+  for (const EPState* ep : eps_in_order_) {
+    for (const AltState& a : ep->alts) {
+      if (a.active) ++n;
+    }
+  }
+  return n;
+}
+
+int64_t DeclarativeOptimizer::NumViableAlts() const {
+  int64_t n = 0;
+  for (const EPState* ep : eps_in_order_) {
+    for (const AltState& a : ep->alts) {
+      if (a.ever_won) ++n;
+    }
+  }
+  return n;
+}
+
+int64_t DeclarativeOptimizer::NumCostedAlts() const {
+  int64_t n = 0;
+  for (const EPState* ep : eps_in_order_) {
+    for (const AltState& a : ep->alts) {
+      if (a.cost_known) ++n;
+    }
+  }
+  return n;
+}
+
+std::string DeclarativeOptimizer::DumpState() const {
+  std::string out;
+  const QuerySpec& q = enumerator_->query();
+  const PropTable& props = enumerator_->props();
+  for (const EPState* ep : eps_in_order_) {
+    if (!ep->enumerated) continue;
+    out += StrFormat("EP %s %s live=%d ref=%d best=%s bound=%s\n",
+                     RelSetToString(ep->expr).c_str(), props.ToString(ep->prop, &q).c_str(),
+                     Live(*ep) ? 1 : 0, ep->refcount,
+                     DoubleToString(ep->best_agg.empty() ? kInf : ep->best_agg.MinValue())
+                         .c_str(),
+                     DoubleToString(CurrentBound(*ep)).c_str());
+    for (size_t i = 0; i < ep->alts.size(); ++i) {
+      const AltState& a = ep->alts[i];
+      out += StrFormat("  [%zu] %s %s l=%s r=%s active=%d cost=%s\n", i,
+                       LogOpName(a.def.logop), PhysOpName(a.def.phyop),
+                       RelSetToString(a.def.lexpr).c_str(), RelSetToString(a.def.rexpr).c_str(),
+                       a.active ? 1 : 0,
+                       a.cost_known ? DoubleToString(a.cost).c_str() : "?");
+    }
+  }
+  return out;
+}
+
+void DeclarativeOptimizer::ValidateInvariants() const {
+  IQRO_CHECK(queue_.empty());  // only meaningful at fixpoint
+  for (const EPState* ep : eps_in_order_) {
+    // Reference counts equal the number of active parent alternatives.
+    int expected = (ep == root_) ? 1 : 0;
+    for (const ParentRef& pr : ep->parents) {
+      if (pr.ep->alts[pr.alt_idx].active) ++expected;
+    }
+    IQRO_CHECK(expected == ep->refcount);
+    if (!ep->enumerated) {
+      IQRO_CHECK(ep->best_agg.empty());
+      continue;
+    }
+    if (ep->dormant) {
+      IQRO_CHECK(!Live(*ep));
+      IQRO_CHECK(ep->best_agg.empty());
+      for (const AltState& a : ep->alts) {
+        IQRO_CHECK(!a.cost_known);
+        IQRO_CHECK(!a.active);
+      }
+      continue;
+    }
+    const double thr = Threshold(*ep);
+    for (uint32_t i = 0; i < ep->alts.size(); ++i) {
+      const AltState& a = ep->alts[i];
+      // The aggregate's contents mirror cost_known flags.
+      IQRO_CHECK(ep->best_agg.Contains(i) == a.cost_known);
+      if (a.cost_known) {
+        IQRO_CHECK(ep->best_agg.ValueOf(i) == a.cost);
+        // Derivable costs are fresh (local + children's current bests) —
+        // but only up to the statistics the optimizer has consumed: with
+        // pending registry changes the stored values legitimately lag.
+        if (registry_->HasPending()) continue;
+        double expect = LocalCost(*ep, a.def);
+        for (int s = 0; s < a.def.NumChildren(); ++s) {
+          EPState* c = ChildEP(a, s);
+          IQRO_CHECK(!c->best_agg.empty());  // supported
+          expect += c->best_agg.MinValue();
+        }
+        if (!(std::abs(a.cost - expect) <= 1e-9 * std::max(1.0, std::abs(expect)))) {
+          std::fprintf(stderr,
+                       "stale cost: ep=%s prop=%d alt=%u cost=%.6f expect=%.6f local=%.6f "
+                       "queued=%d\n",
+                       RelSetToString(ep->expr).c_str(), ep->prop, i, a.cost, expect,
+                       LocalCost(*ep, a.def), a.drive_queued ? 1 : 0);
+          for (int s = 0; s < a.def.NumChildren(); ++s) {
+            EPState* c = ChildEP(a, s);
+            std::fprintf(stderr,
+                         "  child%d=%s prop=%d last_best=%.6f agg_min=%.6f dormant=%d "
+                         "best_dirty=%d\n",
+                         s, RelSetToString(c->expr).c_str(), c->prop, c->last_best,
+                         c->best_agg.empty() ? -1.0 : c->best_agg.MinValue(),
+                         c->dormant ? 1 : 0, c->best_dirty ? 1 : 0);
+          }
+        }
+        IQRO_CHECK(std::abs(a.cost - expect) <= 1e-9 * std::max(1.0, std::abs(expect)));
+      }
+      if (!Live(*ep)) IQRO_CHECK(!a.active);  // collected pairs hold no rows
+      if (Live(*ep) && options_.use_source_suppression && a.cost_known && !a.active) {
+        // Suppressed-but-derivable alternatives are justified: they are at
+        // or above the pair's threshold.
+        IQRO_CHECK(a.cost >= thr - 1e-9 * std::max(1.0, std::abs(thr)));
+      }
+    }
+    if (Live(*ep) && !ep->best_agg.empty() && options_.use_source_suppression) {
+      // The group minimum always survives aggregate selection.
+      auto [cost, idx] = ep->best_agg.MinEntry();
+      (void)cost;
+      IQRO_CHECK(ep->alts[idx].active);
+    }
+    IQRO_CHECK(ep->last_best == (ep->best_agg.empty() ? kInf : ep->best_agg.MinValue()));
+    if (options_.use_bounding) IQRO_CHECK(ep->last_bound == CurrentBound(*ep));
+  }
+}
+
+}  // namespace iqro

@@ -1,0 +1,224 @@
+// DeclarativeOptimizer: the paper's contribution — a query optimizer whose
+// state (SearchSpace / PlanCost / BestCost / BestPlan plus the RefCount and
+// Bound auxiliary relations) is maintained as incrementally updatable data,
+// evaluated to fixpoint by a pipelined delta engine.
+//
+// The datalog program it executes is R1-R10 of Appendix A plus the bounds
+// rules r1-r4 of Figure 3 (see core/rules.h for the rule text and the
+// dataflow of Figure 1). This class is the hand-wired, typed realization of
+// that dataflow: one work queue processes enumeration deltas (SearchSpace
+// insertions, R1-R5), cost deltas (PlanCost, R6-R8), best-cost aggregation
+// (R9-R10), reference-count maintenance (§3.2) and recursive bounds
+// (§3.3/§4.3), with no constraint on the relative order of those steps —
+// the "decoupled, any-order" execution strategy of §2.3.
+//
+// Key semantic invariants (what makes any-order execution safe):
+//  * The BestCost aggregate of an (expr, prop) pair holds exactly the
+//    *derivable* PlanCost tuples — those whose children currently have a
+//    best cost. Deleting a child's best cascades (counting semantics).
+//  * Exploration (enumerating an alternative's children) is gated only by
+//    the pruning threshold (aggregate selection / recursive bound), and is
+//    monotone within one fixpoint run: gates re-open reactively whenever a
+//    child's best cost drops or a threshold rises, so the fixpoint value
+//    is order-independent and equals the exact dynamic-programming optimum
+//    over the reachable space.
+//  * Tuple source suppression and reference-counting garbage collection
+//    maintain the SearchSpace *presence* accounting (what state is kept);
+//    a zero reference count marks the pair's state collectible. Collected
+//    state is physically evicted lazily — when a statistics update
+//    arrives that would invalidate it (§4's "only recompute what might be
+//    affected"), and re-derived on demand if the pair is re-referenced.
+//
+// Incremental re-optimization (§4): Reoptimize() drains StatChange records
+// from the StatsRegistry and seeds deltas only for affected state;
+// everything else is reused. The result is always identical to a fresh
+// optimization under the new statistics (tested against System-R/Volcano).
+#ifndef IQRO_CORE_DECLARATIVE_OPTIMIZER_H_
+#define IQRO_CORE_DECLARATIVE_OPTIMIZER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/optimizer_options.h"
+#include "cost/cost_model.h"
+#include "delta/extreme_agg.h"
+#include "enumerate/plan_enumerator.h"
+#include "enumerate/plan_tree.h"
+
+namespace iqro {
+
+class DeclarativeOptimizer {
+ public:
+  /// `enumerator`, `cost_model` and `registry` must outlive the optimizer.
+  /// The registry should be frozen after initial statistics are bound.
+  DeclarativeOptimizer(PlanEnumerator* enumerator, const CostModel* cost_model,
+                       StatsRegistry* registry,
+                       OptimizerOptions options = OptimizerOptions::Default());
+  ~DeclarativeOptimizer();
+
+  DeclarativeOptimizer(const DeclarativeOptimizer&) = delete;
+  DeclarativeOptimizer& operator=(const DeclarativeOptimizer&) = delete;
+
+  /// Initial optimization: seeds the root Expr tuple and runs the fixpoint.
+  void Optimize();
+
+  /// Incremental re-optimization: drains pending StatChanges from the
+  /// registry, seeds deltas for affected state only, re-runs the fixpoint.
+  /// Requires Optimize() to have run.
+  void Reoptimize();
+
+  /// Best cumulative cost of the root (expr, prop); infinity before
+  /// Optimize().
+  double BestCost() const;
+
+  /// Materializes the current best plan.
+  std::unique_ptr<PlanTree> GetBestPlan() const;
+
+  const OptMetrics& metrics() const { return metrics_; }
+
+  // ---- end-state inspection (evaluation harness) ----
+  int64_t NumLiveEps() const;       // plan-table entries currently maintained
+  int64_t NumActiveAlts() const;    // SearchSpace rows currently present
+  int64_t NumViableAlts() const;    // alternatives that ever won their group
+  int64_t NumCostedAlts() const;    // alternatives with a derivable PlanCost
+
+  /// Renders the memo (SearchSpace/PlanCost/BestCost/Bound) for debugging.
+  std::string DumpState() const;
+
+  /// Asserts internal invariants at a fixpoint; used heavily by tests.
+  void ValidateInvariants() const;
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  struct EPState;
+
+  // A parent link: alternative `alt_idx` of `ep` references the linked
+  // child on `side` (0 = left, 1 = right). Links are permanent once the
+  // alternative is enumerated; they carry delta propagation.
+  struct ParentRef {
+    EPState* ep;
+    uint32_t alt_idx;
+    uint8_t side;
+  };
+
+  struct AltState {
+    Alt def;
+    bool active = false;       // present in SearchSpace (not suppressed)
+    bool cost_known = false;   // PlanCost tuple currently derivable
+    bool ever_costed = false;  // metrics: ever had a full PlanCost
+    bool ever_active = false;  // distinguishes first activation from re-introduction
+    bool ever_won = false;     // metrics: ever was the group's minimum
+    bool drive_queued = false;
+    double cost = 0;           // current PlanCost (valid iff cost_known)
+    uint32_t touched_round = 0;
+    EPState* child[2] = {nullptr, nullptr};  // resolved child pairs
+    // LocalCost cache, valid for one registry epoch.
+    double local_cost = 0;
+    uint64_t local_epoch = 0;
+  };
+
+  struct EPState {
+    RelSet expr = 0;
+    PropId prop = kPropNone;
+    uint32_t id = 0;  // dense id for bound-contribution keys
+    bool enumerated = false;
+    bool ever_live = false;
+    /// Physically evicted, collected state: not maintained until a parent
+    /// demands it again (or it is resurrected by a reference).
+    bool dormant = false;
+    int refcount = 0;  // active parent alternatives referencing this pair
+    std::vector<AltState> alts;
+    std::vector<ParentRef> parents;
+    /// BestCost aggregate: all derivable PlanCost tuples (id = alt index).
+    ExtremeAgg<uint32_t> best_agg;
+    /// MaxBound aggregate: ParentBound contributions (id = packed parent
+    /// alt key). Only populated when bounding is on.
+    ExtremeAgg<uint64_t> parent_bounds;
+    double last_best = 0;   // last propagated BestCost (infinity if none)
+    double last_bound = 0;  // last propagated Bound (infinity if none)
+    bool best_dirty = false;
+    bool bound_dirty = false;
+    bool enumerate_queued = false;
+    uint32_t touched_round = 0;
+
+    bool live(bool use_ref_counting) const {
+      return use_ref_counting ? refcount > 0 : ever_live;
+    }
+  };
+
+  struct Task {
+    enum class Kind : uint8_t { kEnumerate, kDrive, kBestDirty, kBoundDirty };
+    Kind kind;
+    EPState* ep;
+    uint32_t alt_idx;
+  };
+
+  // ---- state access ----
+  EPState* GetOrCreateEP(RelSet expr, PropId prop);
+  EPState* FindEP(RelSet expr, PropId prop) const;
+  EPState* ChildEP(const AltState& alt, int side) const;
+  bool Live(const EPState& ep) const { return ep.live(options_.use_ref_counting); }
+
+  /// Current pruning threshold of `ep`: Bound (r4) when bounding is on,
+  /// BestCost when only aggregate selection is on, +infinity otherwise.
+  double Threshold(const EPState& ep) const;
+  double CurrentBound(const EPState& ep) const;  // min(BestCost, MaxBound)
+
+  // ---- fixpoint tasks ----
+  void Drain();
+  void Push(Task t);
+  void ScheduleEnumerate(EPState* ep);
+  void ScheduleDrive(EPState* ep, uint32_t alt_idx);
+  void ScheduleBestDirty(EPState* ep);
+  void ScheduleBoundDirty(EPState* ep);
+
+  void RunEnumerate(EPState* ep);
+  void RunDrive(EPState* ep, uint32_t alt_idx);
+  void RunBestDirty(EPState* ep);
+  void RunBoundDirty(EPState* ep);
+
+  // ---- alternative lifecycle ----
+  /// Local (root-operator) cost of an alternative, always fresh.
+  double LocalCost(const EPState& ep, const Alt& alt) const;
+  /// Epoch-cached variant used on the hot paths.
+  double CachedLocalCost(const EPState& ep, AltState& alt) const;
+  /// Requests (re-)derivation of a child pair's plans.
+  void DemandChild(EPState* child);
+  /// Adjusts child reference counts when an alternative's SearchSpace
+  /// presence flips.
+  void AltPresenceRefs(EPState* ep, uint32_t alt_idx, int delta);
+  void RefUp(EPState* child);
+  void RefDown(EPState* child);
+  void OnDeath(EPState* ep);   // refcount hit zero: silent presence teardown
+  void Evict(EPState* ep);     // physical deletion of collected, stale state
+
+  // ---- recursive bounding (r1-r4) ----
+  uint64_t ContributionKey(const EPState& parent, uint32_t alt_idx, int side) const;
+  void UpdateAltContributions(EPState* ep, uint32_t alt_idx);
+  void RemoveAltContributions(EPState* ep, uint32_t alt_idx);
+
+  void Touch(EPState* ep);
+  void Touch(EPState* ep, uint32_t alt_idx);
+
+  PlanEnumerator* enumerator_;
+  const CostModel* cost_model_;
+  StatsRegistry* registry_;
+  OptimizerOptions options_;
+  OptMetrics metrics_;
+
+  std::unordered_map<EPKey, std::unique_ptr<EPState>> memo_;
+  std::vector<EPState*> eps_in_order_;  // insertion order, for deterministic walks
+  std::deque<Task> queue_;
+  EPState* root_ = nullptr;
+  bool optimized_ = false;
+  uint32_t round_ = 0;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_CORE_DECLARATIVE_OPTIMIZER_H_

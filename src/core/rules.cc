@@ -1,0 +1,93 @@
+#include "core/rules.h"
+
+namespace iqro {
+
+const std::vector<DatalogRuleSpec>& OptimizerRules() {
+  static const std::vector<DatalogRuleSpec> kRules = {
+      {"R1", "enumeration",
+       "SearchSpace(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp) :- "
+       "Expr(expr,prop), Fn_isleaf(expr,false), "
+       "Fn_split(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp)"},
+      {"R2", "enumeration",
+       "SearchSpace(expr,prop,...) :- SearchSpace(-,-,-,-,-,expr,prop,-,-), "
+       "Fn_isleaf(expr,false), Fn_split(expr,prop,...)"},
+      {"R3", "enumeration",
+       "SearchSpace(expr,prop,...) :- SearchSpace(-,-,-,-,-,-,-,expr,prop), "
+       "Fn_isleaf(expr,false), Fn_split(expr,prop,...)"},
+      {"R4", "enumeration",
+       "SearchSpace(expr,prop,-,'scan',phyOp,-,-,-,-) :- "
+       "SearchSpace(-,-,-,-,-,expr,prop,-,-), Fn_isleaf(expr,true), Fn_phyOp(prop,phyOp)"},
+      {"R5", "enumeration",
+       "SearchSpace(expr,prop,-,'scan',phyOp,-,-,-,-) :- "
+       "SearchSpace(-,-,-,-,-,-,-,expr,prop), Fn_isleaf(expr,true), Fn_phyOp(prop,phyOp)"},
+      {"R6", "cost",
+       "PlanCost(expr,prop,index,logOp,phyOp,-,-,-,-,md,cost) :- "
+       "SearchSpace(expr,prop,index,logOp,phyOp,-,-,-,-), "
+       "Fn_scansummary(expr,prop,md), Fn_scancost(expr,prop,md,cost)"},
+      {"R7", "cost",
+       "PlanCost(expr,prop,index,logOp,phyOp,lExpr,lProp,-,-,md,cost) :- "
+       "SearchSpace(expr,prop,index,logOp,phyOp,lExpr,lProp,-,-), "
+       "PlanCost(lExpr,lProp,...,lMd,lCost), Fn_nonscansummary(...), "
+       "Fn_nonscancost(...,localCost), Fn_sum(lCost,null,localCost,cost)"},
+      {"R8", "cost",
+       "PlanCost(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp,md,cost) :- "
+       "SearchSpace(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp), "
+       "PlanCost(lExpr,lProp,...,lMd,lCost), PlanCost(rExpr,rProp,...,rMd,rCost), "
+       "Fn_nonscansummary(...), Fn_nonscancost(...,localCost), "
+       "Fn_sum(lCost,rCost,localCost,cost)"},
+      {"R9", "selection",
+       "BestCost(expr,prop,min<cost>) :- PlanCost(expr,prop,index,...,cost)"},
+      {"R10", "selection",
+       "BestPlan(expr,prop,index,...,cost) :- BestCost(expr,prop,cost), "
+       "PlanCost(expr,prop,index,...,cost)"},
+      {"r1", "bounding",
+       "ParentBound(lExpr,lProp,bound-rCost-localCost) :- Bound(expr,prop,bound), "
+       "BestCost(rExpr,rProp,rCost), LocalCost(expr,prop,index,lExpr,lProp,rExpr,rProp,-,"
+       "localCost)"},
+      {"r2", "bounding",
+       "ParentBound(rExpr,rProp,bound-lCost-localCost) :- Bound(expr,prop,bound), "
+       "BestCost(lExpr,lProp,lCost), LocalCost(expr,prop,index,lExpr,lProp,rExpr,rProp,-,"
+       "localCost)"},
+      {"r3", "bounding", "MaxBound(expr,prop,max<bound>) :- ParentBound(expr,prop,bound)"},
+      {"r4", "bounding",
+       "Bound(expr,prop,min<minCost,maxBound>) :- BestCost(expr,prop,minCost), "
+       "MaxBound(expr,prop,maxBound)"},
+  };
+  return kRules;
+}
+
+std::string OptimizerDataflowDot() {
+  std::string dot;
+  dot += "digraph optimizer_dataflow {\n";
+  dot += "  rankdir=BT;\n";
+  dot += "  node [shape=box];\n";
+  dot += "  subgraph cluster_enum { label=\"Plan enumeration (R1-R5)\";\n";
+  dot += "    Expr; Fn_split [shape=ellipse]; SearchSpace; FixpointEnum "
+         "[shape=ellipse,label=\"Fixpoint\"];\n";
+  dot += "  }\n";
+  dot += "  subgraph cluster_cost { label=\"Cost estimation (R6-R8)\";\n";
+  dot += "    LocalCost; PlanCost; FixpointCost [shape=ellipse,label=\"Fixpoint + "
+         "aggregate selection\"];\n";
+  dot += "  }\n";
+  dot += "  subgraph cluster_sel { label=\"Plan selection (R9-R10)\";\n";
+  dot += "    BestCost; BestPlan; AggMin [shape=ellipse,label=\"Agg_min\"];\n";
+  dot += "  }\n";
+  dot += "  subgraph cluster_bound { label=\"Recursive bounding (r1-r4)\";\n";
+  dot += "    ParentBound; MaxBound; Bound;\n";
+  dot += "  }\n";
+  dot += "  Expr -> Fn_split -> SearchSpace -> FixpointEnum -> SearchSpace;\n";
+  dot += "  SearchSpace -> LocalCost -> PlanCost;\n";
+  dot += "  PlanCost -> FixpointCost -> PlanCost;\n";
+  dot += "  PlanCost -> AggMin -> BestCost;\n";
+  dot += "  BestCost -> BestPlan;\n";
+  dot += "  PlanCost -> BestPlan;\n";
+  dot += "  Bound -> ParentBound; BestCost -> ParentBound; LocalCost -> ParentBound;\n";
+  dot += "  ParentBound -> MaxBound -> Bound; BestCost -> Bound;\n";
+  dot += "  // sideways information passing (tuple source suppression)\n";
+  dot += "  FixpointCost -> SearchSpace [style=dashed,label=\"suppress\"];\n";
+  dot += "  Bound -> FixpointCost [style=dashed,label=\"prune\"];\n";
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace iqro

@@ -1,0 +1,30 @@
+// The declarative specification the optimizer executes: the ten datalog
+// rules of Appendix A (plan enumeration R1-R5, cost estimation R6-R8, plan
+// selection R9-R10) and the recursive-bounding rules r1-r4 of Figure 3,
+// plus a DOT rendering of the Figure-1 dataflow. DeclarativeOptimizer is
+// the hand-wired typed realization of exactly this program; the generic
+// datalog engine (src/datalog) can execute the same rules directly at
+// small scale (see examples/datalog_optimizer.cpp and the tests).
+#ifndef IQRO_CORE_RULES_H_
+#define IQRO_CORE_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace iqro {
+
+struct DatalogRuleSpec {
+  std::string name;   // "R1".."R10", "r1".."r4"
+  std::string stage;  // "enumeration" / "cost" / "selection" / "bounding"
+  std::string text;   // the rule as written in the paper
+};
+
+/// All 14 rules in paper order.
+const std::vector<DatalogRuleSpec>& OptimizerRules();
+
+/// DOT graph of the Figure-1 dataflow (stages, views, sideways arcs).
+std::string OptimizerDataflowDot();
+
+}  // namespace iqro
+
+#endif  // IQRO_CORE_RULES_H_

@@ -1,0 +1,58 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace iqro {
+
+CostModel::CostModel(const SummaryCalculator* summaries, CostParams params)
+    : summaries_(summaries), params_(params) {}
+
+double CostModel::ScanCost(int rel, PhysOp op) const {
+  const StatsRegistry& reg = summaries_->registry();
+  const double base = std::max(1.0, reg.base_rows(rel));
+  const double mult = reg.scan_cost_multiplier(rel);
+  switch (op) {
+    case PhysOp::kSeqScan:
+      // Read every stored row sequentially, evaluate local predicates.
+      return mult * base * (params_.seq_read + params_.tuple_cpu);
+    case PhysOp::kIndexScan:
+      // Full traversal in index order: one random access per row.
+      return mult * base * (params_.rand_read + params_.tuple_cpu);
+    case PhysOp::kIndexRef:
+      // The probing cost is charged to the index-NL join itself.
+      return params_.index_ref;
+    default:
+      IQRO_CHECK(false);
+  }
+}
+
+double CostModel::JoinLocalCost(PhysOp op, RelSet left, RelSet right) const {
+  const double lrows = std::max(1.0, summaries_->Get(left).rows);
+  const double rrows = std::max(1.0, summaries_->Get(right).rows);
+  const double orows = std::max(0.0, summaries_->Get(left | right).rows);
+  const double out = params_.output_row * orows;
+  switch (op) {
+    case PhysOp::kHashJoin:
+      return params_.hash_build * lrows + params_.hash_probe * rrows + out;
+    case PhysOp::kSortMergeJoin:
+      return params_.merge_cpu * (lrows + rrows) + out;
+    case PhysOp::kIndexNLJoin:
+      // Left is the indexed inner: one probe per outer (right) row.
+      return params_.rand_read * rrows + out;
+    case PhysOp::kNestedLoopJoin:
+      return params_.nl_pair_cpu * lrows * rrows + out;
+    default:
+      IQRO_CHECK(false);
+  }
+}
+
+double CostModel::SortLocalCost(RelSet e) const {
+  const double rows = std::max(1.0, summaries_->Get(e).rows);
+  return params_.sort_cpu * rows * std::log2(std::max(2.0, rows)) +
+         params_.tuple_cpu * rows;
+}
+
+}  // namespace iqro

@@ -1,0 +1,39 @@
+#include "cost/physical.h"
+
+namespace iqro {
+
+const char* LogOpName(LogOp op) {
+  switch (op) {
+    case LogOp::kScan:
+      return "scan";
+    case LogOp::kJoin:
+      return "join";
+    case LogOp::kSort:
+      return "sort";
+  }
+  return "?";
+}
+
+const char* PhysOpName(PhysOp op) {
+  switch (op) {
+    case PhysOp::kSeqScan:
+      return "seq-scan";
+    case PhysOp::kIndexScan:
+      return "index-scan";
+    case PhysOp::kIndexRef:
+      return "index-ref";
+    case PhysOp::kSort:
+      return "sort";
+    case PhysOp::kHashJoin:
+      return "hash-join";
+    case PhysOp::kSortMergeJoin:
+      return "sort-merge-join";
+    case PhysOp::kIndexNLJoin:
+      return "index-nl-join";
+    case PhysOp::kNestedLoopJoin:
+      return "nl-join";
+  }
+  return "?";
+}
+
+}  // namespace iqro

@@ -1,0 +1,31 @@
+// Logical and physical operator vocabulary of the plan space.
+#ifndef IQRO_COST_PHYSICAL_H_
+#define IQRO_COST_PHYSICAL_H_
+
+#include <cstdint>
+
+namespace iqro {
+
+enum class LogOp : uint8_t {
+  kScan,  // leaf: base relation access with local predicates applied
+  kJoin,  // binary
+  kSort,  // unary enforcer: (e, sorted(c)) from (e, none)
+};
+
+enum class PhysOp : uint8_t {
+  kSeqScan,        // heap scan; delivers clustering order if any
+  kIndexScan,      // full traversal in index order (delivers sorted(col))
+  kIndexRef,       // leaf handle used as the indexed inner of an INLJ
+  kSort,           // explicit sort enforcer
+  kHashJoin,       // pipelined hash join; left = build side
+  kSortMergeJoin,  // requires both inputs sorted on the join columns
+  kIndexNLJoin,    // left = indexed inner (base relation), right = outer
+  kNestedLoopJoin, // fallback for partitions without equality edges
+};
+
+const char* LogOpName(LogOp op);
+const char* PhysOpName(PhysOp op);
+
+}  // namespace iqro
+
+#endif  // IQRO_COST_PHYSICAL_H_

@@ -1,0 +1,480 @@
+#include "datalog/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace iqro::datalog {
+
+// ---------------------------------------------------------------------------
+// Program construction
+// ---------------------------------------------------------------------------
+
+RelId DatalogEngine::AddRelation(std::string name, int arity) {
+  IQRO_CHECK(!prepared_);
+  RelationState r;
+  r.name = std::move(name);
+  r.arity = arity;
+  relations_.push_back(std::move(r));
+  return static_cast<RelId>(relations_.size()) - 1;
+}
+
+void DatalogEngine::AddRule(Rule rule) {
+  IQRO_CHECK(!prepared_);
+  IQRO_CHECK(rule.head.relation >= 0);
+  IQRO_CHECK(!relations_[static_cast<size_t>(rule.head.relation)].is_agg_target);
+  rules_.push_back(std::move(rule));
+}
+
+void DatalogEngine::AddMinAggRule(RelId target, RelId source, int group_cols) {
+  IQRO_CHECK(!prepared_);
+  relations_[static_cast<size_t>(target)].is_agg_target = true;
+  aggs_.push_back({target, source, group_cols, /*is_min=*/true});
+}
+
+void DatalogEngine::AddMaxAggRule(RelId target, RelId source, int group_cols) {
+  IQRO_CHECK(!prepared_);
+  relations_[static_cast<size_t>(target)].is_agg_target = true;
+  aggs_.push_back({target, source, group_cols, /*is_min=*/false});
+}
+
+void DatalogEngine::Insert(RelId rel, Tuple t) {
+  IQRO_CHECK(static_cast<int>(t.size()) == relations_[static_cast<size_t>(rel)].arity);
+  pending_.push_back({rel, std::move(t), +1});
+}
+
+void DatalogEngine::Remove(RelId rel, Tuple t) {
+  IQRO_CHECK(static_cast<int>(t.size()) == relations_[static_cast<size_t>(rel)].arity);
+  pending_.push_back({rel, std::move(t), -1});
+}
+
+bool DatalogEngine::Contains(RelId rel, const Tuple& t) const {
+  return relations_[static_cast<size_t>(rel)].tuples.Present(t);
+}
+
+std::vector<Tuple> DatalogEngine::Facts(RelId rel) const {
+  std::vector<Tuple> out;
+  for (const auto& [t, c] : relations_[static_cast<size_t>(rel)].tuples) {
+    if (c > 0) out.push_back(t);
+  }
+  return out;
+}
+
+int64_t DatalogEngine::NumFacts(RelId rel) const {
+  int64_t n = 0;
+  for (const auto& [t, c] : relations_[static_cast<size_t>(rel)].tuples) {
+    if (c > 0) ++n;
+  }
+  return n;
+}
+
+const std::string& DatalogEngine::RelationName(RelId rel) const {
+  return relations_[static_cast<size_t>(rel)].name;
+}
+
+// ---------------------------------------------------------------------------
+// Stratification (used only to detect recursive components)
+// ---------------------------------------------------------------------------
+
+void DatalogEngine::ComputeStrata() {
+  const int n = static_cast<int>(relations_.size());
+  std::vector<std::vector<int>> deps(static_cast<size_t>(n));   // head -> body
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.body) {
+      deps[static_cast<size_t>(r.head.relation)].push_back(a.relation);
+    }
+  }
+  for (const AggRule& a : aggs_) {
+    deps[static_cast<size_t>(a.target)].push_back(a.source);
+  }
+
+  // Kosaraju SCC.
+  std::vector<int> order;
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  std::function<void(int)> dfs1 = [&](int v) {
+    visited[static_cast<size_t>(v)] = true;
+    for (int w : deps[static_cast<size_t>(v)]) {
+      if (!visited[static_cast<size_t>(w)]) dfs1(w);
+    }
+    order.push_back(v);
+  };
+  for (int v = 0; v < n; ++v) {
+    if (!visited[static_cast<size_t>(v)]) dfs1(v);
+  }
+  std::vector<std::vector<int>> rdeps(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    for (int w : deps[static_cast<size_t>(v)]) rdeps[static_cast<size_t>(w)].push_back(v);
+  }
+  stratum_of_rel_.assign(static_cast<size_t>(n), -1);
+  std::vector<std::vector<int>> components;
+  std::function<void(int, int)> dfs2 = [&](int v, int comp) {
+    stratum_of_rel_[static_cast<size_t>(v)] = comp;
+    components[static_cast<size_t>(comp)].push_back(v);
+    for (int w : rdeps[static_cast<size_t>(v)]) {
+      if (stratum_of_rel_[static_cast<size_t>(w)] < 0) dfs2(w, comp);
+    }
+  };
+  for (auto it = order.begin(); it != order.end(); ++it) {
+    if (stratum_of_rel_[static_cast<size_t>(*it)] < 0) {
+      components.emplace_back();
+      dfs2(*it, static_cast<int>(components.size()) - 1);
+    }
+  }
+  num_strata_ = static_cast<int>(components.size());
+  stratum_recursive_.assign(static_cast<size_t>(num_strata_), false);
+  for (int c = 0; c < num_strata_; ++c) {
+    if (components[static_cast<size_t>(c)].size() > 1) {
+      stratum_recursive_[static_cast<size_t>(c)] = true;
+    }
+    for (int v : components[static_cast<size_t>(c)]) {
+      for (int w : deps[static_cast<size_t>(v)]) {
+        if (w == v) stratum_recursive_[static_cast<size_t>(c)] = true;
+      }
+    }
+  }
+
+  body_index_.clear();
+  for (size_t ri = 0; ri < rules_.size(); ++ri) {
+    const Rule& r = rules_[ri];
+    for (size_t pos = 0; pos < r.body.size(); ++pos) {
+      body_index_[r.body[pos].relation].push_back(
+          {static_cast<int>(ri), static_cast<int>(pos)});
+    }
+  }
+  agg_source_index_.clear();
+  for (size_t ai = 0; ai < aggs_.size(); ++ai) {
+    agg_source_index_[aggs_[ai].source].push_back(static_cast<int>(ai));
+  }
+  agg_state_.resize(aggs_.size());
+  prepared_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Rule evaluation with the delta-visibility discipline
+// ---------------------------------------------------------------------------
+
+namespace {
+bool BindAtom(const Atom& atom, const Tuple& t, std::vector<Value>& env,
+              std::vector<bool>& bound, std::vector<int>* newly_bound) {
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    if (term.is_var) {
+      if (bound[static_cast<size_t>(term.var)]) {
+        if (env[static_cast<size_t>(term.var)] != t[i]) return false;
+      } else {
+        env[static_cast<size_t>(term.var)] = t[i];
+        bound[static_cast<size_t>(term.var)] = true;
+        newly_bound->push_back(term.var);
+      }
+    } else if (term.constant != t[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void UnbindAll(const std::vector<int>& vars, std::vector<bool>& bound) {
+  for (int v : vars) bound[static_cast<size_t>(v)] = false;
+}
+}  // namespace
+
+void DatalogEngine::RunPostSteps(const Rule& rule, int after_pos,
+                                 const std::function<void()>& next,
+                                 std::vector<Value>& env, std::vector<bool>& bound) {
+  auto git = rule.guards_after.find(after_pos);
+  if (git != rule.guards_after.end()) {
+    for (const Guard& g : git->second) {
+      if (!g.fn(env)) return;
+    }
+  }
+  auto xit = rule.generators_after.find(after_pos);
+  if (xit == rule.generators_after.end() || xit->second.empty()) {
+    next();
+    return;
+  }
+  std::function<void(size_t)> run_gen = [&](size_t gi) {
+    if (gi == xit->second.size()) {
+      next();
+      return;
+    }
+    const Generator& gen = xit->second[gi];
+    for (const std::vector<Value>& row : gen.fn(env)) {
+      IQRO_CHECK(row.size() == gen.out_vars.size());
+      std::vector<int> newly;
+      bool ok = true;
+      for (size_t k = 0; k < row.size(); ++k) {
+        int v = gen.out_vars[k];
+        if (bound[static_cast<size_t>(v)]) {
+          if (env[static_cast<size_t>(v)] != row[k]) {
+            ok = false;
+            break;
+          }
+        } else {
+          env[static_cast<size_t>(v)] = row[k];
+          bound[static_cast<size_t>(v)] = true;
+          newly.push_back(v);
+        }
+      }
+      if (ok) run_gen(gi + 1);
+      UnbindAll(newly, bound);
+    }
+  };
+  run_gen(0);
+}
+
+void DatalogEngine::JoinFrom(const Rule& rule, int pos, const DeltaCtx& delta,
+                             std::vector<Value>& env, std::vector<bool>& bound,
+                             std::vector<Flip>* out) {
+  if (pos == static_cast<int>(rule.body.size())) {
+    Tuple head;
+    head.reserve(rule.head.terms.size());
+    for (const Term& term : rule.head.terms) {
+      if (term.is_var) {
+        IQRO_CHECK(bound[static_cast<size_t>(term.var)]);
+        head.push_back(env[static_cast<size_t>(term.var)]);
+      } else {
+        head.push_back(term.constant);
+      }
+    }
+    out->push_back({rule.head.relation, std::move(head), delta.sign});
+    return;
+  }
+  if (pos == delta.pos) {
+    JoinFrom(rule, pos + 1, delta, env, bound, out);
+    return;
+  }
+  const Atom& atom = rule.body[static_cast<size_t>(pos)];
+  const RelationState& rel = relations_[static_cast<size_t>(atom.relation)];
+  auto try_tuple = [&](const Tuple& t) {
+    ++derivations_;
+    std::vector<int> newly;
+    if (BindAtom(atom, t, env, bound, &newly)) {
+      RunPostSteps(rule, pos,
+                   [&] { JoinFrom(rule, pos + 1, delta, env, bound, out); }, env, bound);
+    }
+    UnbindAll(newly, bound);
+  };
+  const bool same_rel = atom.relation == delta.rel;
+  for (const auto& [t, count] : rel.tuples) {
+    if (count <= 0) continue;
+    // Delta-visibility: positions before the delta see the pre-state,
+    // positions after see the post-state. For deletions (tuple still
+    // present) the pre-state excludes it at earlier positions; for
+    // insertions (tuple not yet applied) the post-state adds it at later
+    // positions (handled below).
+    if (same_rel && delta.sign < 0 && pos < delta.pos && t == *delta.tuple) continue;
+    try_tuple(t);
+  }
+  if (same_rel && delta.sign > 0 && pos > delta.pos) try_tuple(*delta.tuple);
+}
+
+void DatalogEngine::EvalRuleWithDelta(const Rule& rule, const DeltaCtx& delta,
+                                      std::vector<Flip>* head_changes) {
+  std::vector<Value> env(static_cast<size_t>(rule.num_vars));
+  std::vector<bool> bound(static_cast<size_t>(rule.num_vars), false);
+  std::vector<int> newly;
+  const Atom& atom = rule.body[static_cast<size_t>(delta.pos)];
+  if (!BindAtom(atom, *delta.tuple, env, bound, &newly)) return;
+  RunPostSteps(rule, -1,
+               [&] {
+                 RunPostSteps(rule, delta.pos,
+                              [&] { JoinFrom(rule, 0, delta, env, bound, head_changes); },
+                              env, bound);
+               },
+               env, bound);
+  UnbindAll(newly, bound);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+void DatalogEngine::ApplyAggSourceChange(int agg_idx, const Flip& flip,
+                                         std::vector<Flip>* head_changes) {
+  const AggRule& agg = aggs_[static_cast<size_t>(agg_idx)];
+  auto& groups = agg_state_[static_cast<size_t>(agg_idx)];
+  Tuple group(flip.tuple.begin(), flip.tuple.begin() + agg.group_cols);
+  Value v = flip.tuple[static_cast<size_t>(agg.group_cols)];
+  auto& counts = groups[group];
+  auto extreme = [&]() -> std::optional<Value> {
+    if (counts.empty()) return std::nullopt;
+    return agg.is_min ? counts.begin()->first : counts.rbegin()->first;
+  };
+  std::optional<Value> before = extreme();
+  counts[v] += flip.delta;
+  if (counts[v] <= 0) counts.erase(v);
+  std::optional<Value> after = extreme();
+  if (before == after) return;
+  Tuple out = group;
+  out.push_back(0);
+  // The paper's §4.1 update cases: the retained per-group value store
+  // recovers the next-best extreme when the current one is deleted.
+  if (before.has_value()) {
+    out.back() = *before;
+    head_changes->push_back({agg.target, out, -1});
+  }
+  if (after.has_value()) {
+    out.back() = *after;
+    head_changes->push_back({agg.target, out, +1});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The flip loop
+// ---------------------------------------------------------------------------
+
+void DatalogEngine::ProcessFlips(std::deque<Flip> work, int restrict_stratum, bool counting) {
+  std::vector<int> deletions_into_recursive;
+  uint64_t guard = 0;
+  while (!work.empty()) {
+    IQRO_CHECK(++guard < 100'000'000);
+    Flip f = std::move(work.front());
+    work.pop_front();
+
+    RelationState& rel = relations_[static_cast<size_t>(f.rel)];
+    const int64_t old_count = rel.tuples.Count(f.tuple);
+    const bool was_present = old_count > 0;
+    const bool now_present = old_count + f.delta > 0;
+    if (was_present == now_present) {
+      // Count-only bookkeeping; no presence flip, nothing derives.
+      if (counting || !now_present) rel.tuples.Add(f.tuple, f.delta);
+      continue;
+    }
+
+    const int64_t sign = now_present ? +1 : -1;
+    std::vector<Flip> head_changes;
+    auto it = body_index_.find(f.rel);
+    if (it != body_index_.end()) {
+      for (auto [ri, pos] : it->second) {
+        if (restrict_stratum >= 0 &&
+            stratum_of_rel_[static_cast<size_t>(rules_[static_cast<size_t>(ri)]
+                                                    .head.relation)] != restrict_stratum) {
+          continue;
+        }
+        DeltaCtx delta{f.rel, &f.tuple, sign, pos};
+        EvalRuleWithDelta(rules_[static_cast<size_t>(ri)], delta, &head_changes);
+      }
+    }
+    auto ait = agg_source_index_.find(f.rel);
+    if (ait != agg_source_index_.end()) {
+      for (int ai : ait->second) {
+        if (restrict_stratum >= 0 &&
+            stratum_of_rel_[static_cast<size_t>(aggs_[static_cast<size_t>(ai)].target)] !=
+                restrict_stratum) {
+          continue;
+        }
+        ApplyAggSourceChange(ai, {f.rel, f.tuple, sign}, &head_changes);
+      }
+    }
+    // Apply the flip itself after evaluation (delta-visibility).
+    rel.tuples.Add(f.tuple, f.delta);
+
+    for (Flip& hc : head_changes) {
+      // A deletion reaching a recursive component can strand counts on
+      // cyclic support; record it for the recompute fallback.
+      int hs = stratum_of_rel_[static_cast<size_t>(hc.rel)];
+      if (hc.delta < 0 && stratum_recursive_[static_cast<size_t>(hs)] &&
+          restrict_stratum < 0) {
+        deletions_into_recursive.push_back(hs);
+      }
+      work.push_back(std::move(hc));
+    }
+  }
+
+  if (restrict_stratum < 0 && !deletions_into_recursive.empty()) {
+    std::sort(deletions_into_recursive.begin(), deletions_into_recursive.end());
+    deletions_into_recursive.erase(
+        std::unique(deletions_into_recursive.begin(), deletions_into_recursive.end()),
+        deletions_into_recursive.end());
+    // Components were numbered in dependency order by ComputeStrata.
+    for (int s : deletions_into_recursive) RecomputeStratum(s);
+  }
+}
+
+void DatalogEngine::RecomputeStratum(int stratum) {
+  // Snapshot and clear the component's head relations and aggregates.
+  std::unordered_map<RelId, std::vector<Tuple>> old_facts;
+  for (RelId r = 0; r < static_cast<RelId>(relations_.size()); ++r) {
+    if (stratum_of_rel_[static_cast<size_t>(r)] != stratum) continue;
+    bool is_head = false;
+    for (const Rule& rule : rules_) is_head |= rule.head.relation == r;
+    for (const AggRule& agg : aggs_) is_head |= agg.target == r;
+    if (!is_head) continue;
+    old_facts[r] = Facts(r);
+    relations_[static_cast<size_t>(r)].tuples.Clear();
+  }
+  for (size_t ai = 0; ai < aggs_.size(); ++ai) {
+    if (stratum_of_rel_[static_cast<size_t>(aggs_[ai].target)] == stratum) {
+      agg_state_[ai].clear();
+    }
+  }
+
+  // Re-derive with set semantics from the surviving inputs.
+  std::deque<Flip> seed;
+  std::unordered_map<RelId, bool> seeded;
+  auto seed_rel = [&](RelId r) {
+    if (seeded[r] || old_facts.count(r) > 0) return;  // heads start empty
+    seeded[r] = true;
+    for (const auto& [t, c] : relations_[static_cast<size_t>(r)].tuples) {
+      if (c > 0) seed.push_back({r, t, +1});
+    }
+  };
+  for (const Rule& rule : rules_) {
+    if (stratum_of_rel_[static_cast<size_t>(rule.head.relation)] != stratum) continue;
+    for (const Atom& a : rule.body) seed_rel(a.relation);
+  }
+  for (const AggRule& agg : aggs_) {
+    if (stratum_of_rel_[static_cast<size_t>(agg.target)] == stratum) seed_rel(agg.source);
+  }
+  // Seeds are already present in their relations; the flip machinery
+  // expects genuine absent->present transitions, so lift each seed's count
+  // to zero and re-insert it with its original count. This replays the
+  // inputs one at a time — the same discipline as initial evaluation.
+  std::deque<Flip> work;
+  for (Flip& f : seed) {
+    auto& tuples = relations_[static_cast<size_t>(f.rel)].tuples;
+    int64_t c0 = tuples.Count(f.tuple);
+    tuples.Add(f.tuple, -c0);
+    work.push_back({f.rel, f.tuple, c0});
+  }
+  ProcessFlips(std::move(work), stratum, /*counting=*/false);
+
+  // Emit the diff downstream through the normal flip loop.
+  std::deque<Flip> diff;
+  for (auto& [rel, old] : old_facts) {
+    std::unordered_map<Tuple, bool, TupleHash> now;
+    for (const Tuple& t : Facts(rel)) now[t] = true;
+    std::unordered_map<Tuple, bool, TupleHash> was;
+    for (const Tuple& t : old) was[t] = true;
+    for (const Tuple& t : old) {
+      if (!now.count(t)) {
+        // Force the presence transition for downstream propagation.
+        auto& tuples = relations_[static_cast<size_t>(rel)].tuples;
+        int64_t c = tuples.Count(t);
+        if (c <= 0) {
+          tuples.Add(t, 1);  // make the - flip a genuine transition
+          diff.push_back({rel, t, -1});
+        }
+      }
+    }
+    for (auto& [t, _] : now) {
+      if (!was.count(t)) {
+        auto& tuples = relations_[static_cast<size_t>(rel)].tuples;
+        int64_t c = tuples.Count(t);
+        tuples.Add(t, -c);  // absent before the + flip
+        diff.push_back({rel, t, c > 0 ? c : 1});
+      }
+    }
+  }
+  if (!diff.empty()) ProcessFlips(std::move(diff), -1, true);
+}
+
+void DatalogEngine::Evaluate() {
+  if (!prepared_) ComputeStrata();
+  std::deque<Flip> work(std::make_move_iterator(pending_.begin()),
+                        std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  ProcessFlips(std::move(work), -1, /*counting=*/true);
+}
+
+}  // namespace iqro::datalog

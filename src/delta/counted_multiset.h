@@ -1,0 +1,60 @@
+// CountedMultiset: per-value signed counts, the stateful-operator store of
+// the delta engine (§4): "we maintain for each encountered tuple value a
+// (possibly temporarily negative) count ... a tuple only affects the output
+// of a stateful operator if its count is positive."
+#ifndef IQRO_DELTA_COUNTED_MULTISET_H_
+#define IQRO_DELTA_COUNTED_MULTISET_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace iqro {
+
+template <typename T, typename Hash = std::hash<T>>
+class CountedMultiset {
+ public:
+  /// Adds `delta` (positive or negative) to the count of `value`.
+  /// Returns +1 if the value just became present (count went 0 -> >0),
+  /// -1 if it just became absent (count went >0 -> <=0), 0 otherwise.
+  int Add(const T& value, int64_t delta) {
+    int64_t& c = counts_[value];
+    bool was_present = c > 0;
+    c += delta;
+    bool is_present = c > 0;
+    if (c == 0) counts_.erase(value);
+    if (was_present == is_present) return 0;
+    return is_present ? +1 : -1;
+  }
+
+  int64_t Count(const T& value) const {
+    auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  bool Present(const T& value) const { return Count(value) > 0; }
+
+  /// Number of values with non-zero (including negative) counts.
+  size_t size() const { return counts_.size(); }
+  bool empty() const { return counts_.empty(); }
+
+  /// True iff no value has a negative count (the converged state every
+  /// delta stream must reach, since each deletion matches an insertion).
+  bool Converged() const {
+    for (const auto& [v, c] : counts_) {
+      if (c < 0) return false;
+    }
+    return true;
+  }
+
+  auto begin() const { return counts_.begin(); }
+  auto end() const { return counts_.end(); }
+
+  void Clear() { counts_.clear(); }
+
+ private:
+  std::unordered_map<T, int64_t, Hash> counts_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_DELTA_COUNTED_MULTISET_H_

@@ -1,0 +1,29 @@
+// Delta tuples (§4): every operator of the incremental engine consumes and
+// emits insertions, deletions and replacements instead of plain tuples.
+#ifndef IQRO_DELTA_DELTA_H_
+#define IQRO_DELTA_DELTA_H_
+
+#include <cstdint>
+
+namespace iqro {
+
+enum class DeltaKind : uint8_t {
+  kInsert,  // R[+x]
+  kDelete,  // R[-x]
+  kUpdate,  // R[x -> x']
+};
+
+template <typename V>
+struct Delta {
+  DeltaKind kind = DeltaKind::kInsert;
+  V old_value{};  // valid for kDelete / kUpdate
+  V new_value{};  // valid for kInsert / kUpdate
+
+  static Delta Insert(V v) { return {DeltaKind::kInsert, V{}, v}; }
+  static Delta Erase(V v) { return {DeltaKind::kDelete, v, V{}}; }
+  static Delta Update(V from, V to) { return {DeltaKind::kUpdate, from, to}; }
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_DELTA_DELTA_H_

@@ -1,0 +1,101 @@
+// ExtremeAgg: grouped min/max aggregate state that retains *all* inputs.
+//
+// This is the paper's extension of aggregate operators for incremental
+// maintenance (§4): "we must further extend the internal state management
+// to keep track of all values encountered — such that we can recover the
+// second-from-minimum value. If the minimum is deleted, the operator should
+// propagate an update delta, replacing its previous output with the
+// next-best-minimum."
+//
+// Entries are (value, id) pairs ordered lexicographically, which doubles as
+// the deterministic tie-break the paper's distinct-cost assumption
+// (Proposition 5) stands in for.
+#ifndef IQRO_DELTA_EXTREME_AGG_H_
+#define IQRO_DELTA_EXTREME_AGG_H_
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "delta/delta.h"
+
+namespace iqro {
+
+template <typename Id = uint64_t>
+class ExtremeAgg {
+ public:
+  using Entry = std::pair<double, Id>;
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  bool Contains(Id id) const { return values_.count(id) > 0; }
+
+  double ValueOf(Id id) const {
+    auto it = values_.find(id);
+    IQRO_DCHECK(it != values_.end());
+    return it->second;
+  }
+
+  /// Smallest (value, id) entry; infinity if empty.
+  Entry MinEntry() const {
+    if (entries_.empty()) return {std::numeric_limits<double>::infinity(), Id{}};
+    return *entries_.begin();
+  }
+
+  /// Largest (value, id) entry; -infinity if empty.
+  Entry MaxEntry() const {
+    if (entries_.empty()) return {-std::numeric_limits<double>::infinity(), Id{}};
+    return *entries_.rbegin();
+  }
+
+  double MinValue() const { return MinEntry().first; }
+  double MaxValue() const { return MaxEntry().first; }
+
+  /// Inserts or replaces the contribution of `id`. Returns true iff the
+  /// group's min or max entry changed.
+  bool Set(Id id, double value) {
+    auto [it, inserted] = values_.try_emplace(id, value);
+    Entry old_min = MinEntry();
+    Entry old_max = MaxEntry();
+    if (!inserted) {
+      if (it->second == value) return false;
+      entries_.erase(Entry{it->second, id});
+      it->second = value;
+    }
+    entries_.insert(Entry{value, id});
+    return MinEntry() != old_min || MaxEntry() != old_max;
+  }
+
+  /// Removes the contribution of `id` if present. Returns true iff the
+  /// group's min or max entry changed.
+  bool Erase(Id id) {
+    auto it = values_.find(id);
+    if (it == values_.end()) return false;
+    Entry old_min = MinEntry();
+    Entry old_max = MaxEntry();
+    entries_.erase(Entry{it->second, id});
+    values_.erase(it);
+    return MinEntry() != old_min || MaxEntry() != old_max;
+  }
+
+  void Clear() {
+    entries_.clear();
+    values_.clear();
+  }
+
+  /// Ascending iteration over retained (value, id) entries.
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::set<Entry> entries_;
+  std::unordered_map<Id, double> values_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_DELTA_EXTREME_AGG_H_

@@ -1,0 +1,42 @@
+// Alt: one SearchSpace row (the paper's Table 1) — a physical alternative
+// for an (expression, property) pair, identified by its position (`index`)
+// in the deterministic Fn_split output for that pair.
+#ifndef IQRO_ENUMERATE_ALTERNATIVE_H_
+#define IQRO_ENUMERATE_ALTERNATIVE_H_
+
+#include "cost/physical.h"
+#include "cost/prop_table.h"
+#include "common/relset.h"
+
+namespace iqro {
+
+struct Alt {
+  LogOp logop = LogOp::kScan;
+  PhysOp phyop = PhysOp::kSeqScan;
+  RelSet lexpr = 0;
+  PropId lprop = kPropNone;
+  RelSet rexpr = 0;
+  PropId rprop = kPropNone;
+  /// For joins with an equality edge: the primary edge id (SMJ sort keys /
+  /// INLJ probe key). -1 otherwise.
+  int16_t edge = -1;
+
+  bool IsLeaf() const { return logop == LogOp::kScan; }
+  int NumChildren() const {
+    switch (logop) {
+      case LogOp::kScan:
+        return 0;
+      case LogOp::kSort:
+        return 1;
+      case LogOp::kJoin:
+        return 2;
+    }
+    return 0;
+  }
+
+  bool operator==(const Alt&) const = default;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_ENUMERATE_ALTERNATIVE_H_

@@ -1,0 +1,73 @@
+#include "enumerate/plan_tree.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace iqro {
+
+bool PlanTree::SameShape(const PlanTree& other) const {
+  if (expr != other.expr || prop != other.prop || !(alt == other.alt)) return false;
+  if ((left == nullptr) != (other.left == nullptr)) return false;
+  if ((right == nullptr) != (other.right == nullptr)) return false;
+  if (left != nullptr && !left->SameShape(*other.left)) return false;
+  if (right != nullptr && !right->SameShape(*other.right)) return false;
+  return true;
+}
+
+namespace {
+void Render(const PlanTree& node, const QuerySpec& query, const PropTable& props, int depth,
+            std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  std::string rels;
+  RelForEach(node.expr, [&](int r) {
+    if (!rels.empty()) rels += ",";
+    rels += query.relations[static_cast<size_t>(r)].alias;
+  });
+  out->append(StrFormat("%s [%s] prop=%s cost=%s rows=%s\n", PhysOpName(node.alt.phyop),
+                        rels.c_str(), props.ToString(node.prop, &query).c_str(),
+                        DoubleToString(node.cost).c_str(), DoubleToString(node.rows).c_str()));
+  if (node.left != nullptr) Render(*node.left, query, props, depth + 1, out);
+  if (node.right != nullptr) Render(*node.right, query, props, depth + 1, out);
+}
+}  // namespace
+
+std::string PlanTree::ToString(const QuerySpec& query, const PropTable& props) const {
+  std::string out;
+  Render(*this, query, props, 0, &out);
+  return out;
+}
+
+std::unique_ptr<PlanTree> PlanTree::Clone() const {
+  auto copy = std::make_unique<PlanTree>();
+  copy->expr = expr;
+  copy->prop = prop;
+  copy->prop_info = prop_info;
+  copy->alt = alt;
+  copy->cost = cost;
+  copy->rows = rows;
+  if (left != nullptr) copy->left = left->Clone();
+  if (right != nullptr) copy->right = right->Clone();
+  return copy;
+}
+
+std::unique_ptr<PlanTree> BuildPlanTree(RelSet expr, PropId prop, const AltChooser& chooser,
+                                        const SummaryCalculator& summaries,
+                                        const PropTable& props) {
+  auto [alt, cost] = chooser(expr, prop);
+  auto node = std::make_unique<PlanTree>();
+  node->expr = expr;
+  node->prop = prop;
+  node->prop_info = props.Get(prop);
+  node->alt = alt;
+  node->cost = cost;
+  node->rows = summaries.Get(expr).rows;
+  if (alt.NumChildren() >= 1) {
+    node->left = BuildPlanTree(alt.lexpr, alt.lprop, chooser, summaries, props);
+  }
+  if (alt.NumChildren() == 2) {
+    node->right = BuildPlanTree(alt.rexpr, alt.rprop, chooser, summaries, props);
+  }
+  return node;
+}
+
+}  // namespace iqro

@@ -1,0 +1,52 @@
+// PlanTree: a fully specified physical plan (the paper's BestPlan output),
+// shared by every optimizer implementation and consumed by the executor.
+#ifndef IQRO_ENUMERATE_PLAN_TREE_H_
+#define IQRO_ENUMERATE_PLAN_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "enumerate/alternative.h"
+#include "query/query_spec.h"
+#include "stats/summary.h"
+
+namespace iqro {
+
+struct PlanTree {
+  RelSet expr = 0;
+  PropId prop = kPropNone;
+  /// Resolved property (PropIds are interned per PropTable; the resolved
+  /// form makes a plan self-contained across contexts — e.g. a plan cloned
+  /// into another processor over the same query).
+  Prop prop_info;
+  Alt alt;
+  double cost = 0;  // cumulative cost of this subtree
+  double rows = 0;  // estimated output cardinality
+  std::unique_ptr<PlanTree> left;
+  std::unique_ptr<PlanTree> right;
+
+  /// Structural equality (ignores cost/rows estimates).
+  bool SameShape(const PlanTree& other) const;
+
+  /// Multi-line indented rendering for EXPLAIN-style output.
+  std::string ToString(const QuerySpec& query, const PropTable& props) const;
+
+  /// Deep copy.
+  std::unique_ptr<PlanTree> Clone() const;
+};
+
+/// Callback mapping an (expr, prop) pair to its chosen alternative and the
+/// cumulative best cost — how each optimizer exposes its memo contents.
+using AltChooser = std::function<std::pair<Alt, double>(RelSet, PropId)>;
+
+/// Materializes the plan tree rooted at (expr, prop) by recursively asking
+/// `chooser` for winners; fills summaries from `summaries` and resolves
+/// property ids through `props`.
+std::unique_ptr<PlanTree> BuildPlanTree(RelSet expr, PropId prop, const AltChooser& chooser,
+                                        const SummaryCalculator& summaries,
+                                        const PropTable& props);
+
+}  // namespace iqro
+
+#endif  // IQRO_ENUMERATE_PLAN_TREE_H_

@@ -1,0 +1,137 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace iqro {
+
+Executor::Executor(const Catalog* catalog, const QuerySpec* query, const JoinGraph* graph,
+                   const PropTable* props)
+    : catalog_(catalog), query_(query), graph_(graph), props_(props) {}
+
+const Table& Executor::TableOf(int rel) const {
+  return catalog_->table(query_->relations[static_cast<size_t>(rel)].table);
+}
+
+std::unique_ptr<Operator> Executor::Build(const PlanTree& node,
+                                          std::vector<Operator*>* data_ops) const {
+  std::unique_ptr<Operator> op;
+  switch (node.alt.phyop) {
+    case PhysOp::kSeqScan:
+    case PhysOp::kIndexScan: {
+      // Both access paths produce the same rows; order differences are
+      // absorbed by the sort-tolerant merge join.
+      const int rel = RelLowest(node.expr);
+      op = std::make_unique<SeqScanOp>(&TableOf(rel), rel, query_->LocalsOf(rel), *query_,
+                                       *catalog_);
+      break;
+    }
+    case PhysOp::kSort: {
+      auto child = Build(*node.left, data_ops);
+      // Prefer the plan's self-contained resolved property (valid across
+      // contexts); fall back to the local PropTable for hand-built plans.
+      Prop p = node.prop_info;
+      if (p.kind != Prop::Kind::kSorted) p = props_->Get(node.prop);
+      IQRO_CHECK(p.kind == Prop::Kind::kSorted);
+      op = std::make_unique<SortOp>(std::move(child), p.col);
+      break;
+    }
+    case PhysOp::kHashJoin: {
+      auto build = Build(*node.left, data_ops);
+      auto probe = Build(*node.right, data_ops);
+      std::vector<int> cross = graph_->CrossEdges(node.left->expr, node.right->expr);
+      IQRO_CHECK(node.alt.edge >= 0);
+      std::vector<JoinPredicate> residual;
+      for (int e : cross) {
+        if (e != node.alt.edge) residual.push_back(graph_->edge(e));
+      }
+      op = std::make_unique<HashJoinOp>(std::move(build), std::move(probe),
+                                        graph_->edge(node.alt.edge), std::move(residual),
+                                        *query_, *catalog_);
+      break;
+    }
+    case PhysOp::kSortMergeJoin: {
+      auto left = Build(*node.left, data_ops);
+      auto right = Build(*node.right, data_ops);
+      std::vector<int> cross = graph_->CrossEdges(node.left->expr, node.right->expr);
+      IQRO_CHECK(node.alt.edge >= 0);
+      std::vector<JoinPredicate> residual;
+      for (int e : cross) {
+        if (e != node.alt.edge) residual.push_back(graph_->edge(e));
+      }
+      op = std::make_unique<SortMergeJoinOp>(std::move(left), std::move(right),
+                                             graph_->edge(node.alt.edge), std::move(residual),
+                                             *query_, *catalog_);
+      break;
+    }
+    case PhysOp::kIndexNLJoin: {
+      // Left child is the indexed inner leaf (IndexRef); right is the outer.
+      IQRO_CHECK(node.left != nullptr && node.left->alt.phyop == PhysOp::kIndexRef);
+      const int inner_rel = RelLowest(node.left->expr);
+      auto outer = Build(*node.right, data_ops);
+      std::vector<int> cross = graph_->CrossEdges(node.left->expr, node.right->expr);
+      IQRO_CHECK(node.alt.edge >= 0);
+      std::vector<JoinPredicate> residual;
+      for (int e : cross) {
+        if (e != node.alt.edge) residual.push_back(graph_->edge(e));
+      }
+      op = std::make_unique<IndexNLJoinOp>(&TableOf(inner_rel), inner_rel,
+                                           query_->LocalsOf(inner_rel), std::move(outer),
+                                           graph_->edge(node.alt.edge), std::move(residual),
+                                           *query_, *catalog_);
+      break;
+    }
+    case PhysOp::kNestedLoopJoin: {
+      auto left = Build(*node.left, data_ops);
+      auto right = Build(*node.right, data_ops);
+      std::vector<int> cross = graph_->CrossEdges(node.left->expr, node.right->expr);
+      std::vector<JoinPredicate> predicates;
+      for (int e : cross) predicates.push_back(graph_->edge(e));
+      op = std::make_unique<NestedLoopJoinOp>(std::move(left), std::move(right),
+                                              std::move(predicates), *query_, *catalog_);
+      break;
+    }
+    case PhysOp::kIndexRef:
+      IQRO_CHECK(false);  // consumed by kIndexNLJoin
+  }
+  IQRO_CHECK(op != nullptr);
+  data_ops->push_back(op.get());
+  return op;
+}
+
+ExecutionResult Executor::Execute(const PlanTree& plan, bool collect_rows) {
+  std::vector<Operator*> data_ops;
+  std::unique_ptr<Operator> root = Build(plan, &data_ops);
+  if (query_->has_aggregation()) {
+    root = std::make_unique<HashAggregateOp>(std::move(root), *query_);
+  }
+  root->Open();
+  ExecutionResult result;
+  Row row;
+  while (root->Next(&row)) {
+    if (collect_rows) result.rows.push_back(row);
+  }
+  result.root_rows = root->rows_out();
+  for (Operator* op : data_ops) {
+    result.observed.push_back({op->layout().expr(), op->rows_out()});
+  }
+  std::sort(result.observed.begin(), result.observed.end(),
+            [](const ObservedCardinality& a, const ObservedCardinality& b) {
+              if (RelCount(a.expr) != RelCount(b.expr)) {
+                return RelCount(a.expr) < RelCount(b.expr);
+              }
+              return a.expr < b.expr;
+            });
+  // Deduplicate expressions (a sort above a join reports the same set).
+  result.observed.erase(std::unique(result.observed.begin(), result.observed.end(),
+                                    [](const ObservedCardinality& a,
+                                       const ObservedCardinality& b) {
+                                      return a.expr == b.expr;
+                                    }),
+                        result.observed.end());
+  root->Close();
+  return result;
+}
+
+}  // namespace iqro

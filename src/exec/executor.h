@@ -1,0 +1,55 @@
+// Executor: instantiates a physical PlanTree (the optimizer's BestPlan
+// output) as an operator tree over catalog tables and runs it, collecting
+// per-expression observed cardinalities for runtime feedback (§5.2.2).
+#ifndef IQRO_EXEC_EXECUTOR_H_
+#define IQRO_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "enumerate/plan_tree.h"
+#include "exec/operators.h"
+#include "query/join_graph.h"
+
+namespace iqro {
+
+struct ObservedCardinality {
+  RelSet expr = 0;
+  int64_t rows = 0;
+};
+
+struct ExecutionResult {
+  /// Final output rows (group keys + aggregate values when the query
+  /// aggregates). Empty when collect_rows was false.
+  std::vector<Row> rows;
+  /// Output row count of the root operator (pre-collection).
+  int64_t root_rows = 0;
+  /// Observed output cardinality per plan expression, leaves included,
+  /// ascending by expression size. The inner (indexed) side of an
+  /// index-NL join is not separately observable.
+  std::vector<ObservedCardinality> observed;
+};
+
+class Executor {
+ public:
+  Executor(const Catalog* catalog, const QuerySpec* query, const JoinGraph* graph,
+           const PropTable* props);
+
+  /// Runs `plan` to completion. Applies the query's aggregation block (if
+  /// any) on top of the join tree.
+  ExecutionResult Execute(const PlanTree& plan, bool collect_rows = true);
+
+ private:
+  std::unique_ptr<Operator> Build(const PlanTree& node,
+                                  std::vector<Operator*>* data_ops) const;
+  const Table& TableOf(int rel) const;
+
+  const Catalog* catalog_;
+  const QuerySpec* query_;
+  const JoinGraph* graph_;
+  const PropTable* props_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_EXEC_EXECUTOR_H_

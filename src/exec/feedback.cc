@@ -1,0 +1,42 @@
+#include "exec/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace iqro {
+
+void ApplyObservedCardinalities(std::span<const ObservedCardinality> observed,
+                                StatsRegistry* registry, double blend, double deadband) {
+  IQRO_CHECK(blend > 0 && blend <= 1.0);
+  IQRO_CHECK(deadband >= 0);
+  // Ascending by expression size (the executor emits them sorted): smaller
+  // corrections must land first because the canonical formula composes
+  // multipliers over subsets.
+  SummaryCalculator calc(registry);
+  for (const ObservedCardinality& oc : observed) {
+    const double target = std::max(0.5, static_cast<double>(oc.rows));
+    if (RelCount(oc.expr) == 1) {
+      const int rel = RelLowest(oc.expr);
+      const double base = std::max(1.0, registry->base_rows(rel));
+      double sel = std::clamp(target / base, 1e-9, 1.0);
+      const double current = registry->local_selectivity(rel);
+      sel = current * std::pow(sel / current, blend);
+      if (std::abs(sel - current) > deadband * current + 1e-12 * current) {
+        registry->SetLocalSelectivity(rel, sel);
+      }
+      continue;
+    }
+    // The canonical formula is linear in the scope's own multiplier, so
+    // scaling it by (target/current)^blend moves the estimate to
+    // target^blend * current^(1-blend).
+    const double current = std::max(1e-9, calc.Get(oc.expr).rows);
+    const double factor = std::pow(target / current, blend);
+    if (std::abs(factor - 1.0) > deadband + 1e-12) {
+      registry->ScaleCardMultiplier(oc.expr, factor);
+    }
+  }
+}
+
+}  // namespace iqro

@@ -1,0 +1,31 @@
+// Runtime-statistics feedback: turns observed per-expression cardinalities
+// from an execution into StatsRegistry updates (the cost/cardinality deltas
+// that drive incremental re-optimization, §4 / §5.2.2).
+#ifndef IQRO_EXEC_FEEDBACK_H_
+#define IQRO_EXEC_FEEDBACK_H_
+
+#include <span>
+
+#include "exec/executor.h"
+#include "stats/summary.h"
+
+namespace iqro {
+
+/// Folds observed cardinalities into `registry` so that the canonical
+/// summary formula reproduces them exactly:
+///   singleton expressions adjust the relation's local selectivity,
+///   larger expressions adjust the expression's cardinality multiplier
+///   (processed ascending so sub-expression corrections compose).
+/// `blend` in (0, 1] weighs the observation against the current estimate
+/// (1 = trust the observation fully); the paper's Fig. 6 runs feed
+/// cumulative observations, i.e. blend = 1 over accumulated counts.
+/// `deadband` suppresses corrections whose relative magnitude is below it:
+/// once estimates converge, no deltas reach the re-optimizer at all (the
+/// convergence behaviour behind the paper's Fig. 9).
+void ApplyObservedCardinalities(std::span<const ObservedCardinality> observed,
+                                StatsRegistry* registry, double blend = 1.0,
+                                double deadband = 0.0);
+
+}  // namespace iqro
+
+#endif  // IQRO_EXEC_FEEDBACK_H_

@@ -1,0 +1,565 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace iqro {
+
+namespace {
+/// Copies every relation's columns from `src_row` (laid out by `src`) into
+/// the matching offsets of `out` (laid out by `dst`).
+void ScatterColumns(const Layout& src, const Row& src_row, const Layout& dst, Row* out) {
+  RelForEach(src.expr(), [&](int r) {
+    int from = src.RelOffset(r);
+    int width = static_cast<int>(src_row.size()) - from;
+    RelForEach(src.expr(), [&](int r2) {
+      int o = src.RelOffset(r2);
+      if (o > from && o - from < width) width = o - from;
+    });
+    std::copy(src_row.begin() + from, src_row.begin() + from + width,
+              out->begin() + dst.RelOffset(r));
+  });
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Layout
+// ---------------------------------------------------------------------------
+
+Layout::Layout(RelSet expr, const QuerySpec& query, const Catalog& catalog) : expr_(expr) {
+  int offset = 0;
+  RelForEach(expr, [&](int r) {
+    rel_offset_[r] = offset;
+    offset += catalog.table(query.relations[static_cast<size_t>(r)].table).num_columns();
+  });
+  width_ = offset;
+}
+
+int Layout::RelOffset(int rel) const {
+  auto it = rel_offset_.find(rel);
+  IQRO_DCHECK(it != rel_offset_.end());
+  return it->second;
+}
+
+int Layout::OffsetOf(ColRef ref) const { return RelOffset(ref.rel) + ref.col; }
+
+// ---------------------------------------------------------------------------
+// Predicates
+// ---------------------------------------------------------------------------
+
+namespace {
+bool CompareValues(int64_t a, PredOp op, int64_t v, int64_t v2) {
+  switch (op) {
+    case PredOp::kEq:
+      return a == v;
+    case PredOp::kNe:
+      return a != v;
+    case PredOp::kLt:
+      return a < v;
+    case PredOp::kLe:
+      return a <= v;
+    case PredOp::kGt:
+      return a > v;
+    case PredOp::kGe:
+      return a >= v;
+    case PredOp::kBetween:
+      return a >= v && a <= v2;
+  }
+  return false;
+}
+}  // namespace
+
+bool EvalLocalPredicate(const LocalPredicate& pred, const Row& row, const Layout& layout) {
+  int64_t a = row[static_cast<size_t>(layout.OffsetOf({pred.rel, pred.col}))];
+  return CompareValues(a, pred.op, pred.value, pred.value2);
+}
+
+bool EvalJoinPredicate(const JoinPredicate& join, const Row& row, const Layout& layout) {
+  int64_t l = row[static_cast<size_t>(layout.OffsetOf({join.left_rel, join.left_col}))];
+  int64_t r = row[static_cast<size_t>(layout.OffsetOf({join.right_rel, join.right_col}))];
+  return CompareValues(l, join.op, r, r);
+}
+
+// ---------------------------------------------------------------------------
+// SeqScan
+// ---------------------------------------------------------------------------
+
+SeqScanOp::SeqScanOp(const Table* table, int rel, std::vector<LocalPredicate> locals,
+                     const QuerySpec& query, const Catalog& catalog)
+    : table_(table), rel_(rel), locals_(std::move(locals)) {
+  layout_ = Layout(RelSingleton(rel), query, catalog);
+}
+
+void SeqScanOp::Open() {
+  cursor_ = 0;
+  rows_out_ = 0;
+}
+
+bool SeqScanOp::Next(Row* out) {
+  while (cursor_ < table_->num_rows()) {
+    auto row = table_->Row(cursor_++);
+    out->assign(row.begin(), row.end());
+    bool pass = true;
+    for (const auto& p : locals_) {
+      if (!EvalLocalPredicate(p, *out, layout_)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      ++rows_out_;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+SortOp::SortOp(std::unique_ptr<Operator> input, ColRef key)
+    : input_(std::move(input)), key_(key) {
+  layout_ = input_->layout();
+}
+
+void SortOp::Open() {
+  input_->Open();
+  rows_.clear();
+  rows_out_ = 0;
+  Row row;
+  while (input_->Next(&row)) rows_.push_back(row);
+  const size_t k = static_cast<size_t>(layout_.OffsetOf(key_));
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [k](const Row& a, const Row& b) { return a[k] < b[k]; });
+  cursor_ = 0;
+}
+
+bool SortOp::Next(Row* out) {
+  if (cursor_ >= rows_.size()) return false;
+  *out = rows_[cursor_++];
+  ++rows_out_;
+  return true;
+}
+
+void SortOp::Close() {
+  rows_.clear();
+  input_->Close();
+}
+
+// ---------------------------------------------------------------------------
+// HashJoin
+// ---------------------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(std::unique_ptr<Operator> build, std::unique_ptr<Operator> probe,
+                       JoinPredicate key, std::vector<JoinPredicate> residual,
+                       const QuerySpec& query, const Catalog& catalog)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      key_(key),
+      residual_(std::move(residual)) {
+  layout_ = Layout(build_->layout().expr() | probe_->layout().expr(), query, catalog);
+  build_is_left_of_key_ = RelContains(build_->layout().expr(), key_.left_rel);
+}
+
+void HashJoinOp::Open() {
+  build_->Open();
+  probe_->Open();
+  table_.clear();
+  rows_out_ = 0;
+  probe_valid_ = false;
+  const Layout& bl = build_->layout();
+  const int key_off = build_is_left_of_key_ ? bl.OffsetOf({key_.left_rel, key_.left_col})
+                                            : bl.OffsetOf({key_.right_rel, key_.right_col});
+  Row row;
+  while (build_->Next(&row)) {
+    table_.emplace(row[static_cast<size_t>(key_off)], row);
+  }
+}
+
+void HashJoinOp::Combine(const Row& build_row, const Row& probe_row, Row* out) const {
+  out->assign(static_cast<size_t>(layout_.width()), 0);
+  ScatterColumns(build_->layout(), build_row, layout_, out);
+  ScatterColumns(probe_->layout(), probe_row, layout_, out);
+}
+
+bool HashJoinOp::Next(Row* out) {
+  const Layout& pl = probe_->layout();
+  const int key_off = build_is_left_of_key_ ? pl.OffsetOf({key_.right_rel, key_.right_col})
+                                            : pl.OffsetOf({key_.left_rel, key_.left_col});
+  for (;;) {
+    if (!probe_valid_) {
+      if (!probe_->Next(&probe_row_)) return false;
+      auto range = table_.equal_range(probe_row_[static_cast<size_t>(key_off)]);
+      match_it_ = range.first;
+      match_end_ = range.second;
+      probe_valid_ = true;
+    }
+    while (match_it_ != match_end_) {
+      Combine(match_it_->second, probe_row_, out);
+      ++match_it_;
+      bool pass = true;
+      for (const auto& jp : residual_) {
+        if (!EvalJoinPredicate(jp, *out, layout_)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        ++rows_out_;
+        return true;
+      }
+    }
+    probe_valid_ = false;
+  }
+}
+
+void HashJoinOp::Close() {
+  table_.clear();
+  build_->Close();
+  probe_->Close();
+}
+
+// ---------------------------------------------------------------------------
+// SortMergeJoin
+// ---------------------------------------------------------------------------
+
+SortMergeJoinOp::SortMergeJoinOp(std::unique_ptr<Operator> left,
+                                 std::unique_ptr<Operator> right, JoinPredicate key,
+                                 std::vector<JoinPredicate> residual, const QuerySpec& query,
+                                 const Catalog& catalog)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      key_(key),
+      residual_(std::move(residual)) {
+  layout_ = Layout(left_->layout().expr() | right_->layout().expr(), query, catalog);
+}
+
+void SortMergeJoinOp::Open() {
+  left_->Open();
+  right_->Open();
+  rows_out_ = 0;
+  lrows_.clear();
+  rrows_.clear();
+  Row row;
+  while (left_->Next(&row)) lrows_.push_back(row);
+  while (right_->Next(&row)) rrows_.push_back(row);
+  // Inputs are required sorted; tolerate unsorted inputs by sorting here
+  // (keeps the executor robust if a plan was built without enforcers).
+  const bool left_holds_l = RelContains(left_->layout().expr(), key_.left_rel);
+  const size_t lk = static_cast<size_t>(
+      left_holds_l ? left_->layout().OffsetOf({key_.left_rel, key_.left_col})
+                   : left_->layout().OffsetOf({key_.right_rel, key_.right_col}));
+  const size_t rk = static_cast<size_t>(
+      left_holds_l ? right_->layout().OffsetOf({key_.right_rel, key_.right_col})
+                   : right_->layout().OffsetOf({key_.left_rel, key_.left_col}));
+  if (!std::is_sorted(lrows_.begin(), lrows_.end(),
+                      [lk](const Row& a, const Row& b) { return a[lk] < b[lk]; })) {
+    std::stable_sort(lrows_.begin(), lrows_.end(),
+                     [lk](const Row& a, const Row& b) { return a[lk] < b[lk]; });
+  }
+  if (!std::is_sorted(rrows_.begin(), rrows_.end(),
+                      [rk](const Row& a, const Row& b) { return a[rk] < b[rk]; })) {
+    std::stable_sort(rrows_.begin(), rrows_.end(),
+                     [rk](const Row& a, const Row& b) { return a[rk] < b[rk]; });
+  }
+  li_ = ri_ = 0;
+  in_group_ = false;
+  lkey_col_ = lk;
+  rkey_col_ = rk;
+}
+
+bool SortMergeJoinOp::Next(Row* out) {
+  for (;;) {
+    if (!in_group_) {
+      // Advance to the next equal-key group.
+      while (li_ < lrows_.size() && ri_ < rrows_.size()) {
+        int64_t lv = lrows_[li_][lkey_col_];
+        int64_t rv = rrows_[ri_][rkey_col_];
+        if (lv < rv) {
+          ++li_;
+        } else if (lv > rv) {
+          ++ri_;
+        } else {
+          break;
+        }
+      }
+      if (li_ >= lrows_.size() || ri_ >= rrows_.size()) return false;
+      int64_t v = lrows_[li_][lkey_col_];
+      group_l_end_ = li_;
+      while (group_l_end_ < lrows_.size() && lrows_[group_l_end_][lkey_col_] == v) {
+        ++group_l_end_;
+      }
+      group_r_end_ = ri_;
+      while (group_r_end_ < rrows_.size() && rrows_[group_r_end_][rkey_col_] == v) {
+        ++group_r_end_;
+      }
+      gl_ = li_;
+      gr_ = ri_;
+      in_group_ = true;
+    }
+    while (gl_ < group_l_end_) {
+      while (gr_ < group_r_end_) {
+        const Row& lr = lrows_[gl_];
+        const Row& rr = rrows_[gr_];
+        ++gr_;
+        out->assign(static_cast<size_t>(layout_.width()), 0);
+        ScatterColumns(left_->layout(), lr, layout_, out);
+        ScatterColumns(right_->layout(), rr, layout_, out);
+        bool pass = true;
+        for (const auto& jp : residual_) {
+          if (!EvalJoinPredicate(jp, *out, layout_)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          ++rows_out_;
+          return true;
+        }
+      }
+      gr_ = ri_;
+      ++gl_;
+    }
+    li_ = group_l_end_;
+    ri_ = group_r_end_;
+    in_group_ = false;
+  }
+}
+
+void SortMergeJoinOp::Close() {
+  lrows_.clear();
+  rrows_.clear();
+  left_->Close();
+  right_->Close();
+}
+
+// ---------------------------------------------------------------------------
+// IndexNLJoin
+// ---------------------------------------------------------------------------
+
+IndexNLJoinOp::IndexNLJoinOp(const Table* inner_table, int inner_rel,
+                             std::vector<LocalPredicate> inner_locals,
+                             std::unique_ptr<Operator> outer, JoinPredicate key,
+                             std::vector<JoinPredicate> residual, const QuerySpec& query,
+                             const Catalog& catalog)
+    : inner_table_(inner_table),
+      inner_rel_(inner_rel),
+      inner_locals_(std::move(inner_locals)),
+      outer_(std::move(outer)),
+      key_(key),
+      residual_(std::move(residual)) {
+  layout_ = Layout(RelSingleton(inner_rel) | outer_->layout().expr(), query, catalog);
+  inner_layout_ = Layout(RelSingleton(inner_rel), query, catalog);
+  const bool inner_is_left = key_.left_rel == inner_rel;
+  inner_key_col_ = inner_is_left ? key_.left_col : key_.right_col;
+  outer_key_offset_ = inner_is_left
+                          ? outer_->layout().OffsetOf({key_.right_rel, key_.right_col})
+                          : outer_->layout().OffsetOf({key_.left_rel, key_.left_col});
+  IQRO_CHECK(inner_table_->HasIndex(inner_key_col_));
+}
+
+void IndexNLJoinOp::Open() {
+  outer_->Open();
+  rows_out_ = 0;
+  outer_valid_ = false;
+}
+
+bool IndexNLJoinOp::Next(Row* out) {
+  const HashIndex* index = inner_table_->GetIndex(inner_key_col_);
+  for (;;) {
+    if (!outer_valid_) {
+      if (!outer_->Next(&outer_row_)) return false;
+      matches_ = index->Probe(outer_row_[static_cast<size_t>(outer_key_offset_)]);
+      match_idx_ = 0;
+      outer_valid_ = true;
+    }
+    while (match_idx_ < matches_.size()) {
+      uint32_t row_id = matches_[match_idx_++];
+      auto inner_row = inner_table_->Row(row_id);
+      // Inner local predicates apply after the index lookup.
+      Row inner_vec(inner_row.begin(), inner_row.end());
+      bool pass = true;
+      for (const auto& p : inner_locals_) {
+        if (!EvalLocalPredicate(p, inner_vec, inner_layout_)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      out->assign(static_cast<size_t>(layout_.width()), 0);
+      std::copy(inner_vec.begin(), inner_vec.end(),
+                out->begin() + layout_.RelOffset(inner_rel_));
+      ScatterColumns(outer_->layout(), outer_row_, layout_, out);
+      for (const auto& jp : residual_) {
+        if (!EvalJoinPredicate(jp, *out, layout_)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        ++rows_out_;
+        return true;
+      }
+    }
+    outer_valid_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NestedLoopJoin
+// ---------------------------------------------------------------------------
+
+NestedLoopJoinOp::NestedLoopJoinOp(std::unique_ptr<Operator> left,
+                                   std::unique_ptr<Operator> right,
+                                   std::vector<JoinPredicate> predicates,
+                                   const QuerySpec& query, const Catalog& catalog)
+    : left_(std::move(left)), right_(std::move(right)), predicates_(std::move(predicates)) {
+  layout_ = Layout(left_->layout().expr() | right_->layout().expr(), query, catalog);
+}
+
+void NestedLoopJoinOp::Open() {
+  left_->Open();
+  right_->Open();
+  rows_out_ = 0;
+  rrows_.clear();
+  Row row;
+  while (right_->Next(&row)) rrows_.push_back(row);
+  lvalid_ = false;
+  ri_ = 0;
+}
+
+bool NestedLoopJoinOp::Next(Row* out) {
+  for (;;) {
+    if (!lvalid_) {
+      if (!left_->Next(&lrow_)) return false;
+      lvalid_ = true;
+      ri_ = 0;
+    }
+    while (ri_ < rrows_.size()) {
+      const Row& rr = rrows_[ri_++];
+      out->assign(static_cast<size_t>(layout_.width()), 0);
+      ScatterColumns(left_->layout(), lrow_, layout_, out);
+      ScatterColumns(right_->layout(), rr, layout_, out);
+      bool pass = true;
+      for (const auto& jp : predicates_) {
+        if (!EvalJoinPredicate(jp, *out, layout_)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        ++rows_out_;
+        return true;
+      }
+    }
+    lvalid_ = false;
+  }
+}
+
+void NestedLoopJoinOp::Close() {
+  rrows_.clear();
+  left_->Close();
+  right_->Close();
+}
+
+// ---------------------------------------------------------------------------
+// HashAggregate
+// ---------------------------------------------------------------------------
+
+HashAggregateOp::HashAggregateOp(std::unique_ptr<Operator> input, const QuerySpec& query)
+    : input_(std::move(input)), query_(&query) {
+  layout_ = input_->layout();  // output columns: group keys then aggregates
+}
+
+void HashAggregateOp::Open() {
+  input_->Open();
+  rows_out_ = 0;
+  results_.clear();
+  cursor_ = 0;
+
+  struct GroupState {
+    std::vector<int64_t> keys;
+    std::vector<int64_t> values;               // per aggregate
+    std::vector<std::set<int64_t>> distincts;  // for kCountDistinct
+    bool initialized = false;
+  };
+  std::map<std::vector<int64_t>, GroupState> groups;
+
+  const Layout& in = input_->layout();
+  Row row;
+  while (input_->Next(&row)) {
+    std::vector<int64_t> key;
+    key.reserve(query_->group_by.size());
+    for (const ColRef& g : query_->group_by) {
+      key.push_back(row[static_cast<size_t>(in.OffsetOf(g))]);
+    }
+    GroupState& gs = groups[key];
+    if (!gs.initialized) {
+      gs.keys = key;
+      gs.values.assign(query_->aggregates.size(), 0);
+      gs.distincts.resize(query_->aggregates.size());
+      for (size_t i = 0; i < query_->aggregates.size(); ++i) {
+        if (query_->aggregates[i].fn == AggFn::kMin) {
+          gs.values[i] = std::numeric_limits<int64_t>::max();
+        }
+        if (query_->aggregates[i].fn == AggFn::kMax) {
+          gs.values[i] = std::numeric_limits<int64_t>::min();
+        }
+      }
+      gs.initialized = true;
+    }
+    for (size_t i = 0; i < query_->aggregates.size(); ++i) {
+      const AggItem& agg = query_->aggregates[i];
+      int64_t v = agg.fn == AggFn::kCount
+                      ? 0
+                      : row[static_cast<size_t>(in.OffsetOf(agg.arg))];
+      switch (agg.fn) {
+        case AggFn::kCount:
+          ++gs.values[i];
+          break;
+        case AggFn::kSum:
+          gs.values[i] += v;
+          break;
+        case AggFn::kMin:
+          gs.values[i] = std::min(gs.values[i], v);
+          break;
+        case AggFn::kMax:
+          gs.values[i] = std::max(gs.values[i], v);
+          break;
+        case AggFn::kCountDistinct:
+          gs.distincts[i].insert(v);
+          break;
+      }
+    }
+  }
+  for (auto& [key, gs] : groups) {
+    Row out = gs.keys;
+    for (size_t i = 0; i < query_->aggregates.size(); ++i) {
+      if (query_->aggregates[i].fn == AggFn::kCountDistinct) {
+        out.push_back(static_cast<int64_t>(gs.distincts[i].size()));
+      } else {
+        out.push_back(gs.values[i]);
+      }
+    }
+    results_.push_back(std::move(out));
+  }
+}
+
+bool HashAggregateOp::Next(Row* out) {
+  if (cursor_ >= results_.size()) return false;
+  *out = results_[cursor_++];
+  ++rows_out_;
+  return true;
+}
+
+void HashAggregateOp::Close() {
+  results_.clear();
+  input_->Close();
+}
+
+}  // namespace iqro

@@ -1,0 +1,214 @@
+// Pull-based (iterator-model) physical operators: the "basic pipelined
+// query engine for stream and stored data" the paper evaluates with (§1).
+//
+// Row layout convention: the output of a node over expression E is the
+// concatenation of all columns of E's relations, ordered by relation slot
+// index ascending. Layout computes per-column offsets from that rule.
+#ifndef IQRO_EXEC_OPERATORS_H_
+#define IQRO_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/relset.h"
+#include "query/query_spec.h"
+
+namespace iqro {
+
+using Row = std::vector<int64_t>;
+
+/// Column offsets for the row layout of an expression.
+class Layout {
+ public:
+  Layout() = default;
+  Layout(RelSet expr, const QuerySpec& query, const Catalog& catalog);
+
+  RelSet expr() const { return expr_; }
+  int width() const { return width_; }
+
+  /// Offset of `(rel, col)`; rel must be in expr().
+  int OffsetOf(ColRef ref) const;
+
+  /// Offset of the first column of `rel`.
+  int RelOffset(int rel) const;
+
+ private:
+  RelSet expr_ = 0;
+  int width_ = 0;
+  std::unordered_map<int, int> rel_offset_;
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual void Open() = 0;
+  /// Produces the next row into `out`; returns false at end of stream.
+  virtual bool Next(Row* out) = 0;
+  virtual void Close() {}
+
+  const Layout& layout() const { return layout_; }
+
+  /// Rows produced so far (runtime cardinality feedback, §5.2.2).
+  int64_t rows_out() const { return rows_out_; }
+
+ protected:
+  Layout layout_;
+  int64_t rows_out_ = 0;
+};
+
+/// Evaluates one local predicate against a row in `layout`.
+bool EvalLocalPredicate(const LocalPredicate& pred, const Row& row, const Layout& layout);
+
+/// Evaluates one join predicate across a combined row in `layout`.
+bool EvalJoinPredicate(const JoinPredicate& join, const Row& row, const Layout& layout);
+
+/// Sequential scan with local predicates.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const Table* table, int rel, std::vector<LocalPredicate> locals,
+            const QuerySpec& query, const Catalog& catalog);
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  const Table* table_;
+  int rel_;
+  std::vector<LocalPredicate> locals_;
+  uint32_t cursor_ = 0;
+};
+
+/// Materializing sort on one column.
+class SortOp : public Operator {
+ public:
+  SortOp(std::unique_ptr<Operator> input, ColRef key);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> input_;
+  ColRef key_;
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+/// Build-left hash join on one equality edge, with residual predicates.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(std::unique_ptr<Operator> build, std::unique_ptr<Operator> probe,
+             JoinPredicate key, std::vector<JoinPredicate> residual, const QuerySpec& query,
+             const Catalog& catalog);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  void Combine(const Row& build_row, const Row& probe_row, Row* out) const;
+
+  std::unique_ptr<Operator> build_;
+  std::unique_ptr<Operator> probe_;
+  JoinPredicate key_;
+  std::vector<JoinPredicate> residual_;
+  bool build_is_left_of_key_;
+  std::unordered_multimap<int64_t, Row> table_;
+  Row probe_row_;
+  bool probe_valid_ = false;
+  std::unordered_multimap<int64_t, Row>::iterator match_it_;
+  std::unordered_multimap<int64_t, Row>::iterator match_end_;
+};
+
+/// Merge join over inputs sorted on the key edge's two sides.
+class SortMergeJoinOp : public Operator {
+ public:
+  SortMergeJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+                  JoinPredicate key, std::vector<JoinPredicate> residual,
+                  const QuerySpec& query, const Catalog& catalog);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  JoinPredicate key_;
+  std::vector<JoinPredicate> residual_;
+  std::vector<Row> lrows_;
+  std::vector<Row> rrows_;
+  size_t lkey_col_ = 0;
+  size_t rkey_col_ = 0;
+  size_t li_ = 0;
+  size_t ri_ = 0;
+  size_t group_l_end_ = 0;
+  size_t group_r_end_ = 0;
+  size_t gl_ = 0;
+  size_t gr_ = 0;
+  bool in_group_ = false;
+};
+
+/// Index nested-loop join: for each outer row, probe the inner relation's
+/// hash index on the key edge.
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(const Table* inner_table, int inner_rel,
+                std::vector<LocalPredicate> inner_locals, std::unique_ptr<Operator> outer,
+                JoinPredicate key, std::vector<JoinPredicate> residual,
+                const QuerySpec& query, const Catalog& catalog);
+  void Open() override;
+  bool Next(Row* out) override;
+
+ private:
+  const Table* inner_table_;
+  int inner_rel_;
+  std::vector<LocalPredicate> inner_locals_;
+  std::unique_ptr<Operator> outer_;
+  JoinPredicate key_;
+  std::vector<JoinPredicate> residual_;
+  int inner_key_col_ = 0;
+  int outer_key_offset_ = 0;
+  Layout inner_layout_;
+  Row outer_row_;
+  bool outer_valid_ = false;
+  std::span<const uint32_t> matches_;
+  size_t match_idx_ = 0;
+};
+
+/// Block nested-loop join for partitions without equality edges.
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+                   std::vector<JoinPredicate> predicates, const QuerySpec& query,
+                   const Catalog& catalog);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  std::vector<JoinPredicate> predicates_;
+  std::vector<Row> rrows_;
+  Row lrow_;
+  bool lvalid_ = false;
+  size_t ri_ = 0;
+};
+
+/// Hash aggregation (group-by + aggregates), applied above the join tree.
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(std::unique_ptr<Operator> input, const QuerySpec& query);
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> input_;
+  const QuerySpec* query_;
+  std::vector<Row> results_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_EXEC_OPERATORS_H_

@@ -1,0 +1,91 @@
+#include "query/bind_stats.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace iqro {
+
+double EstimateLocalSelectivity(const LocalPredicate& pred, const TableStats& stats) {
+  if (pred.col >= static_cast<int>(stats.columns.size())) return 1.0;
+  const Histogram& h = stats.column(pred.col).histogram;
+  if (h.empty()) {
+    // No data: fall back to textbook constants.
+    switch (pred.op) {
+      case PredOp::kEq:
+        return 0.1;
+      case PredOp::kNe:
+        return 0.9;
+      case PredOp::kBetween:
+        return 0.25;
+      default:
+        return 1.0 / 3.0;
+    }
+  }
+  switch (pred.op) {
+    case PredOp::kEq:
+      return h.SelectivityEq(pred.value);
+    case PredOp::kNe:
+      return std::max(0.0, 1.0 - h.SelectivityEq(pred.value));
+    case PredOp::kLt:
+      return h.SelectivityLt(pred.value);
+    case PredOp::kLe:
+      return h.SelectivityLt(pred.value) + h.SelectivityEq(pred.value);
+    case PredOp::kGt:
+      return h.SelectivityGt(pred.value);
+    case PredOp::kGe:
+      return h.SelectivityGt(pred.value) + h.SelectivityEq(pred.value);
+    case PredOp::kBetween:
+      return h.SelectivityBetween(pred.value, pred.value2);
+  }
+  return 1.0;
+}
+
+double EstimateJoinSelectivity(const JoinPredicate& join, const TableStats& left,
+                               const TableStats& right) {
+  if (join.op != PredOp::kEq) return 1.0 / 3.0;
+  double lndv = 1.0;
+  double rndv = 1.0;
+  if (join.left_col < static_cast<int>(left.columns.size())) {
+    lndv = std::max(1.0, left.column(join.left_col).ndv);
+  }
+  if (join.right_col < static_cast<int>(right.columns.size())) {
+    rndv = std::max(1.0, right.column(join.right_col).ndv);
+  }
+  return 1.0 / std::max(lndv, rndv);
+}
+
+void BindStats(const QuerySpec& query, const std::vector<TableStats>& per_table_stats,
+               StatsRegistry* registry) {
+  registry->Reset(query.num_relations());
+  auto stats_of = [&](int slot) -> const TableStats& {
+    TableId t = query.relations[static_cast<size_t>(slot)].table;
+    IQRO_CHECK(t >= 0 && t < static_cast<TableId>(per_table_stats.size()));
+    return per_table_stats[static_cast<size_t>(t)];
+  };
+  for (int r = 0; r < query.num_relations(); ++r) {
+    const TableStats& ts = stats_of(r);
+    double rows = std::max(1.0, ts.rows);
+    const WindowSpec& w = query.relations[static_cast<size_t>(r)].window;
+    if (w.kind == WindowSpec::Kind::kTuples) {
+      double per_partition = static_cast<double>(w.size);
+      if (w.partition_col >= 0 &&
+          w.partition_col < static_cast<int>(ts.columns.size())) {
+        rows = std::min(rows, per_partition * std::max(1.0, ts.column(w.partition_col).ndv));
+      } else {
+        rows = std::min(rows, per_partition);
+      }
+    }
+    registry->SetBaseRows(r, rows);
+    double sel = 1.0;
+    for (const auto& p : query.LocalsOf(r)) sel *= EstimateLocalSelectivity(p, ts);
+    registry->SetLocalSelectivity(r, std::max(sel, 1e-9));
+    registry->SetRowWidth(r, std::max(1.0, ts.row_width));
+  }
+  for (const auto& j : query.joins) {
+    double sel = EstimateJoinSelectivity(j, stats_of(j.left_rel), stats_of(j.right_rel));
+    registry->AddEdge(j.Endpoints(), std::max(sel, 1e-12));
+  }
+}
+
+}  // namespace iqro

@@ -1,0 +1,33 @@
+// Binds a QuerySpec to table statistics, producing the StatsRegistry the
+// optimizers consume: effective base cardinalities (local-predicate
+// selectivities estimated from histograms), join-edge selectivities
+// (System-R distinct-value rule), row widths and scan-cost baselines.
+#ifndef IQRO_QUERY_BIND_STATS_H_
+#define IQRO_QUERY_BIND_STATS_H_
+
+#include <vector>
+
+#include "query/join_graph.h"
+#include "query/query_spec.h"
+#include "stats/stats_registry.h"
+#include "stats/table_stats.h"
+
+namespace iqro {
+
+/// Estimated selectivity of one local predicate against `stats`.
+double EstimateLocalSelectivity(const LocalPredicate& pred, const TableStats& stats);
+
+/// Estimated selectivity of one join edge against both sides' stats:
+/// 1 / max(ndv(left), ndv(right)) for equality, 1/3 for inequalities.
+double EstimateJoinSelectivity(const JoinPredicate& join, const TableStats& left,
+                               const TableStats& right);
+
+/// Populates `registry` for `query` given `per_table_stats[t]` = stats for
+/// catalog table id `t`. Edge ids match `query.joins` order (and therefore
+/// JoinGraph edge ids). Does not freeze the registry.
+void BindStats(const QuerySpec& query, const std::vector<TableStats>& per_table_stats,
+               StatsRegistry* registry);
+
+}  // namespace iqro
+
+#endif  // IQRO_QUERY_BIND_STATS_H_

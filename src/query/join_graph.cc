@@ -1,0 +1,69 @@
+#include "query/join_graph.h"
+
+#include "common/check.h"
+
+namespace iqro {
+
+JoinGraph::JoinGraph(const QuerySpec& query)
+    : num_relations_(query.num_relations()), edges_(query.joins) {
+  adjacency_.assign(static_cast<size_t>(num_relations_), 0);
+  for (const auto& e : edges_) {
+    adjacency_[static_cast<size_t>(e.left_rel)] |= RelSingleton(e.right_rel);
+    adjacency_[static_cast<size_t>(e.right_rel)] |= RelSingleton(e.left_rel);
+  }
+}
+
+RelSet JoinGraph::Neighbors(RelSet s) const {
+  RelSet out = 0;
+  RelForEach(s, [&](int r) { out |= adjacency_[static_cast<size_t>(r)]; });
+  return out;
+}
+
+bool JoinGraph::IsConnected(RelSet s) const {
+  if (s == 0) return false;
+  RelSet frontier = RelSet{1} << RelLowest(s);
+  RelSet reached = frontier;
+  while (true) {
+    RelSet next = (Neighbors(frontier) & s) & ~reached;
+    if (next == 0) break;
+    reached |= next;
+    frontier = next;
+  }
+  return reached == s;
+}
+
+bool JoinGraph::HasCrossEdge(RelSet a, RelSet b) const {
+  IQRO_DCHECK(RelDisjoint(a, b));
+  return (Neighbors(a) & b) != 0;
+}
+
+std::vector<int> JoinGraph::CrossEdges(RelSet a, RelSet b) const {
+  std::vector<int> out;
+  for (int e = 0; e < num_edges(); ++e) {
+    RelSet l = RelSingleton(edges_[static_cast<size_t>(e)].left_rel);
+    RelSet r = RelSingleton(edges_[static_cast<size_t>(e)].right_rel);
+    if ((RelIsSubset(l, a) && RelIsSubset(r, b)) || (RelIsSubset(l, b) && RelIsSubset(r, a))) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<int> JoinGraph::EdgesWithin(RelSet s) const {
+  std::vector<int> out;
+  for (int e = 0; e < num_edges(); ++e) {
+    if (RelIsSubset(edges_[static_cast<size_t>(e)].Endpoints(), s)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::vector<RelSet>> JoinGraph::ConnectedSubsetsBySize() const {
+  std::vector<std::vector<RelSet>> by_size(static_cast<size_t>(num_relations_) + 1);
+  RelSet all = num_relations_ >= 32 ? ~RelSet{0} : (RelSet{1} << num_relations_) - 1;
+  for (RelSet s = 1; s <= all; ++s) {
+    if (IsConnected(s)) by_size[static_cast<size_t>(RelCount(s))].push_back(s);
+  }
+  return by_size;
+}
+
+}  // namespace iqro

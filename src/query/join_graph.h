@@ -1,0 +1,50 @@
+// JoinGraph: connectivity and edge lookups over a QuerySpec's join
+// predicates. The enumerator uses it to generate only cross-product-free
+// plans; edge ids align one-to-one with StatsRegistry edge ids.
+#ifndef IQRO_QUERY_JOIN_GRAPH_H_
+#define IQRO_QUERY_JOIN_GRAPH_H_
+
+#include <vector>
+
+#include "common/relset.h"
+#include "query/query_spec.h"
+
+namespace iqro {
+
+class JoinGraph {
+ public:
+  explicit JoinGraph(const QuerySpec& query);
+
+  int num_relations() const { return num_relations_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const JoinPredicate& edge(int e) const { return edges_[static_cast<size_t>(e)]; }
+
+  /// Union of neighbors of every relation in `s` (may intersect `s`).
+  RelSet Neighbors(RelSet s) const;
+
+  /// True iff the relations of `s` form a connected subgraph (singletons
+  /// are connected).
+  bool IsConnected(RelSet s) const;
+
+  /// True iff at least one edge crosses between disjoint sets `a` and `b`.
+  bool HasCrossEdge(RelSet a, RelSet b) const;
+
+  /// Ids of edges with one endpoint in `a` and the other in `b`.
+  std::vector<int> CrossEdges(RelSet a, RelSet b) const;
+
+  /// Ids of edges with both endpoints inside `s`.
+  std::vector<int> EdgesWithin(RelSet s) const;
+
+  /// All connected relation subsets, grouped by size (index = popcount).
+  /// Used for System-R style bottom-up enumeration and full-space counting.
+  std::vector<std::vector<RelSet>> ConnectedSubsetsBySize() const;
+
+ private:
+  int num_relations_;
+  std::vector<JoinPredicate> edges_;
+  std::vector<RelSet> adjacency_;  // adjacency_[r] = neighbors of relation r
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_QUERY_JOIN_GRAPH_H_

@@ -1,0 +1,90 @@
+#include "query/query_builder.h"
+
+#include "common/check.h"
+
+namespace iqro {
+
+QueryBuilder::QueryBuilder(std::string name, Catalog* catalog) : catalog_(catalog) {
+  spec_.name = std::move(name);
+}
+
+int QueryBuilder::AddRelation(const std::string& table_name, const std::string& alias) {
+  return AddWindowedRelation(table_name, alias, WindowSpec{});
+}
+
+int QueryBuilder::AddWindowedRelation(const std::string& table_name, const std::string& alias,
+                                      WindowSpec window) {
+  TableId id = catalog_->FindTable(table_name);
+  IQRO_CHECK(id >= 0);
+  IQRO_CHECK(SlotOf(alias) < 0);
+  IQRO_CHECK(spec_.num_relations() < kMaxRelations);
+  spec_.relations.push_back({id, alias, window});
+  return spec_.num_relations() - 1;
+}
+
+int QueryBuilder::SlotOf(const std::string& alias) const {
+  for (int i = 0; i < spec_.num_relations(); ++i) {
+    if (spec_.relations[static_cast<size_t>(i)].alias == alias) return i;
+  }
+  return -1;
+}
+
+int QueryBuilder::ColOf(int slot, const std::string& col) const {
+  IQRO_CHECK(slot >= 0);
+  const Table& t = catalog_->table(spec_.relations[static_cast<size_t>(slot)].table);
+  int c = t.schema().ColumnIndex(col);
+  IQRO_CHECK(c >= 0);
+  return c;
+}
+
+QueryBuilder& QueryBuilder::Join(const std::string& la, const std::string& lcol,
+                                 const std::string& ra, const std::string& rcol, PredOp op) {
+  int ls = SlotOf(la);
+  int rs = SlotOf(ra);
+  IQRO_CHECK(ls >= 0 && rs >= 0 && ls != rs);
+  spec_.joins.push_back({ls, ColOf(ls, lcol), rs, ColOf(rs, rcol), op});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Filter(const std::string& alias, const std::string& col, PredOp op,
+                                   int64_t value, int64_t value2) {
+  int s = SlotOf(alias);
+  spec_.locals.push_back({s, ColOf(s, col), op, value, value2});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterStr(const std::string& alias, const std::string& col,
+                                      PredOp op, const std::string& value) {
+  return Filter(alias, col, op, catalog_->dict().Intern(value));
+}
+
+QueryBuilder& QueryBuilder::Project(const std::string& alias, const std::string& col) {
+  int s = SlotOf(alias);
+  spec_.projections.push_back({s, ColOf(s, col)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(const std::string& alias, const std::string& col) {
+  int s = SlotOf(alias);
+  spec_.group_by.push_back({s, ColOf(s, col)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Aggregate(AggFn fn, const std::string& alias,
+                                      const std::string& col) {
+  AggItem item;
+  item.fn = fn;
+  if (!alias.empty()) {
+    int s = SlotOf(alias);
+    item.arg = {s, ColOf(s, col)};
+  }
+  spec_.aggregates.push_back(item);
+  return *this;
+}
+
+QuerySpec QueryBuilder::Build() {
+  IQRO_CHECK(spec_.num_relations() >= 1);
+  return spec_;
+}
+
+}  // namespace iqro

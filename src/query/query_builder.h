@@ -1,0 +1,53 @@
+// Fluent construction of QuerySpecs with catalog-validated column names.
+#ifndef IQRO_QUERY_QUERY_BUILDER_H_
+#define IQRO_QUERY_QUERY_BUILDER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "query/query_spec.h"
+
+namespace iqro {
+
+class QueryBuilder {
+ public:
+  QueryBuilder(std::string name, Catalog* catalog);
+
+  /// Adds a relation slot over `table_name` with alias `alias` (the alias
+  /// names the slot in later calls). Returns the slot index.
+  int AddRelation(const std::string& table_name, const std::string& alias);
+
+  /// Same, with a sliding window (for stream relations).
+  int AddWindowedRelation(const std::string& table_name, const std::string& alias,
+                          WindowSpec window);
+
+  /// Adds an equi-join `la.lcol op ra.rcol`.
+  QueryBuilder& Join(const std::string& la, const std::string& lcol, const std::string& ra,
+                     const std::string& rcol, PredOp op = PredOp::kEq);
+
+  /// Adds a local predicate `alias.col op value`.
+  QueryBuilder& Filter(const std::string& alias, const std::string& col, PredOp op,
+                       int64_t value, int64_t value2 = 0);
+
+  /// String-valued variant; interns the literal in the catalog dictionary.
+  QueryBuilder& FilterStr(const std::string& alias, const std::string& col, PredOp op,
+                          const std::string& value);
+
+  QueryBuilder& Project(const std::string& alias, const std::string& col);
+  QueryBuilder& GroupBy(const std::string& alias, const std::string& col);
+  QueryBuilder& Aggregate(AggFn fn, const std::string& alias = "",
+                          const std::string& col = "");
+
+  QuerySpec Build();
+
+ private:
+  int SlotOf(const std::string& alias) const;
+  int ColOf(int slot, const std::string& col) const;
+
+  Catalog* catalog_;
+  QuerySpec spec_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_QUERY_QUERY_BUILDER_H_

@@ -1,0 +1,33 @@
+#include "query/query_spec.h"
+
+namespace iqro {
+
+const char* PredOpName(PredOp op) {
+  switch (op) {
+    case PredOp::kEq:
+      return "=";
+    case PredOp::kNe:
+      return "<>";
+    case PredOp::kLt:
+      return "<";
+    case PredOp::kLe:
+      return "<=";
+    case PredOp::kGt:
+      return ">";
+    case PredOp::kGe:
+      return ">=";
+    case PredOp::kBetween:
+      return "between";
+  }
+  return "?";
+}
+
+std::vector<LocalPredicate> QuerySpec::LocalsOf(int rel) const {
+  std::vector<LocalPredicate> out;
+  for (const auto& p : locals) {
+    if (p.rel == rel) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace iqro

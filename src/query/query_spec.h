@@ -1,0 +1,91 @@
+// QuerySpec: a single-block select-project-join-aggregate query over stored
+// tables or stream windows — the optimizer's input language (the workload
+// class evaluated in the paper: TPC-H single-block queries and Linear Road
+// window joins).
+#ifndef IQRO_QUERY_QUERY_SPEC_H_
+#define IQRO_QUERY_QUERY_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/relset.h"
+
+namespace iqro {
+
+enum class PredOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe, kBetween };
+
+const char* PredOpName(PredOp op);
+
+/// Single-relation predicate, applied at scan level.
+struct LocalPredicate {
+  int rel = 0;  // index into QuerySpec::relations
+  int col = 0;
+  PredOp op = PredOp::kEq;
+  int64_t value = 0;
+  int64_t value2 = 0;  // upper bound for kBetween
+};
+
+/// Binary join predicate; an edge of the join graph.
+struct JoinPredicate {
+  int left_rel = 0;
+  int left_col = 0;
+  int right_rel = 0;
+  int right_col = 0;
+  PredOp op = PredOp::kEq;
+
+  RelSet Endpoints() const { return RelSingleton(left_rel) | RelSingleton(right_rel); }
+};
+
+/// Column reference within a query: (relation slot, column).
+struct ColRef {
+  int rel = 0;
+  int col = 0;
+  bool operator==(const ColRef&) const = default;
+};
+
+enum class AggFn : uint8_t { kCount, kSum, kMin, kMax, kCountDistinct };
+
+struct AggItem {
+  AggFn fn = AggFn::kCount;
+  ColRef arg;  // ignored for kCount
+};
+
+/// Sliding-window declaration for stream relations ("[size N time]" /
+/// "[size N tuple partition by c]" in the paper's SegTollS query).
+struct WindowSpec {
+  enum class Kind : uint8_t { kNone, kTime, kTuples };
+  Kind kind = Kind::kNone;
+  int64_t size = 0;
+  int partition_col = -1;  // -1: unpartitioned
+};
+
+struct QueryRelation {
+  TableId table = -1;
+  std::string alias;
+  WindowSpec window;
+};
+
+struct QuerySpec {
+  std::string name;
+  std::vector<QueryRelation> relations;
+  std::vector<JoinPredicate> joins;
+  std::vector<LocalPredicate> locals;
+  std::vector<ColRef> projections;   // empty: project everything
+  std::vector<ColRef> group_by;      // with aggregates: grouping columns
+  std::vector<AggItem> aggregates;   // empty: no aggregation block
+
+  int num_relations() const { return static_cast<int>(relations.size()); }
+  RelSet AllRelations() const {
+    return num_relations() >= 32 ? ~RelSet{0} : (RelSet{1} << num_relations()) - 1;
+  }
+  bool has_aggregation() const { return !aggregates.empty() || !group_by.empty(); }
+
+  /// Local predicates on relation slot `rel`.
+  std::vector<LocalPredicate> LocalsOf(int rel) const;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_QUERY_QUERY_SPEC_H_

@@ -1,0 +1,98 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace iqro {
+
+Histogram Histogram::Build(std::span<const int64_t> values, int num_buckets) {
+  Histogram h;
+  if (values.empty()) return h;
+  IQRO_CHECK(num_buckets >= 1);
+  std::vector<int64_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  h.total_ = sorted.size();
+  h.min_ = sorted.front();
+  h.max_ = sorted.back();
+
+  const size_t n = sorted.size();
+  const size_t depth = std::max<size_t>(1, (n + num_buckets - 1) / num_buckets);
+  h.bounds_.push_back(h.min_);
+  size_t i = 0;
+  while (i < n) {
+    size_t end = std::min(n, i + depth);
+    // Extend to the last duplicate of the boundary value so a value never
+    // straddles buckets.
+    int64_t boundary = sorted[end - 1];
+    while (end < n && sorted[end] == boundary) ++end;
+    uint64_t count = end - i;
+    double ndv = 0;
+    for (size_t j = i; j < end; ++j) {
+      if (j == i || sorted[j] != sorted[j - 1]) ndv += 1;
+    }
+    h.bounds_.push_back(boundary);
+    h.counts_.push_back(count);
+    h.bucket_ndv_.push_back(ndv);
+    h.ndv_ += ndv;
+    i = end;
+  }
+  return h;
+}
+
+double Histogram::SelectivityEq(int64_t v) const {
+  if (empty() || v < min_ || v > max_) return 0.0;
+  // Find the bucket containing v; assume uniform spread over its distincts.
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    int64_t lo = bounds_[b];
+    int64_t hi = bounds_[b + 1];
+    bool in = (b == 0) ? (v >= lo && v <= hi) : (v > lo && v <= hi);
+    if (in) {
+      double in_bucket = static_cast<double>(counts_[b]) / std::max(1.0, bucket_ndv_[b]);
+      return in_bucket / static_cast<double>(total_);
+    }
+  }
+  return 0.0;
+}
+
+double Histogram::FractionBelowOrEqual(int64_t v) const {
+  if (empty()) return 0.0;
+  if (v < min_) return 0.0;
+  if (v >= max_) return 1.0;
+  double acc = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    int64_t lo = bounds_[b];
+    int64_t hi = bounds_[b + 1];
+    if (v > hi) {
+      acc += static_cast<double>(counts_[b]);
+      continue;
+    }
+    // Partial bucket: linear interpolation within [lo, hi].
+    double width = static_cast<double>(hi - lo);
+    double frac = width <= 0 ? 1.0 : static_cast<double>(v - lo) / width;
+    frac = std::clamp(frac, 0.0, 1.0);
+    acc += static_cast<double>(counts_[b]) * frac;
+    break;
+  }
+  return acc / static_cast<double>(total_);
+}
+
+double Histogram::SelectivityLt(int64_t v) const {
+  if (empty()) return 0.0;
+  double le = FractionBelowOrEqual(v);
+  return std::max(0.0, le - SelectivityEq(v));
+}
+
+double Histogram::SelectivityGt(int64_t v) const {
+  if (empty()) return 0.0;
+  return std::max(0.0, 1.0 - FractionBelowOrEqual(v));
+}
+
+double Histogram::SelectivityBetween(int64_t lo, int64_t hi) const {
+  if (empty() || hi < lo) return 0.0;
+  double upper = FractionBelowOrEqual(hi);
+  double lower = lo <= min_ ? 0.0 : FractionBelowOrEqual(lo - 1);
+  return std::max(0.0, upper - lower);
+}
+
+}  // namespace iqro

@@ -1,0 +1,58 @@
+// Equi-depth histograms over int64 domains, used for local-predicate
+// selectivity estimation (the paper's Fn_scansummary inputs).
+#ifndef IQRO_STATS_HISTOGRAM_H_
+#define IQRO_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iqro {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds an equi-depth histogram with up to `num_buckets` buckets.
+  /// `values` need not be sorted. Empty input yields an empty histogram.
+  static Histogram Build(std::span<const int64_t> values, int num_buckets);
+
+  bool empty() const { return total_ == 0; }
+  uint64_t total() const { return total_; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t min() const { return min_; }
+  int64_t max() const { return max_; }
+
+  /// Estimated number of distinct values.
+  double ndv() const { return ndv_; }
+
+  /// Selectivity of (col = v), in [0, 1].
+  double SelectivityEq(int64_t v) const;
+
+  /// Selectivity of (col < v).
+  double SelectivityLt(int64_t v) const;
+
+  /// Selectivity of (col > v).
+  double SelectivityGt(int64_t v) const;
+
+  /// Selectivity of (lo <= col <= hi).
+  double SelectivityBetween(int64_t lo, int64_t hi) const;
+
+ private:
+  // Bucket i covers (bounds_[i], bounds_[i+1]], except bucket 0 covers
+  // [bounds_[0], bounds_[1]]. counts_[i] is the number of rows in bucket i,
+  // bucket_ndv_[i] the distinct count within it.
+  std::vector<int64_t> bounds_;
+  std::vector<uint64_t> counts_;
+  std::vector<double> bucket_ndv_;
+  uint64_t total_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double ndv_ = 0;
+
+  double FractionBelowOrEqual(int64_t v) const;  // P(col <= v)
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_STATS_HISTOGRAM_H_

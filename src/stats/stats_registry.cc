@@ -1,0 +1,106 @@
+#include "stats/stats_registry.h"
+
+#include "common/check.h"
+
+namespace iqro {
+
+StatsRegistry::StatsRegistry(int num_relations) { Reset(num_relations); }
+
+void StatsRegistry::Reset(int num_relations) {
+  IQRO_CHECK(num_relations >= 0 && num_relations <= kMaxRelations);
+  num_relations_ = num_relations;
+  base_rows_.assign(static_cast<size_t>(num_relations), 1.0);
+  local_sel_.assign(static_cast<size_t>(num_relations), 1.0);
+  row_width_.assign(static_cast<size_t>(num_relations), 1.0);
+  scan_mult_.assign(static_cast<size_t>(num_relations), 1.0);
+  edges_.clear();
+  card_mults_.clear();
+  frozen_ = false;
+  epoch_ = 1;
+  pending_.clear();
+}
+
+int StatsRegistry::AddEdge(RelSet endpoints, double selectivity) {
+  IQRO_CHECK(!frozen_);
+  IQRO_CHECK(RelCount(endpoints) == 2);
+  edges_.push_back({endpoints, selectivity});
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+void StatsRegistry::Record(StatChange::Kind kind, RelSet scope) {
+  ++epoch_;
+  if (frozen_) pending_.push_back({kind, scope});
+}
+
+void StatsRegistry::SetBaseRows(int rel, double rows) {
+  if (base_rows_[static_cast<size_t>(rel)] == rows) return;
+  base_rows_[static_cast<size_t>(rel)] = rows;
+  Record(StatChange::Kind::kCardinality, RelSingleton(rel));
+}
+
+void StatsRegistry::SetLocalSelectivity(int rel, double sel) {
+  if (local_sel_[static_cast<size_t>(rel)] == sel) return;
+  local_sel_[static_cast<size_t>(rel)] = sel;
+  Record(StatChange::Kind::kCardinality, RelSingleton(rel));
+}
+
+void StatsRegistry::SetRowWidth(int rel, double width) {
+  if (row_width_[static_cast<size_t>(rel)] == width) return;
+  row_width_[static_cast<size_t>(rel)] = width;
+  Record(StatChange::Kind::kCardinality, RelSingleton(rel));
+}
+
+void StatsRegistry::SetScanCostMultiplier(int rel, double mult) {
+  if (scan_mult_[static_cast<size_t>(rel)] == mult) return;
+  scan_mult_[static_cast<size_t>(rel)] = mult;
+  Record(StatChange::Kind::kScanCost, RelSingleton(rel));
+}
+
+void StatsRegistry::SetJoinSelectivity(int edge_id, double sel) {
+  IQRO_CHECK(edge_id >= 0 && edge_id < num_edges());
+  if (edges_[static_cast<size_t>(edge_id)].selectivity == sel) return;
+  edges_[static_cast<size_t>(edge_id)].selectivity = sel;
+  Record(StatChange::Kind::kCardinality, edges_[static_cast<size_t>(edge_id)].endpoints);
+}
+
+void StatsRegistry::SetCardMultiplier(RelSet scope, double factor) {
+  IQRO_CHECK(RelCount(scope) >= 1);
+  for (auto& [s, f] : card_mults_) {
+    if (s == scope) {
+      if (f == factor) return;
+      f = factor;
+      Record(StatChange::Kind::kCardinality, scope);
+      return;
+    }
+  }
+  if (factor == 1.0) return;  // absent scope already means factor 1
+  card_mults_.emplace_back(scope, factor);
+  Record(StatChange::Kind::kCardinality, scope);
+}
+
+void StatsRegistry::ScaleCardMultiplier(RelSet scope, double factor) {
+  SetCardMultiplier(scope, ScopeMultiplier(scope) * factor);
+}
+
+double StatsRegistry::ScopeMultiplier(RelSet scope) const {
+  for (const auto& [s, f] : card_mults_) {
+    if (s == scope) return f;
+  }
+  return 1.0;
+}
+
+double StatsRegistry::CardMultiplier(RelSet s) const {
+  double f = 1.0;
+  for (const auto& [scope, factor] : card_mults_) {
+    if (RelIsSubset(scope, s)) f *= factor;
+  }
+  return f;
+}
+
+std::vector<StatChange> StatsRegistry::TakePending() {
+  std::vector<StatChange> out;
+  out.swap(pending_);
+  return out;
+}
+
+}  // namespace iqro

@@ -1,0 +1,112 @@
+// StatsRegistry: the runtime-updatable cost and cardinality inputs of one
+// query's optimization, shared by the declarative optimizer and the
+// procedural baselines ("common code across the implementations", §5).
+//
+// Re-optimization in the paper is triggered by "updated cost (or
+// cardinality) estimates based on information collected at runtime". All
+// such updates flow through this registry:
+//   * per-relation effective cardinality (base rows x local selectivity),
+//   * per-join-edge selectivity,
+//   * per-expression cardinality multipliers (what-if scaling of one
+//     subexpression's output, as in Fig. 5),
+//   * per-relation scan-cost multipliers (as in Fig. 8).
+// After Freeze(), every mutation records a StatChange that the incremental
+// optimizer drains to seed delta propagation, and bumps the epoch used for
+// summary-cache invalidation.
+#ifndef IQRO_STATS_STATS_REGISTRY_H_
+#define IQRO_STATS_STATS_REGISTRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/relset.h"
+
+namespace iqro {
+
+/// What changed, and which expressions it can affect: every expression
+/// `E` with `scope ⊆ E` may see a different summary or cost.
+struct StatChange {
+  enum class Kind : uint8_t {
+    kCardinality,  // summaries of all supersets of `scope` changed
+    kScanCost,     // only scan alternatives of `scope` (a singleton) changed
+  };
+  Kind kind = Kind::kCardinality;
+  RelSet scope = 0;
+};
+
+struct JoinEdgeStats {
+  RelSet endpoints = 0;  // exactly two bits
+  double selectivity = 1.0;
+};
+
+class StatsRegistry {
+ public:
+  explicit StatsRegistry(int num_relations = 0);
+
+  void Reset(int num_relations);
+  int num_relations() const { return num_relations_; }
+
+  /// Registers a join edge between the two relations in `endpoints`.
+  /// Returns the edge id. Setup-time only.
+  int AddEdge(RelSet endpoints, double selectivity);
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const JoinEdgeStats& edge(int e) const { return edges_[static_cast<size_t>(e)]; }
+
+  // ---- mutators (record StatChanges once frozen) ----
+  void SetBaseRows(int rel, double rows);
+  void SetLocalSelectivity(int rel, double sel);
+  void SetRowWidth(int rel, double width);
+  void SetScanCostMultiplier(int rel, double mult);
+  void SetJoinSelectivity(int edge_id, double sel);
+  /// Scales the cardinality of every expression containing `scope` by
+  /// `factor` relative to the base formula (factor 1 removes the override).
+  void SetCardMultiplier(RelSet scope, double factor);
+  /// Multiplies the existing multiplier of exactly `scope` by `factor`
+  /// (runtime-feedback corrections compose multiplicatively).
+  void ScaleCardMultiplier(RelSet scope, double factor);
+  /// The multiplier stored for exactly `scope` (1 if none).
+  double ScopeMultiplier(RelSet scope) const;
+
+  // ---- accessors ----
+  double base_rows(int rel) const { return base_rows_[static_cast<size_t>(rel)]; }
+  double local_selectivity(int rel) const { return local_sel_[static_cast<size_t>(rel)]; }
+  double row_width(int rel) const { return row_width_[static_cast<size_t>(rel)]; }
+  double scan_cost_multiplier(int rel) const { return scan_mult_[static_cast<size_t>(rel)]; }
+  double join_selectivity(int edge_id) const {
+    return edges_[static_cast<size_t>(edge_id)].selectivity;
+  }
+
+  /// Effective (post-local-predicate) cardinality of relation `rel`.
+  double EffectiveRows(int rel) const { return base_rows(rel) * local_selectivity(rel); }
+
+  /// Product of all card multipliers whose scope is a subset of `s`.
+  double CardMultiplier(RelSet s) const;
+
+  /// Marks setup complete; subsequent mutations are tracked as updates.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  uint64_t epoch() const { return epoch_; }
+
+  /// Drains the pending updates recorded since the last call.
+  std::vector<StatChange> TakePending();
+  bool HasPending() const { return !pending_.empty(); }
+
+ private:
+  void Record(StatChange::Kind kind, RelSet scope);
+
+  int num_relations_ = 0;
+  std::vector<double> base_rows_;
+  std::vector<double> local_sel_;
+  std::vector<double> row_width_;
+  std::vector<double> scan_mult_;
+  std::vector<JoinEdgeStats> edges_;
+  std::vector<std::pair<RelSet, double>> card_mults_;
+  bool frozen_ = false;
+  uint64_t epoch_ = 1;
+  std::vector<StatChange> pending_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_STATS_STATS_REGISTRY_H_

@@ -1,0 +1,45 @@
+// Summaries (the paper's `md` values): estimated cardinality and row width
+// of a query expression's output, derived canonically from the
+// StatsRegistry under the usual independence assumptions.
+//
+// The canonical formula — base cardinalities x join-edge selectivities x
+// what-if multipliers — makes every decomposition of the same expression
+// agree, which is what lets the paper memoize Fn_nonscansummary per
+// expression and lets all our optimizer implementations share cost inputs.
+#ifndef IQRO_STATS_SUMMARY_H_
+#define IQRO_STATS_SUMMARY_H_
+
+#include <unordered_map>
+
+#include "common/relset.h"
+#include "stats/stats_registry.h"
+
+namespace iqro {
+
+struct Summary {
+  double rows = 0;
+  double width = 0;
+};
+
+class SummaryCalculator {
+ public:
+  explicit SummaryCalculator(const StatsRegistry* registry) : registry_(registry) {}
+
+  /// Summary of the expression joining exactly the relations in `s`,
+  /// with all local predicates applied (Fn_scansummary for singletons,
+  /// Fn_nonscansummary otherwise). Memoized per registry epoch.
+  const Summary& Get(RelSet s) const;
+
+  const StatsRegistry& registry() const { return *registry_; }
+
+ private:
+  Summary Compute(RelSet s) const;
+
+  const StatsRegistry* registry_;
+  mutable uint64_t cached_epoch_ = 0;
+  mutable std::unordered_map<RelSet, Summary> cache_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_STATS_SUMMARY_H_

@@ -1,0 +1,22 @@
+#include "stats/table_stats.h"
+
+namespace iqro {
+
+TableStats CollectTableStats(const Table& table, int num_buckets) {
+  TableStats stats;
+  stats.rows = table.num_rows();
+  stats.row_width = static_cast<double>(table.num_columns());
+  stats.columns.resize(static_cast<size_t>(table.num_columns()));
+  std::vector<int64_t> values(table.num_rows());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    for (uint32_t r = 0; r < table.num_rows(); ++r) values[r] = table.At(r, c);
+    ColumnStats& cs = stats.columns[static_cast<size_t>(c)];
+    cs.histogram = Histogram::Build(values, num_buckets);
+    cs.min = cs.histogram.min();
+    cs.max = cs.histogram.max();
+    cs.ndv = cs.histogram.ndv();
+  }
+  return stats;
+}
+
+}  // namespace iqro

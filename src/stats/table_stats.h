@@ -1,0 +1,33 @@
+// Per-table statistics collected from stored data (the paper's "summaries
+// (statistics) on the input relations and indexes").
+#ifndef IQRO_STATS_TABLE_STATS_H_
+#define IQRO_STATS_TABLE_STATS_H_
+
+#include <vector>
+
+#include "catalog/table.h"
+#include "stats/histogram.h"
+
+namespace iqro {
+
+struct ColumnStats {
+  int64_t min = 0;
+  int64_t max = 0;
+  double ndv = 0;  // number of distinct values
+  Histogram histogram;
+};
+
+struct TableStats {
+  double rows = 0;
+  double row_width = 1;  // relative width factor used by the cost model
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats& column(int c) const { return columns[static_cast<size_t>(c)]; }
+};
+
+/// Scans `table` and builds statistics with `num_buckets`-bucket histograms.
+TableStats CollectTableStats(const Table& table, int num_buckets = 32);
+
+}  // namespace iqro
+
+#endif  // IQRO_STATS_TABLE_STATS_H_

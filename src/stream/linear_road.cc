@@ -1,0 +1,55 @@
+#include "stream/linear_road.h"
+
+#include <cstddef>
+
+namespace iqro {
+
+LinearRoadGenerator::LinearRoadGenerator(LinearRoadConfig config)
+    : config_(config),
+      rng_(config.seed),
+      seg_zipf_(static_cast<uint64_t>(config.num_segments), config.zipf_theta),
+      car_zipf_(static_cast<uint64_t>(config.num_cars), config.zipf_theta) {}
+
+std::vector<CarLocEvent> LinearRoadGenerator::Second(int64_t t) {
+  std::vector<CarLocEvent> out;
+  out.reserve(static_cast<size_t>(config_.events_per_second));
+  // The hot spot rotates with the drift phase: both the hot expressway and
+  // the hot segment range move, and the set of active cars shifts.
+  const int64_t phase = t / config_.drift_period;
+  const int hot_expway = static_cast<int>(phase % config_.num_expressways);
+  const int seg_offset =
+      static_cast<int>((phase * 37) % static_cast<int64_t>(config_.num_segments));
+  const int car_offset =
+      static_cast<int>((phase * 613) % static_cast<int64_t>(config_.num_cars));
+  for (int i = 0; i < config_.events_per_second; ++i) {
+    CarLocEvent e;
+    e.time = t;
+    e.carid = static_cast<int64_t>(
+        (car_zipf_.Sample(rng_) - 1 + static_cast<uint64_t>(car_offset)) %
+        static_cast<uint64_t>(config_.num_cars));
+    // 70% of traffic is on the hot expressway during this phase.
+    e.expway = rng_.NextBool(0.7)
+                   ? hot_expway
+                   : rng_.NextInRange(0, config_.num_expressways - 1);
+    e.dir = rng_.NextBool(0.5) ? 0 : 1;
+    e.seg = static_cast<int64_t>(
+        (seg_zipf_.Sample(rng_) - 1 + static_cast<uint64_t>(seg_offset)) %
+        static_cast<uint64_t>(config_.num_segments));
+    e.xpos = rng_.NextInRange(0, 5279);
+    e.speed = rng_.NextInRange(0, 100);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<CarLocEvent> LinearRoadGenerator::Generate(int64_t duration_seconds) {
+  std::vector<CarLocEvent> out;
+  out.reserve(static_cast<size_t>(duration_seconds * config_.events_per_second));
+  for (int64_t t = 0; t < duration_seconds; ++t) {
+    auto sec = Second(t);
+    out.insert(out.end(), sec.begin(), sec.end());
+  }
+  return out;
+}
+
+}  // namespace iqro

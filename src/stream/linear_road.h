@@ -1,0 +1,59 @@
+// Linear-Road-like car-location stream generator (substitute for the
+// Linear Road benchmark data generator [3]; see DESIGN.md §4). Emits
+// position reports whose expressway/segment hot spots drift over time, so
+// the best plan for windowed join queries changes across stream slices —
+// the property the paper's adaptive experiments (§5.4) rely on.
+#ifndef IQRO_STREAM_LINEAR_ROAD_H_
+#define IQRO_STREAM_LINEAR_ROAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace iqro {
+
+struct CarLocEvent {
+  int64_t time = 0;    // seconds
+  int64_t carid = 0;
+  int64_t expway = 0;
+  int64_t dir = 0;     // 0 or 1
+  int64_t seg = 0;     // 0..99
+  int64_t xpos = 0;    // position within segment
+  int64_t speed = 0;
+};
+
+struct LinearRoadConfig {
+  int num_expressways = 4;
+  int num_segments = 100;
+  int num_cars = 2000;
+  int events_per_second = 500;
+  /// The congestion hot spot rotates to a new expressway/segment range
+  /// every `drift_period` seconds — this is what forces plan changes.
+  int drift_period = 5;
+  double zipf_theta = 0.9;
+  uint64_t seed = 7;
+};
+
+class LinearRoadGenerator {
+ public:
+  explicit LinearRoadGenerator(LinearRoadConfig config);
+
+  /// Events of second `t` (exactly events_per_second of them).
+  std::vector<CarLocEvent> Second(int64_t t);
+
+  /// Convenience: all events in [0, duration).
+  std::vector<CarLocEvent> Generate(int64_t duration_seconds);
+
+  const LinearRoadConfig& config() const { return config_; }
+
+ private:
+  LinearRoadConfig config_;
+  Rng rng_;
+  ZipfGenerator seg_zipf_;
+  ZipfGenerator car_zipf_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_STREAM_LINEAR_ROAD_H_

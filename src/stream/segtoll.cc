@@ -1,0 +1,63 @@
+#include "stream/segtoll.h"
+
+#include "common/check.h"
+#include "query/query_builder.h"
+
+namespace iqro {
+
+void SegTollSetup::Advance(const std::vector<CarLocEvent>& batch, int64_t now) {
+  for (auto& w : windows) w->Advance(batch, now);
+}
+
+std::unique_ptr<SegTollSetup> MakeSegTollS() {
+  auto setup = std::make_unique<SegTollSetup>();
+
+  struct WindowDef {
+    const char* name;
+    WindowSpec spec;
+  };
+  Schema probe = CarLocSchema("w");
+  const int esd_col = probe.ColumnIndex("esd");
+  const int carid_col = probe.ColumnIndex("carid");
+  const WindowDef defs[] = {
+      {"w1", {WindowSpec::Kind::kTime, 300, -1}},
+      {"w2", {WindowSpec::Kind::kTuples, 1, esd_col}},
+      {"w3", {WindowSpec::Kind::kTuples, 1, carid_col}},
+      {"w4", {WindowSpec::Kind::kTime, 30, -1}},
+      {"w5", {WindowSpec::Kind::kTuples, 4, carid_col}},
+  };
+  for (const WindowDef& d : defs) {
+    TableId id = setup->catalog.CreateTable(CarLocSchema(d.name));
+    Table& t = setup->catalog.table(id);
+    // Hash indexes on the join columns keep index-NL joins available on
+    // window state; AppendRow maintains them across re-materializations.
+    for (const char* col : {"carid", "expway", "esd"}) {
+      t.BuildIndex(t.schema().ColumnIndex(col));
+    }
+    setup->windows.push_back(std::make_unique<SlidingWindow>(d.spec, &t));
+  }
+
+  QueryBuilder b("SegTollS", &setup->catalog);
+  b.AddWindowedRelation("w1", "r1", defs[0].spec);
+  b.AddWindowedRelation("w2", "r2", defs[1].spec);
+  b.AddWindowedRelation("w3", "r3", defs[2].spec);
+  b.AddWindowedRelation("w4", "r4", defs[3].spec);
+  b.AddWindowedRelation("w5", "r5", defs[4].spec);
+  // r2-r3: same expressway, upstream segment (banded predicate simplified).
+  b.Join("r2", "expway", "r3", "expway");
+  b.Join("r2", "seg", "r3", "seg", PredOp::kLt);
+  // r3-r4, r3-r5: same car.
+  b.Join("r3", "carid", "r4", "carid");
+  b.Join("r3", "carid", "r5", "carid");
+  // r1-r2: same (expressway, direction, segment) — via the packed column.
+  b.Join("r1", "esd", "r2", "esd");
+  b.Filter("r2", "dir", PredOp::kEq, 0);
+  b.Filter("r3", "dir", PredOp::kEq, 0);
+  b.GroupBy("r2", "expway").GroupBy("r2", "dir").GroupBy("r2", "seg").GroupBy("r5", "carid");
+  b.Aggregate(AggFn::kCountDistinct, "r5", "xpos");
+  setup->query = b.Build();
+  IQRO_CHECK(setup->query.num_relations() == 5);
+  return setup;
+}
+
+}  // namespace iqro

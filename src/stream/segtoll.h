@@ -1,0 +1,40 @@
+// SegTollS: the paper's largest Linear Road query (Table 2), unfolded into
+// a five-way windowed self-join with a windowed distinct-count aggregate.
+// Window references:
+//   r1 = CarLocStr [size 300 time]
+//   r2 = CarLocStr [size 1 tuple partition by (expway,dir,seg)]
+//   r3 = CarLocStr [size 1 tuple partition by carid]
+//   r4 = CarLocStr [size 30 time]
+//   r5 = CarLocStr [size 4 tuple partition by carid]
+// Multi-column partitioning uses the packed `esd` column; the paper's
+// banded segment predicate (r3.seg-10 < r2.seg < r3.seg) is represented by
+// its dominant half (r2.seg < r3.seg) since join predicates relate plain
+// columns — DESIGN.md records the substitution.
+#ifndef IQRO_STREAM_SEGTOLL_H_
+#define IQRO_STREAM_SEGTOLL_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query_spec.h"
+#include "stream/window.h"
+
+namespace iqro {
+
+/// The five window tables + windows + query of SegTollS, wired over a
+/// dedicated scratch catalog.
+struct SegTollSetup {
+  Catalog catalog;
+  std::vector<std::unique_ptr<SlidingWindow>> windows;  // one per relation slot
+  QuerySpec query;
+
+  /// Feeds one batch of events (all five windows see the same stream).
+  void Advance(const std::vector<CarLocEvent>& batch, int64_t now);
+};
+
+std::unique_ptr<SegTollSetup> MakeSegTollS();
+
+}  // namespace iqro
+
+#endif  // IQRO_STREAM_SEGTOLL_H_

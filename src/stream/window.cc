@@ -1,0 +1,65 @@
+#include "stream/window.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace iqro {
+
+namespace {
+constexpr int kTimeCol = 0;
+}
+
+Schema CarLocSchema(const std::string& table_name) {
+  Schema s;
+  s.name = table_name;
+  s.columns = {{"time", ColumnType::kInt},  {"carid", ColumnType::kInt},
+               {"expway", ColumnType::kInt}, {"dir", ColumnType::kInt},
+               {"seg", ColumnType::kInt},    {"xpos", ColumnType::kInt},
+               {"speed", ColumnType::kInt},  {"esd", ColumnType::kInt}};
+  return s;
+}
+
+std::vector<int64_t> CarLocRow(const CarLocEvent& e) {
+  return {e.time, e.carid, e.expway, e.dir,
+          e.seg,  e.xpos,  e.speed,  e.expway * 100000 + e.dir * 10000 + e.seg};
+}
+
+SlidingWindow::SlidingWindow(WindowSpec spec, Table* table) : spec_(spec), table_(table) {
+  IQRO_CHECK(spec_.kind != WindowSpec::Kind::kNone);
+}
+
+void SlidingWindow::Advance(const std::vector<CarLocEvent>& batch, int64_t now) {
+  for (const CarLocEvent& e : batch) rows_.push_back(CarLocRow(e));
+
+  if (spec_.kind == WindowSpec::Kind::kTime) {
+    const int64_t horizon = now - spec_.size;
+    while (!rows_.empty() && rows_.front()[kTimeCol] <= horizon) rows_.pop_front();
+  } else {
+    // Tuple-based: keep the newest `size` rows (per partition if set).
+    if (spec_.partition_col >= 0) {
+      std::unordered_map<int64_t, int64_t> keep;
+      std::vector<std::vector<int64_t>> survivors;
+      survivors.reserve(rows_.size());
+      for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+        int64_t key = (*it)[static_cast<size_t>(spec_.partition_col)];
+        if (keep[key] < spec_.size) {
+          ++keep[key];
+          survivors.push_back(std::move(*it));
+        }
+      }
+      rows_.assign(std::make_move_iterator(survivors.rbegin()),
+                   std::make_move_iterator(survivors.rend()));
+    } else {
+      while (static_cast<int64_t>(rows_.size()) > spec_.size) rows_.pop_front();
+    }
+  }
+  Rematerialize();
+}
+
+void SlidingWindow::Rematerialize() {
+  table_->Clear();
+  for (const auto& row : rows_) table_->AppendRow(row);
+}
+
+}  // namespace iqro

@@ -1,0 +1,50 @@
+// Sliding windows over the car-location stream, materialized as catalog
+// tables so the stored-data executor runs unchanged over stream state —
+// the data-partitioned execution model of [15] the paper plugs its
+// re-optimizer into: windows persist across slices, each slice is executed
+// as a batch over the current window contents.
+#ifndef IQRO_STREAM_WINDOW_H_
+#define IQRO_STREAM_WINDOW_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query_spec.h"
+#include "stream/linear_road.h"
+
+namespace iqro {
+
+/// Columns of every materialized car-location window table. `esd` packs
+/// (expway, dir, seg) into one value so multi-column partitioning reduces
+/// to a single partition column.
+Schema CarLocSchema(const std::string& table_name);
+
+/// Converts an event to a row of CarLocSchema.
+std::vector<int64_t> CarLocRow(const CarLocEvent& e);
+
+class SlidingWindow {
+ public:
+  SlidingWindow(WindowSpec spec, Table* table);
+
+  /// Inserts a batch of events, evicts per the window spec, and
+  /// re-materializes the backing table (indexes rebuilt).
+  void Advance(const std::vector<CarLocEvent>& batch, int64_t now);
+
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+  const Table& table() const { return *table_; }
+
+ private:
+  void Rematerialize();
+
+  WindowSpec spec_;
+  Table* table_;
+  std::deque<std::vector<int64_t>> rows_;  // insertion order
+  // For tuple-based partitioned windows: per-partition row counts.
+  std::unordered_map<int64_t, std::deque<size_t>> partition_rows_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_STREAM_WINDOW_H_

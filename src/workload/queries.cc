@@ -1,0 +1,147 @@
+#include "workload/queries.h"
+
+#include "common/check.h"
+#include "query/query_builder.h"
+#include "workload/tpch_gen.h"
+
+namespace iqro {
+
+namespace {
+
+// Simplified TPC-H Q3 (the paper's running example Q3S drops aggregation).
+QuerySpec MakeQ3(Catalog* catalog, bool simplified) {
+  QueryBuilder b(simplified ? "Q3S" : "Q3", catalog);
+  b.AddRelation("customer", "c");
+  b.AddRelation("orders", "o");
+  b.AddRelation("lineitem", "l");
+  b.Join("c", "c_custkey", "o", "o_custkey");
+  b.Join("o", "o_orderkey", "l", "l_orderkey");
+  b.FilterStr("c", "c_mktsegment", PredOp::kEq, "MACHINERY");
+  b.Filter("o", "o_orderdate", PredOp::kLt, TpchDate(1995, 3, 15));
+  b.Filter("l", "l_shipdate", PredOp::kGt, TpchDate(1995, 3, 15));
+  b.Project("l", "l_orderkey").Project("o", "o_orderdate").Project("o", "o_shippriority");
+  if (!simplified) {
+    b.GroupBy("l", "l_orderkey").GroupBy("o", "o_orderdate").GroupBy("o", "o_shippriority");
+    b.Aggregate(AggFn::kSum, "l", "l_extendedprice");
+  }
+  return b.Build();
+}
+
+// TPC-H Q5 with the join chain of the paper's Figure 5:
+// A = region x nation, B = customer x A, C = orders x B, D = lineitem x C,
+// E = supplier x D (supplier connects on both l_suppkey and s_nationkey).
+QuerySpec MakeQ5(Catalog* catalog, bool simplified) {
+  QueryBuilder b(simplified ? "Q5S" : "Q5", catalog);
+  b.AddRelation("region", "r");
+  b.AddRelation("nation", "n");
+  b.AddRelation("customer", "c");
+  b.AddRelation("orders", "o");
+  b.AddRelation("lineitem", "l");
+  b.AddRelation("supplier", "s");
+  b.Join("r", "r_regionkey", "n", "n_regionkey");
+  b.Join("n", "n_nationkey", "c", "c_nationkey");
+  b.Join("c", "c_custkey", "o", "o_custkey");
+  b.Join("o", "o_orderkey", "l", "l_orderkey");
+  b.Join("l", "l_suppkey", "s", "s_suppkey");
+  b.Join("s", "s_nationkey", "n", "n_nationkey");
+  b.FilterStr("r", "r_name", PredOp::kEq, "ASIA");
+  b.Filter("o", "o_orderdate", PredOp::kBetween, TpchDate(1994, 1, 1),
+           TpchDate(1994, 12, 31));
+  b.Project("n", "n_name").Project("l", "l_extendedprice");
+  if (!simplified) {
+    b.GroupBy("n", "n_name");
+    b.Aggregate(AggFn::kSum, "l", "l_extendedprice");
+  }
+  return b.Build();
+}
+
+QuerySpec MakeQ10(Catalog* catalog) {
+  QueryBuilder b("Q10", catalog);
+  b.AddRelation("customer", "c");
+  b.AddRelation("orders", "o");
+  b.AddRelation("lineitem", "l");
+  b.AddRelation("nation", "n");
+  b.Join("c", "c_custkey", "o", "o_custkey");
+  b.Join("o", "o_orderkey", "l", "l_orderkey");
+  b.Join("c", "c_nationkey", "n", "n_nationkey");
+  b.Filter("o", "o_orderdate", PredOp::kBetween, TpchDate(1993, 10, 1),
+           TpchDate(1993, 12, 31));
+  b.FilterStr("l", "l_returnflag", PredOp::kEq, "R");
+  b.GroupBy("c", "c_custkey").GroupBy("c", "c_name").GroupBy("n", "n_name");
+  b.Aggregate(AggFn::kSum, "l", "l_extendedprice");
+  return b.Build();
+}
+
+QuerySpec MakeQ1(Catalog* catalog) {
+  QueryBuilder b("Q1", catalog);
+  b.AddRelation("lineitem", "l");
+  b.Filter("l", "l_shipdate", PredOp::kLe, TpchDate(1998, 9, 2));
+  b.GroupBy("l", "l_returnflag").GroupBy("l", "l_linestatus");
+  b.Aggregate(AggFn::kSum, "l", "l_quantity");
+  b.Aggregate(AggFn::kSum, "l", "l_extendedprice");
+  b.Aggregate(AggFn::kCount);
+  return b.Build();
+}
+
+QuerySpec MakeQ6(Catalog* catalog) {
+  QueryBuilder b("Q6", catalog);
+  b.AddRelation("lineitem", "l");
+  b.Filter("l", "l_shipdate", PredOp::kBetween, TpchDate(1994, 1, 1), TpchDate(1994, 12, 31));
+  b.Filter("l", "l_discount", PredOp::kBetween, 5, 7);
+  b.Filter("l", "l_quantity", PredOp::kLt, 24);
+  b.Aggregate(AggFn::kSum, "l", "l_extendedprice");
+  return b.Build();
+}
+
+// The paper's hand-built eight-way join (Table 2). The aggregate target is
+// simplified to sum(l_extendedprice); the paper's expression multiplies in
+// the discount, which does not affect plan choice.
+QuerySpec MakeQ8Join(Catalog* catalog, bool simplified) {
+  QueryBuilder b(simplified ? "Q8JoinS" : "Q8Join", catalog);
+  b.AddRelation("orders", "o");
+  b.AddRelation("lineitem", "l");
+  b.AddRelation("customer", "c");
+  b.AddRelation("part", "p");
+  b.AddRelation("partsupp", "ps");
+  b.AddRelation("supplier", "s");
+  b.AddRelation("nation", "n");
+  b.AddRelation("region", "r");
+  b.Join("o", "o_orderkey", "l", "l_orderkey");
+  b.Join("c", "c_custkey", "o", "o_custkey");
+  b.Join("p", "p_partkey", "l", "l_partkey");
+  b.Join("ps", "ps_partkey", "p", "p_partkey");
+  b.Join("s", "s_suppkey", "ps", "ps_suppkey");
+  b.Join("r", "r_regionkey", "n", "n_regionkey");
+  b.Join("s", "s_nationkey", "n", "n_nationkey");
+  b.Project("c", "c_name").Project("p", "p_name").Project("s", "s_name");
+  if (!simplified) {
+    b.GroupBy("c", "c_name").GroupBy("p", "p_name").GroupBy("ps", "ps_availqty");
+    b.GroupBy("s", "s_name").GroupBy("o", "o_custkey").GroupBy("r", "r_name");
+    b.GroupBy("n", "n_name");
+    b.Aggregate(AggFn::kSum, "l", "l_extendedprice");
+  }
+  return b.Build();
+}
+
+}  // namespace
+
+QuerySpec MakeTpchQuery(Catalog* catalog, const std::string& name) {
+  if (name == "Q1") return MakeQ1(catalog);
+  if (name == "Q3") return MakeQ3(catalog, false);
+  if (name == "Q3S") return MakeQ3(catalog, true);
+  if (name == "Q5") return MakeQ5(catalog, false);
+  if (name == "Q5S") return MakeQ5(catalog, true);
+  if (name == "Q6") return MakeQ6(catalog);
+  if (name == "Q10") return MakeQ10(catalog);
+  if (name == "Q8Join") return MakeQ8Join(catalog, false);
+  if (name == "Q8JoinS") return MakeQ8Join(catalog, true);
+  IQRO_CHECK(false);
+}
+
+std::vector<std::string> TpchQueryNames() {
+  return {"Q1", "Q3", "Q3S", "Q5", "Q5S", "Q6", "Q10", "Q8Join", "Q8JoinS"};
+}
+
+std::vector<std::string> JoinQueryNames() { return {"Q5", "Q5S", "Q10", "Q8Join", "Q8JoinS"}; }
+
+}  // namespace iqro

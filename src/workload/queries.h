@@ -1,0 +1,27 @@
+// The paper's evaluation queries (§5, Table 2): TPC-H Q1, Q3, Q3S, Q5, Q5S,
+// Q6, Q10, and the hand-built eight-way joins Q8Join / Q8JoinS.
+#ifndef IQRO_WORKLOAD_QUERIES_H_
+#define IQRO_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query_spec.h"
+
+namespace iqro {
+
+/// Builds one of the named workload queries against `catalog` (which must
+/// hold the TPC-H tables). Known names: Q1, Q3, Q3S, Q5, Q5S, Q6, Q10,
+/// Q8Join, Q8JoinS.
+QuerySpec MakeTpchQuery(Catalog* catalog, const std::string& name);
+
+/// The names above, in the paper's presentation order.
+std::vector<std::string> TpchQueryNames();
+
+/// The join queries used in Figures 4 and 7.
+std::vector<std::string> JoinQueryNames();  // Q5, Q5S, Q10, Q8Join, Q8JoinS
+
+}  // namespace iqro
+
+#endif  // IQRO_WORKLOAD_QUERIES_H_

@@ -1,0 +1,210 @@
+#include "workload/tpch_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace iqro {
+
+namespace {
+
+// Base row counts at scale factor 1.0 (TPC-H specification).
+constexpr double kRegionRows = 5;
+constexpr double kNationRows = 25;
+constexpr double kSupplierRows = 10'000;
+constexpr double kCustomerRows = 150'000;
+constexpr double kPartRows = 200'000;
+constexpr double kPartsuppPerPart = 4;
+constexpr double kOrdersRows = 1'500'000;
+constexpr double kLineitemPerOrder = 4;
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+const char* kReturnFlags[] = {"A", "N", "R"};
+const char* kLineStatus[] = {"O", "F"};
+
+int64_t ScaledRows(double base, double sf) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(base * sf)));
+}
+
+/// Draws a foreign key in [1, n]; with skew, the hotspot is rotated by the
+/// partition id so that different partitions favor different key ranges.
+class FkSampler {
+ public:
+  FkSampler(int64_t n, double theta, uint32_t partition)
+      : n_(static_cast<uint64_t>(n)), zipf_(static_cast<uint64_t>(n), theta) {
+    offset_ = theta > 0 ? (static_cast<uint64_t>(partition) * 7919) % n_ : 0;
+  }
+
+  int64_t Draw(Rng& rng) const {
+    uint64_t v = zipf_.Sample(rng);  // 1..n, small values hot
+    return static_cast<int64_t>((v - 1 + offset_) % n_) + 1;
+  }
+
+ private:
+  uint64_t n_;
+  ZipfGenerator zipf_;
+  uint64_t offset_;
+};
+
+Table& EnsureTable(Catalog* catalog, const Schema& schema) {
+  TableId id = catalog->FindTable(schema.name);
+  if (id < 0) id = catalog->CreateTable(schema);
+  Table& t = catalog->table(id);
+  t.Clear();
+  return t;
+}
+
+int64_t RandomDate(Rng& rng) {
+  int year = static_cast<int>(1992 + rng.NextBelow(7));
+  int month = static_cast<int>(1 + rng.NextBelow(12));
+  int day = static_cast<int>(1 + rng.NextBelow(28));
+  return TpchDate(year, month, day);
+}
+
+}  // namespace
+
+void GenerateTpch(Catalog* catalog, const TpchConfig& config) {
+  Rng rng(config.seed + config.partition * 0x9E37ull);
+  Dictionary& dict = catalog->dict();
+  const double sf = config.scale_factor;
+
+  // ---- region ----
+  Table& region = EnsureTable(
+      catalog, {"region", {{"r_regionkey", ColumnType::kInt}, {"r_name", ColumnType::kString}}});
+  for (int64_t i = 0; i < static_cast<int64_t>(kRegionRows); ++i) {
+    region.AppendRow(std::vector<int64_t>{i + 1, dict.Intern(kRegionNames[i])});
+  }
+
+  // ---- nation ----
+  Table& nation = EnsureTable(catalog, {"nation",
+                                        {{"n_nationkey", ColumnType::kInt},
+                                         {"n_name", ColumnType::kString},
+                                         {"n_regionkey", ColumnType::kInt}}});
+  for (int64_t i = 0; i < static_cast<int64_t>(kNationRows); ++i) {
+    nation.AppendRow(std::vector<int64_t>{i + 1, dict.Intern(StrFormat("NATION_%02d", (int)i)),
+                                          (i % static_cast<int64_t>(kRegionRows)) + 1});
+  }
+
+  // ---- supplier ----
+  const int64_t n_supplier = ScaledRows(kSupplierRows, sf);
+  Table& supplier = EnsureTable(catalog, {"supplier",
+                                          {{"s_suppkey", ColumnType::kInt},
+                                           {"s_name", ColumnType::kString},
+                                           {"s_nationkey", ColumnType::kInt},
+                                           {"s_acctbal", ColumnType::kInt}}});
+  for (int64_t i = 1; i <= n_supplier; ++i) {
+    supplier.AppendRow(std::vector<int64_t>{
+        i, dict.Intern(StrFormat("Supplier#%06d", (int)i)),
+        rng.NextInRange(1, static_cast<int64_t>(kNationRows)), rng.NextInRange(-999, 9999)});
+  }
+
+  // ---- customer ----
+  const int64_t n_customer = ScaledRows(kCustomerRows, sf);
+  Table& customer = EnsureTable(catalog, {"customer",
+                                          {{"c_custkey", ColumnType::kInt},
+                                           {"c_name", ColumnType::kString},
+                                           {"c_mktsegment", ColumnType::kString},
+                                           {"c_nationkey", ColumnType::kInt},
+                                           {"c_acctbal", ColumnType::kInt}}});
+  for (int64_t i = 1; i <= n_customer; ++i) {
+    customer.AppendRow(std::vector<int64_t>{
+        i, dict.Intern(StrFormat("Customer#%06d", (int)i)),
+        dict.Intern(kSegments[rng.NextBelow(5)]),
+        rng.NextInRange(1, static_cast<int64_t>(kNationRows)), rng.NextInRange(-999, 9999)});
+  }
+
+  // ---- part ----
+  const int64_t n_part = ScaledRows(kPartRows, sf);
+  Table& part = EnsureTable(catalog, {"part",
+                                      {{"p_partkey", ColumnType::kInt},
+                                       {"p_name", ColumnType::kString},
+                                       {"p_retailprice", ColumnType::kInt}}});
+  for (int64_t i = 1; i <= n_part; ++i) {
+    part.AppendRow(std::vector<int64_t>{i, dict.Intern(StrFormat("Part#%06d", (int)i)),
+                                        900 + (i % 1000)});
+  }
+
+  // ---- partsupp ----
+  Table& partsupp = EnsureTable(catalog, {"partsupp",
+                                          {{"ps_partkey", ColumnType::kInt},
+                                           {"ps_suppkey", ColumnType::kInt},
+                                           {"ps_availqty", ColumnType::kInt}}});
+  for (int64_t p = 1; p <= n_part; ++p) {
+    for (int64_t k = 0; k < static_cast<int64_t>(kPartsuppPerPart); ++k) {
+      int64_t s = ((p + k * (n_supplier / 4 + 1)) % n_supplier) + 1;
+      partsupp.AppendRow(std::vector<int64_t>{p, s, rng.NextInRange(1, 9999)});
+    }
+  }
+
+  // ---- orders ----
+  const int64_t n_orders = ScaledRows(kOrdersRows, sf);
+  FkSampler cust_fk(n_customer, config.zipf_theta, config.partition);
+  Table& orders = EnsureTable(catalog, {"orders",
+                                        {{"o_orderkey", ColumnType::kInt},
+                                         {"o_custkey", ColumnType::kInt},
+                                         {"o_orderdate", ColumnType::kDate},
+                                         {"o_shippriority", ColumnType::kInt},
+                                         {"o_totalprice", ColumnType::kInt}}});
+  std::vector<int64_t> order_dates(static_cast<size_t>(n_orders) + 1, 0);
+  for (int64_t i = 1; i <= n_orders; ++i) {
+    int64_t date = RandomDate(rng);
+    order_dates[static_cast<size_t>(i)] = date;
+    orders.AppendRow(std::vector<int64_t>{i, cust_fk.Draw(rng), date,
+                                          static_cast<int64_t>(rng.NextBelow(2)),
+                                          rng.NextInRange(1000, 500000)});
+  }
+
+  // ---- lineitem ----
+  FkSampler part_fk(n_part, config.zipf_theta, config.partition + 1);
+  FkSampler supp_fk(n_supplier, config.zipf_theta, config.partition + 2);
+  Table& lineitem = EnsureTable(catalog, {"lineitem",
+                                          {{"l_orderkey", ColumnType::kInt},
+                                           {"l_partkey", ColumnType::kInt},
+                                           {"l_suppkey", ColumnType::kInt},
+                                           {"l_shipdate", ColumnType::kDate},
+                                           {"l_extendedprice", ColumnType::kInt},
+                                           {"l_discount", ColumnType::kInt},
+                                           {"l_quantity", ColumnType::kInt},
+                                           {"l_returnflag", ColumnType::kString},
+                                           {"l_linestatus", ColumnType::kString}}});
+  for (int64_t o = 1; o <= n_orders; ++o) {
+    int64_t items = 1 + static_cast<int64_t>(rng.NextBelow(
+                            static_cast<uint64_t>(2 * kLineitemPerOrder - 1)));
+    for (int64_t k = 0; k < items; ++k) {
+      // Ship within ~4 months of the order date (coarse, month-arithmetic).
+      int64_t ship = order_dates[static_cast<size_t>(o)] + 100 * rng.NextInRange(0, 4);
+      lineitem.AppendRow(std::vector<int64_t>{
+          o, part_fk.Draw(rng), supp_fk.Draw(rng), ship, rng.NextInRange(1000, 100000),
+          rng.NextInRange(0, 10), rng.NextInRange(1, 50),
+          dict.Intern(kReturnFlags[rng.NextBelow(3)]),
+          dict.Intern(kLineStatus[rng.NextBelow(2)])});
+    }
+  }
+
+  // ---- physical design: cluster on primary key, index PKs and FKs ----
+  auto finish = [&](const char* table_name, std::initializer_list<const char*> indexed) {
+    Table& t = catalog->table(table_name);
+    for (const char* col : indexed) {
+      int c = t.schema().ColumnIndex(col);
+      IQRO_CHECK(c >= 0);
+      t.BuildIndex(c);
+    }
+    t.SetClusteredOn(0);  // generated in primary-key order
+  };
+  finish("region", {"r_regionkey"});
+  finish("nation", {"n_nationkey", "n_regionkey"});
+  finish("supplier", {"s_suppkey", "s_nationkey"});
+  finish("customer", {"c_custkey", "c_nationkey"});
+  finish("part", {"p_partkey"});
+  finish("partsupp", {"ps_partkey", "ps_suppkey"});
+  finish("orders", {"o_orderkey", "o_custkey"});
+  finish("lineitem", {"l_orderkey", "l_partkey", "l_suppkey"});
+}
+
+}  // namespace iqro

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "aqp/adaptive.h"
+
+namespace iqro {
+namespace {
+
+LinearRoadConfig SmallStream() {
+  LinearRoadConfig cfg;
+  cfg.events_per_second = 150;
+  cfg.num_cars = 300;
+  cfg.drift_period = 3;
+  return cfg;
+}
+
+TEST(AqpTest, IncrementalLoopRunsAndProducesPlans) {
+  auto setup = MakeSegTollS();
+  AqpOptions opts;
+  opts.reopt = AqpOptions::ReoptMode::kIncremental;
+  AdaptiveStreamProcessor proc(setup.get(), opts);
+  LinearRoadGenerator gen(SmallStream());
+  for (int64_t t = 0; t < 6; ++t) {
+    SliceReport r = proc.ProcessSlice(gen.Second(t), t);
+    EXPECT_EQ(r.slice, t);
+    EXPECT_GT(r.window_rows, 0);
+    EXPECT_GE(r.exec_ms, 0.0);
+    ASSERT_NE(proc.current_plan(), nullptr);
+    EXPECT_EQ(proc.current_plan()->expr, setup->query.AllRelations());
+  }
+  // The optimizer stayed consistent throughout.
+  proc.optimizer()->ValidateInvariants();
+}
+
+TEST(AqpTest, FirstSliceAlwaysChangesPlan) {
+  auto setup = MakeSegTollS();
+  AdaptiveStreamProcessor proc(setup.get(), AqpOptions{});
+  LinearRoadGenerator gen(SmallStream());
+  SliceReport r = proc.ProcessSlice(gen.Second(0), 0);
+  EXPECT_TRUE(r.plan_changed);
+}
+
+TEST(AqpTest, ScratchModeMatchesIncrementalPlanCost) {
+  // Both re-optimizers see the same statistics stream, so the plans they
+  // pick per slice must have the same estimated cost.
+  auto setup_a = MakeSegTollS();
+  auto setup_b = MakeSegTollS();
+  AqpOptions inc;
+  inc.reopt = AqpOptions::ReoptMode::kIncremental;
+  AqpOptions scratch;
+  scratch.reopt = AqpOptions::ReoptMode::kScratch;
+  AdaptiveStreamProcessor pa(setup_a.get(), inc);
+  AdaptiveStreamProcessor pb(setup_b.get(), scratch);
+  LinearRoadGenerator ga(SmallStream());
+  LinearRoadGenerator gb(SmallStream());
+  for (int64_t t = 0; t < 5; ++t) {
+    SliceReport ra = pa.ProcessSlice(ga.Second(t), t);
+    SliceReport rb = pb.ProcessSlice(gb.Second(t), t);
+    EXPECT_NEAR(ra.estimated_cost, rb.estimated_cost,
+                1e-6 * std::max(1.0, ra.estimated_cost))
+        << "slice " << t;
+    // Same plans -> same results.
+    EXPECT_EQ(ra.output_rows, rb.output_rows) << "slice " << t;
+  }
+}
+
+TEST(AqpTest, FixedPlanModeExecutesWithoutReoptimizing) {
+  auto setup_a = MakeSegTollS();
+  AdaptiveStreamProcessor adaptive(setup_a.get(), AqpOptions{});
+  LinearRoadGenerator gen(SmallStream());
+  adaptive.ProcessSlice(gen.Second(0), 0);
+  auto plan = adaptive.current_plan()->Clone();
+
+  auto setup_b = MakeSegTollS();
+  AqpOptions fixed;
+  fixed.reopt = AqpOptions::ReoptMode::kNone;
+  AdaptiveStreamProcessor proc(setup_b.get(), fixed);
+  proc.SetFixedPlan(std::move(plan));
+  LinearRoadGenerator gen2(SmallStream());
+  for (int64_t t = 0; t < 4; ++t) {
+    SliceReport r = proc.ProcessSlice(gen2.Second(t), t);
+    EXPECT_FALSE(r.plan_changed);
+    EXPECT_EQ(r.reopt_ms < 5.0, true);  // no optimization work
+  }
+}
+
+TEST(AqpTest, AdaptiveAndFixedAgreeOnResults) {
+  // Plan choice must never change query results: run the same stream
+  // through the adaptive loop and a fixed plan and compare outputs.
+  auto setup_a = MakeSegTollS();
+  AdaptiveStreamProcessor adaptive(setup_a.get(), AqpOptions{});
+
+  auto setup_warm = MakeSegTollS();
+  AdaptiveStreamProcessor warm(setup_warm.get(), AqpOptions{});
+  LinearRoadGenerator gw(SmallStream());
+  warm.ProcessSlice(gw.Second(0), 0);
+
+  auto setup_b = MakeSegTollS();
+  AqpOptions fixed;
+  fixed.reopt = AqpOptions::ReoptMode::kNone;
+  AdaptiveStreamProcessor fixed_proc(setup_b.get(), fixed);
+  fixed_proc.SetFixedPlan(warm.current_plan()->Clone());
+
+  LinearRoadGenerator ga(SmallStream());
+  LinearRoadGenerator gb(SmallStream());
+  for (int64_t t = 0; t < 5; ++t) {
+    SliceReport ra = adaptive.ProcessSlice(ga.Second(t), t);
+    SliceReport rb = fixed_proc.ProcessSlice(gb.Second(t), t);
+    EXPECT_EQ(ra.output_rows, rb.output_rows) << "slice " << t;
+  }
+}
+
+TEST(AqpTest, IncrementalTouchedStateShrinksOverTime) {
+  // Fig. 9's observation: as statistics converge, the incremental
+  // re-optimizer touches less and less state.
+  auto setup = MakeSegTollS();
+  AqpOptions opts;
+  opts.cumulative_stats = true;
+  AdaptiveStreamProcessor proc(setup.get(), opts);
+  LinearRoadConfig cfg = SmallStream();
+  cfg.drift_period = 1000;  // stationary stream -> convergence
+  LinearRoadGenerator gen(cfg);
+  int64_t early = 0;
+  int64_t late = 0;
+  for (int64_t t = 0; t < 10; ++t) {
+    SliceReport r = proc.ProcessSlice(gen.Second(t), t);
+    if (t >= 1 && t <= 3) early += r.touched_eps;
+    if (t >= 7) late += r.touched_eps;
+  }
+  // Converging statistics keep the touched state bounded (it must not
+  // grow); the magnitude of the per-slice deltas is what shrinks.
+  EXPECT_LE(late, early + early / 4 + 8);
+}
+
+}  // namespace
+}  // namespace iqro

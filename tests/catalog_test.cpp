@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace iqro {
+namespace {
+
+Schema TwoColSchema(const std::string& name) {
+  Schema s;
+  s.name = name;
+  s.columns = {{"a", ColumnType::kInt}, {"b", ColumnType::kInt}};
+  return s;
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t(TwoColSchema("t"));
+  t.AppendRow(std::vector<int64_t>{1, 10});
+  t.AppendRow(std::vector<int64_t>{2, 20});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.At(0, 0), 1);
+  EXPECT_EQ(t.At(1, 1), 20);
+  auto row = t.Row(1);
+  EXPECT_EQ(row[0], 2);
+  EXPECT_EQ(row[1], 20);
+}
+
+TEST(TableTest, SchemaColumnIndex) {
+  Table t(TwoColSchema("t"));
+  EXPECT_EQ(t.schema().ColumnIndex("a"), 0);
+  EXPECT_EQ(t.schema().ColumnIndex("b"), 1);
+  EXPECT_EQ(t.schema().ColumnIndex("zz"), -1);
+}
+
+TEST(TableTest, HashIndexProbe) {
+  Table t(TwoColSchema("t"));
+  t.BuildIndex(0);
+  t.AppendRow(std::vector<int64_t>{5, 1});
+  t.AppendRow(std::vector<int64_t>{5, 2});
+  t.AppendRow(std::vector<int64_t>{7, 3});
+  ASSERT_TRUE(t.HasIndex(0));
+  EXPECT_FALSE(t.HasIndex(1));
+  auto rows = t.GetIndex(0)->Probe(5);
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(t.GetIndex(0)->Probe(99).size(), 0u);
+}
+
+TEST(TableTest, IndexBuiltAfterLoad) {
+  Table t(TwoColSchema("t"));
+  t.AppendRow(std::vector<int64_t>{5, 1});
+  t.AppendRow(std::vector<int64_t>{6, 2});
+  t.BuildIndex(0);  // over existing rows
+  EXPECT_EQ(t.GetIndex(0)->Probe(6).size(), 1u);
+}
+
+TEST(TableTest, SortByClustersAndRebuildsIndexes) {
+  Table t(TwoColSchema("t"));
+  t.BuildIndex(1);
+  t.AppendRow(std::vector<int64_t>{3, 30});
+  t.AppendRow(std::vector<int64_t>{1, 10});
+  t.AppendRow(std::vector<int64_t>{2, 20});
+  t.SortBy(0);
+  EXPECT_EQ(t.clustered_on(), 0);
+  EXPECT_EQ(t.At(0, 0), 1);
+  EXPECT_EQ(t.At(1, 0), 2);
+  EXPECT_EQ(t.At(2, 0), 3);
+  // Index row ids reflect the new physical order.
+  auto rows = t.GetIndex(1)->Probe(30);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 2u);
+}
+
+TEST(TableTest, ClearResetsRows) {
+  Table t(TwoColSchema("t"));
+  t.BuildIndex(0);
+  t.AppendRow(std::vector<int64_t>{1, 2});
+  t.Clear();
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.GetIndex(0)->Probe(1).size(), 0u);
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog c;
+  TableId a = c.CreateTable(TwoColSchema("alpha"));
+  TableId b = c.CreateTable(TwoColSchema("beta"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(c.FindTable("alpha"), a);
+  EXPECT_EQ(c.FindTable("missing"), -1);
+  EXPECT_TRUE(c.HasTable("beta"));
+  EXPECT_EQ(c.num_tables(), 2);
+  c.table("alpha").AppendRow(std::vector<int64_t>{1, 2});
+  EXPECT_EQ(c.table(a).num_rows(), 1u);
+}
+
+TEST(CatalogTest, SharedDictionary) {
+  Catalog c;
+  int64_t code = c.dict().Intern("MACHINERY");
+  EXPECT_EQ(c.dict().Lookup("MACHINERY"), code);
+}
+
+}  // namespace
+}  // namespace iqro

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/relset.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace iqro {
+namespace {
+
+TEST(RelSetTest, BasicOps) {
+  RelSet s = RelSingleton(0) | RelSingleton(3) | RelSingleton(5);
+  EXPECT_EQ(RelCount(s), 3);
+  EXPECT_TRUE(RelContains(s, 0));
+  EXPECT_TRUE(RelContains(s, 3));
+  EXPECT_FALSE(RelContains(s, 1));
+  EXPECT_EQ(RelLowest(s), 0);
+  EXPECT_TRUE(RelIsSubset(RelSingleton(3), s));
+  EXPECT_FALSE(RelIsSubset(RelSingleton(2), s));
+  EXPECT_TRUE(RelIsSubset(s, s));
+  EXPECT_TRUE(RelDisjoint(RelSingleton(1), s));
+  EXPECT_FALSE(RelDisjoint(RelSingleton(3), s));
+}
+
+TEST(RelSetTest, ForEachVisitsAscending) {
+  RelSet s = RelSingleton(2) | RelSingleton(7) | RelSingleton(9);
+  std::vector<int> seen;
+  RelForEach(s, [&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{2, 7, 9}));
+}
+
+TEST(RelSetTest, HalfPartitionCoversEachSplitOnce) {
+  // For a 4-element set there are 2^(4-1) - 1 = 7 unordered 2-partitions.
+  RelSet s = 0b1111;
+  std::set<RelSet> lefts;
+  RelForEachHalfPartition(s, [&](RelSet left) {
+    EXPECT_NE(left, 0u);
+    EXPECT_NE(left, s);
+    EXPECT_TRUE(RelIsSubset(left, s));
+    EXPECT_TRUE(RelContains(left, RelLowest(s)));  // canonical side
+    EXPECT_TRUE(lefts.insert(left).second) << "duplicate partition";
+  });
+  EXPECT_EQ(lefts.size(), 7u);
+}
+
+TEST(RelSetTest, HalfPartitionSingletonAndPair) {
+  int count = 0;
+  RelForEachHalfPartition(RelSingleton(4), [&](RelSet) { ++count; });
+  EXPECT_EQ(count, 0);  // no proper partition of a singleton
+  std::vector<RelSet> lefts;
+  RelForEachHalfPartition(0b101, [&](RelSet l) { lefts.push_back(l); });
+  ASSERT_EQ(lefts.size(), 1u);
+  EXPECT_EQ(lefts[0], 0b001u);
+}
+
+TEST(RelSetTest, ToString) { EXPECT_EQ(RelSetToString(0b101), "{0,2}"); }
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleIsUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // rough uniformity
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Rng rng(13);
+  ZipfGenerator z(100, 0.0);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.Sample(rng)];
+  for (int v = 1; v <= 100; ++v) {
+    EXPECT_GT(counts[v], 300) << v;  // expected 500 each
+    EXPECT_LT(counts[v], 700) << v;
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMassOnSmallValues) {
+  Rng rng(17);
+  ZipfGenerator z(1000, 0.9);
+  int head = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.Sample(rng) <= 10) ++head;
+  }
+  // With theta=0.9 the top-10 values carry a large share of the mass.
+  EXPECT_GT(head, kDraws / 4);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  Rng rng(19);
+  for (double theta : {0.0, 0.5, 0.99, 1.0}) {
+    ZipfGenerator z(50, theta);
+    for (int i = 0; i < 2000; ++i) {
+      uint64_t v = z.Sample(rng);
+      EXPECT_GE(v, 1u);
+      EXPECT_LE(v, 50u);
+    }
+  }
+}
+
+TEST(PermutationTest, IsAPermutation) {
+  Rng rng(23);
+  auto perm = RandomPermutation(100, rng);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(DictionaryTest, InternLookupDecode) {
+  Dictionary d;
+  int64_t a = d.Intern("hello");
+  int64_t b = d.Intern("world");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("hello"), a);  // stable
+  EXPECT_EQ(d.Lookup("hello"), a);
+  EXPECT_EQ(d.Lookup("absent"), -1);
+  EXPECT_EQ(d.Decode(a), "hello");
+  EXPECT_EQ(d.Decode(b), "world");
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(StrUtilTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StrUtilTest, DoubleToString) {
+  EXPECT_EQ(DoubleToString(1.5), "1.5");
+  EXPECT_EQ(DoubleToString(0.0), "0");
+}
+
+}  // namespace
+}  // namespace iqro

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/prop_table.h"
+
+namespace iqro {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest() : registry_(3), summaries_(&registry_), model_(&summaries_) {
+    registry_.SetBaseRows(0, 1000);
+    registry_.SetBaseRows(1, 100);
+    registry_.SetBaseRows(2, 10);
+    registry_.AddEdge(0b011, 0.01);
+    registry_.AddEdge(0b110, 0.1);
+  }
+  StatsRegistry registry_;
+  SummaryCalculator summaries_;
+  CostModel model_;
+};
+
+TEST_F(CostModelTest, ScanCostScalesWithRowsAndMultiplier) {
+  double c0 = model_.ScanCost(0, PhysOp::kSeqScan);
+  double c1 = model_.ScanCost(1, PhysOp::kSeqScan);
+  EXPECT_NEAR(c0 / c1, 10.0, 1e-9);
+  registry_.SetScanCostMultiplier(0, 4.0);
+  EXPECT_NEAR(model_.ScanCost(0, PhysOp::kSeqScan), 4.0 * c0, 1e-9);
+}
+
+TEST_F(CostModelTest, IndexScanCostsMoreThanSeqScan) {
+  EXPECT_GT(model_.ScanCost(0, PhysOp::kIndexScan), model_.ScanCost(0, PhysOp::kSeqScan));
+}
+
+TEST_F(CostModelTest, IndexRefIsConstant) {
+  EXPECT_EQ(model_.ScanCost(0, PhysOp::kIndexRef), model_.ScanCost(2, PhysOp::kIndexRef));
+}
+
+TEST_F(CostModelTest, HashJoinPrefersSmallBuildSide) {
+  // Build on the small side (rel 1: 100 rows) beats build on rel 0 (1000).
+  double small_build = model_.JoinLocalCost(PhysOp::kHashJoin, 0b010, 0b001);
+  double large_build = model_.JoinLocalCost(PhysOp::kHashJoin, 0b001, 0b010);
+  EXPECT_LT(small_build, large_build);
+}
+
+TEST_F(CostModelTest, NestedLoopQuadratic) {
+  double nl = model_.JoinLocalCost(PhysOp::kNestedLoopJoin, 0b001, 0b010);
+  double hash = model_.JoinLocalCost(PhysOp::kHashJoin, 0b001, 0b010);
+  EXPECT_GT(nl, hash);  // 1000x100 pairs vs linear passes
+}
+
+TEST_F(CostModelTest, JoinCostTracksOutputCardinality) {
+  double before = model_.JoinLocalCost(PhysOp::kHashJoin, 0b001, 0b010);
+  registry_.SetCardMultiplier(0b011, 100.0);
+  double after = model_.JoinLocalCost(PhysOp::kHashJoin, 0b001, 0b010);
+  EXPECT_GT(after, before);
+}
+
+TEST_F(CostModelTest, SortCostSuperlinear) {
+  double s_small = model_.SortLocalCost(0b100);  // 10 rows
+  double s_large = model_.SortLocalCost(0b001);  // 1000 rows
+  EXPECT_GT(s_large, 100.0 * s_small / 10.0 * 0.5);  // more than linear growth
+  EXPECT_GT(s_large, s_small);
+}
+
+TEST_F(CostModelTest, SumIsAddition) { EXPECT_EQ(CostModel::Sum(1, 2, 3), 6); }
+
+TEST(PropTableTest, NoneIsZero) {
+  PropTable props;
+  EXPECT_EQ(props.Intern(Prop{}), kPropNone);
+  EXPECT_EQ(props.Get(kPropNone).kind, Prop::Kind::kNone);
+}
+
+TEST(PropTableTest, InterningIsStable) {
+  PropTable props;
+  PropId a = props.InternSorted({1, 2});
+  PropId b = props.InternSorted({1, 3});
+  PropId c = props.InternIndexed({1, 2});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(props.InternSorted({1, 2}), a);
+  EXPECT_EQ(props.Get(a).kind, Prop::Kind::kSorted);
+  EXPECT_EQ(props.Get(c).kind, Prop::Kind::kIndexed);
+  EXPECT_EQ(props.Get(a).col.rel, 1);
+  EXPECT_EQ(props.Get(a).col.col, 2);
+}
+
+TEST(PropTableTest, EPKeyRoundTrip) {
+  EPKey k = MakeEPKey(0b1011, 7);
+  EXPECT_EQ(EPExpr(k), 0b1011u);
+  EXPECT_EQ(EPProp(k), 7);
+}
+
+TEST(PropTableTest, ToStringRendering) {
+  PropTable props;
+  EXPECT_EQ(props.ToString(kPropNone), "-");
+  PropId s = props.InternSorted({0, 1});
+  EXPECT_EQ(props.ToString(s), "sorted(r0.#1)");
+}
+
+}  // namespace
+}  // namespace iqro

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "delta/counted_multiset.h"
+#include "delta/delta.h"
+#include "delta/extreme_agg.h"
+
+namespace iqro {
+namespace {
+
+TEST(DeltaTest, Constructors) {
+  auto ins = Delta<int>::Insert(5);
+  EXPECT_EQ(ins.kind, DeltaKind::kInsert);
+  EXPECT_EQ(ins.new_value, 5);
+  auto del = Delta<int>::Erase(7);
+  EXPECT_EQ(del.kind, DeltaKind::kDelete);
+  EXPECT_EQ(del.old_value, 7);
+  auto upd = Delta<int>::Update(1, 2);
+  EXPECT_EQ(upd.kind, DeltaKind::kUpdate);
+  EXPECT_EQ(upd.old_value, 1);
+  EXPECT_EQ(upd.new_value, 2);
+}
+
+TEST(ExtremeAggTest, EmptyExtremes) {
+  ExtremeAgg<uint32_t> agg;
+  EXPECT_TRUE(agg.empty());
+  EXPECT_TRUE(std::isinf(agg.MinValue()));
+  EXPECT_GT(agg.MinValue(), 0);
+  EXPECT_TRUE(std::isinf(agg.MaxValue()));
+  EXPECT_LT(agg.MaxValue(), 0);
+}
+
+TEST(ExtremeAggTest, InsertTracksMinAndMax) {
+  ExtremeAgg<uint32_t> agg;
+  EXPECT_TRUE(agg.Set(1, 5.0));   // first entry changes extremes
+  EXPECT_TRUE(agg.Set(2, 3.0));   // new min
+  EXPECT_FALSE(agg.Set(3, 4.0));  // interior: neither extreme moves
+  EXPECT_EQ(agg.MinValue(), 3.0);
+  EXPECT_EQ(agg.MaxValue(), 5.0);
+  EXPECT_EQ(agg.MinEntry().second, 2u);
+}
+
+TEST(ExtremeAggTest, NextBestRecoveryOnDelete) {
+  // The paper's key aggregate behavior (§4.1): deleting the minimum
+  // surfaces the retained second-best.
+  ExtremeAgg<uint32_t> agg;
+  agg.Set(10, 1.0);
+  agg.Set(11, 2.0);
+  agg.Set(12, 3.0);
+  EXPECT_TRUE(agg.Erase(10));
+  EXPECT_EQ(agg.MinValue(), 2.0);
+  EXPECT_EQ(agg.MinEntry().second, 11u);
+  EXPECT_TRUE(agg.Erase(11));
+  EXPECT_EQ(agg.MinValue(), 3.0);
+}
+
+TEST(ExtremeAggTest, UpdateCases) {
+  // The four PlanCost update cases of §4.1.
+  ExtremeAgg<uint32_t> agg;
+  agg.Set(1, 10.0);
+  agg.Set(2, 20.0);
+  // Case 3: the minimum is raised -> next best may win.
+  EXPECT_TRUE(agg.Set(1, 30.0));
+  EXPECT_EQ(agg.MinValue(), 20.0);
+  // Case 4: a non-minimum drops below the minimum.
+  EXPECT_TRUE(agg.Set(1, 5.0));
+  EXPECT_EQ(agg.MinValue(), 5.0);
+  // No-op update returns false.
+  EXPECT_FALSE(agg.Set(1, 5.0));
+}
+
+TEST(ExtremeAggTest, TieBreaksById) {
+  ExtremeAgg<uint32_t> agg;
+  agg.Set(7, 1.0);
+  agg.Set(3, 1.0);
+  EXPECT_EQ(agg.MinEntry().second, 3u);  // lexicographic (value, id)
+}
+
+TEST(ExtremeAggTest, ContainsAndValueOf) {
+  ExtremeAgg<uint32_t> agg;
+  agg.Set(4, 9.0);
+  EXPECT_TRUE(agg.Contains(4));
+  EXPECT_FALSE(agg.Contains(5));
+  EXPECT_EQ(agg.ValueOf(4), 9.0);
+  agg.Erase(4);
+  EXPECT_FALSE(agg.Contains(4));
+  EXPECT_FALSE(agg.Erase(4));  // double erase is a no-op
+}
+
+TEST(ExtremeAggTest, RandomizedMirror) {
+  // Mirror against a brute-force map under random ops.
+  ExtremeAgg<uint32_t> agg;
+  std::unordered_map<uint32_t, double> mirror;
+  Rng rng(99);
+  for (int step = 0; step < 5000; ++step) {
+    uint32_t id = static_cast<uint32_t>(rng.NextBelow(40));
+    if (rng.NextBool(0.3)) {
+      agg.Erase(id);
+      mirror.erase(id);
+    } else {
+      double v = static_cast<double>(rng.NextBelow(1000));
+      agg.Set(id, v);
+      mirror[id] = v;
+    }
+    if (mirror.empty()) {
+      EXPECT_TRUE(agg.empty());
+      continue;
+    }
+    double mn = 1e18;
+    double mx = -1e18;
+    for (auto& [k, v] : mirror) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    EXPECT_EQ(agg.MinValue(), mn);
+    EXPECT_EQ(agg.MaxValue(), mx);
+    EXPECT_EQ(agg.size(), mirror.size());
+  }
+}
+
+TEST(CountedMultisetTest, PresenceTransitions) {
+  CountedMultiset<int> ms;
+  EXPECT_EQ(ms.Add(5, 1), +1);  // became present
+  EXPECT_EQ(ms.Add(5, 2), 0);   // still present
+  EXPECT_EQ(ms.Add(5, -3), -1); // became absent (count 0)
+  EXPECT_EQ(ms.Count(5), 0);
+}
+
+TEST(CountedMultisetTest, NegativeCountsConverge) {
+  // Out-of-order delete-before-insert (§4): counts go negative, then
+  // converge to non-negative once the matching insertion arrives.
+  CountedMultiset<int> ms;
+  EXPECT_EQ(ms.Add(7, -1), 0);  // deletion first: absent -> absent
+  EXPECT_EQ(ms.Count(7), -1);
+  EXPECT_FALSE(ms.Converged());
+  EXPECT_EQ(ms.Add(7, 1), 0);  // matching insertion: still absent
+  EXPECT_EQ(ms.Count(7), 0);
+  EXPECT_TRUE(ms.Converged());
+  EXPECT_EQ(ms.Add(7, 1), +1);
+  EXPECT_TRUE(ms.Present(7));
+}
+
+TEST(CountedMultisetTest, SizeTracksDistinctValues) {
+  CountedMultiset<int> ms;
+  ms.Add(1, 1);
+  ms.Add(2, 5);
+  ms.Add(3, -2);
+  EXPECT_EQ(ms.size(), 3u);
+  ms.Add(3, 2);  // count reaches 0 -> erased
+  EXPECT_EQ(ms.size(), 2u);
+  ms.Clear();
+  EXPECT_TRUE(ms.empty());
+}
+
+}  // namespace
+}  // namespace iqro

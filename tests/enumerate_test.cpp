@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "enumerate/plan_tree.h"
+#include "test_util.h"
+
+namespace iqro {
+namespace {
+
+using ::iqro::testing::GraphShape;
+using ::iqro::testing::MakeWorld;
+using ::iqro::testing::TestWorld;
+using ::iqro::testing::WorldOptions;
+
+std::unique_ptr<TestWorld> Chain(int n, uint64_t seed = 1) {
+  WorldOptions o;
+  o.num_relations = n;
+  o.shape = GraphShape::kChain;
+  o.seed = seed;
+  return MakeWorld(o);
+}
+
+TEST(EnumeratorTest, SingleRelationLeaf) {
+  auto w = Chain(1);
+  const auto& alts = w->enumerator->Split(0b1, kPropNone);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(alts[0].logop, LogOp::kScan);
+  EXPECT_EQ(alts[0].phyop, PhysOp::kSeqScan);
+  EXPECT_EQ(alts[0].NumChildren(), 0);
+}
+
+TEST(EnumeratorTest, TwoWayJoinMenu) {
+  WorldOptions o;
+  o.num_relations = 2;
+  o.index_probability = 1.0;  // force indexes so INLJ appears
+  auto w = MakeWorld(o);
+  const auto& alts = w->enumerator->Split(0b11, kPropNone);
+  int hash = 0;
+  int smj = 0;
+  int inlj = 0;
+  for (const Alt& a : alts) {
+    EXPECT_EQ(a.logop, LogOp::kJoin);
+    EXPECT_EQ(a.lexpr | a.rexpr, 0b11u);
+    EXPECT_TRUE(RelDisjoint(a.lexpr, a.rexpr));
+    switch (a.phyop) {
+      case PhysOp::kHashJoin:
+        ++hash;
+        break;
+      case PhysOp::kSortMergeJoin:
+        ++smj;
+        break;
+      case PhysOp::kIndexNLJoin:
+        ++inlj;
+        break;
+      default:
+        FAIL() << "unexpected operator";
+    }
+  }
+  EXPECT_EQ(hash, 2);  // both build sides
+  EXPECT_EQ(smj, 1);   // one per equality edge
+  EXPECT_GE(inlj, 1);  // at least one indexed inner
+}
+
+TEST(EnumeratorTest, SortedDemandHasEnforcer) {
+  auto w = Chain(3);
+  // Demand the root sorted on r0.c0 (a join column).
+  PropId sorted = w->props.InternSorted({0, 0});
+  const auto& alts = w->enumerator->Split(0b111, sorted);
+  bool has_sort = false;
+  for (const Alt& a : alts) {
+    if (a.logop == LogOp::kSort) {
+      has_sort = true;
+      EXPECT_EQ(a.lexpr, 0b111u);
+      EXPECT_EQ(a.lprop, kPropNone);
+      EXPECT_EQ(a.NumChildren(), 1);
+    } else {
+      // Only sort-merge joins can deliver an order.
+      EXPECT_EQ(a.phyop, PhysOp::kSortMergeJoin);
+    }
+  }
+  EXPECT_TRUE(has_sort);
+}
+
+TEST(EnumeratorTest, SMJDemandsSortedChildren) {
+  auto w = Chain(2);
+  const auto& alts = w->enumerator->Split(0b11, kPropNone);
+  for (const Alt& a : alts) {
+    if (a.phyop != PhysOp::kSortMergeJoin) continue;
+    const Prop& lp = w->props.Get(a.lprop);
+    const Prop& rp = w->props.Get(a.rprop);
+    EXPECT_EQ(lp.kind, Prop::Kind::kSorted);
+    EXPECT_EQ(rp.kind, Prop::Kind::kSorted);
+    // The sort columns are the two sides of the join edge.
+    EXPECT_NE(lp.col.rel, rp.col.rel);
+  }
+}
+
+TEST(EnumeratorTest, IndexedLeafOnlyWithIndex) {
+  WorldOptions with;
+  with.num_relations = 2;
+  with.index_probability = 1.0;
+  auto w = MakeWorld(with);
+  PropId indexed = w->props.InternIndexed({0, 0});
+  const auto& alts = w->enumerator->Split(0b01, indexed);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(alts[0].phyop, PhysOp::kIndexRef);
+
+  WorldOptions without;
+  without.num_relations = 2;
+  without.index_probability = 0.0;
+  auto w2 = MakeWorld(without);
+  // No INLJ alternatives appear anywhere in the join menu.
+  for (const Alt& a : w2->enumerator->Split(0b11, kPropNone)) {
+    EXPECT_NE(a.phyop, PhysOp::kIndexNLJoin);
+  }
+}
+
+TEST(EnumeratorTest, NoCrossProducts) {
+  auto w = Chain(4);
+  // {r0, r1} x {r2, r3} is fine, but {r0, r2} is not connected: it should
+  // never appear as an operand.
+  const auto& alts = w->enumerator->Split(0b1111, kPropNone);
+  EXPECT_FALSE(alts.empty());
+  for (const Alt& a : alts) {
+    EXPECT_TRUE(w->graph->IsConnected(a.lexpr)) << RelSetToString(a.lexpr);
+    EXPECT_TRUE(w->graph->IsConnected(a.rexpr)) << RelSetToString(a.rexpr);
+  }
+}
+
+TEST(EnumeratorTest, NonEquiOnlyPartitionsGetNestedLoop) {
+  auto w = Chain(2);
+  // Rebuild the query with a non-equality join.
+  w->query.joins[0].op = PredOp::kLt;
+  w->graph = std::make_unique<JoinGraph>(w->query);
+  PropTable props;
+  PlanEnumerator e(&w->query, w->graph.get(), &w->catalog, &props);
+  const auto& alts = e.Split(0b11, kPropNone);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(alts[0].phyop, PhysOp::kNestedLoopJoin);
+}
+
+TEST(EnumeratorTest, SplitIsMemoizedAndDeterministic) {
+  auto w1 = Chain(4, 7);
+  auto w2 = Chain(4, 7);
+  const auto& a1 = w1->enumerator->Split(0b1111, kPropNone);
+  const auto& a2 = w2->enumerator->Split(0b1111, kPropNone);
+  ASSERT_EQ(a1.size(), a2.size());
+  for (size_t i = 0; i < a1.size(); ++i) EXPECT_TRUE(a1[i] == a2[i]) << i;
+  // Same object back on repeated calls.
+  EXPECT_EQ(&w1->enumerator->Split(0b1111, kPropNone), &a1);
+}
+
+TEST(EnumeratorTest, FullSpaceCountsChainGrowth) {
+  int64_t prev_alts = 0;
+  for (int n = 2; n <= 6; ++n) {
+    auto w = Chain(n, 3);
+    auto size = w->enumerator->CountFullSpace();
+    EXPECT_GT(size.eps, 0);
+    EXPECT_GT(size.alts, size.eps / 2);
+    EXPECT_GT(size.alts, prev_alts);  // space grows with query size
+    prev_alts = size.alts;
+  }
+}
+
+TEST(EnumeratorTest, FullSpaceCoversAllConnectedSubsets) {
+  auto w = Chain(4);
+  auto size = w->enumerator->CountFullSpace();
+  // At minimum every connected subset appears with the empty property.
+  auto by_size = w->graph->ConnectedSubsetsBySize();
+  int64_t connected = 0;
+  for (const auto& g : by_size) connected += static_cast<int64_t>(g.size());
+  EXPECT_GE(size.eps, connected);
+}
+
+TEST(PlanTreeTest, CloneAndSameShape) {
+  PlanTree t;
+  t.expr = 0b11;
+  t.alt.logop = LogOp::kJoin;
+  t.alt.phyop = PhysOp::kHashJoin;
+  t.left = std::make_unique<PlanTree>();
+  t.left->expr = 0b01;
+  t.right = std::make_unique<PlanTree>();
+  t.right->expr = 0b10;
+  auto copy = t.Clone();
+  EXPECT_TRUE(t.SameShape(*copy));
+  copy->right->expr = 0b11;
+  EXPECT_FALSE(t.SameShape(*copy));
+}
+
+}  // namespace
+}  // namespace iqro

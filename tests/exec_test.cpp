@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/systemr.h"
+#include "exec/executor.h"
+#include "exec/feedback.h"
+#include "query/query_builder.h"
+#include "workload/context.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace iqro {
+namespace {
+
+/// Builds a left-deep plan over the query's relations in slot order using
+/// the given join operator — an executor path independent of the optimizer,
+/// used for cross-plan agreement checks.
+std::unique_ptr<PlanTree> LeftDeepPlan(const QueryContext& ctx, PhysOp join_op) {
+  auto leaf = [&](int rel) {
+    auto n = std::make_unique<PlanTree>();
+    n->expr = RelSingleton(rel);
+    n->prop = kPropNone;
+    n->alt.logop = LogOp::kScan;
+    n->alt.phyop = PhysOp::kSeqScan;
+    return n;
+  };
+  std::unique_ptr<PlanTree> acc = leaf(0);
+  for (int r = 1; r < ctx.query.num_relations(); ++r) {
+    auto right = leaf(r);
+    auto join = std::make_unique<PlanTree>();
+    join->expr = acc->expr | right->expr;
+    join->prop = kPropNone;
+    join->alt.logop = LogOp::kJoin;
+    join->alt.phyop = join_op;
+    join->alt.lexpr = acc->expr;
+    join->alt.rexpr = right->expr;
+    auto cross = ctx.graph->CrossEdges(acc->expr, right->expr);
+    EXPECT_FALSE(cross.empty()) << "slot order must follow the join graph";
+    join->alt.edge = static_cast<int16_t>(cross.front());
+    join->left = std::move(acc);
+    join->right = std::move(right);
+    acc = std::move(join);
+  }
+  return acc;
+}
+
+std::vector<Row> SortedRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Hand-checkable micro tables
+// ---------------------------------------------------------------------------
+
+class MicroExecTest : public ::testing::Test {
+ protected:
+  MicroExecTest() {
+    Schema s1;
+    s1.name = "left_t";
+    s1.columns = {{"id", ColumnType::kInt}, {"v", ColumnType::kInt}};
+    Schema s2;
+    s2.name = "right_t";
+    s2.columns = {{"fk", ColumnType::kInt}, {"w", ColumnType::kInt}};
+    catalog_.CreateTable(s1);
+    catalog_.CreateTable(s2);
+    Table& l = catalog_.table("left_t");
+    l.AppendRow(std::vector<int64_t>{1, 10});
+    l.AppendRow(std::vector<int64_t>{2, 20});
+    l.AppendRow(std::vector<int64_t>{3, 30});
+    Table& r = catalog_.table("right_t");
+    r.AppendRow(std::vector<int64_t>{1, 100});
+    r.AppendRow(std::vector<int64_t>{1, 101});
+    r.AppendRow(std::vector<int64_t>{3, 103});
+    r.AppendRow(std::vector<int64_t>{4, 104});
+    r.BuildIndex(0);
+    l.BuildIndex(0);
+  }
+
+  QueryContext MakeCtx(QuerySpec q) {
+    QueryContext ctx;
+    ctx.query = std::move(q);
+    ctx.graph = std::make_unique<JoinGraph>(ctx.query);
+    return ctx;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(MicroExecTest, HashJoinMatchesExpected) {
+  QueryBuilder b("q", &catalog_);
+  b.AddRelation("left_t", "l");
+  b.AddRelation("right_t", "r");
+  b.Join("l", "id", "r", "fk");
+  QueryContext ctx = MakeCtx(b.Build());
+  Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
+
+  // Build the two-way hash join by hand (build = left).
+  auto plan = LeftDeepPlan(ctx, PhysOp::kHashJoin);
+  auto result = exec.Execute(*plan);
+  // Matches: (1,10,1,100), (1,10,1,101), (3,30,3,103).
+  ASSERT_EQ(result.rows.size(), 3u);
+  auto rows = SortedRows(result.rows);
+  EXPECT_EQ(rows[0], (Row{1, 10, 1, 100}));
+  EXPECT_EQ(rows[1], (Row{1, 10, 1, 101}));
+  EXPECT_EQ(rows[2], (Row{3, 30, 3, 103}));
+}
+
+TEST_F(MicroExecTest, AllJoinOperatorsAgree) {
+  QueryBuilder b("q", &catalog_);
+  b.AddRelation("left_t", "l");
+  b.AddRelation("right_t", "r");
+  b.Join("l", "id", "r", "fk");
+  QueryContext ctx = MakeCtx(b.Build());
+  Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
+
+  auto hash_rows = SortedRows(exec.Execute(*LeftDeepPlan(ctx, PhysOp::kHashJoin)).rows);
+  auto smj_rows = SortedRows(exec.Execute(*LeftDeepPlan(ctx, PhysOp::kSortMergeJoin)).rows);
+  EXPECT_EQ(hash_rows, smj_rows);
+
+  // Index-NL: inner = left_t (indexed on id), outer = right_t.
+  auto inlj = std::make_unique<PlanTree>();
+  inlj->expr = 0b11;
+  inlj->alt.logop = LogOp::kJoin;
+  inlj->alt.phyop = PhysOp::kIndexNLJoin;
+  inlj->alt.lexpr = 0b01;
+  inlj->alt.rexpr = 0b10;
+  inlj->alt.edge = 0;
+  inlj->left = std::make_unique<PlanTree>();
+  inlj->left->expr = 0b01;
+  inlj->left->alt.logop = LogOp::kScan;
+  inlj->left->alt.phyop = PhysOp::kIndexRef;
+  inlj->right = std::make_unique<PlanTree>();
+  inlj->right->expr = 0b10;
+  inlj->right->alt.logop = LogOp::kScan;
+  inlj->right->alt.phyop = PhysOp::kSeqScan;
+  auto inlj_rows = SortedRows(exec.Execute(*inlj).rows);
+  EXPECT_EQ(hash_rows, inlj_rows);
+}
+
+TEST_F(MicroExecTest, NonEquiNestedLoop) {
+  QueryBuilder b("q", &catalog_);
+  b.AddRelation("left_t", "l");
+  b.AddRelation("right_t", "r");
+  b.Join("l", "id", "r", "fk", PredOp::kGt);  // id > fk
+  QueryContext ctx = MakeCtx(b.Build());
+  Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
+  auto result = exec.Execute(*LeftDeepPlan(ctx, PhysOp::kNestedLoopJoin));
+  // Pairs with id > fk: (2,1)x2, (3,1)x2 -> 4 rows.
+  EXPECT_EQ(result.rows.size(), 4u);
+}
+
+TEST_F(MicroExecTest, LocalPredicatesApplyAtScans) {
+  QueryBuilder b("q", &catalog_);
+  b.AddRelation("left_t", "l");
+  b.AddRelation("right_t", "r");
+  b.Join("l", "id", "r", "fk");
+  b.Filter("r", "w", PredOp::kGt, 100);
+  QueryContext ctx = MakeCtx(b.Build());
+  Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
+  auto result = exec.Execute(*LeftDeepPlan(ctx, PhysOp::kHashJoin));
+  ASSERT_EQ(result.rows.size(), 2u);  // w in {101, 103}
+}
+
+TEST_F(MicroExecTest, SortOperatorOrdersRows) {
+  QueryBuilder b("q", &catalog_);
+  b.AddRelation("right_t", "r");
+  QueryContext ctx = MakeCtx(b.Build());
+  Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
+  auto scan = std::make_unique<PlanTree>();
+  scan->expr = 0b1;
+  scan->alt.logop = LogOp::kScan;
+  scan->alt.phyop = PhysOp::kSeqScan;
+  auto sort = std::make_unique<PlanTree>();
+  sort->expr = 0b1;
+  sort->prop = ctx.props.InternSorted({0, 1});  // by w descending order check
+  sort->alt.logop = LogOp::kSort;
+  sort->alt.phyop = PhysOp::kSort;
+  sort->alt.lexpr = 0b1;
+  sort->left = std::move(scan);
+  auto result = exec.Execute(*sort);
+  ASSERT_EQ(result.rows.size(), 4u);
+  for (size_t i = 1; i < result.rows.size(); ++i) {
+    EXPECT_LE(result.rows[i - 1][1], result.rows[i][1]);
+  }
+}
+
+TEST_F(MicroExecTest, AggregationFunctions) {
+  QueryBuilder b("q", &catalog_);
+  b.AddRelation("right_t", "r");
+  b.GroupBy("r", "fk");
+  b.Aggregate(AggFn::kCount);
+  b.Aggregate(AggFn::kSum, "r", "w");
+  b.Aggregate(AggFn::kMin, "r", "w");
+  b.Aggregate(AggFn::kMax, "r", "w");
+  b.Aggregate(AggFn::kCountDistinct, "r", "w");
+  QueryContext ctx = MakeCtx(b.Build());
+  Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
+  auto scan = std::make_unique<PlanTree>();
+  scan->expr = 0b1;
+  scan->alt.logop = LogOp::kScan;
+  scan->alt.phyop = PhysOp::kSeqScan;
+  auto result = exec.Execute(*scan);
+  auto rows = SortedRows(result.rows);
+  // Groups: fk=1 -> {100,101}; fk=3 -> {103}; fk=4 -> {104}.
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (Row{1, 2, 201, 100, 101, 2}));
+  EXPECT_EQ(rows[1], (Row{3, 1, 103, 103, 103, 1}));
+  EXPECT_EQ(rows[2], (Row{4, 1, 104, 104, 104, 1}));
+}
+
+TEST_F(MicroExecTest, ObservedCardinalities) {
+  QueryBuilder b("q", &catalog_);
+  b.AddRelation("left_t", "l");
+  b.AddRelation("right_t", "r");
+  b.Join("l", "id", "r", "fk");
+  QueryContext ctx = MakeCtx(b.Build());
+  Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
+  auto result = exec.Execute(*LeftDeepPlan(ctx, PhysOp::kHashJoin));
+  ASSERT_EQ(result.observed.size(), 3u);
+  EXPECT_EQ(result.observed[0].expr, 0b01u);
+  EXPECT_EQ(result.observed[0].rows, 3);  // left_t scan
+  EXPECT_EQ(result.observed[1].expr, 0b10u);
+  EXPECT_EQ(result.observed[1].rows, 4);  // right_t scan
+  EXPECT_EQ(result.observed[2].expr, 0b11u);
+  EXPECT_EQ(result.observed[2].rows, 3);  // join output
+}
+
+TEST_F(MicroExecTest, FeedbackMakesSummariesMatchObservations) {
+  QueryBuilder b("q", &catalog_);
+  b.AddRelation("left_t", "l");
+  b.AddRelation("right_t", "r");
+  b.Join("l", "id", "r", "fk");
+  QueryContext ctx = MakeCtx(b.Build());
+  ctx.registry.Reset(2);
+  ctx.registry.SetBaseRows(0, 3);
+  ctx.registry.SetBaseRows(1, 4);
+  ctx.registry.AddEdge(0b11, 0.5);  // wrong guess: estimates 6 rows
+  ctx.registry.Freeze();
+  Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
+  auto result = exec.Execute(*LeftDeepPlan(ctx, PhysOp::kHashJoin));
+  ApplyObservedCardinalities(result.observed, &ctx.registry);
+  SummaryCalculator calc(&ctx.registry);
+  EXPECT_NEAR(calc.Get(0b01).rows, 3, 1e-6);
+  EXPECT_NEAR(calc.Get(0b10).rows, 4, 1e-6);
+  EXPECT_NEAR(calc.Get(0b11).rows, 3, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H cross-plan agreement
+// ---------------------------------------------------------------------------
+
+class TpchExecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    TpchConfig cfg;
+    cfg.scale_factor = 0.002;
+    GenerateTpch(catalog_, cfg);
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* TpchExecTest::catalog_ = nullptr;
+
+TEST_F(TpchExecTest, OptimizedPlanAgreesWithLeftDeepHash) {
+  auto stats = CollectCatalogStats(*catalog_);
+  for (const char* name : {"Q3S", "Q5S"}) {
+    auto ctx = MakeQueryContext(catalog_, MakeTpchQuery(catalog_, name), stats);
+    SystemROptimizer opt(ctx->enumerator.get(), ctx->cost_model.get());
+    opt.Optimize();
+    auto best = opt.GetBestPlan();
+    Executor exec(catalog_, &ctx->query, ctx->graph.get(), &ctx->props);
+    auto optimized = SortedRows(exec.Execute(*best).rows);
+    auto reference = SortedRows(exec.Execute(*LeftDeepPlan(*ctx, PhysOp::kHashJoin)).rows);
+    EXPECT_EQ(optimized, reference) << name;
+  }
+}
+
+TEST_F(TpchExecTest, AggregatedQueryProducesGroups) {
+  auto stats = CollectCatalogStats(*catalog_);
+  auto ctx = MakeQueryContext(catalog_, MakeTpchQuery(catalog_, "Q1"), stats);
+  SystemROptimizer opt(ctx->enumerator.get(), ctx->cost_model.get());
+  opt.Optimize();
+  Executor exec(catalog_, &ctx->query, ctx->graph.get(), &ctx->props);
+  auto result = exec.Execute(*opt.GetBestPlan());
+  // Q1 groups by (returnflag, linestatus): at most 3 x 2 groups.
+  EXPECT_GE(result.rows.size(), 2u);
+  EXPECT_LE(result.rows.size(), 6u);
+  // Row layout: 2 keys + 3 aggregates.
+  ASSERT_FALSE(result.rows.empty());
+  EXPECT_EQ(result.rows[0].size(), 5u);
+}
+
+TEST_F(TpchExecTest, FeedbackRoundTripOnQ3S) {
+  auto stats = CollectCatalogStats(*catalog_);
+  auto ctx = MakeQueryContext(catalog_, MakeTpchQuery(catalog_, "Q3S"), stats);
+  SystemROptimizer opt(ctx->enumerator.get(), ctx->cost_model.get());
+  opt.Optimize();
+  Executor exec(catalog_, &ctx->query, ctx->graph.get(), &ctx->props);
+  auto result = exec.Execute(*opt.GetBestPlan(), /*collect_rows=*/false);
+  ApplyObservedCardinalities(result.observed, &ctx->registry);
+  // After feedback, estimates for the observed expressions match reality.
+  for (const auto& oc : result.observed) {
+    EXPECT_NEAR(ctx->summaries->Get(oc.expr).rows, std::max<int64_t>(oc.rows, 1), 1.0)
+        << RelSetToString(oc.expr);
+  }
+  EXPECT_TRUE(ctx->registry.HasPending());  // deltas ready for the re-optimizer
+}
+
+}  // namespace
+}  // namespace iqro

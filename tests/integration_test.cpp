@@ -1,0 +1,272 @@
+// Cross-module integration: the Appendix-A optimizer rules executed on the
+// generic datalog engine agree with dynamic programming; enumerator
+// output is structurally sound across random worlds; full pipeline from
+// data generation through optimization to execution and feedback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baseline/systemr.h"
+#include "core/declarative_optimizer.h"
+#include "datalog/engine.h"
+#include "exec/executor.h"
+#include "exec/feedback.h"
+#include "test_util.h"
+#include "workload/context.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace iqro {
+namespace {
+
+using ::iqro::testing::GraphShape;
+using ::iqro::testing::MakeWorld;
+using ::iqro::testing::WorldOptions;
+
+// ---------------------------------------------------------------------------
+// The optimizer-as-datalog program (example-sized), checked against a
+// direct dynamic program.
+// ---------------------------------------------------------------------------
+
+struct MiniOptimizerProgram {
+  datalog::DatalogEngine engine;
+  datalog::RelId expr, scan_cost, join_local, search, plan_cost, pc_proj, best_cost;
+
+  explicit MiniOptimizerProgram(const std::map<RelSet, int64_t>& costs) {
+    using datalog::Generator;
+    using datalog::Rule;
+    using datalog::Term;
+    using datalog::Value;
+    expr = engine.AddRelation("Expr", 1);
+    scan_cost = engine.AddRelation("ScanCost", 2);
+    join_local = engine.AddRelation("JoinLocal", 2);
+    search = engine.AddRelation("SearchSpace", 4);
+    plan_cost = engine.AddRelation("PlanCost", 3);
+    pc_proj = engine.AddRelation("PlanCostProj", 2);
+    best_cost = engine.AddRelation("BestCost", 2);
+
+    Generator split;
+    split.out_vars = {1, 2, 3};
+    split.fn = [](const std::vector<Value>& env) {
+      RelSet s = static_cast<RelSet>(env[0]);
+      std::vector<std::vector<Value>> rows;
+      if (RelCount(s) == 1) {
+        rows.push_back({0, 0, 0});
+        return rows;
+      }
+      Value index = 1;
+      RelForEachHalfPartition(s, [&](RelSet left) {
+        // Chain connectivity over three relations.
+        auto connected = [](RelSet x) {
+          return x == 0b001 || x == 0b010 || x == 0b100 || x == 0b011 || x == 0b110 ||
+                 x == 0b111;
+        };
+        RelSet right = s ^ left;
+        if (!connected(left) || !connected(right)) return;
+        rows.push_back({index++, static_cast<Value>(left), static_cast<Value>(right)});
+      });
+      return rows;
+    };
+    {
+      Rule r;  // R1
+      r.head = {search, {Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)}};
+      r.body = {{expr, {Term::Var(0)}}};
+      r.generators_after[0].push_back(split);
+      r.num_vars = 4;
+      engine.AddRule(r);
+    }
+    for (int side : {2, 3}) {  // R2/R3
+      Rule r;
+      r.head = {search, {Term::Var(4), Term::Var(5), Term::Var(6), Term::Var(7)}};
+      r.body = {{search, {Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)}}};
+      r.guards_after[0].push_back({[side](const std::vector<Value>& env) {
+        return env[static_cast<size_t>(side)] != 0;
+      }});
+      Generator bind;
+      bind.out_vars = {4};
+      bind.fn = [side](const std::vector<Value>& env) {
+        return std::vector<std::vector<Value>>{{env[static_cast<size_t>(side)]}};
+      };
+      Generator child_split = split;
+      child_split.out_vars = {5, 6, 7};
+      child_split.fn = [fn = split.fn](const std::vector<Value>& env) { return fn({env[4]}); };
+      r.generators_after[0].push_back(bind);
+      r.generators_after[0].push_back(child_split);
+      r.num_vars = 8;
+      engine.AddRule(r);
+    }
+    {
+      Rule r;  // R6
+      r.head = {plan_cost, {Term::Var(0), Term::Var(1), Term::Var(2)}};
+      r.body = {{search, {Term::Var(0), Term::Var(1), Term::Const(0), Term::Const(0)}},
+                {scan_cost, {Term::Var(0), Term::Var(2)}}};
+      r.num_vars = 3;
+      engine.AddRule(r);
+    }
+    {
+      Rule r;  // R8
+      r.head = {plan_cost, {Term::Var(0), Term::Var(1), Term::Var(7)}};
+      r.body = {{search, {Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)}},
+                {best_cost, {Term::Var(2), Term::Var(4)}},
+                {best_cost, {Term::Var(3), Term::Var(5)}},
+                {join_local, {Term::Var(0), Term::Var(6)}}};
+      r.guards_after[0].push_back({[](const std::vector<Value>& env) { return env[2] != 0; }});
+      Generator sum;
+      sum.out_vars = {7};
+      sum.fn = [](const std::vector<Value>& env) {
+        return std::vector<std::vector<Value>>{{env[4] + env[5] + env[6]}};
+      };
+      r.generators_after[3].push_back(sum);
+      r.num_vars = 8;
+      engine.AddRule(r);
+    }
+    {
+      Rule r;  // projection for R9
+      r.head = {pc_proj, {Term::Var(0), Term::Var(2)}};
+      r.body = {{plan_cost, {Term::Var(0), Term::Var(1), Term::Var(2)}}};
+      r.num_vars = 3;
+      engine.AddRule(r);
+    }
+    engine.AddMinAggRule(best_cost, pc_proj, 1);  // R9
+
+    engine.Insert(expr, {0b111});
+    for (auto& [s, c] : costs) {
+      if (RelCount(s) == 1) {
+        engine.Insert(scan_cost, {static_cast<datalog::Value>(s), c});
+      } else {
+        engine.Insert(join_local, {static_cast<datalog::Value>(s), c});
+      }
+    }
+    engine.Evaluate();
+  }
+
+  int64_t BestOf(RelSet s) {
+    for (const datalog::Tuple& t : engine.Facts(best_cost)) {
+      if (t[0] == static_cast<datalog::Value>(s)) return t[1];
+    }
+    return -1;
+  }
+};
+
+int64_t ChainDp(const std::map<RelSet, int64_t>& costs, RelSet s) {
+  if (RelCount(s) == 1) return costs.at(s);
+  // Only connected splits of the 3-chain.
+  int64_t best = INT64_MAX;
+  RelForEachHalfPartition(s, [&](RelSet left) {
+    auto connected = [](RelSet x) {
+      return x == 0b001 || x == 0b010 || x == 0b100 || x == 0b011 || x == 0b110 || x == 0b111;
+    };
+    RelSet right = s ^ left;
+    if (!connected(left) || !connected(right)) return;
+    best = std::min(best, ChainDp(costs, left) + ChainDp(costs, right) + costs.at(s));
+  });
+  return best;
+}
+
+TEST(DatalogOptimizerTest, MatchesDynamicProgramming) {
+  std::map<RelSet, int64_t> costs = {{0b001, 100}, {0b010, 40}, {0b100, 300},
+                                     {0b011, 25},  {0b110, 60}, {0b111, 10}};
+  MiniOptimizerProgram p(costs);
+  EXPECT_EQ(p.BestOf(0b111), ChainDp(costs, 0b111));
+  EXPECT_EQ(p.BestOf(0b011), ChainDp(costs, 0b011));
+  EXPECT_EQ(p.BestOf(0b110), ChainDp(costs, 0b110));
+}
+
+TEST(DatalogOptimizerTest, IncrementalCostUpdateMatchesDp) {
+  std::map<RelSet, int64_t> costs = {{0b001, 100}, {0b010, 40}, {0b100, 300},
+                                     {0b011, 25},  {0b110, 60}, {0b111, 10}};
+  MiniOptimizerProgram p(costs);
+  // Drop relation {2}'s scan cost 300 -> 30 and maintain incrementally.
+  p.engine.Remove(p.scan_cost, {0b100, 300});
+  p.engine.Insert(p.scan_cost, {0b100, 30});
+  p.engine.Evaluate();
+  costs[0b100] = 30;
+  EXPECT_EQ(p.BestOf(0b111), ChainDp(costs, 0b111));
+  // Raise a join's local cost and check again.
+  p.engine.Remove(p.join_local, {0b011, 25});
+  p.engine.Insert(p.join_local, {0b011, 250});
+  p.engine.Evaluate();
+  costs[0b011] = 250;
+  EXPECT_EQ(p.BestOf(0b111), ChainDp(costs, 0b111));
+  EXPECT_EQ(p.BestOf(0b011), ChainDp(costs, 0b011));
+}
+
+// ---------------------------------------------------------------------------
+// Enumerator structural properties across random worlds.
+// ---------------------------------------------------------------------------
+
+TEST(EnumeratorPropertyTest, AlternativesAreWellFormedEverywhere) {
+  for (uint64_t seed : {3ull, 4ull, 5ull}) {
+    for (GraphShape shape : {GraphShape::kChain, GraphShape::kStar, GraphShape::kClique}) {
+      WorldOptions wo;
+      wo.num_relations = 5;
+      wo.shape = shape;
+      wo.seed = seed;
+      auto world = MakeWorld(wo);
+      // Walk the full space; every alternative must reconstruct its pair.
+      std::vector<EPKey> stack{world->enumerator->RootKey()};
+      std::set<EPKey> seen{stack[0]};
+      while (!stack.empty()) {
+        EPKey key = stack.back();
+        stack.pop_back();
+        for (const Alt& a : world->enumerator->Split(EPExpr(key), EPProp(key))) {
+          if (a.logop == LogOp::kJoin) {
+            ASSERT_EQ(a.lexpr | a.rexpr, EPExpr(key));
+            ASSERT_TRUE(RelDisjoint(a.lexpr, a.rexpr));
+            ASSERT_GE(a.edge, a.phyop == PhysOp::kNestedLoopJoin ? -1 : 0);
+          } else if (a.logop == LogOp::kSort) {
+            ASSERT_EQ(a.lexpr, EPExpr(key));
+            ASSERT_EQ(a.lprop, kPropNone);
+            ASSERT_NE(EPProp(key), kPropNone);
+          }
+          for (int s = 0; s < a.NumChildren(); ++s) {
+            EPKey child = s == 0 ? MakeEPKey(a.lexpr, a.lprop) : MakeEPKey(a.rexpr, a.rprop);
+            if (seen.insert(child).second) stack.push_back(child);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline: generate -> optimize -> execute -> feed back -> re-optimize
+// -> execute, results stable.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTest, EndToEndQ3S) {
+  Catalog catalog;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  cfg.zipf_theta = 0.5;
+  GenerateTpch(&catalog, cfg);
+  auto ctx = MakeQueryContext(&catalog, MakeTpchQuery(&catalog, "Q3S"),
+                              CollectCatalogStats(catalog));
+  DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry);
+  opt.Optimize();
+  Executor exec(&catalog, &ctx->query, ctx->graph.get(), &ctx->props);
+
+  auto r1 = exec.Execute(*opt.GetBestPlan());
+  ApplyObservedCardinalities(r1.observed, &ctx->registry);
+  opt.Reoptimize();
+  opt.ValidateInvariants();
+  auto r2 = exec.Execute(*opt.GetBestPlan());
+  // Plan changes must never change results.
+  auto sorted1 = r1.rows;
+  auto sorted2 = r2.rows;
+  std::sort(sorted1.begin(), sorted1.end());
+  std::sort(sorted2.begin(), sorted2.end());
+  EXPECT_EQ(sorted1, sorted2);
+  // With feedback applied, estimates equal observations.
+  for (const auto& oc : r2.observed) {
+    EXPECT_NEAR(ctx->summaries->Get(oc.expr).rows, std::max<int64_t>(1, oc.rows), 1.5);
+  }
+  // And the incremental answer still matches ground truth.
+  SystemROptimizer sr(ctx->enumerator.get(), ctx->cost_model.get());
+  sr.Optimize();
+  EXPECT_NEAR(opt.BestCost(), sr.BestCost(), 1e-9 * sr.BestCost());
+}
+
+}  // namespace
+}  // namespace iqro

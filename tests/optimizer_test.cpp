@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "baseline/systemr.h"
+#include "baseline/volcano.h"
+#include "core/declarative_optimizer.h"
+#include "core/rules.h"
+#include "test_util.h"
+
+namespace iqro {
+namespace {
+
+using ::iqro::testing::ApplyRandomStatUpdate;
+using ::iqro::testing::GraphShape;
+using ::iqro::testing::GraphShapeName;
+using ::iqro::testing::MakeWorld;
+using ::iqro::testing::TestWorld;
+using ::iqro::testing::WorldOptions;
+
+constexpr double kRelTol = 1e-9;
+
+void ExpectClose(double a, double b, const std::string& what) {
+  EXPECT_NEAR(a, b, kRelTol * std::max({1.0, std::abs(a), std::abs(b)})) << what;
+}
+
+/// Recomputes a plan tree's cumulative cost from the cost model, verifying
+/// the optimizer's arithmetic end to end.
+double RecomputeTreeCost(const PlanTree& t, const CostModel& model) {
+  double local;
+  switch (t.alt.logop) {
+    case LogOp::kScan:
+      local = model.ScanCost(RelLowest(t.expr), t.alt.phyop);
+      break;
+    case LogOp::kSort:
+      local = model.SortLocalCost(t.expr);
+      break;
+    case LogOp::kJoin:
+      local = model.JoinLocalCost(t.alt.phyop, t.alt.lexpr, t.alt.rexpr);
+      break;
+    default:
+      ADD_FAILURE();
+      return 0;
+  }
+  double total = local;
+  if (t.left != nullptr) total += RecomputeTreeCost(*t.left, model);
+  if (t.right != nullptr) total += RecomputeTreeCost(*t.right, model);
+  return total;
+}
+
+std::vector<std::pair<std::string, OptimizerOptions>> AllOptionSets() {
+  std::vector<std::pair<std::string, OptimizerOptions>> sets = {
+      {"all", OptimizerOptions::Default()},
+      {"aggsel", OptimizerOptions::UseAggSel()},
+      {"aggsel+refcount", OptimizerOptions::UseAggSelRefCount()},
+      {"aggsel+bounding", OptimizerOptions::UseAggSelBounding()},
+      {"evita", OptimizerOptions::UseEvitaRaced()},
+      {"nopruning", OptimizerOptions::UseNoPruning()},
+  };
+  OptimizerOptions fifo = OptimizerOptions::Default();
+  fifo.discipline = QueueDiscipline::kFifo;
+  sets.emplace_back("all-fifo", fifo);
+  return sets;
+}
+
+struct Scenario {
+  GraphShape shape;
+  int num_relations;
+  uint64_t seed;
+};
+
+class OptimizerEquivalenceTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(OptimizerEquivalenceTest, InitialOptimizationAgreesAcrossImplementations) {
+  const Scenario& sc = GetParam();
+  WorldOptions wo;
+  wo.shape = sc.shape;
+  wo.num_relations = sc.num_relations;
+  wo.seed = sc.seed;
+  auto world = MakeWorld(wo);
+
+  SystemROptimizer systemr(world->enumerator.get(), world->cost_model.get());
+  systemr.Optimize();
+  const double truth = systemr.BestCost();
+  ASSERT_TRUE(std::isfinite(truth));
+
+  VolcanoOptimizer volcano(world->enumerator.get(), world->cost_model.get());
+  volcano.Optimize();
+  ExpectClose(volcano.BestCost(), truth, "volcano vs systemr");
+
+  for (const auto& [name, options] : AllOptionSets()) {
+    DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry, options);
+    opt.Optimize();
+    ExpectClose(opt.BestCost(), truth, "declarative(" + name + ") vs systemr");
+    opt.ValidateInvariants();
+    auto plan = opt.GetBestPlan();
+    ExpectClose(RecomputeTreeCost(*plan, *world->cost_model), truth,
+                "plan recompute (" + name + ")");
+  }
+}
+
+TEST_P(OptimizerEquivalenceTest, IncrementalReoptimizationMatchesFromScratch) {
+  const Scenario& sc = GetParam();
+  WorldOptions wo;
+  wo.shape = sc.shape;
+  wo.num_relations = sc.num_relations;
+  wo.seed = sc.seed;
+
+  for (const auto& [name, options] : AllOptionSets()) {
+    auto world = MakeWorld(wo);
+    DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry, options);
+    opt.Optimize();
+
+    Rng rng(sc.seed * 7919 + 17);
+    for (int round = 0; round < 8; ++round) {
+      int updates = 1 + static_cast<int>(rng.NextBelow(3));
+      for (int u = 0; u < updates; ++u) ApplyRandomStatUpdate(world.get(), rng);
+      opt.Reoptimize();
+      opt.ValidateInvariants();
+
+      SystemROptimizer fresh(world->enumerator.get(), world->cost_model.get());
+      fresh.Optimize();
+      ExpectClose(opt.BestCost(), fresh.BestCost(),
+                  "round " + std::to_string(round) + " options=" + name);
+      auto plan = opt.GetBestPlan();
+      ExpectClose(RecomputeTreeCost(*plan, *world->cost_model), fresh.BestCost(),
+                  "plan recompute round " + std::to_string(round) + " options=" + name);
+    }
+  }
+}
+
+std::vector<Scenario> MakeScenarios() {
+  std::vector<Scenario> out;
+  for (GraphShape shape : {GraphShape::kChain, GraphShape::kStar, GraphShape::kCycle,
+                           GraphShape::kClique}) {
+    for (int n : {2, 3, 4, 5}) {
+      for (uint64_t seed : {1ull, 2ull}) out.push_back({shape, n, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OptimizerEquivalenceTest,
+                         ::testing::ValuesIn(MakeScenarios()),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           return std::string(GraphShapeName(info.param.shape)) + "_n" +
+                                  std::to_string(info.param.num_relations) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+class OptimizerBehaviorTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<TestWorld> MakeChain(int n, uint64_t seed = 5) {
+    WorldOptions wo;
+    wo.shape = GraphShape::kChain;
+    wo.num_relations = n;
+    wo.seed = seed;
+    return MakeWorld(wo);
+  }
+};
+
+TEST_F(OptimizerBehaviorTest, OptimizeIsIdempotent) {
+  auto world = MakeChain(4);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  double c = opt.BestCost();
+  opt.Optimize();
+  EXPECT_EQ(opt.BestCost(), c);
+}
+
+TEST_F(OptimizerBehaviorTest, ReoptimizeWithoutChangesIsFreeAndStable) {
+  auto world = MakeChain(4);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  double c = opt.BestCost();
+  opt.Reoptimize();
+  EXPECT_EQ(opt.BestCost(), c);
+  EXPECT_EQ(opt.metrics().round_touched_eps, 0);
+  EXPECT_EQ(opt.metrics().round_touched_alts, 0);
+}
+
+TEST_F(OptimizerBehaviorTest, PruningReducesExplorationVsNoPruning) {
+  auto world = MakeChain(6);
+  DeclarativeOptimizer pruned(world->enumerator.get(), world->cost_model.get(),
+                              &world->registry, OptimizerOptions::Default());
+  pruned.Optimize();
+  DeclarativeOptimizer unpruned(world->enumerator.get(), world->cost_model.get(),
+                                &world->registry, OptimizerOptions::UseNoPruning());
+  unpruned.Optimize();
+  auto full = world->enumerator->CountFullSpace();
+  EXPECT_EQ(unpruned.metrics().eps_enumerated, full.eps);
+  EXPECT_EQ(unpruned.metrics().alts_created, full.alts);
+  EXPECT_LE(pruned.metrics().eps_enumerated, full.eps);
+  EXPECT_LT(pruned.metrics().alts_full_costed, unpruned.metrics().alts_full_costed);
+}
+
+TEST_F(OptimizerBehaviorTest, EvitaNeverPrunesPlanTableEntries) {
+  auto world = MakeChain(5);
+  DeclarativeOptimizer evita(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry, OptimizerOptions::UseEvitaRaced());
+  evita.Optimize();
+  auto full = world->enumerator->CountFullSpace();
+  EXPECT_EQ(evita.metrics().eps_enumerated, full.eps);
+  EXPECT_EQ(evita.NumLiveEps(), full.eps);
+  EXPECT_EQ(evita.metrics().suppressions, 0);
+  EXPECT_EQ(evita.metrics().ep_gcs, 0);
+}
+
+TEST_F(OptimizerBehaviorTest, RefCountingGarbageCollects) {
+  auto world = MakeChain(6);
+  DeclarativeOptimizer with_rc(world->enumerator.get(), world->cost_model.get(),
+                               &world->registry, OptimizerOptions::Default());
+  with_rc.Optimize();
+  DeclarativeOptimizer without_rc(world->enumerator.get(), world->cost_model.get(),
+                                  &world->registry,
+                                  OptimizerOptions::UseAggSelBounding());
+  without_rc.Optimize();
+  EXPECT_GT(with_rc.metrics().ep_gcs, 0);
+  EXPECT_LE(with_rc.NumLiveEps(), without_rc.NumLiveEps());
+}
+
+TEST_F(OptimizerBehaviorTest, TargetedUpdateTouchesSubsetOfState) {
+  auto world = MakeChain(6);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  auto full = world->enumerator->CountFullSpace();
+  // Change the selectivity of the topmost join expression only: the
+  // affected state is a small fraction of the space (paper Fig. 5).
+  world->registry.SetCardMultiplier(world->query.AllRelations(), 4.0);
+  opt.Reoptimize();
+  EXPECT_GT(opt.metrics().round_touched_eps, 0);
+  EXPECT_LT(opt.metrics().round_touched_eps, full.eps / 2);
+  SystemROptimizer fresh(world->enumerator.get(), world->cost_model.get());
+  fresh.Optimize();
+  ExpectClose(opt.BestCost(), fresh.BestCost(), "top-expression update");
+}
+
+TEST_F(OptimizerBehaviorTest, LeafUpdateTouchesMoreThanTopUpdate) {
+  auto world = MakeChain(6);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  world->registry.SetCardMultiplier(world->query.AllRelations(), 2.0);
+  opt.Reoptimize();
+  int64_t top_touched = opt.metrics().round_touched_eps;
+  world->registry.SetJoinSelectivity(0, world->registry.join_selectivity(0) * 2.0);
+  opt.Reoptimize();
+  int64_t leaf_touched = opt.metrics().round_touched_eps;
+  EXPECT_GE(leaf_touched, top_touched);
+}
+
+TEST_F(OptimizerBehaviorTest, DramaticCostSwingFlipsPlan) {
+  auto world = MakeChain(4, 11);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  auto before = opt.GetBestPlan();
+  // Make the first relation's scan catastrophically expensive, then cheap.
+  world->registry.SetScanCostMultiplier(0, 1000.0);
+  opt.Reoptimize();
+  opt.ValidateInvariants();
+  SystemROptimizer fresh1(world->enumerator.get(), world->cost_model.get());
+  fresh1.Optimize();
+  ExpectClose(opt.BestCost(), fresh1.BestCost(), "after raise");
+
+  world->registry.SetScanCostMultiplier(0, 0.1);
+  opt.Reoptimize();
+  opt.ValidateInvariants();
+  SystemROptimizer fresh2(world->enumerator.get(), world->cost_model.get());
+  fresh2.Optimize();
+  ExpectClose(opt.BestCost(), fresh2.BestCost(), "after drop");
+  auto after = opt.GetBestPlan();
+  EXPECT_TRUE(std::isfinite(after->cost));
+  (void)before;
+}
+
+TEST_F(OptimizerBehaviorTest, ReintroductionHappensAfterBestPlanDegrades) {
+  auto world = MakeChain(5, 3);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  int64_t before = opt.metrics().reintroductions;
+  // Degrade every relation the current best plan scans; previously pruned
+  // alternatives must come back (§4.1 re-introduction).
+  for (int r = 0; r < world->registry.num_relations(); ++r) {
+    world->registry.SetScanCostMultiplier(r, r % 2 == 0 ? 50.0 : 1.0);
+  }
+  opt.Reoptimize();
+  SystemROptimizer fresh(world->enumerator.get(), world->cost_model.get());
+  fresh.Optimize();
+  ExpectClose(opt.BestCost(), fresh.BestCost(), "post-degrade");
+  EXPECT_GE(opt.metrics().reintroductions, before);
+}
+
+TEST_F(OptimizerBehaviorTest, MetricsAreInternallyConsistent) {
+  auto world = MakeChain(5);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  const OptMetrics& m = opt.metrics();
+  auto full = world->enumerator->CountFullSpace();
+  EXPECT_LE(m.eps_enumerated, full.eps);
+  EXPECT_LE(m.alts_created, full.alts);
+  EXPECT_LE(m.alts_full_costed, m.alts_created);
+  EXPECT_LE(opt.NumActiveAlts(), m.alts_created);
+  EXPECT_GT(m.steps, 0);
+}
+
+TEST_F(OptimizerBehaviorTest, DumpStateMentionsRootExpression) {
+  auto world = MakeChain(3);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  std::string dump = opt.DumpState();
+  EXPECT_NE(dump.find("{0,1,2}"), std::string::npos);
+}
+
+TEST(RulesTest, FourteenRulesInPaperOrder) {
+  const auto& rules = OptimizerRules();
+  ASSERT_EQ(rules.size(), 14u);
+  EXPECT_EQ(rules[0].name, "R1");
+  EXPECT_EQ(rules[9].name, "R10");
+  EXPECT_EQ(rules[10].name, "r1");
+  EXPECT_EQ(rules[13].name, "r4");
+  for (const auto& r : rules) EXPECT_FALSE(r.text.empty());
+}
+
+TEST(RulesTest, DataflowDotIsWellFormed) {
+  std::string dot = OptimizerDataflowDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("SearchSpace"), std::string::npos);
+  EXPECT_NE(dot.find("PlanCost"), std::string::npos);
+  EXPECT_NE(dot.find("BestCost"), std::string::npos);
+  EXPECT_NE(dot.find("Bound"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iqro

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "query/bind_stats.h"
+#include "stats/summary.h"
+#include "query/join_graph.h"
+#include "query/query_builder.h"
+
+namespace iqro {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog c;
+  for (const char* name : {"customer", "orders", "lineitem"}) {
+    Schema s;
+    s.name = name;
+    s.columns = {{"key", ColumnType::kInt}, {"fk", ColumnType::kInt},
+                 {"flag", ColumnType::kString}};
+    c.CreateTable(s);
+  }
+  return c;
+}
+
+TEST(QueryBuilderTest, ResolvesAliasesAndColumns) {
+  Catalog cat = MakeCatalog();
+  QueryBuilder b("q", &cat);
+  b.AddRelation("customer", "c");
+  b.AddRelation("orders", "o");
+  b.Join("c", "key", "o", "fk");
+  b.FilterStr("c", "flag", PredOp::kEq, "MACHINERY");
+  b.Project("o", "key");
+  QuerySpec q = b.Build();
+  EXPECT_EQ(q.num_relations(), 2);
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(q.joins[0].left_rel, 0);
+  EXPECT_EQ(q.joins[0].left_col, 0);
+  EXPECT_EQ(q.joins[0].right_rel, 1);
+  EXPECT_EQ(q.joins[0].right_col, 1);
+  ASSERT_EQ(q.locals.size(), 1u);
+  EXPECT_EQ(q.locals[0].rel, 0);
+  EXPECT_EQ(q.locals[0].value, cat.dict().Lookup("MACHINERY"));
+  ASSERT_EQ(q.projections.size(), 1u);
+  EXPECT_EQ(q.projections[0].rel, 1);
+}
+
+TEST(QueryBuilderTest, SelfJoinUsesDistinctSlots) {
+  Catalog cat = MakeCatalog();
+  QueryBuilder b("self", &cat);
+  b.AddRelation("orders", "o1");
+  b.AddRelation("orders", "o2");
+  b.Join("o1", "key", "o2", "key");
+  QuerySpec q = b.Build();
+  EXPECT_EQ(q.num_relations(), 2);
+  EXPECT_EQ(q.relations[0].table, q.relations[1].table);
+}
+
+TEST(QueryBuilderTest, AggregatesAndGroupBy) {
+  Catalog cat = MakeCatalog();
+  QueryBuilder b("agg", &cat);
+  b.AddRelation("orders", "o");
+  b.GroupBy("o", "fk");
+  b.Aggregate(AggFn::kCount);
+  b.Aggregate(AggFn::kSum, "o", "key");
+  QuerySpec q = b.Build();
+  EXPECT_TRUE(q.has_aggregation());
+  ASSERT_EQ(q.aggregates.size(), 2u);
+  EXPECT_EQ(q.aggregates[1].fn, AggFn::kSum);
+  EXPECT_EQ(q.aggregates[1].arg.rel, 0);
+}
+
+QuerySpec ChainQuery(Catalog* cat, int n) {
+  QueryBuilder b("chain", cat);
+  const char* names[] = {"customer", "orders", "lineitem"};
+  for (int i = 0; i < n; ++i) {
+    b.AddRelation(names[i % 3], "r" + std::to_string(i));
+  }
+  QuerySpec q = b.Build();
+  for (int i = 0; i + 1 < n; ++i) q.joins.push_back({i, 0, i + 1, 1, PredOp::kEq});
+  return q;
+}
+
+TEST(JoinGraphTest, ChainConnectivity) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = ChainQuery(&cat, 4);
+  JoinGraph g(q);
+  EXPECT_TRUE(g.IsConnected(0b1111));
+  EXPECT_TRUE(g.IsConnected(0b0011));
+  EXPECT_TRUE(g.IsConnected(0b0110));
+  EXPECT_FALSE(g.IsConnected(0b0101));  // r0 and r2 not adjacent
+  EXPECT_FALSE(g.IsConnected(0b1001));
+  EXPECT_TRUE(g.IsConnected(0b0100));  // singleton
+}
+
+TEST(JoinGraphTest, CrossEdges) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = ChainQuery(&cat, 4);
+  JoinGraph g(q);
+  EXPECT_TRUE(g.HasCrossEdge(0b0011, 0b1100));
+  EXPECT_FALSE(g.HasCrossEdge(0b0001, 0b0100));
+  auto edges = g.CrossEdges(0b0011, 0b1100);
+  ASSERT_EQ(edges.size(), 1u);  // only r1-r2 crosses
+  EXPECT_EQ(g.edge(edges[0]).left_rel, 1);
+  EXPECT_EQ(g.edge(edges[0]).right_rel, 2);
+}
+
+TEST(JoinGraphTest, EdgesWithin) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = ChainQuery(&cat, 4);
+  JoinGraph g(q);
+  EXPECT_EQ(g.EdgesWithin(0b0111).size(), 2u);
+  EXPECT_EQ(g.EdgesWithin(0b1111).size(), 3u);
+  EXPECT_EQ(g.EdgesWithin(0b0001).size(), 0u);
+}
+
+TEST(JoinGraphTest, ConnectedSubsetsChainCount) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = ChainQuery(&cat, 4);
+  JoinGraph g(q);
+  auto by_size = g.ConnectedSubsetsBySize();
+  // A length-n chain has n-k+1 connected subsets of size k.
+  EXPECT_EQ(by_size[1].size(), 4u);
+  EXPECT_EQ(by_size[2].size(), 3u);
+  EXPECT_EQ(by_size[3].size(), 2u);
+  EXPECT_EQ(by_size[4].size(), 1u);
+}
+
+TEST(JoinGraphTest, NeighborsUnion) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = ChainQuery(&cat, 4);
+  JoinGraph g(q);
+  EXPECT_EQ(g.Neighbors(0b0001), 0b0010u);
+  EXPECT_EQ(g.Neighbors(0b0110) & ~0b0110u, 0b1001u);
+}
+
+TEST(BindStatsTest, LocalSelectivityFromHistogram) {
+  Schema s;
+  s.name = "t";
+  s.columns = {{"a", ColumnType::kInt}};
+  Table t(s);
+  for (int64_t i = 0; i < 100; ++i) t.AppendRow(std::vector<int64_t>{i});
+  TableStats stats = CollectTableStats(t);
+  LocalPredicate lt{0, 0, PredOp::kLt, 25, 0};
+  EXPECT_NEAR(EstimateLocalSelectivity(lt, stats), 0.25, 0.05);
+  LocalPredicate eq{0, 0, PredOp::kEq, 10, 0};
+  EXPECT_NEAR(EstimateLocalSelectivity(eq, stats), 0.01, 0.01);
+  LocalPredicate between{0, 0, PredOp::kBetween, 10, 29};
+  EXPECT_NEAR(EstimateLocalSelectivity(between, stats), 0.2, 0.05);
+}
+
+TEST(BindStatsTest, JoinSelectivityDistinctValueRule) {
+  TableStats left;
+  left.columns.resize(1);
+  left.columns[0].ndv = 100;
+  TableStats right;
+  right.columns.resize(2);
+  right.columns[1].ndv = 500;
+  JoinPredicate j{0, 0, 1, 1, PredOp::kEq};
+  EXPECT_DOUBLE_EQ(EstimateJoinSelectivity(j, left, right), 1.0 / 500);
+  JoinPredicate ineq{0, 0, 1, 1, PredOp::kLt};
+  EXPECT_DOUBLE_EQ(EstimateJoinSelectivity(ineq, left, right), 1.0 / 3.0);
+}
+
+TEST(BindStatsTest, PopulatesRegistry) {
+  Catalog cat = MakeCatalog();
+  Table& customer = cat.table("customer");
+  for (int64_t i = 0; i < 40; ++i) customer.AppendRow(std::vector<int64_t>{i, i % 4, 0});
+  Table& orders = cat.table("orders");
+  for (int64_t i = 0; i < 160; ++i) orders.AppendRow(std::vector<int64_t>{i, i % 40, 0});
+
+  QueryBuilder b("q", &cat);
+  b.AddRelation("customer", "c");
+  b.AddRelation("orders", "o");
+  b.Join("c", "key", "o", "fk");
+  b.Filter("c", "key", PredOp::kLt, 20);
+  QuerySpec q = b.Build();
+
+  std::vector<TableStats> per_table(static_cast<size_t>(cat.num_tables()));
+  for (int t = 0; t < cat.num_tables(); ++t) per_table[t] = CollectTableStats(cat.table(t));
+
+  StatsRegistry reg;
+  BindStats(q, per_table, &reg);
+  EXPECT_EQ(reg.num_relations(), 2);
+  EXPECT_EQ(reg.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(reg.base_rows(0), 40);
+  EXPECT_DOUBLE_EQ(reg.base_rows(1), 160);
+  EXPECT_NEAR(reg.local_selectivity(0), 0.5, 0.1);
+  EXPECT_NEAR(reg.join_selectivity(0), 1.0 / 40, 1e-6);
+  // Effective join cardinality: 20 customers x 160 orders / 40 keys = 80.
+  SummaryCalculator calc(&reg);
+  EXPECT_NEAR(calc.Get(0b011).rows, 80, 20);
+}
+
+TEST(QuerySpecTest, LocalsOfFiltersBySlot) {
+  Catalog cat = MakeCatalog();
+  QueryBuilder b("q", &cat);
+  b.AddRelation("customer", "c");
+  b.AddRelation("orders", "o");
+  b.Filter("c", "key", PredOp::kGt, 5);
+  b.Filter("o", "key", PredOp::kLt, 10);
+  b.Filter("o", "fk", PredOp::kEq, 3);
+  QuerySpec q = b.Build();
+  EXPECT_EQ(q.LocalsOf(0).size(), 1u);
+  EXPECT_EQ(q.LocalsOf(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace iqro

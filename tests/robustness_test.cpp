@@ -1,0 +1,274 @@
+// Edge cases, failure injection and cross-checks that cut across modules:
+// extreme statistics, degenerate queries, long update storms, operator
+// cross-validation, and the feedback dead band.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/systemr.h"
+#include "core/declarative_optimizer.h"
+#include "exec/executor.h"
+#include "exec/feedback.h"
+#include "query/query_builder.h"
+#include "test_util.h"
+#include "workload/context.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace iqro {
+namespace {
+
+using ::iqro::testing::ApplyRandomStatUpdate;
+using ::iqro::testing::GraphShape;
+using ::iqro::testing::MakeWorld;
+using ::iqro::testing::WorldOptions;
+
+double Truth(iqro::testing::TestWorld& world) {
+  SystemROptimizer s(world.enumerator.get(), world.cost_model.get());
+  s.Optimize();
+  return s.BestCost();
+}
+
+TEST(RobustnessTest, SingleRelationQuery) {
+  WorldOptions wo;
+  wo.num_relations = 1;
+  auto world = MakeWorld(wo);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  EXPECT_NEAR(opt.BestCost(), Truth(*world), 1e-9 * opt.BestCost());
+  auto plan = opt.GetBestPlan();
+  EXPECT_EQ(plan->alt.logop, LogOp::kScan);
+}
+
+TEST(RobustnessTest, ExtremeCardinalities) {
+  WorldOptions wo;
+  wo.num_relations = 4;
+  auto world = MakeWorld(wo);
+  // Degenerate: one relation enormous, one tiny, vanishing selectivities.
+  world->registry.SetBaseRows(0, 1e12);
+  world->registry.SetBaseRows(1, 1.0);
+  world->registry.SetJoinSelectivity(0, 1e-12);
+  world->registry.SetLocalSelectivity(2, 1e-9);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  opt.ValidateInvariants();
+  EXPECT_TRUE(std::isfinite(opt.BestCost()));
+  EXPECT_NEAR(opt.BestCost(), Truth(*world), 1e-9 * opt.BestCost());
+}
+
+TEST(RobustnessTest, UpdateStormConvergesToTruth) {
+  // 100 update rounds on one persistent optimizer; verify at checkpoints.
+  WorldOptions wo;
+  wo.num_relations = 5;
+  wo.shape = GraphShape::kCycle;
+  wo.seed = 77;
+  auto world = MakeWorld(wo);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  Rng rng(123);
+  for (int round = 1; round <= 100; ++round) {
+    ApplyRandomStatUpdate(world.get(), rng);
+    opt.Reoptimize();
+    if (round % 10 == 0) {
+      opt.ValidateInvariants();
+      double truth = Truth(*world);
+      ASSERT_NEAR(opt.BestCost(), truth, 1e-9 * std::max(1.0, truth)) << round;
+    }
+  }
+}
+
+TEST(RobustnessTest, BatchedUpdatesEquivalentToSequential) {
+  // Applying N changes then one Reoptimize equals N (change, Reoptimize)
+  // steps: the final state depends only on the statistics.
+  WorldOptions wo;
+  wo.num_relations = 5;
+  wo.seed = 9;
+  auto world_batch = MakeWorld(wo);
+  auto world_seq = MakeWorld(wo);
+  DeclarativeOptimizer batch(world_batch->enumerator.get(), world_batch->cost_model.get(),
+                             &world_batch->registry);
+  DeclarativeOptimizer seq(world_seq->enumerator.get(), world_seq->cost_model.get(),
+                           &world_seq->registry);
+  batch.Optimize();
+  seq.Optimize();
+  Rng rng_a(55);
+  Rng rng_b(55);
+  for (int i = 0; i < 6; ++i) ApplyRandomStatUpdate(world_batch.get(), rng_a);
+  batch.Reoptimize();
+  for (int i = 0; i < 6; ++i) {
+    ApplyRandomStatUpdate(world_seq.get(), rng_b);
+    seq.Reoptimize();
+  }
+  EXPECT_NEAR(batch.BestCost(), seq.BestCost(), 1e-9 * std::max(1.0, batch.BestCost()));
+}
+
+TEST(RobustnessTest, RepeatedIdenticalUpdatesAreCheap) {
+  WorldOptions wo;
+  wo.num_relations = 5;
+  auto world = MakeWorld(wo);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  world->registry.SetScanCostMultiplier(0, 3.0);
+  opt.Reoptimize();
+  // Setting the same value again records nothing and costs nothing.
+  world->registry.SetScanCostMultiplier(0, 3.0);
+  opt.Reoptimize();
+  EXPECT_EQ(opt.metrics().round_touched_eps, 0);
+  EXPECT_EQ(opt.metrics().round_touched_alts, 0);
+}
+
+TEST(RobustnessTest, NoIndexesAnywhere) {
+  WorldOptions wo;
+  wo.num_relations = 4;
+  wo.index_probability = 0.0;
+  wo.clustering_probability = 0.0;
+  auto world = MakeWorld(wo);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  EXPECT_NEAR(opt.BestCost(), Truth(*world), 1e-9 * opt.BestCost());
+  // The plan cannot contain index operators.
+  std::function<void(const PlanTree&)> check = [&](const PlanTree& n) {
+    EXPECT_NE(n.alt.phyop, PhysOp::kIndexNLJoin);
+    EXPECT_NE(n.alt.phyop, PhysOp::kIndexScan);
+    if (n.left) check(*n.left);
+    if (n.right) check(*n.right);
+  };
+  check(*opt.GetBestPlan());
+}
+
+TEST(RobustnessTest, ScopeMultiplierRoundTrip) {
+  StatsRegistry reg(3);
+  reg.Freeze();
+  EXPECT_EQ(reg.ScopeMultiplier(0b011), 1.0);
+  reg.ScaleCardMultiplier(0b011, 2.0);
+  reg.ScaleCardMultiplier(0b011, 3.0);
+  EXPECT_DOUBLE_EQ(reg.ScopeMultiplier(0b011), 6.0);
+  EXPECT_DOUBLE_EQ(reg.CardMultiplier(0b111), 6.0);
+  reg.SetCardMultiplier(0b011, 1.0);
+  EXPECT_EQ(reg.ScopeMultiplier(0b011), 1.0);
+}
+
+TEST(RobustnessTest, SettersSkipNoOpChanges) {
+  StatsRegistry reg(2);
+  reg.SetBaseRows(0, 50);
+  reg.AddEdge(0b11, 0.5);
+  reg.Freeze();
+  reg.SetBaseRows(0, 50);
+  reg.SetJoinSelectivity(0, 0.5);
+  reg.SetCardMultiplier(0b11, 1.0);  // absent scope, factor 1: no-op
+  EXPECT_FALSE(reg.HasPending());
+}
+
+TEST(RobustnessTest, FeedbackDeadbandSuppressesSmallCorrections) {
+  StatsRegistry reg(2);
+  reg.SetBaseRows(0, 100);
+  reg.SetBaseRows(1, 100);
+  reg.AddEdge(0b11, 0.01);
+  reg.Freeze();
+  // Estimate for the join: 100. Observation 101 is within a 5% dead band.
+  std::vector<ObservedCardinality> obs = {{0b01, 100}, {0b10, 100}, {0b11, 101}};
+  ApplyObservedCardinalities(obs, &reg, 1.0, /*deadband=*/0.05);
+  EXPECT_FALSE(reg.HasPending());
+  // Observation 200 is far outside the dead band.
+  obs[2].rows = 200;
+  ApplyObservedCardinalities(obs, &reg, 1.0, /*deadband=*/0.05);
+  EXPECT_TRUE(reg.HasPending());
+}
+
+TEST(RobustnessTest, NestedLoopAgreesWithHashOnEquiJoin) {
+  // Force a nested-loop join over an equality edge and cross-check.
+  Catalog cat;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.001;
+  GenerateTpch(&cat, cfg);
+  QueryBuilder b("q", &cat);
+  b.AddRelation("customer", "c");
+  b.AddRelation("orders", "o");
+  b.Join("c", "c_custkey", "o", "o_custkey");
+  QuerySpec q = b.Build();
+  JoinGraph graph(q);
+  PropTable props;
+  Executor exec(&cat, &q, &graph, &props);
+
+  auto leaf = [&](int rel) {
+    auto n = std::make_unique<PlanTree>();
+    n->expr = RelSingleton(rel);
+    n->alt.logop = LogOp::kScan;
+    n->alt.phyop = PhysOp::kSeqScan;
+    return n;
+  };
+  auto join = [&](PhysOp op) {
+    auto n = std::make_unique<PlanTree>();
+    n->expr = 0b11;
+    n->alt.logop = LogOp::kJoin;
+    n->alt.phyop = op;
+    n->alt.lexpr = 0b01;
+    n->alt.rexpr = 0b10;
+    n->alt.edge = 0;
+    n->left = leaf(0);
+    n->right = leaf(1);
+    return n;
+  };
+  auto hash_rows = exec.Execute(*join(PhysOp::kHashJoin)).rows;
+  auto nl_rows = exec.Execute(*join(PhysOp::kNestedLoopJoin)).rows;
+  std::sort(hash_rows.begin(), hash_rows.end());
+  std::sort(nl_rows.begin(), nl_rows.end());
+  EXPECT_EQ(hash_rows, nl_rows);
+}
+
+TEST(RobustnessTest, AllTpchQueriesOptimizeUnderAllArchitectures) {
+  Catalog cat;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  GenerateTpch(&cat, cfg);
+  auto stats = CollectCatalogStats(cat);
+  for (const std::string& name : TpchQueryNames()) {
+    auto ctx = MakeQueryContext(&cat, MakeTpchQuery(&cat, name), stats);
+    SystemROptimizer sr(ctx->enumerator.get(), ctx->cost_model.get());
+    sr.Optimize();
+    DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry);
+    opt.Optimize();
+    opt.ValidateInvariants();
+    EXPECT_NEAR(opt.BestCost(), sr.BestCost(), 1e-9 * sr.BestCost()) << name;
+  }
+}
+
+TEST(RobustnessTest, TpchQ5IncrementalAfterEveryKindOfChange) {
+  Catalog cat;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  GenerateTpch(&cat, cfg);
+  auto stats = CollectCatalogStats(cat);
+  auto ctx = MakeQueryContext(&cat, MakeTpchQuery(&cat, "Q5"), stats);
+  DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry);
+  opt.Optimize();
+
+  auto verify = [&](const char* what) {
+    opt.Reoptimize();
+    opt.ValidateInvariants();
+    SystemROptimizer sr(ctx->enumerator.get(), ctx->cost_model.get());
+    sr.Optimize();
+    ASSERT_NEAR(opt.BestCost(), sr.BestCost(), 1e-9 * sr.BestCost()) << what;
+  };
+  ctx->registry.SetScanCostMultiplier(4, 16.0);  // lineitem scan
+  verify("scan cost raise");
+  ctx->registry.SetJoinSelectivity(3, ctx->registry.join_selectivity(3) * 10);
+  verify("join selectivity raise");
+  ctx->registry.SetCardMultiplier(0b001111, 0.01);  // r,n,c,o subplan shrinks
+  verify("expression multiplier drop");
+  ctx->registry.SetBaseRows(2, ctx->registry.base_rows(2) * 100);
+  verify("base cardinality raise");
+  ctx->registry.SetLocalSelectivity(3, 1e-6);
+  verify("local selectivity drop");
+  ctx->registry.SetScanCostMultiplier(4, 1.0);
+  ctx->registry.SetCardMultiplier(0b001111, 1.0);
+  verify("revert");
+}
+
+}  // namespace
+}  // namespace iqro

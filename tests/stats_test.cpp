@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "stats/stats_registry.h"
+#include "stats/summary.h"
+#include "stats/table_stats.h"
+
+namespace iqro {
+namespace {
+
+std::vector<int64_t> Iota(int64_t n) {
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = i;
+  return v;
+}
+
+TEST(HistogramTest, EmptyInput) {
+  Histogram h = Histogram::Build({}, 8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.SelectivityEq(5), 0.0);
+  EXPECT_EQ(h.SelectivityLt(5), 0.0);
+}
+
+TEST(HistogramTest, UniformSelectivities) {
+  auto values = Iota(1000);
+  Histogram h = Histogram::Build(values, 16);
+  EXPECT_EQ(h.total(), 1000u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 999);
+  EXPECT_NEAR(h.ndv(), 1000, 1);
+  EXPECT_NEAR(h.SelectivityLt(500), 0.5, 0.05);
+  EXPECT_NEAR(h.SelectivityGt(750), 0.25, 0.05);
+  EXPECT_NEAR(h.SelectivityBetween(100, 199), 0.1, 0.05);
+  EXPECT_NEAR(h.SelectivityEq(123), 0.001, 0.001);
+}
+
+TEST(HistogramTest, OutOfRange) {
+  Histogram h = Histogram::Build(Iota(100), 8);
+  EXPECT_EQ(h.SelectivityEq(-5), 0.0);
+  EXPECT_EQ(h.SelectivityEq(100), 0.0);
+  EXPECT_EQ(h.SelectivityLt(-5), 0.0);
+  EXPECT_EQ(h.SelectivityGt(99), 0.0);
+  EXPECT_NEAR(h.SelectivityLt(1000), 1.0, 1e-9);
+  EXPECT_NEAR(h.SelectivityBetween(-10, 1000), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, HeavyDuplicatesEqEstimate) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 900; ++i) values.push_back(7);
+  for (int i = 0; i < 100; ++i) values.push_back(i + 100);
+  Histogram h = Histogram::Build(values, 8);
+  // 90% of rows are the value 7; the estimate must reflect a large share.
+  EXPECT_GT(h.SelectivityEq(7), 0.3);
+  EXPECT_LT(h.SelectivityEq(500), 0.01);
+}
+
+TEST(HistogramTest, SkewedDataSumsToOne) {
+  Rng rng(5);
+  ZipfGenerator z(100, 0.8);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(static_cast<int64_t>(z.Sample(rng)));
+  Histogram h = Histogram::Build(values, 10);
+  double lt = h.SelectivityLt(50);
+  double eq = h.SelectivityEq(50);
+  double gt = h.SelectivityGt(50);
+  EXPECT_NEAR(lt + eq + gt, 1.0, 0.05);
+}
+
+TEST(HistogramTest, MonotoneCdf) {
+  Rng rng(6);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(rng.NextInRange(0, 500));
+  Histogram h = Histogram::Build(values, 12);
+  double prev = 0;
+  for (int64_t v = 0; v <= 500; v += 25) {
+    double lt = h.SelectivityLt(v);
+    EXPECT_GE(lt + 1e-12, prev);
+    prev = lt;
+  }
+}
+
+TEST(TableStatsTest, CollectBasics) {
+  Schema s;
+  s.name = "t";
+  s.columns = {{"a", ColumnType::kInt}, {"b", ColumnType::kInt}};
+  Table t(s);
+  for (int64_t i = 0; i < 50; ++i) t.AppendRow(std::vector<int64_t>{i, i % 5});
+  TableStats stats = CollectTableStats(t, 8);
+  EXPECT_EQ(stats.rows, 50);
+  ASSERT_EQ(stats.columns.size(), 2u);
+  EXPECT_EQ(stats.column(0).min, 0);
+  EXPECT_EQ(stats.column(0).max, 49);
+  EXPECT_NEAR(stats.column(0).ndv, 50, 1);
+  EXPECT_NEAR(stats.column(1).ndv, 5, 1);
+}
+
+TEST(StatsRegistryTest, PendingOnlyAfterFreeze) {
+  StatsRegistry reg(3);
+  reg.SetBaseRows(0, 100);
+  EXPECT_FALSE(reg.HasPending());  // setup-time mutation
+  reg.Freeze();
+  reg.SetBaseRows(0, 200);
+  ASSERT_TRUE(reg.HasPending());
+  auto pending = reg.TakePending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].kind, StatChange::Kind::kCardinality);
+  EXPECT_EQ(pending[0].scope, RelSingleton(0));
+  EXPECT_FALSE(reg.HasPending());
+}
+
+TEST(StatsRegistryTest, EpochAdvancesOnEveryChange) {
+  StatsRegistry reg(2);
+  uint64_t e0 = reg.epoch();
+  reg.SetLocalSelectivity(1, 0.5);
+  EXPECT_GT(reg.epoch(), e0);
+}
+
+TEST(StatsRegistryTest, ScanCostChangeKind) {
+  StatsRegistry reg(2);
+  reg.Freeze();
+  reg.SetScanCostMultiplier(1, 2.0);
+  auto pending = reg.TakePending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].kind, StatChange::Kind::kScanCost);
+  EXPECT_EQ(pending[0].scope, RelSingleton(1));
+}
+
+TEST(StatsRegistryTest, CardMultiplierSubsetSemantics) {
+  StatsRegistry reg(3);
+  reg.SetCardMultiplier(0b011, 4.0);
+  EXPECT_EQ(reg.CardMultiplier(0b011), 4.0);
+  EXPECT_EQ(reg.CardMultiplier(0b111), 4.0);  // superset inherits
+  EXPECT_EQ(reg.CardMultiplier(0b101), 1.0);  // not a superset
+  reg.SetCardMultiplier(0b111, 2.0);
+  EXPECT_EQ(reg.CardMultiplier(0b111), 8.0);  // multipliers compose
+  reg.SetCardMultiplier(0b011, 1.0);          // reset one
+  EXPECT_EQ(reg.CardMultiplier(0b111), 2.0);
+}
+
+TEST(SummaryTest, CanonicalCardinality) {
+  StatsRegistry reg(3);
+  reg.SetBaseRows(0, 100);
+  reg.SetBaseRows(1, 200);
+  reg.SetBaseRows(2, 50);
+  reg.SetLocalSelectivity(1, 0.5);
+  reg.AddEdge(0b011, 0.01);
+  reg.AddEdge(0b110, 0.1);
+  SummaryCalculator calc(&reg);
+  EXPECT_DOUBLE_EQ(calc.Get(0b001).rows, 100);
+  EXPECT_DOUBLE_EQ(calc.Get(0b010).rows, 100);            // 200 * 0.5
+  EXPECT_DOUBLE_EQ(calc.Get(0b011).rows, 100 * 100 * 0.01);
+  EXPECT_DOUBLE_EQ(calc.Get(0b111).rows, 100 * 100 * 0.01 * 50 * 0.1);
+}
+
+TEST(SummaryTest, DecompositionIndependence) {
+  // Every way of splitting a set multiplies out to the same estimate:
+  // card(ABC) relates to any of its partitions consistently.
+  StatsRegistry reg(3);
+  reg.SetBaseRows(0, 1000);
+  reg.SetBaseRows(1, 300);
+  reg.SetBaseRows(2, 700);
+  reg.AddEdge(0b011, 0.004);
+  reg.AddEdge(0b110, 0.002);
+  reg.AddEdge(0b101, 0.01);
+  SummaryCalculator calc(&reg);
+  double abc = calc.Get(0b111).rows;
+  // Joining (AB) with C applies edges BC and AC on top.
+  EXPECT_NEAR(abc, calc.Get(0b011).rows * calc.Get(0b100).rows * 0.002 * 0.01, abc * 1e-9);
+  // Joining (AC) with B applies edges AB and BC on top.
+  EXPECT_NEAR(abc, calc.Get(0b101).rows * calc.Get(0b010).rows * 0.004 * 0.002, abc * 1e-9);
+}
+
+TEST(SummaryTest, CacheInvalidatesOnEpoch) {
+  StatsRegistry reg(2);
+  reg.SetBaseRows(0, 10);
+  reg.SetBaseRows(1, 10);
+  reg.AddEdge(0b011, 0.5);
+  reg.Freeze();
+  SummaryCalculator calc(&reg);
+  EXPECT_DOUBLE_EQ(calc.Get(0b011).rows, 50);
+  reg.SetJoinSelectivity(0, 0.1);
+  EXPECT_DOUBLE_EQ(calc.Get(0b011).rows, 10);  // fresh value, not cached
+}
+
+TEST(SummaryTest, WidthIsAdditive) {
+  StatsRegistry reg(2);
+  reg.SetRowWidth(0, 3);
+  reg.SetRowWidth(1, 5);
+  reg.AddEdge(0b011, 1.0);
+  SummaryCalculator calc(&reg);
+  EXPECT_DOUBLE_EQ(calc.Get(0b011).width, 8);
+}
+
+}  // namespace
+}  // namespace iqro

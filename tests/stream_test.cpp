@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "stream/linear_road.h"
+#include "query/join_graph.h"
+#include "stream/segtoll.h"
+#include "stream/window.h"
+
+namespace iqro {
+namespace {
+
+TEST(LinearRoadTest, EventVolumeAndRanges) {
+  LinearRoadConfig cfg;
+  cfg.events_per_second = 200;
+  LinearRoadGenerator gen(cfg);
+  auto events = gen.Generate(5);
+  EXPECT_EQ(events.size(), 1000u);
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, 0);
+    EXPECT_LT(e.time, 5);
+    EXPECT_GE(e.carid, 0);
+    EXPECT_LT(e.carid, cfg.num_cars);
+    EXPECT_GE(e.expway, 0);
+    EXPECT_LT(e.expway, cfg.num_expressways);
+    EXPECT_GE(e.seg, 0);
+    EXPECT_LT(e.seg, cfg.num_segments);
+    EXPECT_TRUE(e.dir == 0 || e.dir == 1);
+  }
+}
+
+TEST(LinearRoadTest, HotSpotDriftsAcrossPhases) {
+  LinearRoadConfig cfg;
+  cfg.drift_period = 2;
+  cfg.events_per_second = 1000;
+  LinearRoadGenerator gen(cfg);
+  auto hot_expway_of = [&](int64_t t) {
+    auto events = gen.Second(t);
+    std::unordered_map<int64_t, int> counts;
+    for (const auto& e : events) ++counts[e.expway];
+    int64_t best = 0;
+    int best_count = -1;
+    for (auto& [k, c] : counts) {
+      if (c > best_count) {
+        best = k;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  // Phases 0 and 1 favour different expressways (period 2 -> t=0 vs t=2).
+  EXPECT_NE(hot_expway_of(0), hot_expway_of(2));
+}
+
+TEST(WindowTest, TimeWindowEvicts) {
+  Catalog cat;
+  TableId id = cat.CreateTable(CarLocSchema("w"));
+  SlidingWindow w({WindowSpec::Kind::kTime, 10, -1}, &cat.table(id));
+  std::vector<CarLocEvent> batch1(5);
+  for (int i = 0; i < 5; ++i) batch1[static_cast<size_t>(i)].time = i;
+  w.Advance(batch1, 4);
+  EXPECT_EQ(w.size(), 5);
+  std::vector<CarLocEvent> batch2(3);
+  for (int i = 0; i < 3; ++i) batch2[static_cast<size_t>(i)].time = 20 + i;
+  w.Advance(batch2, 22);  // horizon 12: all of batch1 evicted
+  EXPECT_EQ(w.size(), 3);
+  EXPECT_EQ(w.table().num_rows(), 3u);
+}
+
+TEST(WindowTest, TupleWindowKeepsNewestPerPartition) {
+  Catalog cat;
+  TableId id = cat.CreateTable(CarLocSchema("w"));
+  const int carid_col = CarLocSchema("probe").ColumnIndex("carid");
+  ASSERT_GE(carid_col, 0);
+  SlidingWindow w({WindowSpec::Kind::kTuples, 2, carid_col}, &cat.table(id));
+  std::vector<CarLocEvent> batch;
+  for (int i = 0; i < 6; ++i) {
+    CarLocEvent e;
+    e.time = i;
+    e.carid = 7;  // same car
+    e.xpos = i;
+    batch.push_back(e);
+  }
+  CarLocEvent other;
+  other.carid = 9;
+  other.time = 100;
+  batch.push_back(other);
+  w.Advance(batch, 100);
+  // Car 7 keeps its 2 newest rows; car 9 keeps 1.
+  EXPECT_EQ(w.size(), 3);
+  std::set<int64_t> xpos;
+  for (uint32_t r = 0; r < w.table().num_rows(); ++r) {
+    if (w.table().At(r, carid_col) == 7) {
+      xpos.insert(w.table().At(r, CarLocSchema("probe").ColumnIndex("xpos")));
+    }
+  }
+  EXPECT_EQ(xpos, (std::set<int64_t>{4, 5}));
+}
+
+TEST(WindowTest, UnpartitionedTupleWindow) {
+  Catalog cat;
+  TableId id = cat.CreateTable(CarLocSchema("w"));
+  SlidingWindow w({WindowSpec::Kind::kTuples, 4, -1}, &cat.table(id));
+  std::vector<CarLocEvent> batch(10);
+  for (int i = 0; i < 10; ++i) batch[static_cast<size_t>(i)].xpos = i;
+  w.Advance(batch, 0);
+  EXPECT_EQ(w.size(), 4);
+  const int xpos_col = CarLocSchema("probe").ColumnIndex("xpos");
+  EXPECT_EQ(w.table().At(0, xpos_col), 6);  // newest four: 6,7,8,9
+}
+
+TEST(WindowTest, IndexesMaintainedAcrossAdvance) {
+  auto setup = MakeSegTollS();
+  LinearRoadGenerator gen(LinearRoadConfig{});
+  setup->Advance(gen.Second(0), 0);
+  const Table& w1 = setup->catalog.table("w1");
+  const int carid_col = w1.schema().ColumnIndex("carid");
+  ASSERT_TRUE(w1.HasIndex(carid_col));
+  // Every indexed row is reachable through the index.
+  int64_t probe_key = w1.At(0, carid_col);
+  auto rows = w1.GetIndex(carid_col)->Probe(probe_key);
+  EXPECT_FALSE(rows.empty());
+}
+
+TEST(SegTollTest, QueryShape) {
+  auto setup = MakeSegTollS();
+  EXPECT_EQ(setup->query.num_relations(), 5);
+  EXPECT_EQ(setup->query.joins.size(), 5u);
+  EXPECT_TRUE(setup->query.has_aggregation());
+  JoinGraph graph(setup->query);
+  EXPECT_TRUE(graph.IsConnected(setup->query.AllRelations()));
+  // r2-r3 has both an equality and a non-equality edge.
+  auto cross = graph.CrossEdges(RelSingleton(1), RelSingleton(2));
+  EXPECT_EQ(cross.size(), 2u);
+}
+
+TEST(SegTollTest, WindowsTrackTheSameStream) {
+  auto setup = MakeSegTollS();
+  LinearRoadGenerator gen(LinearRoadConfig{});
+  for (int64_t t = 0; t < 3; ++t) setup->Advance(gen.Second(t), t);
+  // Time window w1 (300s) holds everything; w4 (30s) also holds everything
+  // after 3 seconds; the single-tuple partitioned windows hold less.
+  EXPECT_EQ(setup->windows[0]->size(), setup->windows[3]->size());
+  EXPECT_LT(setup->windows[1]->size(), setup->windows[0]->size());
+  EXPECT_LT(setup->windows[2]->size(), setup->windows[0]->size());
+}
+
+}  // namespace
+}  // namespace iqro

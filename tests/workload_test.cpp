@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "workload/context.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace iqro {
+namespace {
+
+TEST(TpchGenTest, RowCountsScale) {
+  Catalog cat;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.01;
+  GenerateTpch(&cat, cfg);
+  EXPECT_EQ(cat.table("region").num_rows(), 5u);
+  EXPECT_EQ(cat.table("nation").num_rows(), 25u);
+  EXPECT_EQ(cat.table("supplier").num_rows(), 100u);
+  EXPECT_EQ(cat.table("customer").num_rows(), 1500u);
+  EXPECT_EQ(cat.table("orders").num_rows(), 15000u);
+  // Lineitem: ~4 per order on average.
+  EXPECT_GT(cat.table("lineitem").num_rows(), 30000u);
+  EXPECT_LT(cat.table("lineitem").num_rows(), 90000u);
+}
+
+TEST(TpchGenTest, ForeignKeysAreConsistent) {
+  Catalog cat;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  GenerateTpch(&cat, cfg);
+  const Table& orders = cat.table("orders");
+  const int64_t n_customer = cat.table("customer").num_rows();
+  int ck = orders.schema().ColumnIndex("o_custkey");
+  for (uint32_t r = 0; r < orders.num_rows(); ++r) {
+    int64_t fk = orders.At(r, ck);
+    ASSERT_GE(fk, 1);
+    ASSERT_LE(fk, n_customer);
+  }
+  const Table& lineitem = cat.table("lineitem");
+  int ok = lineitem.schema().ColumnIndex("l_orderkey");
+  const int64_t n_orders = orders.num_rows();
+  for (uint32_t r = 0; r < lineitem.num_rows(); ++r) {
+    int64_t fk = lineitem.At(r, ok);
+    ASSERT_GE(fk, 1);
+    ASSERT_LE(fk, n_orders);
+  }
+}
+
+TEST(TpchGenTest, PhysicalDesign) {
+  Catalog cat;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  GenerateTpch(&cat, cfg);
+  const Table& lineitem = cat.table("lineitem");
+  EXPECT_EQ(lineitem.clustered_on(), 0);
+  EXPECT_TRUE(lineitem.HasIndex(lineitem.schema().ColumnIndex("l_orderkey")));
+  EXPECT_TRUE(lineitem.HasIndex(lineitem.schema().ColumnIndex("l_partkey")));
+  const Table& orders = cat.table("orders");
+  EXPECT_TRUE(orders.HasIndex(orders.schema().ColumnIndex("o_custkey")));
+  // Index probe round-trips.
+  auto rows = orders.GetIndex(0)->Probe(1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(orders.At(rows[0], 0), 1);
+}
+
+TEST(TpchGenTest, ZipfSkewConcentratesForeignKeys) {
+  auto order_count_of_top_customer = [](double theta) {
+    Catalog cat;
+    TpchConfig cfg;
+    cfg.scale_factor = 0.01;
+    cfg.zipf_theta = theta;
+    GenerateTpch(&cat, cfg);
+    const Table& orders = cat.table("orders");
+    int ck = orders.schema().ColumnIndex("o_custkey");
+    std::unordered_map<int64_t, int> counts;
+    for (uint32_t r = 0; r < orders.num_rows(); ++r) ++counts[orders.At(r, ck)];
+    int best = 0;
+    for (auto& [k, c] : counts) best = std::max(best, c);
+    return best;
+  };
+  EXPECT_GT(order_count_of_top_customer(0.9), 3 * order_count_of_top_customer(0.0));
+}
+
+TEST(TpchGenTest, PartitionsDiffer) {
+  Catalog a;
+  Catalog b;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  cfg.zipf_theta = 0.5;
+  GenerateTpch(&a, cfg);
+  cfg.partition = 3;
+  GenerateTpch(&b, cfg);
+  // Same sizes, different contents.
+  ASSERT_EQ(a.table("orders").num_rows(), b.table("orders").num_rows());
+  int diff = 0;
+  int ck = a.table("orders").schema().ColumnIndex("o_custkey");
+  for (uint32_t r = 0; r < a.table("orders").num_rows(); ++r) {
+    if (a.table("orders").At(r, ck) != b.table("orders").At(r, ck)) ++diff;
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(TpchGenTest, DateEncodingIsOrderPreserving) {
+  EXPECT_LT(TpchDate(1994, 12, 31), TpchDate(1995, 1, 1));
+  EXPECT_LT(TpchDate(1995, 3, 14), TpchDate(1995, 3, 15));
+  EXPECT_EQ(TpchDate(1995, 3, 15), 19950315);
+}
+
+TEST(TpchGenTest, RegenerationClearsOldRows) {
+  Catalog cat;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  GenerateTpch(&cat, cfg);
+  uint32_t before = cat.table("orders").num_rows();
+  GenerateTpch(&cat, cfg);
+  EXPECT_EQ(cat.table("orders").num_rows(), before);
+}
+
+class QueriesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    TpchConfig cfg;
+    cfg.scale_factor = 0.002;
+    GenerateTpch(catalog_, cfg);
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* QueriesTest::catalog_ = nullptr;
+
+TEST_F(QueriesTest, AllNamedQueriesBuild) {
+  for (const std::string& name : TpchQueryNames()) {
+    QuerySpec q = MakeTpchQuery(catalog_, name);
+    EXPECT_EQ(q.name, name);
+    EXPECT_GE(q.num_relations(), 1);
+    JoinGraph graph(q);
+    EXPECT_TRUE(graph.IsConnected(q.AllRelations())) << name;
+  }
+}
+
+TEST_F(QueriesTest, QueryShapes) {
+  EXPECT_EQ(MakeTpchQuery(catalog_, "Q1").num_relations(), 1);
+  EXPECT_EQ(MakeTpchQuery(catalog_, "Q3S").num_relations(), 3);
+  QuerySpec q5 = MakeTpchQuery(catalog_, "Q5");
+  EXPECT_EQ(q5.num_relations(), 6);
+  EXPECT_EQ(q5.joins.size(), 6u);  // chain of 5 plus the supplier-nation edge
+  EXPECT_TRUE(q5.has_aggregation());
+  QuerySpec q5s = MakeTpchQuery(catalog_, "Q5S");
+  EXPECT_FALSE(q5s.has_aggregation());
+  EXPECT_EQ(MakeTpchQuery(catalog_, "Q10").num_relations(), 4);
+  QuerySpec q8 = MakeTpchQuery(catalog_, "Q8Join");
+  EXPECT_EQ(q8.num_relations(), 8);
+  EXPECT_EQ(q8.joins.size(), 7u);
+}
+
+TEST_F(QueriesTest, ContextWiring) {
+  auto stats = CollectCatalogStats(*catalog_);
+  auto ctx = MakeQueryContext(catalog_, MakeTpchQuery(catalog_, "Q5S"), stats);
+  EXPECT_EQ(ctx->registry.num_relations(), 6);
+  EXPECT_EQ(ctx->registry.num_edges(), 6);
+  EXPECT_TRUE(ctx->registry.frozen());
+  // Summaries are positive and respect join reduction.
+  double full = ctx->summaries->Get(ctx->query.AllRelations()).rows;
+  EXPECT_GT(full, 0);
+  auto space = ctx->enumerator->CountFullSpace();
+  EXPECT_GT(space.eps, 20);
+  EXPECT_GT(space.alts, space.eps);
+}
+
+TEST_F(QueriesTest, Q5SelectivityFiltersReduceCardinality) {
+  auto stats = CollectCatalogStats(*catalog_);
+  auto ctx = MakeQueryContext(catalog_, MakeTpchQuery(catalog_, "Q5"), stats);
+  // r_name = 'ASIA' keeps ~1/5 of region.
+  EXPECT_LT(ctx->registry.local_selectivity(0), 0.5);
+  // o_orderdate between bounds keeps a fraction of orders.
+  EXPECT_LT(ctx->registry.local_selectivity(3), 0.5);
+}
+
+}  // namespace
+}  // namespace iqro
