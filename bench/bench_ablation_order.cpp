@@ -16,6 +16,8 @@ void Run() {
   TablePrinter table("Ablation: exploration order (queue discipline)",
                      {"query", "discipline", "time(ms)", "entries explored",
                       "alts costed", "steps"});
+  double lifo_total_ms = 0;
+  double fifo_total_ms = 0;
   for (const char* q : {"Q5", "Q10", "Q8JoinS"}) {
     for (QueueDiscipline d : {QueueDiscipline::kLifo, QueueDiscipline::kFifo}) {
       OptimizerOptions options;
@@ -34,9 +36,14 @@ void Run() {
                     Num(static_cast<double>(opt.metrics().eps_enumerated), 0),
                     Num(static_cast<double>(opt.metrics().alts_full_costed), 0),
                     Num(static_cast<double>(opt.metrics().round_steps), 0)});
+      (d == QueueDiscipline::kLifo ? lifo_total_ms : fifo_total_ms) += ms;
     }
   }
   table.Print();
+
+  JsonObj metrics;
+  metrics.Put("lifo_total_ms", lifo_total_ms).Put("fifo_total_ms", fifo_total_ms);
+  WriteBenchJson("ablation_order", BenchRoot("ablation_order", metrics, {&table}));
   std::printf(
       "\nBoth disciplines find the same optimal plan (correctness is order-\n"
       "independent); they differ in how much of the space gets explored before\n"

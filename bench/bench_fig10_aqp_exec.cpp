@@ -105,6 +105,13 @@ void Run() {
     if (lanes[i].total < good->total) good = &lanes[i];
     if (lanes[i].total > bad->total) bad = &lanes[i];
   }
+  JsonObj metrics;
+  for (const Lane& lane : lanes) metrics.Put(lane.name + "_exec_total_ms", lane.total);
+  metrics.Put("good_plan", good->name).Put("bad_plan", bad->name);
+  JsonObj root = BenchRoot("fig10_aqp_exec", metrics, {&table});
+  root.Put("slices", kSlices);
+  WriteBenchJson("fig10_aqp_exec", root);
+
   std::printf("\ncumulative execution time over %d slices:\n", kSlices);
   for (const Lane& lane : lanes) {
     const char* tag = "";

@@ -16,6 +16,7 @@ struct Measured {
   double ms = 0;
   double entry_ratio = 0;  // fraction of plan-table entries pruned
   double alt_ratio = 0;    // fraction of plan alternatives pruned
+  OptMetrics metrics;      // declarative runs only
 };
 
 Measured RunVolcano(const TpchFixture& fixture, const std::string& query) {
@@ -62,6 +63,7 @@ Measured RunDeclarative(const TpchFixture& fixture, const std::string& query,
                             static_cast<double>(full.eps);
   m.alt_ratio =
       1.0 - static_cast<double>(opt.NumViableAlts()) / static_cast<double>(full.alts);
+  m.metrics = opt.metrics();
   return m;
 }
 
@@ -75,6 +77,10 @@ void Run() {
   TablePrinter alts_table("Figure 4(c): pruning ratio, plan alternatives",
                           {"query", "declarative", "evita-raced", "volcano"});
 
+  double decl_total_ms = 0;
+  double volcano_total_ms = 0;
+  int num_queries = 0;
+  JsonObj per_query;
   for (const std::string& q : JoinQueryNames()) {
     Measured volcano = RunVolcano(*fixture, q);
     double systemr_ms = RunSystemR(*fixture, q);
@@ -86,10 +92,30 @@ void Run() {
     entries_table.AddRow({q, Num(decl.entry_ratio), Num(evita.entry_ratio),
                           Num(volcano.entry_ratio)});
     alts_table.AddRow({q, Num(decl.alt_ratio), Num(evita.alt_ratio), Num(volcano.alt_ratio)});
+
+    decl_total_ms += decl.ms;
+    volcano_total_ms += volcano.ms;
+    ++num_queries;
+    JsonObj qj;
+    qj.Put("declarative_ms", decl.ms)
+        .Put("volcano_ms", volcano.ms)
+        .Put("systemr_ms", systemr_ms)
+        .Put("evita_ms", evita.ms)
+        .Put("optimizer", OptMetricsJson(decl.metrics));
+    per_query.Put(q, qj);
   }
   time_table.Print();
   entries_table.Print();
   alts_table.Print();
+
+  JsonObj metrics;
+  metrics.Put("queries", num_queries)
+      .Put("declarative_total_ms", decl_total_ms)
+      .Put("declarative_opts_per_sec", 1000.0 * num_queries / decl_total_ms)
+      .Put("volcano_total_ms", volcano_total_ms);
+  JsonObj root = BenchRoot("fig4_initial", metrics, {&time_table, &entries_table, &alts_table});
+  root.Put("queries", per_query);
+  WriteBenchJson("fig4_initial", root);
   std::printf(
       "\nPaper shape: Volcano fastest; System-R close; declarative within ~1.1-1.5x.\n"
       "Evita-Raced never prunes plan-table entries (ratio 0); the declarative\n"

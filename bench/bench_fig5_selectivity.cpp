@@ -49,6 +49,8 @@ void Run() {
   TablePrinter alts_table("Figure 5(c): update ratio, plan alternatives",
                           {"change", "1/8", "1/4", "1/2", "1", "2", "4", "8"});
 
+  int64_t reopt_count = 0;
+  double reopt_total_ms = 0;
   for (const Level& level : levels) {
     std::vector<std::string> times{level.name};
     std::vector<std::string> entries{level.name};
@@ -56,6 +58,8 @@ void Run() {
     for (double ratio : ratios) {
       ctx->registry.SetCardMultiplier(level.scope, ratio);
       double ms = OnceMs([&] { opt.Reoptimize(); });
+      ++reopt_count;
+      reopt_total_ms += ms;
       times.push_back(Num(ms / volcano_ms, 4));
       entries.push_back(Num(static_cast<double>(opt.metrics().round_touched_eps) /
                                 static_cast<double>(full.eps),
@@ -74,6 +78,17 @@ void Run() {
   time_table.Print();
   entries_table.Print();
   alts_table.Print();
+
+  JsonObj metrics;
+  metrics.Put("reopt_count", reopt_count)
+      .Put("reopt_total_ms", reopt_total_ms)
+      .Put("reopts_per_sec", 1000.0 * static_cast<double>(reopt_count) / reopt_total_ms)
+      .Put("volcano_ms", volcano_ms)
+      .Put("optimizer", OptMetricsJson(opt.metrics()));
+  WriteBenchJson("fig5_selectivity",
+                 BenchRoot("fig5_selectivity", metrics,
+                           {&time_table, &entries_table, &alts_table}));
+
   std::printf(
       "\nPaper shape: larger expressions are cheaper to update (E touches almost\n"
       "nothing; A re-enumerates the most); every point is a small fraction of a\n"

@@ -40,6 +40,7 @@ void Run() {
                       "plan changed"});
 
   auto previous = opt.GetBestPlan();
+  double reopt_total_ms = 0;
   for (int round = 1; round <= kRounds; ++round) {
     auto partition = MakeTpchFixture(kSf, kZipf, static_cast<uint32_t>(round));
     // Execute the current plan over this partition's data.
@@ -50,6 +51,7 @@ void Run() {
     ApplyObservedCardinalities(result.observed, &ctx->registry,
                                1.0 / static_cast<double>(round), /*deadband=*/0.02);
     double ms = OnceMs([&] { opt.Reoptimize(); });
+    reopt_total_ms += ms;
     auto plan = opt.GetBestPlan();
     table.AddRow({Num(round, 0), Num(ms, 3), Num(ms / volcano_ms, 4),
                   Num(static_cast<double>(opt.metrics().round_touched_eps) /
@@ -62,6 +64,15 @@ void Run() {
     previous = std::move(plan);
   }
   table.Print();
+
+  JsonObj metrics;
+  metrics.Put("rounds", kRounds)
+      .Put("reopt_total_ms", reopt_total_ms)
+      .Put("reopts_per_sec", 1000.0 * kRounds / reopt_total_ms)
+      .Put("volcano_ms", volcano_ms)
+      .Put("optimizer", OptMetricsJson(opt.metrics()));
+  WriteBenchJson("fig6_feedback", BenchRoot("fig6_feedback", metrics, {&table}));
+
   std::printf(
       "\nPaper shape: each round of feedback-driven re-optimization costs a small\n"
       "fraction of a full optimization (10x+ speedup), because only a small part\n"

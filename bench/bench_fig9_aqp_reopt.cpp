@@ -67,6 +67,19 @@ void Run() {
     }
   }
   table.Print();
+
+  JsonObj metrics;
+  for (const Lane& lane : lanes) {
+    JsonObj lj;
+    lj.Put("reopt_total_ms", lane.total)
+        .Put("tail30_avg_ms", lane.tail / 30.0)
+        .Put("reopts_per_sec", 1000.0 * kSlices / lane.total);
+    metrics.Put(lane.name, lj);
+  }
+  JsonObj root = BenchRoot("fig9_aqp_reopt", metrics, {&table});
+  root.Put("slices", kSlices);
+  WriteBenchJson("fig9_aqp_reopt", root);
+
   std::printf("\ncumulative re-opt time over %d slices (ms):\n", kSlices);
   for (Lane& lane : lanes) std::printf("  %-22s %10.2f\n", lane.name, lane.total);
   std::printf("last-30-slice average (ms):\n");

@@ -3,6 +3,10 @@
 // (next-best recovery), the counted multiset, and datalog maintenance.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util/json_report.h"
 #include "common/rng.h"
 #include "datalog/engine.h"
 #include "delta/counted_multiset.h"
@@ -81,4 +85,27 @@ BENCHMARK(BM_DatalogTcIncrementalInsert)->Arg(16)->Arg(32);
 }  // namespace
 }  // namespace iqro
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON report: unless the caller passes its
+// own --benchmark_out, results also land in BENCH_micro_delta.json (google
+// benchmark's JSON schema) alongside the other benches' reports, honoring
+// the same IQRO_BENCH_OUT_DIR override as WriteBenchJson.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag =
+      "--benchmark_out=" + iqro::bench::BenchOutDir() + "/BENCH_micro_delta.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

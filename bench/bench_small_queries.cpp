@@ -16,6 +16,9 @@ void Run() {
   auto fixture = MakeTpchFixture(0.01);
   TablePrinter table("Small queries (Q1/Q3/Q6): optimization time (ms)",
                      {"query", "volcano", "system-r", "declarative"});
+  double decl_total_ms = 0;
+  int num_queries = 0;
+  JsonObj per_query;
   for (const char* q : {"Q1", "Q3", "Q6"}) {
     double volcano_ms = MedianMs(5, [&] {
       auto ctx = MakeContext(*fixture, q);
@@ -33,8 +36,22 @@ void Run() {
       d.Optimize();
     });
     table.AddRow({q, Num(volcano_ms, 3), Num(systemr_ms, 3), Num(decl_ms, 3)});
+    decl_total_ms += decl_ms;
+    ++num_queries;
+    JsonObj qj;
+    qj.Put("volcano_ms", volcano_ms).Put("systemr_ms", systemr_ms).Put("declarative_ms",
+                                                                       decl_ms);
+    per_query.Put(q, qj);
   }
   table.Print();
+
+  JsonObj metrics;
+  metrics.Put("queries", num_queries)
+      .Put("declarative_total_ms", decl_total_ms)
+      .Put("declarative_opts_per_sec", 1000.0 * num_queries / decl_total_ms);
+  JsonObj root = BenchRoot("small_queries", metrics, {&table});
+  root.Put("queries", per_query);
+  WriteBenchJson("small_queries", root);
   std::printf(
       "\nPaper shape: all implementations finish these well under the paper's 80 ms;\n"
       "there are few plan alternatives, so adaptivity is not compelling here.\n");

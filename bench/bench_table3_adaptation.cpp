@@ -20,6 +20,7 @@ void Run() {
   TablePrinter table("Table 3: frequency of adaptation (20 s stream)",
                      {"per slice", "re-opt time (ms)", "exec time (ms)", "total (ms)",
                       "plan changes"});
+  JsonObj slice_metrics;
   for (int slice_seconds : {1, 5, 10}) {
     auto setup = MakeSegTollS();
     AdaptiveStreamProcessor proc(setup.get(), AqpOptions{});
@@ -41,8 +42,19 @@ void Run() {
     }
     table.AddRow({Num(slice_seconds, 0) + " s", Num(reopt_ms, 2), Num(exec_ms, 2),
                   Num(reopt_ms + exec_ms, 2), Num(changes, 0)});
+    JsonObj sj;
+    sj.Put("reopt_ms", reopt_ms)
+        .Put("exec_ms", exec_ms)
+        .Put("total_ms", reopt_ms + exec_ms)
+        .Put("plan_changes", changes);
+    slice_metrics.Put(std::to_string(slice_seconds) + "s", sj);
   }
   table.Print();
+
+  JsonObj root = BenchRoot("table3_adaptation", slice_metrics, {&table});
+  root.Put("stream_seconds", kStreamSeconds);
+  WriteBenchJson("table3_adaptation", root);
+
   std::printf(
       "\nPaper shape: shrinking the slice from 10 s to 5 s wins clearly; going to\n"
       "1 s adds optimizer invocations but little further total-time change, since\n"

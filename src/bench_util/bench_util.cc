@@ -35,6 +35,32 @@ void TablePrinter::Print() const {
   for (const auto& row : rows_) print_row(row);
 }
 
+JsonObj TablePrinter::ToJson() const {
+  JsonObj o;
+  o.Put("title", title_);
+  JsonArr headers;
+  for (const std::string& h : headers_) headers.Add(h);
+  o.Put("headers", headers);
+  JsonArr rows;
+  for (const auto& row : rows_) {
+    JsonArr cells;
+    for (const std::string& c : row) cells.Add(c);
+    rows.Add(cells);
+  }
+  o.Put("rows", rows);
+  return o;
+}
+
+JsonObj BenchRoot(const std::string& name, const JsonObj& metrics,
+                  std::initializer_list<const TablePrinter*> tables) {
+  JsonObj root;
+  root.Put("bench", name).Put("metrics", metrics);
+  JsonArr table_arr;
+  for (const TablePrinter* t : tables) table_arr.Add(t->ToJson());
+  root.Put("tables", table_arr);
+  return root;
+}
+
 std::string Num(double v, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);

@@ -4,10 +4,12 @@
 #define IQRO_BENCH_UTIL_BENCH_UTIL_H_
 
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_util/json_report.h"
 #include "workload/context.h"
 #include "workload/queries.h"
 #include "workload/tpch_gen.h"
@@ -21,11 +23,21 @@ class TablePrinter {
   void AddRow(std::vector<std::string> cells);
   void Print() const;
 
+  /// {"title":..., "headers":[...], "rows":[[...], ...]} for the JSON report.
+  JsonObj ToJson() const;
+
  private:
   std::string title_;
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// The common report scaffolding: {"bench": name, "metrics": ..., "tables":
+/// [...]}. Benches append their extra fields to the returned object, then
+/// hand it to WriteBenchJson(name, root). Keeping the scaffold here means a
+/// schema change edits one function, not every bench binary.
+JsonObj BenchRoot(const std::string& name, const JsonObj& metrics,
+                  std::initializer_list<const TablePrinter*> tables);
 
 /// Formats `v` with `digits` fractional digits.
 std::string Num(double v, int digits = 2);

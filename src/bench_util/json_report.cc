@@ -1,0 +1,170 @@
+#include "bench_util/json_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iqro::bench {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNum(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+JsonObj& JsonObj::Put(const std::string& key, double v) {
+  fields_.emplace_back(key, JsonNum(v));
+  return *this;
+}
+
+JsonObj& JsonObj::Put(const std::string& key, int64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+JsonObj& JsonObj::Put(const std::string& key, bool v) {
+  fields_.emplace_back(key, v ? "true" : "false");
+  return *this;
+}
+
+JsonObj& JsonObj::Put(const std::string& key, const std::string& v) {
+  fields_.emplace_back(key, JsonQuote(v));
+  return *this;
+}
+
+JsonObj& JsonObj::Put(const std::string& key, const JsonObj& v) {
+  fields_.emplace_back(key, v.ToString());
+  return *this;
+}
+
+JsonObj& JsonObj::Put(const std::string& key, const JsonArr& v) {
+  fields_.emplace_back(key, v.ToString());
+  return *this;
+}
+
+std::string JsonObj::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonQuote(fields_[i].first);
+    out += ":";
+    out += fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+JsonArr& JsonArr::Add(double v) {
+  items_.push_back(JsonNum(v));
+  return *this;
+}
+
+JsonArr& JsonArr::Add(int64_t v) {
+  items_.push_back(std::to_string(v));
+  return *this;
+}
+
+JsonArr& JsonArr::Add(const std::string& v) {
+  items_.push_back(JsonQuote(v));
+  return *this;
+}
+
+JsonArr& JsonArr::Add(const JsonObj& v) {
+  items_.push_back(v.ToString());
+  return *this;
+}
+
+JsonArr& JsonArr::Add(const JsonArr& v) {
+  items_.push_back(v.ToString());
+  return *this;
+}
+
+std::string JsonArr::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += items_[i];
+  }
+  out += "]";
+  return out;
+}
+
+JsonObj OptMetricsJson(const OptMetrics& m) {
+  JsonObj o;
+  o.Put("eps_enumerated", m.eps_enumerated)
+      .Put("alts_created", m.alts_created)
+      .Put("alts_full_costed", m.alts_full_costed)
+      .Put("cost_computations", m.cost_computations)
+      .Put("suppressions", m.suppressions)
+      .Put("reintroductions", m.reintroductions)
+      .Put("ep_gcs", m.ep_gcs)
+      .Put("ep_activations", m.ep_activations)
+      .Put("steps", m.steps)
+      .Put("memo_probes", m.memo_probes)
+      .Put("memo_hits", m.memo_hits)
+      .Put("tasks_enqueued", m.tasks_enqueued)
+      .Put("tasks_deduped", m.tasks_deduped)
+      .Put("peak_memo_bytes", m.peak_memo_bytes)
+      .Put("round_touched_eps", m.round_touched_eps)
+      .Put("round_touched_alts", m.round_touched_alts)
+      .Put("round_steps", m.round_steps);
+  return o;
+}
+
+std::string BenchOutDir() {
+  if (const char* env = std::getenv("IQRO_BENCH_OUT_DIR"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return ".";
+}
+
+void WriteBenchJson(const std::string& name, const JsonObj& root) {
+  const std::string path = BenchOutDir() + "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "json_report: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  const std::string text = root.ToString();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace iqro::bench

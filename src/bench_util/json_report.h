@@ -1,0 +1,76 @@
+// Machine-readable benchmark output: every bench binary emits a
+// BENCH_<name>.json file next to its console tables, so the performance
+// trajectory of the optimizer is tracked across PRs by diffing JSON instead
+// of scraping stdout. The serializer is deliberately tiny — insertion-ordered
+// objects, arrays, numbers, strings — no external dependency.
+#ifndef IQRO_BENCH_UTIL_JSON_REPORT_H_
+#define IQRO_BENCH_UTIL_JSON_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace iqro::bench {
+
+class JsonArr;
+
+/// An insertion-ordered JSON object under construction. Values are
+/// serialized eagerly; nested objects/arrays are spliced in as text.
+class JsonObj {
+ public:
+  JsonObj& Put(const std::string& key, double v);
+  JsonObj& Put(const std::string& key, int64_t v);
+  JsonObj& Put(const std::string& key, int v) { return Put(key, static_cast<int64_t>(v)); }
+  JsonObj& Put(const std::string& key, size_t v) { return Put(key, static_cast<int64_t>(v)); }
+  JsonObj& Put(const std::string& key, bool v);
+  JsonObj& Put(const std::string& key, const std::string& v);
+  JsonObj& Put(const std::string& key, const char* v) { return Put(key, std::string(v)); }
+  JsonObj& Put(const std::string& key, const JsonObj& v);
+  JsonObj& Put(const std::string& key, const JsonArr& v);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> serialized value
+};
+
+class JsonArr {
+ public:
+  JsonArr& Add(double v);
+  JsonArr& Add(int64_t v);
+  JsonArr& Add(const std::string& v);
+  JsonArr& Add(const char* v) { return Add(std::string(v)); }
+  JsonArr& Add(const JsonObj& v);
+  JsonArr& Add(const JsonArr& v);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> items_;  // serialized values
+};
+
+/// JSON-escapes and quotes `s`.
+std::string JsonQuote(const std::string& s);
+
+/// Serializes a double the way the reporter does: %.12g — 12 significant
+/// digits, compact but NOT an exact round-trip (doubles need up to 17);
+/// infinities and NaN become strings. Fine for timings and counters, do
+/// not rely on bit-exact equality across reports.
+std::string JsonNum(double v);
+
+/// All OptMetrics counters as one JSON object.
+JsonObj OptMetricsJson(const OptMetrics& m);
+
+/// Directory bench reports go to: $IQRO_BENCH_OUT_DIR, or "." when unset.
+std::string BenchOutDir();
+
+/// Writes `root` to BENCH_<name>.json in the current working directory (or
+/// $IQRO_BENCH_OUT_DIR when set) and prints the path written.
+void WriteBenchJson(const std::string& name, const JsonObj& root);
+
+}  // namespace iqro::bench
+
+#endif  // IQRO_BENCH_UTIL_JSON_REPORT_H_

@@ -1,0 +1,93 @@
+// Arena: a bump-pointer allocator with stable addresses.
+//
+// The delta fixpoint engine allocates one EPState per (expr, prop) pair and
+// never frees individual nodes before the optimizer dies — the textbook
+// arena workload. Blocks are chained and never move or shrink, so every
+// returned pointer stays valid for the arena's lifetime (the memo and the
+// parent-link graph hold raw EPState pointers across growth).
+//
+// The arena does NOT run destructors: the owner of non-trivially-destructible
+// objects must destroy them explicitly before the arena is destroyed (see
+// DeclarativeOptimizer::~DeclarativeOptimizer).
+#ifndef IQRO_COMMON_ARENA_H_
+#define IQRO_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace iqro {
+
+class Arena {
+ public:
+  /// `first_block_bytes` is the payload size of the first block; subsequent
+  /// blocks double geometrically up to `max_block_bytes`. Oversized requests
+  /// get a dedicated block.
+  explicit Arena(size_t first_block_bytes = 4096, size_t max_block_bytes = 1 << 20)
+      : next_block_bytes_(first_block_bytes), max_block_bytes_(max_block_bytes) {
+    IQRO_CHECK(first_block_bytes > 0 && max_block_bytes >= first_block_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned allocation; never returns nullptr (aborts on OOM via new).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    IQRO_DCHECK(align > 0 && (align & (align - 1)) == 0);
+    uintptr_t p = (cursor_ + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+    if (p + bytes > limit_) {
+      AddBlock(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Constructs a T in the arena. The caller is responsible for running ~T()
+  /// if T is not trivially destructible.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    return new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Payload bytes handed out to callers (excludes alignment waste).
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Total block bytes reserved from the heap.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  void AddBlock(size_t min_bytes) {
+    size_t block_bytes = next_block_bytes_;
+    if (block_bytes < min_bytes) block_bytes = min_bytes;
+    if (next_block_bytes_ < max_block_bytes_) {
+      next_block_bytes_ = std::min(next_block_bytes_ * 2, max_block_bytes_);
+    }
+    // for_overwrite: the bump allocator hands out raw storage; zero-filling
+    // megabyte blocks up front would be pure waste on the allocation path.
+    blocks_.push_back(std::make_unique_for_overwrite<char[]>(block_bytes));
+    bytes_reserved_ += block_bytes;
+    cursor_ = reinterpret_cast<uintptr_t>(blocks_.back().get());
+    limit_ = cursor_ + block_bytes;
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t next_block_bytes_;
+  size_t max_block_bytes_;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_COMMON_ARENA_H_

@@ -1,0 +1,249 @@
+// FlatMap64: an open-addressing hash table specialized for 64-bit keys.
+//
+// The optimizer's hottest lookups are keyed by the packed (RelSet, PropId)
+// pair — a uint64_t (see MakeEPKey) — and by small packed contribution keys.
+// A std::unordered_map pays a node allocation per entry and a pointer chase
+// per probe; this table stores control bytes and slots in two flat arrays,
+// hashes with a single multiplication (Fibonacci hashing — RelSet bitmasks
+// are dense in the low bits, so the high-bit mix matters), and probes
+// linearly. Erase uses tombstones; rehash drops them. Values live inline in
+// the slot array, so value *pointers are invalidated by rehash* — store
+// arena pointers or indices when stability across inserts is needed.
+#ifndef IQRO_COMMON_FLAT_MAP_H_
+#define IQRO_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "common/check.h"
+
+namespace iqro {
+
+/// Multiplicative (Fibonacci) hash of a 64-bit key; mixes high bits down so
+/// that power-of-two masking sees the full key.
+inline uint64_t HashKey64(uint64_t key) {
+  uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  return h ^ (h >> 32);
+}
+
+template <typename Value>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  FlatMap64(FlatMap64&& other) noexcept { MoveFrom(other); }
+  FlatMap64& operator=(FlatMap64&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  FlatMap64(const FlatMap64&) = delete;
+  FlatMap64& operator=(const FlatMap64&) = delete;
+
+  ~FlatMap64() { Destroy(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// Heap bytes held by the table itself (not by heap-owning values).
+  size_t capacity_bytes() const { return capacity_ * (sizeof(Slot) + 1); }
+
+  Value* Find(uint64_t key) {
+    if (capacity_ == 0) return nullptr;
+    const size_t mask = capacity_ - 1;
+    size_t i = static_cast<size_t>(HashKey64(key)) & mask;
+    while (true) {
+      const uint8_t c = ctrl_[i];
+      if (c == kEmpty) return nullptr;
+      if (c == kFull && slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  const Value* Find(uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->Find(key);
+  }
+
+  /// Inserts `key` with a value constructed from `args` unless present.
+  /// Returns {slot value pointer, inserted}. The pointer is valid until the
+  /// next rehashing insert or erase of that key; lookup hits never rehash.
+  template <typename... Args>
+  std::pair<Value*, bool> TryEmplace(uint64_t key, Args&&... args) {
+    if (capacity_ != 0) {
+      // Probe first: a hit must never pay (or trigger) a rehash.
+      const size_t mask = capacity_ - 1;
+      size_t i = static_cast<size_t>(HashKey64(key)) & mask;
+      size_t first_tombstone = kNoSlot;
+      while (true) {
+        const uint8_t c = ctrl_[i];
+        if (c == kFull && slots_[i].key == key) return {&slots_[i].value, false};
+        if (c == kTombstone && first_tombstone == kNoSlot) first_tombstone = i;
+        if (c == kEmpty) break;
+        i = (i + 1) & mask;
+      }
+      // Absent: insert in place while the load factor allows, reusing the
+      // first tombstone on the probe path (erase-heavy workloads then stay
+      // at a bounded load factor).
+      if ((size_ + tombstones_ + 1) * 8 <= capacity_ * 7) {
+        if (first_tombstone != kNoSlot) {
+          i = first_tombstone;
+          --tombstones_;
+        }
+        return {EmplaceAt(i, key, std::forward<Args>(args)...), true};
+      }
+    }
+    // First allocation, or the table is at the load threshold. Grow only
+    // when at least half the slots hold live entries; otherwise the table
+    // is mostly tombstones and a same-size rehash (which drops them)
+    // restores the load factor without inflating capacity.
+    size_t new_capacity;
+    if (capacity_ == 0) {
+      new_capacity = kMinCapacity;
+    } else if ((size_ + 1) * 2 > capacity_) {
+      new_capacity = capacity_ * 2;
+    } else {
+      new_capacity = capacity_;
+    }
+    Rehash(new_capacity);
+    // The key is known absent and the fresh table has no tombstones.
+    const size_t mask = capacity_ - 1;
+    size_t i = static_cast<size_t>(HashKey64(key)) & mask;
+    while (ctrl_[i] != kEmpty) i = (i + 1) & mask;
+    return {EmplaceAt(i, key, std::forward<Args>(args)...), true};
+  }
+
+  /// Convenience: operator[]-style access for default-constructible values.
+  Value& GetOrDefault(uint64_t key) { return *TryEmplace(key).first; }
+
+  bool Erase(uint64_t key) {
+    if (capacity_ == 0) return false;
+    const size_t mask = capacity_ - 1;
+    size_t i = static_cast<size_t>(HashKey64(key)) & mask;
+    while (true) {
+      const uint8_t c = ctrl_[i];
+      if (c == kEmpty) return false;
+      if (c == kFull && slots_[i].key == key) {
+        slots_[i].value.~Value();
+        ctrl_[i] = kTombstone;
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void Clear() {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (ctrl_[i] == kFull) slots_[i].value.~Value();
+      ctrl_[i] = kEmpty;
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  void Reserve(size_t n) {
+    size_t want = kMinCapacity;
+    // Target load factor 7/8: grow until n fits.
+    while (want * 7 < n * 8) want *= 2;
+    if (want > capacity_) Rehash(want);
+  }
+
+  /// Visits every (key, value&) pair; iteration order is unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (ctrl_[i] == kFull) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (ctrl_[i] == kFull) fn(slots_[i].key, const_cast<const Value&>(slots_[i].value));
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    Value value;
+  };
+
+  static constexpr uint8_t kEmpty = 0;
+  static constexpr uint8_t kTombstone = 1;
+  static constexpr uint8_t kFull = 2;
+  static constexpr size_t kMinCapacity = 16;
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  template <typename... Args>
+  Value* EmplaceAt(size_t i, uint64_t key, Args&&... args) {
+    ctrl_[i] = kFull;
+    new (&slots_[i].key) uint64_t(key);
+    new (&slots_[i].value) Value(std::forward<Args>(args)...);
+    ++size_;
+    return &slots_[i].value;
+  }
+
+  void Rehash(size_t new_capacity) {
+    IQRO_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    uint8_t* old_ctrl = ctrl_;
+    Slot* old_slots = slots_;
+    const size_t old_capacity = capacity_;
+
+    ctrl_ = new uint8_t[new_capacity]();
+    slots_ = static_cast<Slot*>(::operator new[](new_capacity * sizeof(Slot),
+                                                 std::align_val_t{alignof(Slot)}));
+    capacity_ = new_capacity;
+    tombstones_ = 0;
+    const size_t mask = new_capacity - 1;
+    for (size_t i = 0; i < old_capacity; ++i) {
+      if (old_ctrl[i] != kFull) continue;
+      size_t j = static_cast<size_t>(HashKey64(old_slots[i].key)) & mask;
+      while (ctrl_[j] != kEmpty) j = (j + 1) & mask;
+      ctrl_[j] = kFull;
+      new (&slots_[j].key) uint64_t(old_slots[i].key);
+      new (&slots_[j].value) Value(std::move(old_slots[i].value));
+      old_slots[i].value.~Value();
+    }
+    delete[] old_ctrl;
+    ::operator delete[](old_slots, std::align_val_t{alignof(Slot)});
+  }
+
+  void Destroy() {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (ctrl_[i] == kFull) slots_[i].value.~Value();
+    }
+    delete[] ctrl_;
+    ::operator delete[](slots_, std::align_val_t{alignof(Slot)});
+    ctrl_ = nullptr;
+    slots_ = nullptr;
+    capacity_ = size_ = tombstones_ = 0;
+  }
+
+  void MoveFrom(FlatMap64& other) {
+    ctrl_ = other.ctrl_;
+    slots_ = other.slots_;
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    tombstones_ = other.tombstones_;
+    other.ctrl_ = nullptr;
+    other.slots_ = nullptr;
+    other.capacity_ = other.size_ = other.tombstones_ = 0;
+  }
+
+  uint8_t* ctrl_ = nullptr;
+  Slot* slots_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_COMMON_FLAT_MAP_H_

@@ -1,0 +1,81 @@
+// RingBuffer: a growable double-ended queue of trivially copyable PODs in
+// one contiguous power-of-two array.
+//
+// The fixpoint worklist pushes and pops a 16-byte Task per delta; a
+// std::deque pays block allocation, iterator arithmetic, and poor locality.
+// This ring indexes with monotonically increasing head/tail counters masked
+// by the capacity, so push/pop are a store/load plus an increment, and both
+// FIFO (pop_front) and LIFO (pop_back) disciplines run on the same storage.
+#ifndef IQRO_COMMON_RING_BUFFER_H_
+#define IQRO_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace iqro {
+
+template <typename T>
+class RingBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit RingBuffer(size_t initial_capacity = 64) {
+    size_t cap = 1;
+    while (cap < initial_capacity) cap *= 2;
+    // for_overwrite: slots are written before they are ever read.
+    data_ = std::make_unique_for_overwrite<T[]>(cap);
+    capacity_ = cap;
+  }
+
+  bool empty() const { return head_ == tail_; }
+  size_t size() const { return static_cast<size_t>(tail_ - head_); }
+  size_t capacity() const { return capacity_; }
+  size_t capacity_bytes() const { return capacity_ * sizeof(T); }
+
+  void push_back(const T& t) {
+    if (size() == capacity_) Grow();
+    data_[tail_ & (capacity_ - 1)] = t;
+    ++tail_;
+  }
+
+  T pop_front() {
+    IQRO_DCHECK(!empty());
+    return data_[head_++ & (capacity_ - 1)];
+  }
+
+  T pop_back() {
+    IQRO_DCHECK(!empty());
+    --tail_;
+    return data_[tail_ & (capacity_ - 1)];
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  void Grow() {
+    const size_t new_cap = capacity_ * 2;
+    auto fresh = std::make_unique_for_overwrite<T[]>(new_cap);
+    const size_t n = size();
+    for (size_t i = 0; i < n; ++i) {
+      fresh[i] = data_[(head_ + i) & (capacity_ - 1)];
+    }
+    data_ = std::move(fresh);
+    capacity_ = new_cap;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::unique_ptr<T[]> data_;
+  size_t capacity_ = 0;
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_COMMON_RING_BUFFER_H_

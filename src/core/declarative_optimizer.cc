@@ -21,33 +21,41 @@ DeclarativeOptimizer::DeclarativeOptimizer(PlanEnumerator* enumerator,
       registry_(registry),
       options_(options) {
   IQRO_CHECK(options_.Valid());
+  memo_.Reserve(256);  // skip the first few rehashes of every optimization
 }
 
-DeclarativeOptimizer::~DeclarativeOptimizer() = default;
+DeclarativeOptimizer::~DeclarativeOptimizer() {
+  // EPState nodes live in the arena, which releases memory without running
+  // destructors; the vectors and aggregates inside each node own heap.
+  for (EPState* ep : eps_in_order_) ep->~EPState();
+}
 
 // ---------------------------------------------------------------------------
 // State access
 // ---------------------------------------------------------------------------
 
 DeclarativeOptimizer::EPState* DeclarativeOptimizer::GetOrCreateEP(RelSet expr, PropId prop) {
-  EPKey key = MakeEPKey(expr, prop);
-  auto it = memo_.find(key);
-  if (it != memo_.end()) return it->second.get();
-  auto ep = std::make_unique<EPState>();
+  ++metrics_.memo_probes;
+  auto [slot, inserted] = memo_.TryEmplace(MakeEPKey(expr, prop), nullptr);
+  if (!inserted) {
+    ++metrics_.memo_hits;
+    return *slot;
+  }
+  EPState* ep = arena_.New<EPState>();
   ep->expr = expr;
   ep->prop = prop;
   ep->id = static_cast<uint32_t>(eps_in_order_.size());
   ep->last_best = kInf;
   ep->last_bound = kInf;
-  EPState* raw = ep.get();
-  memo_.emplace(key, std::move(ep));
-  eps_in_order_.push_back(raw);
-  return raw;
+  *slot = ep;
+  eps_in_order_.push_back(ep);
+  reopt_order_stale_ = true;
+  return ep;
 }
 
 DeclarativeOptimizer::EPState* DeclarativeOptimizer::FindEP(RelSet expr, PropId prop) const {
-  auto it = memo_.find(MakeEPKey(expr, prop));
-  return it == memo_.end() ? nullptr : it->second.get();
+  EPState* const* slot = memo_.Find(MakeEPKey(expr, prop));
+  return slot == nullptr ? nullptr : *slot;
 }
 
 DeclarativeOptimizer::EPState* DeclarativeOptimizer::ChildEP(const AltState& alt,
@@ -110,10 +118,16 @@ void DeclarativeOptimizer::Touch(EPState* ep, uint32_t alt_idx) {
 // Scheduling
 // ---------------------------------------------------------------------------
 
-void DeclarativeOptimizer::Push(Task t) { queue_.push_back(t); }
+void DeclarativeOptimizer::Push(Task t) {
+  ++metrics_.tasks_enqueued;
+  queue_.push_back(t);
+}
 
 void DeclarativeOptimizer::ScheduleEnumerate(EPState* ep) {
-  if (ep->enumerate_queued) return;
+  if (ep->enumerate_queued) {
+    ++metrics_.tasks_deduped;
+    return;
+  }
   ep->enumerate_queued = true;
   Push({Task::Kind::kEnumerate, ep, 0});
 }
@@ -121,37 +135,40 @@ void DeclarativeOptimizer::ScheduleEnumerate(EPState* ep) {
 void DeclarativeOptimizer::ScheduleDrive(EPState* ep, uint32_t alt_idx) {
   if (!ep->enumerated) return;  // will be driven by enumeration
   AltState& a = ep->alts[alt_idx];
-  if (a.drive_queued) return;
+  if (a.drive_queued) {
+    ++metrics_.tasks_deduped;
+    return;
+  }
   a.drive_queued = true;
   Push({Task::Kind::kDrive, ep, alt_idx});
 }
 
 void DeclarativeOptimizer::ScheduleBestDirty(EPState* ep) {
-  if (ep->best_dirty) return;
+  if (ep->best_dirty) {
+    ++metrics_.tasks_deduped;
+    return;
+  }
   ep->best_dirty = true;
   Push({Task::Kind::kBestDirty, ep, 0});
 }
 
 void DeclarativeOptimizer::ScheduleBoundDirty(EPState* ep) {
   if (!options_.use_bounding) return;
-  if (ep->bound_dirty) return;
+  if (ep->bound_dirty) {
+    ++metrics_.tasks_deduped;
+    return;
+  }
   ep->bound_dirty = true;
   Push({Task::Kind::kBoundDirty, ep, 0});
 }
 
 void DeclarativeOptimizer::Drain() {
+  const bool lifo = options_.discipline == QueueDiscipline::kLifo;
   while (!queue_.empty()) {
     ++metrics_.steps;
     ++metrics_.round_steps;
     IQRO_CHECK(metrics_.steps < static_cast<int64_t>(options_.max_steps));
-    Task t;
-    if (options_.discipline == QueueDiscipline::kLifo) {
-      t = queue_.back();
-      queue_.pop_back();
-    } else {
-      t = queue_.front();
-      queue_.pop_front();
-    }
+    Task t = lifo ? queue_.pop_back() : queue_.pop_front();
     switch (t.kind) {
       case Task::Kind::kEnumerate:
         RunEnumerate(t.ep);
@@ -181,6 +198,7 @@ void DeclarativeOptimizer::Optimize() {
   root_ = GetOrCreateEP(EPExpr(enumerator_->RootKey()), EPProp(enumerator_->RootKey()));
   RefUp(root_);  // the query itself holds one virtual reference on the root
   Drain();
+  UpdatePeakMemoBytes();
 }
 
 void DeclarativeOptimizer::Reoptimize() {
@@ -195,16 +213,21 @@ void DeclarativeOptimizer::Reoptimize() {
   // variants, whose sort enforcers reference it. Every ancestor of an
   // affected pair is itself affected (its expression is a superset), so a
   // single ascending pass evicts collected state before the live state
-  // referencing it is re-driven.
-  std::vector<EPState*> order = eps_in_order_;
-  std::stable_sort(order.begin(), order.end(), [](const EPState* a, const EPState* b) {
-    int pa = RelCount(a->expr);
-    int pb = RelCount(b->expr);
-    if (pa != pb) return pa < pb;
-    return (a->prop == kPropNone) && (b->prop != kPropNone);
-  });
+  // referencing it is re-driven. The sorted order is cached across calls
+  // and rebuilt only when the memo has grown since.
+  if (reopt_order_stale_) {
+    reopt_order_ = eps_in_order_;
+    std::stable_sort(reopt_order_.begin(), reopt_order_.end(),
+                     [](const EPState* a, const EPState* b) {
+                       int pa = RelCount(a->expr);
+                       int pb = RelCount(b->expr);
+                       if (pa != pb) return pa < pb;
+                       return (a->prop == kPropNone) && (b->prop != kPropNone);
+                     });
+    reopt_order_stale_ = false;
+  }
 
-  for (EPState* ep : order) {
+  for (EPState* ep : reopt_order_) {
     if (!ep->enumerated) continue;
     bool affected = false;
     for (const StatChange& c : changes) {
@@ -225,6 +248,7 @@ void DeclarativeOptimizer::Reoptimize() {
     for (uint32_t i = 0; i < ep->alts.size(); ++i) ScheduleDrive(ep, i);
   }
   Drain();
+  UpdatePeakMemoBytes();  // O(1) unless this round enumerated new state
 }
 
 // ---------------------------------------------------------------------------
@@ -258,19 +282,24 @@ void DeclarativeOptimizer::RunEnumerate(EPState* ep) {
   // Drive cheapest-local-cost alternatives first: "the sooner a min-cost
   // plan is encountered, the more effective the pruning is" (§3.1). With
   // the LIFO discipline the last-pushed task runs first, so push in
-  // descending order of local cost.
-  std::vector<uint32_t> idx(ep->alts.size());
-  for (uint32_t i = 0; i < ep->alts.size(); ++i) idx[i] = i;
-  std::vector<double> locals(ep->alts.size());
+  // descending order of local cost. The sort runs on a member scratch
+  // buffer with an explicit index tie-break — equivalent to a stable sort,
+  // but std::sort neither allocates a merge buffer nor falls back to
+  // merge passes, and RunEnumerate fires once per EP per round.
+  std::vector<std::pair<double, uint32_t>>& order = enum_scratch_;
+  order.resize(ep->alts.size());
   for (uint32_t i = 0; i < ep->alts.size(); ++i) {
-    locals[i] = CachedLocalCost(*ep, ep->alts[i]);
+    order[i] = {CachedLocalCost(*ep, ep->alts[i]), i};
   }
-  std::stable_sort(idx.begin(), idx.end(),
-                   [&](uint32_t a, uint32_t b) { return locals[a] > locals[b]; });
+  std::sort(order.begin(), order.end(),
+            [](const std::pair<double, uint32_t>& a, const std::pair<double, uint32_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
   if (options_.discipline == QueueDiscipline::kFifo) {
-    std::reverse(idx.begin(), idx.end());
+    std::reverse(order.begin(), order.end());
   }
-  for (uint32_t i : idx) ScheduleDrive(ep, i);
+  for (const auto& [local, i] : order) ScheduleDrive(ep, i);
 }
 
 void DeclarativeOptimizer::RunDrive(EPState* ep, uint32_t alt_idx) {
@@ -511,7 +540,6 @@ void DeclarativeOptimizer::UpdateAltContributions(EPState* ep, uint32_t alt_idx)
   const double bound = ep->last_bound;
   const double local = CachedLocalCost(*ep, a);
   for (int s = 0; s < nch; ++s) {
-    EPState* child = ChildEP(a, s);
     double contribution = kInf;
     if (std::isfinite(bound)) {
       double sibling_best = 0.0;  // unknown sibling: conservative (loosest)
@@ -521,6 +549,12 @@ void DeclarativeOptimizer::UpdateAltContributions(EPState* ep, uint32_t alt_idx)
       }
       contribution = bound - local - sibling_best;  // r1/r2
     }
+    // Unchanged contributions skip the child's bound table entirely (the
+    // Set would compare equal and return false); NaN marks "none pushed"
+    // and compares unequal, forcing the initial Set.
+    if (contribution == a.last_contrib[s]) continue;
+    a.last_contrib[s] = contribution;
+    EPState* child = ChildEP(a, s);
     if (child->parent_bounds.Set(ContributionKey(*ep, alt_idx, s), contribution)) {
       ScheduleBoundDirty(child);  // r3: MaxBound is the max of contributions
     }
@@ -529,8 +563,9 @@ void DeclarativeOptimizer::UpdateAltContributions(EPState* ep, uint32_t alt_idx)
 
 void DeclarativeOptimizer::RemoveAltContributions(EPState* ep, uint32_t alt_idx) {
   if (!options_.use_bounding) return;
-  const AltState& a = ep->alts[alt_idx];
+  AltState& a = ep->alts[alt_idx];
   for (int s = 0; s < a.def.NumChildren(); ++s) {
+    a.last_contrib[s] = kNoContribution;
     EPState* child = ChildEP(a, s);
     if (child->parent_bounds.Erase(ContributionKey(*ep, alt_idx, s))) {
       ScheduleBoundDirty(child);
@@ -541,6 +576,43 @@ void DeclarativeOptimizer::RemoveAltContributions(EPState* ep, uint32_t alt_idx)
 // ---------------------------------------------------------------------------
 // Results and inspection
 // ---------------------------------------------------------------------------
+
+size_t DeclarativeOptimizer::PerEpBytes() const {
+  // Exact for the vectors; the ExtremeAgg contribution is an estimate (a
+  // sorted-vector entry plus a flat-map slot per retained entry, at the
+  // tables' typical load factor).
+  constexpr size_t kAggEntryBytes = 40;
+  size_t bytes = 0;
+  for (const EPState* ep : eps_in_order_) {
+    bytes += ep->alts.capacity() * sizeof(AltState);
+    bytes += ep->parents.capacity() * sizeof(ParentRef);
+    bytes += (ep->best_agg.size() + ep->parent_bounds.size()) * kAggEntryBytes;
+  }
+  return bytes;
+}
+
+size_t DeclarativeOptimizer::StructuralBytes() const {
+  return arena_.bytes_reserved() + memo_.capacity_bytes() +
+         eps_in_order_.capacity() * sizeof(EPState*) +
+         reopt_order_.capacity() * sizeof(EPState*) + queue_.capacity_bytes();
+}
+
+void DeclarativeOptimizer::UpdatePeakMemoBytes() {
+  // Sampled at the end of every (re)optimization round, cheaply: the O(1)
+  // structural terms are read fresh — they only grow, and the worklist's
+  // high-water capacity is exactly what a seeding burst inflates — while
+  // the O(#EPs) walk is cached and re-run only when a first-time
+  // enumeration grew an alt or parent vector (keyed on eps_enumerated).
+  // The aggregate entry counts inside the cached term can drift between
+  // walks, so transient mid-round aggregate spikes may be slightly
+  // under-reported; the structural terms are exact high-water marks.
+  if (per_ep_walk_key_ != metrics_.eps_enumerated) {
+    per_ep_bytes_cache_ = PerEpBytes();
+    per_ep_walk_key_ = metrics_.eps_enumerated;
+  }
+  const int64_t bytes = static_cast<int64_t>(StructuralBytes() + per_ep_bytes_cache_);
+  if (bytes > metrics_.peak_memo_bytes) metrics_.peak_memo_bytes = bytes;
+}
 
 double DeclarativeOptimizer::BestCost() const {
   if (root_ == nullptr || root_->best_agg.empty()) return kInf;

@@ -33,15 +33,37 @@
 // from the StatsRegistry and seeds deltas only for affected state;
 // everything else is reused. The result is always identical to a fresh
 // optimization under the new statistics (tested against System-R/Volcano).
+// Memory layout (perf engineering): the memo's data layer is built for the
+// constant factor of the delta fixpoint, whose unit of work is a memo probe
+// plus a task push/pop:
+//  * EPState nodes are bump-allocated from an Arena (common/arena.h) and
+//    never move — the memo, the parent-link graph, and the worklist all hold
+//    raw EPState pointers across memo growth. The optimizer's destructor
+//    runs ~EPState() over eps_in_order_ because the arena does not.
+//  * The memo itself is a FlatMap64<EPState*> (common/flat_map.h), an
+//    open-addressing table keyed by the packed 64-bit (RelSet, PropId) key
+//    (MakeEPKey) with a multiplicative hash — one probe is a multiply, a
+//    mask, and a linear scan of flat control bytes, no node chasing.
+//  * Tasks are 16-byte PODs in a growable power-of-two RingBuffer
+//    (common/ring_buffer.h) serving both queue disciplines; duplicate tasks
+//    are suppressed at enqueue time by the intrusive queued bits on
+//    EPState/AltState (enumerate_queued, drive_queued, best_dirty,
+//    bound_dirty), so the ring never holds two live tasks for the same
+//    (kind, ep, alt) and pushes never allocate after warm-up.
+//  * OptMetrics tracks the data layer too: memo_probes/memo_hits,
+//    tasks_enqueued/tasks_deduped, and peak_memo_bytes (high-water estimate
+//    of arena + table + per-EP vectors + aggregates, sampled at round ends).
 #ifndef IQRO_CORE_DECLARATIVE_OPTIMIZER_H_
 #define IQRO_CORE_DECLARATIVE_OPTIMIZER_H_
 
-#include <deque>
+#include <limits>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/flat_map.h"
+#include "common/ring_buffer.h"
 #include "core/metrics.h"
 #include "core/optimizer_options.h"
 #include "cost/cost_model.h"
@@ -106,6 +128,8 @@ class DeclarativeOptimizer {
     uint8_t side;
   };
 
+  static constexpr double kNoContribution = std::numeric_limits<double>::quiet_NaN();
+
   struct AltState {
     Alt def;
     bool active = false;       // present in SearchSpace (not suppressed)
@@ -120,6 +144,12 @@ class DeclarativeOptimizer {
     // LocalCost cache, valid for one registry epoch.
     double local_cost = 0;
     uint64_t local_epoch = 0;
+    // Last ParentBound contribution pushed to each child, NaN when none is
+    // registered: lets UpdateAltContributions skip the child's bound-table
+    // probe when the recomputed contribution is unchanged — the common case
+    // on re-drives. NaN compares unequal to everything, so "none" always
+    // re-pushes.
+    double last_contrib[2] = {kNoContribution, kNoContribution};
   };
 
   struct EPState {
@@ -205,18 +235,39 @@ class DeclarativeOptimizer {
   void Touch(EPState* ep);
   void Touch(EPState* ep, uint32_t alt_idx);
 
+  /// Per-EP heap footprint (alt/parent vector capacities + aggregate
+  /// entries, the latter estimated): the O(#EPs) walk behind the peak
+  /// counter.
+  size_t PerEpBytes() const;
+  /// O(1) footprint terms: arena blocks, flat table, order vectors, queue.
+  size_t StructuralBytes() const;
+  void UpdatePeakMemoBytes();
+
   PlanEnumerator* enumerator_;
   const CostModel* cost_model_;
   StatsRegistry* registry_;
   OptimizerOptions options_;
   OptMetrics metrics_;
 
-  std::unordered_map<EPKey, std::unique_ptr<EPState>> memo_;
+  Arena arena_;                    // owns EPState storage (addresses stable)
+  FlatMap64<EPState*> memo_;       // packed (RelSet, PropId) -> arena node
   std::vector<EPState*> eps_in_order_;  // insertion order, for deterministic walks
-  std::deque<Task> queue_;
+  RingBuffer<Task> queue_;
   EPState* root_ = nullptr;
   bool optimized_ = false;
   uint32_t round_ = 0;
+
+  // Reoptimize()'s bottom-up seeding order; rebuilt only when the memo grew
+  // since the last rebuild (new pairs invalidate it).
+  std::vector<EPState*> reopt_order_;
+  bool reopt_order_stale_ = true;
+  // Cache for UpdatePeakMemoBytes: the per-EP walk result, valid until the
+  // next first-time enumeration (the only event that grows alt/parent
+  // vectors). Keyed on metrics_.eps_enumerated.
+  int64_t per_ep_walk_key_ = -1;
+  size_t per_ep_bytes_cache_ = 0;
+  // RunEnumerate scratch (avoids a heap vector per task).
+  std::vector<std::pair<double, uint32_t>> enum_scratch_;
 };
 
 }  // namespace iqro

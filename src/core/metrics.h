@@ -20,6 +20,15 @@ struct OptMetrics {
   int64_t ep_activations = 0;      // refcount 0 -> 1 transitions
   int64_t steps = 0;               // fixpoint work items processed
 
+  // Data-layer counters (perf engineering): memo table traffic, worklist
+  // traffic, and the memo's peak resident footprint.
+  int64_t memo_probes = 0;         // hot-path memo lookups (GetOrCreateEP only;
+                                   // cold FindEP during plan extraction is not counted)
+  int64_t memo_hits = 0;           // probes that found an existing entry
+  int64_t tasks_enqueued = 0;      // worklist pushes that made it past dedup
+  int64_t tasks_deduped = 0;       // enqueues suppressed by the queued bits
+  int64_t peak_memo_bytes = 0;     // high-water estimate of memo residency
+
   // Counters for the current (re)optimization round; reset via BeginRound().
   int64_t round_touched_eps = 0;   // plan-table entries receiving any delta
   int64_t round_touched_alts = 0;  // alternatives recomputed/suppressed/re-added

@@ -7,7 +7,7 @@ namespace iqro {
 
 PropTable::PropTable() {
   props_.push_back(Prop{});  // id 0 = none
-  index_.emplace(KeyOf(Prop{}), kPropNone);
+  index_.TryEmplace(KeyOf(Prop{}), kPropNone);
 }
 
 uint64_t PropTable::KeyOf(const Prop& p) {
@@ -17,12 +17,12 @@ uint64_t PropTable::KeyOf(const Prop& p) {
 }
 
 PropId PropTable::Intern(const Prop& p) {
-  auto it = index_.find(KeyOf(p));
-  if (it != index_.end()) return it->second;
+  auto [slot, inserted] = index_.TryEmplace(KeyOf(p), kPropNone);
+  if (!inserted) return *slot;
   IQRO_CHECK(props_.size() < 0xFFFF);
   PropId id = static_cast<PropId>(props_.size());
   props_.push_back(p);
-  index_.emplace(KeyOf(p), id);
+  *slot = id;
   return id;
 }
 

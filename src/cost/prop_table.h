@@ -5,9 +5,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "query/query_spec.h"
 
 namespace iqro {
@@ -39,7 +39,7 @@ class PropTable {
 
  private:
   std::vector<Prop> props_;
-  std::unordered_map<uint64_t, PropId> index_;
+  FlatMap64<PropId> index_;  // packed Prop bits -> interned id
 
   static uint64_t KeyOf(const Prop& p);
 };

@@ -10,16 +10,24 @@
 // Entries are (value, id) pairs ordered lexicographically, which doubles as
 // the deterministic tie-break the paper's distinct-cost assumption
 // (Proposition 5) stands in for.
+//
+// Storage is flat: a sorted vector of (value, id) entries plus a FlatMap64
+// from id to value. One aggregate lives inside every plan-table entry
+// (BestCost and Bound state), so the constant factor here is the fixpoint's
+// constant factor — groups are small (one entry per alternative / per parent
+// contribution), and a binary search plus a memmove beats a red-black tree
+// node allocation at every realistic group size.
 #ifndef IQRO_DELTA_EXTREME_AGG_H_
 #define IQRO_DELTA_EXTREME_AGG_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
-#include <set>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/flat_map.h"
 #include "delta/delta.h"
 
 namespace iqro {
@@ -32,24 +40,24 @@ class ExtremeAgg {
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
 
-  bool Contains(Id id) const { return values_.count(id) > 0; }
+  bool Contains(Id id) const { return values_.Find(KeyOf(id)) != nullptr; }
 
   double ValueOf(Id id) const {
-    auto it = values_.find(id);
-    IQRO_DCHECK(it != values_.end());
-    return it->second;
+    const double* v = values_.Find(KeyOf(id));
+    IQRO_DCHECK(v != nullptr);
+    return *v;
   }
 
   /// Smallest (value, id) entry; infinity if empty.
   Entry MinEntry() const {
     if (entries_.empty()) return {std::numeric_limits<double>::infinity(), Id{}};
-    return *entries_.begin();
+    return entries_.front();
   }
 
   /// Largest (value, id) entry; -infinity if empty.
   Entry MaxEntry() const {
     if (entries_.empty()) return {-std::numeric_limits<double>::infinity(), Id{}};
-    return *entries_.rbegin();
+    return entries_.back();
   }
 
   double MinValue() const { return MinEntry().first; }
@@ -58,33 +66,33 @@ class ExtremeAgg {
   /// Inserts or replaces the contribution of `id`. Returns true iff the
   /// group's min or max entry changed.
   bool Set(Id id, double value) {
-    auto [it, inserted] = values_.try_emplace(id, value);
+    auto [slot, inserted] = values_.TryEmplace(KeyOf(id), value);
     Entry old_min = MinEntry();
     Entry old_max = MaxEntry();
     if (!inserted) {
-      if (it->second == value) return false;
-      entries_.erase(Entry{it->second, id});
-      it->second = value;
+      if (*slot == value) return false;
+      EraseEntry(Entry{*slot, id});
+      *slot = value;
     }
-    entries_.insert(Entry{value, id});
+    InsertEntry(Entry{value, id});
     return MinEntry() != old_min || MaxEntry() != old_max;
   }
 
   /// Removes the contribution of `id` if present. Returns true iff the
   /// group's min or max entry changed.
   bool Erase(Id id) {
-    auto it = values_.find(id);
-    if (it == values_.end()) return false;
+    const double* v = values_.Find(KeyOf(id));
+    if (v == nullptr) return false;
     Entry old_min = MinEntry();
     Entry old_max = MaxEntry();
-    entries_.erase(Entry{it->second, id});
-    values_.erase(it);
+    EraseEntry(Entry{*v, id});
+    values_.Erase(KeyOf(id));
     return MinEntry() != old_min || MaxEntry() != old_max;
   }
 
   void Clear() {
     entries_.clear();
-    values_.clear();
+    values_.Clear();
   }
 
   /// Ascending iteration over retained (value, id) entries.
@@ -92,8 +100,20 @@ class ExtremeAgg {
   auto end() const { return entries_.end(); }
 
  private:
-  std::set<Entry> entries_;
-  std::unordered_map<Id, double> values_;
+  static uint64_t KeyOf(Id id) { return static_cast<uint64_t>(id); }
+
+  void InsertEntry(const Entry& e) {
+    entries_.insert(std::lower_bound(entries_.begin(), entries_.end(), e), e);
+  }
+
+  void EraseEntry(const Entry& e) {
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), e);
+    IQRO_DCHECK(it != entries_.end() && *it == e);
+    entries_.erase(it);
+  }
+
+  std::vector<Entry> entries_;  // sorted ascending by (value, id)
+  FlatMap64<double> values_;    // id -> current value
 };
 
 }  // namespace iqro

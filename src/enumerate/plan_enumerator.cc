@@ -16,9 +16,12 @@ const Table& PlanEnumerator::TableOf(int rel) const {
 
 const std::vector<Alt>& PlanEnumerator::Split(RelSet expr, PropId prop) {
   EPKey key = MakeEPKey(expr, prop);
-  auto it = memo_.find(key);
-  if (it != memo_.end()) return it->second;
-  return memo_.emplace(key, ComputeSplit(expr, prop)).first->second;
+  if (const std::vector<Alt>* const* slot = memo_.Find(key)) return **slot;
+  // ComputeSplit never re-enters Split, so the insert can follow it.
+  split_store_.push_back(ComputeSplit(expr, prop));
+  const std::vector<Alt>* stored = &split_store_.back();
+  memo_.TryEmplace(key, stored);
+  return *stored;
 }
 
 std::vector<Alt> PlanEnumerator::ComputeSplit(RelSet expr, PropId prop) {
@@ -34,7 +37,9 @@ std::vector<Alt> PlanEnumerator::ComputeSplit(RelSet expr, PropId prop) {
 void PlanEnumerator::LeafAlternatives(RelSet expr, PropId prop, std::vector<Alt>* out) {
   const int rel = RelLowest(expr);
   const Table& table = TableOf(rel);
-  const Prop& p = props_->Get(prop);
+  // By value: interning below may grow the PropTable and invalidate
+  // references into it.
+  const Prop p = props_->Get(prop);
   switch (p.kind) {
     case Prop::Kind::kNone: {
       Alt a;
@@ -79,7 +84,10 @@ void PlanEnumerator::LeafAlternatives(RelSet expr, PropId prop, std::vector<Alt>
 }
 
 void PlanEnumerator::JoinAlternatives(RelSet expr, PropId prop, std::vector<Alt>* out) {
-  const Prop& p = props_->Get(prop);
+  // By value: the Intern calls below may grow the PropTable and would
+  // invalidate a reference held across them (latent use-after-free that
+  // surfaced when the table's allocation pattern changed).
+  const Prop p = props_->Get(prop);
   IQRO_CHECK(p.kind != Prop::Kind::kIndexed);  // only leaves can be index inners
 
   if (p.kind == Prop::Kind::kSorted) {
@@ -192,10 +200,10 @@ void PlanEnumerator::JoinAlternatives(RelSet expr, PropId prop, std::vector<Alt>
 
 PlanEnumerator::SpaceSize PlanEnumerator::CountFullSpace() {
   SpaceSize size;
-  std::unordered_map<EPKey, bool> seen;
+  FlatMap64<bool> seen;
   std::deque<EPKey> queue;
   queue.push_back(RootKey());
-  seen[RootKey()] = true;
+  seen.TryEmplace(RootKey(), true);
   while (!queue.empty()) {
     EPKey key = queue.front();
     queue.pop_front();
@@ -205,17 +213,11 @@ PlanEnumerator::SpaceSize PlanEnumerator::CountFullSpace() {
     for (const Alt& a : alts) {
       if (a.NumChildren() >= 1) {
         EPKey l = MakeEPKey(a.lexpr, a.lprop);
-        if (!seen[l]) {
-          seen[l] = true;
-          queue.push_back(l);
-        }
+        if (seen.TryEmplace(l, true).second) queue.push_back(l);
       }
       if (a.NumChildren() == 2) {
         EPKey r = MakeEPKey(a.rexpr, a.rprop);
-        if (!seen[r]) {
-          seen[r] = true;
-          queue.push_back(r);
-        }
+        if (seen.TryEmplace(r, true).second) queue.push_back(r);
       }
     }
   }

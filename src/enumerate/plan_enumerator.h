@@ -10,10 +10,11 @@
 #ifndef IQRO_ENUMERATE_PLAN_ENUMERATOR_H_
 #define IQRO_ENUMERATE_PLAN_ENUMERATOR_H_
 
-#include <unordered_map>
+#include <deque>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/flat_map.h"
 #include "enumerate/alternative.h"
 #include "query/join_graph.h"
 #include "query/query_spec.h"
@@ -58,7 +59,11 @@ class PlanEnumerator {
   const JoinGraph* graph_;
   const Catalog* catalog_;
   PropTable* props_;
-  std::unordered_map<EPKey, std::vector<Alt>> memo_;
+  // Split() hands out references that must survive later insertions, so the
+  // alternative lists live in a deque (stable addresses) and the flat table
+  // maps the packed (RelSet, PropId) key to them.
+  std::deque<std::vector<Alt>> split_store_;
+  FlatMap64<const std::vector<Alt>*> memo_;
 };
 
 }  // namespace iqro

@@ -324,6 +324,50 @@ TEST_F(OptimizerBehaviorTest, DumpStateMentionsRootExpression) {
   EXPECT_NE(dump.find("{0,1,2}"), std::string::npos);
 }
 
+// Regression for the memo's container swap (unordered_map -> arena + flat
+// table): DumpState and the end-state counters must iterate the memo in
+// insertion order (eps_in_order_), never in hash-table order, so debug dumps
+// are byte-stable across identical runs and across data-layer changes.
+TEST_F(OptimizerBehaviorTest, DumpStateIsByteStableAcrossIdenticalRuns) {
+  auto reference_world = MakeChain(5);
+  DeclarativeOptimizer reference(reference_world->enumerator.get(),
+                                 reference_world->cost_model.get(),
+                                 &reference_world->registry);
+  reference.Optimize();
+  const std::string expected = reference.DumpState();
+  EXPECT_FALSE(expected.empty());
+  for (int run = 0; run < 3; ++run) {
+    auto world = MakeChain(5);
+    DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry);
+    opt.Optimize();
+    EXPECT_EQ(opt.DumpState(), expected) << "run " << run;
+    EXPECT_EQ(opt.NumLiveEps(), reference.NumLiveEps());
+    EXPECT_EQ(opt.NumActiveAlts(), reference.NumActiveAlts());
+    EXPECT_EQ(opt.NumViableAlts(), reference.NumViableAlts());
+    EXPECT_EQ(opt.NumCostedAlts(), reference.NumCostedAlts());
+  }
+}
+
+// A re-optimization that flips statistics and flips them back must land on
+// the identical dump as well: the memo's insertion order is preserved, only
+// values move (and return).
+TEST_F(OptimizerBehaviorTest, DumpStateRestoredAfterRoundTripReoptimization) {
+  auto world = MakeChain(5);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  opt.ValidateInvariants();
+  const std::string before = opt.DumpState();
+  world->registry.SetCardMultiplier(world->query.AllRelations(), 4.0);
+  opt.Reoptimize();
+  opt.ValidateInvariants();
+  world->registry.SetCardMultiplier(world->query.AllRelations(), 1.0);
+  opt.Reoptimize();
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.DumpState(), before);
+}
+
 TEST(RulesTest, FourteenRulesInPaperOrder) {
   const auto& rules = OptimizerRules();
   ASSERT_EQ(rules.size(), 14u);
