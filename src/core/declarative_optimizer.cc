@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <tuple>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/str_util.h"
@@ -401,9 +403,26 @@ void DeclarativeOptimizer::RunDrive(EPState* ep, uint32_t alt_idx) {
 
 void DeclarativeOptimizer::RunBestDirty(EPState* ep) {
   ep->best_dirty = false;
-  const double best = ep->best_agg.empty() ? kInf : ep->best_agg.MinValue();
-  if (best == ep->last_best) return;
+  const auto min_entry = ep->best_agg.MinEntry();
+  const double best = ep->best_agg.empty() ? kInf : min_entry.first;
+  const uint32_t best_idx = ep->best_agg.empty() ? kNoWinner : min_entry.second;
+  if (best == ep->last_best) {
+    if (best_idx != ep->last_best_idx) {
+      // The winning *entry* moved between alternatives whose costs are
+      // bit-identical (real ties happen: index scans cost the same over
+      // every index). There is no BestCost delta to propagate, but
+      // aggregate-selection viability keys on the winning entry, so the
+      // group's rows must be re-checked or the new winner can stay
+      // suppressed forever (found by the differential fuzzer, seed 280).
+      ep->last_best_idx = best_idx;
+      if (options_.use_agg_selection && !ep->dormant) {
+        for (uint32_t i = 0; i < ep->alts.size(); ++i) ScheduleDrive(ep, i);
+      }
+    }
+    return;
+  }
   ep->last_best = best;
+  ep->last_best_idx = best_idx;
   Touch(ep);
   // Propagate the BestCost delta to every registered parent alternative —
   // present or suppressed (a suppressed parent may become viable again).
@@ -415,9 +434,15 @@ void DeclarativeOptimizer::RunBestDirty(EPState* ep) {
     }
   }
   // The pair's own threshold moved: re-check viability of its alternatives.
-  // Collected (dead) pairs hold no SearchSpace rows to re-check; their cost
-  // state is refreshed through parent-link drives on demand.
-  if (options_.use_agg_selection && Live(*ep)) {
+  // This must include collected (dead) pairs — their cost state is kept
+  // exact until eviction, and an alternative whose cost support vanished
+  // (e.g. its child was evicted below a dead subtree) can only re-derive
+  // through this re-check opening the demand gate. Gating on liveness here
+  // left dead aggregates permanently incomplete and re-optimization stuck
+  // above the true optimum (found by the differential fuzzer, seed 3014).
+  // Dormant pairs stay asleep: RunDrive early-outs on them until a demand
+  // resurrects the pair.
+  if (options_.use_agg_selection && !ep->dormant) {
     for (uint32_t i = 0; i < ep->alts.size(); ++i) ScheduleDrive(ep, i);
   }
   if (options_.use_bounding) ScheduleBoundDirty(ep);  // r4
@@ -693,6 +718,72 @@ std::string DeclarativeOptimizer::DumpState() const {
   return out;
 }
 
+std::string DeclarativeOptimizer::CanonicalDumpState() const {
+  const QuerySpec& q = enumerator_->query();
+  const PropTable& props = enumerator_->props();
+  // Collect the winner closure: from the root, each pair contributes its
+  // BestCost-winning alternative (deterministically tie-broken by the
+  // aggregate's (value, alt-index) order) and recurses into that winner's
+  // children. Nothing weaker is order-independent: bare SearchSpace
+  // presence of a row whose cost support was pruned away persists until
+  // suppression retracts it, and whether an *equal*-cost loser keeps a
+  // derivable PlanCost depends on whether it was costed before or after
+  // the threshold reached it (the paper's Proposition 5 assumes distinct
+  // costs; real ties are decided by history). The winner closure — the DP
+  // optimum's full substructure with exact values at every node — is the
+  // state §4's equality claim pins down, so that is what the canonical
+  // dump projects.
+  std::vector<const EPState*> reach;
+  std::unordered_set<const EPState*> seen;
+  if (root_ != nullptr && root_->enumerated) {
+    seen.insert(root_);
+    reach.push_back(root_);
+  }
+  for (size_t i = 0; i < reach.size(); ++i) {
+    const EPState* ep = reach[i];
+    if (ep->best_agg.empty()) continue;
+    const AltState& win = ep->alts[ep->best_agg.MinEntry().second];
+    for (int s = 0; s < win.def.NumChildren(); ++s) {
+      const EPState* c = ChildEP(win, s);
+      if (c != nullptr && c->enumerated && seen.insert(c).second) reach.push_back(c);
+    }
+  }
+  // Sort by resolved property content, not PropId: interning order depends
+  // on exploration history and may differ between two optimizers.
+  auto prop_key = [&](PropId id) {
+    const Prop& p = props.Get(id);
+    return std::tuple(static_cast<int>(p.kind), p.col.rel, p.col.col);
+  };
+  std::sort(reach.begin(), reach.end(), [&](const EPState* a, const EPState* b) {
+    const int ca = RelCount(a->expr);
+    const int cb = RelCount(b->expr);
+    if (ca != cb) return ca < cb;
+    if (a->expr != b->expr) return a->expr < b->expr;
+    return prop_key(a->prop) < prop_key(b->prop);
+  });
+  std::string out;
+  for (const EPState* ep : reach) {
+    out += StrFormat("EP %s %s best=%s\n", RelSetToString(ep->expr).c_str(),
+                     props.ToString(ep->prop, &q).c_str(),
+                     DoubleToString(ep->best_agg.empty() ? kInf : ep->best_agg.MinValue())
+                         .c_str());
+    if (ep->best_agg.empty()) continue;
+    const AltState& a = ep->alts[ep->best_agg.MinEntry().second];
+    std::string children;
+    if (a.def.NumChildren() >= 1) {
+      children += StrFormat(" l=%s%s", RelSetToString(a.def.lexpr).c_str(),
+                            props.ToString(a.def.lprop, &q).c_str());
+    }
+    if (a.def.NumChildren() == 2) {
+      children += StrFormat(" r=%s%s", RelSetToString(a.def.rexpr).c_str(),
+                            props.ToString(a.def.rprop, &q).c_str());
+    }
+    out += StrFormat("  win %s %s%s cost=%s\n", LogOpName(a.def.logop), PhysOpName(a.def.phyop),
+                     children.c_str(), DoubleToString(a.cost).c_str());
+  }
+  return out;
+}
+
 void DeclarativeOptimizer::ValidateInvariants() const {
   IQRO_CHECK(queue_.empty());  // only meaningful at fixpoint
   for (const EPState* ep : eps_in_order_) {
@@ -760,10 +851,22 @@ void DeclarativeOptimizer::ValidateInvariants() const {
     if (Live(*ep) && !ep->best_agg.empty() && options_.use_source_suppression) {
       // The group minimum always survives aggregate selection.
       auto [cost, idx] = ep->best_agg.MinEntry();
-      (void)cost;
+      if (!ep->alts[idx].active) {
+        std::fprintf(stderr, "min not active: ep=%s prop=%d alt=%u cost=%.6f thr=%.6f\n",
+                     RelSetToString(ep->expr).c_str(), ep->prop, idx, cost, Threshold(*ep));
+        for (uint32_t i = 0; i < ep->alts.size(); ++i) {
+          const AltState& a = ep->alts[i];
+          std::fprintf(stderr,
+                       "  alt %u active=%d cost_known=%d cost=%.6f ever_active=%d queued=%d\n",
+                       i, a.active ? 1 : 0, a.cost_known ? 1 : 0, a.cost, a.ever_active ? 1 : 0,
+                       a.drive_queued ? 1 : 0);
+        }
+      }
       IQRO_CHECK(ep->alts[idx].active);
     }
     IQRO_CHECK(ep->last_best == (ep->best_agg.empty() ? kInf : ep->best_agg.MinValue()));
+    IQRO_CHECK(ep->last_best_idx ==
+               (ep->best_agg.empty() ? kNoWinner : ep->best_agg.MinEntry().second));
     if (options_.use_bounding) IQRO_CHECK(ep->last_bound == CurrentBound(*ep));
   }
 }

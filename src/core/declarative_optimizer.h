@@ -108,8 +108,31 @@ class DeclarativeOptimizer {
   int64_t NumViableAlts() const;    // alternatives that ever won their group
   int64_t NumCostedAlts() const;    // alternatives with a derivable PlanCost
 
-  /// Renders the memo (SearchSpace/PlanCost/BestCost/Bound) for debugging.
+  /// Renders the raw memo (SearchSpace/PlanCost/BestCost/Bound) for
+  /// debugging. Ordering guarantee: entries appear in memo *insertion*
+  /// order (eps_in_order_), never in hash-table order — two optimizers with
+  /// identical histories dump byte-identically, but the output DOES depend
+  /// on allocation history (it includes suppressed and dormant state, in
+  /// the order it was first enumerated). For history-independent
+  /// comparison use CanonicalDumpState().
   std::string DumpState() const;
+
+  /// Renders the semantic fixpoint state only — the winner closure: every
+  /// (expr, prop) pair reachable from the root through BestCost-winning
+  /// alternatives, sorted by (|expr|, expr, resolved property), each with
+  /// its BestCost value and winning row. Two things are deliberately
+  /// projected away because they depend on execution history, not on the
+  /// fixpoint: bare SearchSpace presence of rows whose cost support was
+  /// pruned (retraction is lazy), and derivable PlanCosts of *equal*-cost
+  /// losers (the paper's Proposition 5 assumes distinct costs; whether a
+  /// tie survives suppression depends on cost arrival order). The
+  /// projection is also independent of memo allocation history and of the
+  /// PropTable's interning order, so an incremental optimizer and a
+  /// from-scratch optimizer at the same statistics (and the same pruning
+  /// options) must produce byte-identical output — the equality the
+  /// differential harness asserts (§4's "identical to a fresh
+  /// optimization").
+  std::string CanonicalDumpState() const;
 
   /// Asserts internal invariants at a fixpoint; used heavily by tests.
   void ValidateInvariants() const;
@@ -129,6 +152,8 @@ class DeclarativeOptimizer {
   };
 
   static constexpr double kNoContribution = std::numeric_limits<double>::quiet_NaN();
+  /// Sentinel for "no BestCost winner propagated yet" (empty aggregate).
+  static constexpr uint32_t kNoWinner = 0xFFFFFFFFu;
 
   struct AltState {
     Alt def;
@@ -171,6 +196,10 @@ class DeclarativeOptimizer {
     ExtremeAgg<uint64_t> parent_bounds;
     double last_best = 0;   // last propagated BestCost (infinity if none)
     double last_bound = 0;  // last propagated Bound (infinity if none)
+    /// Winning alternative behind last_best (kNoWinner if none). Tracked
+    /// separately because the winner can move between bit-identical costs
+    /// without a value delta, and viability keys on the winning entry.
+    uint32_t last_best_idx = kNoWinner;
     bool best_dirty = false;
     bool bound_dirty = false;
     bool enumerate_queued = false;

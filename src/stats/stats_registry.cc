@@ -103,4 +103,10 @@ std::vector<StatChange> StatsRegistry::TakePending() {
   return out;
 }
 
+bool StatsRegistry::DropOnePendingForTest() {
+  if (pending_.empty()) return false;
+  pending_.pop_back();
+  return true;
+}
+
 }  // namespace iqro

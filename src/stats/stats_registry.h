@@ -92,6 +92,13 @@ class StatsRegistry {
   std::vector<StatChange> TakePending();
   bool HasPending() const { return !pending_.empty(); }
 
+  /// Fault injection for the differential test harness ONLY: silently
+  /// discards one pending StatChange (the statistic itself stays mutated),
+  /// simulating an under-seeded Reoptimize(). Returns false when nothing
+  /// was pending. The harness asserts that its from-scratch oracle catches
+  /// the resulting divergence.
+  bool DropOnePendingForTest();
+
  private:
   void Record(StatChange::Kind kind, RelSet scope);
 

@@ -1,0 +1,348 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "baseline/systemr.h"
+#include "baseline/volcano.h"
+#include "common/check.h"
+#include "common/str_util.h"
+#include "core/declarative_optimizer.h"
+
+namespace iqro::testing {
+
+namespace {
+
+/// Relative-tolerance equality that also accepts two infinities of the same
+/// sign (a degenerate but internally consistent statistics state).
+bool CostsAgree(double a, double b, double rel_tol) {
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  return std::abs(a - b) <= rel_tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// Walks a plan tree and checks every node's cumulative cost against
+/// System-R's per-(expr, prop) optimum.
+std::optional<std::string> CheckPlanNodesAgainstSystemR(const PlanTree& t,
+                                                        const SystemROptimizer& systemr,
+                                                        double rel_tol) {
+  const double truth = systemr.BestCostOf(t.expr, t.prop);
+  if (!CostsAgree(t.cost, truth, rel_tol)) {
+    return StrFormat("plan node %s prop=%d cost=%s but System-R optimum is %s",
+                     RelSetToString(t.expr).c_str(), t.prop,
+                     DoubleToString(t.cost).c_str(), DoubleToString(truth).c_str());
+  }
+  if (t.left != nullptr) {
+    if (auto err = CheckPlanNodesAgainstSystemR(*t.left, systemr, rel_tol)) return err;
+  }
+  if (t.right != nullptr) {
+    if (auto err = CheckPlanNodesAgainstSystemR(*t.right, systemr, rel_tol)) return err;
+  }
+  return std::nullopt;
+}
+
+struct StepOracle {
+  ScenarioWorld* world;
+  const Scenario* scenario;
+  const DiffOptions* options;
+
+  /// Runs every from-scratch implementation against the registry's current
+  /// statistics and cross-checks the incremental optimizer. Returns an
+  /// error message, or nullopt when everything agrees.
+  std::optional<std::string> Check(DeclarativeOptimizer& inc) {
+    const double tol = options->rel_tol;
+    DeclarativeOptimizer fresh(world->enumerator.get(), world->cost_model.get(),
+                               &world->registry, scenario->options);
+    fresh.Optimize();
+    if (options->validate_invariants) fresh.ValidateInvariants();
+    if (!std::isfinite(fresh.BestCost())) {
+      return "fresh optimization produced a non-finite best cost (generator bug)";
+    }
+    if (!CostsAgree(inc.BestCost(), fresh.BestCost(), tol)) {
+      return StrFormat("BestCost diverged: incremental=%s fresh=%s",
+                       DoubleToString(inc.BestCost()).c_str(),
+                       DoubleToString(fresh.BestCost()).c_str());
+    }
+    auto inc_plan = inc.GetBestPlan();
+    auto fresh_plan = fresh.GetBestPlan();
+    if (!inc_plan->SameShape(*fresh_plan)) {
+      return StrFormat(
+          "GetBestPlan diverged:\nincremental:\n%s\nfresh:\n%s",
+          inc_plan->ToString(scenario->query, world->props).c_str(),
+          fresh_plan->ToString(scenario->query, world->props).c_str());
+    }
+    const double recomputed = RecomputeTreeCost(*inc_plan, *world->cost_model);
+    if (!CostsAgree(recomputed, fresh.BestCost(), tol)) {
+      return StrFormat("plan cost recomputation diverged: tree=%s best=%s",
+                       DoubleToString(recomputed).c_str(),
+                       DoubleToString(fresh.BestCost()).c_str());
+    }
+    if (options->check_dump) {
+      const std::string inc_dump = inc.CanonicalDumpState();
+      const std::string fresh_dump = fresh.CanonicalDumpState();
+      if (inc_dump != fresh_dump) {
+        return StrFormat("CanonicalDumpState diverged:\n--- incremental ---\n%s--- fresh ---\n%s",
+                         inc_dump.c_str(), fresh_dump.c_str());
+      }
+    }
+    if (options->check_systemr) {
+      SystemROptimizer systemr(world->enumerator.get(), world->cost_model.get());
+      systemr.Optimize();
+      if (!CostsAgree(inc.BestCost(), systemr.BestCost(), tol)) {
+        return StrFormat("System-R ground truth diverged: incremental=%s systemr=%s",
+                         DoubleToString(inc.BestCost()).c_str(),
+                         DoubleToString(systemr.BestCost()).c_str());
+      }
+      // Every node of the incremental plan must carry the exhaustive DP's
+      // optimal cost for its (expr, prop) pair, not just the root.
+      if (auto err = CheckPlanNodesAgainstSystemR(*inc_plan, systemr, tol)) return err;
+    }
+    if (options->check_volcano) {
+      VolcanoOptimizer volcano(world->enumerator.get(), world->cost_model.get());
+      volcano.Optimize();
+      if (!CostsAgree(inc.BestCost(), volcano.BestCost(), tol)) {
+        return StrFormat("Volcano baseline diverged: incremental=%s volcano=%s",
+                         DoubleToString(inc.BestCost()).c_str(),
+                         DoubleToString(volcano.BestCost()).c_str());
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+double RecomputeTreeCost(const PlanTree& t, const CostModel& model) {
+  double local = 0;
+  switch (t.alt.logop) {
+    case LogOp::kScan:
+      local = model.ScanCost(RelLowest(t.expr), t.alt.phyop);
+      break;
+    case LogOp::kSort:
+      local = model.SortLocalCost(t.expr);
+      break;
+    case LogOp::kJoin:
+      local = model.JoinLocalCost(t.alt.phyop, t.alt.lexpr, t.alt.rexpr);
+      break;
+  }
+  double total = local;
+  if (t.left != nullptr) total += RecomputeTreeCost(*t.left, model);
+  if (t.right != nullptr) total += RecomputeTreeCost(*t.right, model);
+  return total;
+}
+
+const std::vector<std::pair<std::string, OptimizerOptions>>& ScenarioOptionSets() {
+  static const auto* sets = [] {
+    auto* s = new std::vector<std::pair<std::string, OptimizerOptions>>{
+        {"all", OptimizerOptions::Default()},
+        {"aggsel", OptimizerOptions::UseAggSel()},
+        {"aggsel+refcount", OptimizerOptions::UseAggSelRefCount()},
+        {"aggsel+bounding", OptimizerOptions::UseAggSelBounding()},
+        {"evita", OptimizerOptions::UseEvitaRaced()},
+        {"nopruning", OptimizerOptions::UseNoPruning()},
+    };
+    OptimizerOptions fifo = OptimizerOptions::Default();
+    fifo.discipline = QueueDiscipline::kFifo;
+    s->emplace_back("all-fifo", fifo);
+    return s;
+  }();
+  return *sets;
+}
+
+Scenario GenerateScenario(uint64_t seed, const GeneratorKnobs& knobs) {
+  Scenario sc;
+  sc.seed = seed;
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  const bool use_tpch = rng.NextBool(knobs.p_tpch);
+  GenerateCatalogAndQuery(knobs.query, use_tpch, rng, &sc.catalog, &sc.query);
+  const auto& sets = ScenarioOptionSets();
+  const auto& [name, opts] = sets[rng.NextBelow(sets.size())];
+  sc.options_name = name;
+  sc.options = opts;
+  // Churn generation needs only the join graph and the initial bound
+  // statistics — skip the cost-model/enumerator wiring (RunScenario builds
+  // the full world itself).
+  JoinGraph graph(sc.query);
+  StatsRegistry registry;
+  BindScenarioStats(sc, &registry);
+  registry.Freeze();
+  sc.churn = GenerateChurn(knobs.churn, sc.query, graph, registry, rng);
+  return sc;
+}
+
+DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
+                       const FaultInjection& fault) {
+  auto world = BuildScenarioWorld(scenario);
+  StepOracle oracle{world.get(), &scenario, &options};
+
+  DeclarativeOptimizer inc(world->enumerator.get(), world->cost_model.get(), &world->registry,
+                           scenario.options);
+  inc.Optimize();
+  if (options.validate_invariants) inc.ValidateInvariants();
+  if (auto err = oracle.Check(inc)) return {false, -1, "initial optimization: " + *err};
+
+  for (size_t s = 0; s < scenario.churn.size(); ++s) {
+    for (const StatMutation& m : scenario.churn[s].mutations) {
+      ApplyMutation(&world->registry, m);
+    }
+    if (fault.kind == FaultInjection::Kind::kDropSeed &&
+        static_cast<size_t>(fault.step) == s) {
+      world->registry.DropOnePendingForTest();
+    }
+    inc.Reoptimize();
+    if (options.validate_invariants) inc.ValidateInvariants();
+    if (auto err = oracle.Check(inc)) {
+      return {false, static_cast<int>(s), StrFormat("after churn step %zu: ", s) + *err};
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Removes relation slot `slot` from the scenario, remapping every slot,
+/// edge and scope reference. Returns nullopt when the removal disconnects
+/// the join graph (the scenario would become meaningless).
+std::optional<Scenario> RemoveRelation(const Scenario& sc, int slot) {
+  if (sc.query.num_relations() <= 1) return std::nullopt;
+  Scenario out = sc;
+  QuerySpec& q = out.query;
+  q.relations.erase(q.relations.begin() + slot);
+
+  auto remap_slot = [slot](int r) { return r > slot ? r - 1 : r; };
+  auto remap_scope = [slot](RelSet s) -> RelSet {
+    RelSet low = s & (RelSingleton(slot) - 1);
+    return low | ((s >> (slot + 1)) << slot);
+  };
+
+  std::vector<int> edge_remap(sc.query.joins.size(), -1);
+  q.joins.clear();
+  for (size_t e = 0; e < sc.query.joins.size(); ++e) {
+    JoinPredicate j = sc.query.joins[e];
+    if (j.left_rel == slot || j.right_rel == slot) continue;
+    j.left_rel = remap_slot(j.left_rel);
+    j.right_rel = remap_slot(j.right_rel);
+    edge_remap[e] = static_cast<int>(q.joins.size());
+    q.joins.push_back(j);
+  }
+  if (q.num_relations() > 1) {
+    JoinGraph graph(q);
+    if (!graph.IsConnected(q.AllRelations())) return std::nullopt;
+  }
+
+  std::erase_if(q.locals, [&](const LocalPredicate& p) { return p.rel == slot; });
+  for (LocalPredicate& p : q.locals) p.rel = remap_slot(p.rel);
+  std::erase_if(q.projections, [&](const ColRef& c) { return c.rel == slot; });
+  for (ColRef& c : q.projections) c.rel = remap_slot(c.rel);
+  std::erase_if(q.group_by, [&](const ColRef& c) { return c.rel == slot; });
+  for (ColRef& c : q.group_by) c.rel = remap_slot(c.rel);
+  std::erase_if(q.aggregates, [&](const AggItem& a) { return a.arg.rel == slot; });
+  for (AggItem& a : q.aggregates) a.arg.rel = remap_slot(a.arg.rel);
+
+  for (ChurnStep& step : out.churn) {
+    std::erase_if(step.mutations, [&](const StatMutation& m) {
+      switch (m.kind) {
+        case StatMutation::Kind::kJoinSelectivity:
+          return edge_remap[static_cast<size_t>(m.target)] < 0;
+        case StatMutation::Kind::kCardMultiplier:
+          return RelContains(m.scope, slot);
+        default:
+          return m.target == slot;
+      }
+    });
+    for (StatMutation& m : step.mutations) {
+      if (m.kind == StatMutation::Kind::kJoinSelectivity) {
+        m.target = edge_remap[static_cast<size_t>(m.target)];
+      } else if (m.kind == StatMutation::Kind::kCardMultiplier) {
+        m.scope = remap_scope(m.scope);
+      } else {
+        m.target = remap_slot(m.target);
+      }
+    }
+  }
+  std::erase_if(out.churn, [](const ChurnStep& s) { return s.mutations.empty(); });
+
+  // Drop synthetic tables no longer referenced by any slot.
+  if (!out.catalog.use_tpch) {
+    std::vector<int> table_remap(out.catalog.tables.size(), -1);
+    std::vector<SyntheticTableSpec> kept;
+    for (QueryRelation& r : q.relations) {
+      int& mapped = table_remap[static_cast<size_t>(r.table)];
+      if (mapped < 0) {
+        mapped = static_cast<int>(kept.size());
+        kept.push_back(out.catalog.tables[static_cast<size_t>(r.table)]);
+      }
+      r.table = mapped;
+    }
+    out.catalog.tables = std::move(kept);
+  }
+  return out;
+}
+
+}  // namespace
+
+Scenario ShrinkScenario(const Scenario& failing,
+                        const std::function<bool(const Scenario&)>& fails, int budget) {
+  Scenario best = failing;
+  auto attempt = [&](const Scenario& candidate) {
+    if (budget <= 0) return false;
+    --budget;
+    if (!fails(candidate)) return false;
+    best = candidate;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+
+    // Drop whole churn steps, newest first (a failing prefix shrinks fast).
+    for (int s = static_cast<int>(best.churn.size()) - 1; s >= 0 && budget > 0; --s) {
+      Scenario c = best;
+      c.churn.erase(c.churn.begin() + s);
+      if (attempt(c)) progress = true;
+    }
+    // Drop individual mutations.
+    for (size_t s = 0; s < best.churn.size() && budget > 0; ++s) {
+      for (size_t m = best.churn[s].mutations.size(); m-- > 0 && budget > 0;) {
+        if (best.churn[s].mutations.size() <= 1) break;  // step removal covers it
+        Scenario c = best;
+        c.churn[s].mutations.erase(c.churn[s].mutations.begin() + static_cast<long>(m));
+        if (attempt(c)) progress = true;
+      }
+    }
+    // Strip query decoration: locals, aggregation, projections, windows.
+    for (size_t p = best.query.locals.size(); p-- > 0 && budget > 0;) {
+      Scenario c = best;
+      c.query.locals.erase(c.query.locals.begin() + static_cast<long>(p));
+      if (attempt(c)) progress = true;
+    }
+    if (best.query.has_aggregation() && budget > 0) {
+      Scenario c = best;
+      c.query.group_by.clear();
+      c.query.aggregates.clear();
+      if (attempt(c)) progress = true;
+    }
+    if (!best.query.projections.empty() && budget > 0) {
+      Scenario c = best;
+      c.query.projections.clear();
+      if (attempt(c)) progress = true;
+    }
+    for (int r = 0; r < best.query.num_relations() && budget > 0; ++r) {
+      if (best.query.relations[static_cast<size_t>(r)].window.kind == WindowSpec::Kind::kNone) {
+        continue;
+      }
+      Scenario c = best;
+      c.query.relations[static_cast<size_t>(r)].window = WindowSpec{};
+      if (attempt(c)) progress = true;
+    }
+    // Remove whole relations (largest structural step, tried last).
+    for (int r = best.query.num_relations() - 1; r >= 0 && budget > 0; --r) {
+      std::optional<Scenario> c = RemoveRelation(best, r);
+      if (c.has_value() && attempt(*c)) progress = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace iqro::testing

@@ -1,0 +1,90 @@
+// Differential oracle: proves Reoptimize() ≡ from-scratch optimization on
+// generated (query, stat-churn) scenarios.
+//
+// For every churn prefix it checks the incremental optimizer against
+//   (1) a fresh DeclarativeOptimizer::Optimize() with the same options on
+//       the updated statistics: equal BestCost, same-shape GetBestPlan,
+//       byte-identical CanonicalDumpState;
+//   (2) the System-R baseline (exhaustive ground truth over the same plan
+//       space) and the Volcano baseline;
+//   (3) DeclarativeOptimizer::ValidateInvariants() at every fixpoint;
+// and re-derives the returned plan's cost bottom-up through the cost model.
+//
+// Failures reproduce from the printed seed; ShrinkScenario minimizes the
+// failing (query, churn) pair before reporting.
+#ifndef IQRO_TESTING_DIFFERENTIAL_H_
+#define IQRO_TESTING_DIFFERENTIAL_H_
+
+#include <functional>
+#include <string>
+
+#include "enumerate/plan_tree.h"
+#include "testing/query_gen.h"
+#include "testing/scenario.h"
+#include "testing/stat_churn.h"
+
+namespace iqro::testing {
+
+struct GeneratorKnobs {
+  QueryGenOptions query;
+  ChurnGenOptions churn;
+  /// Fraction of scenarios generated against the shared TPC-H catalog
+  /// instead of a synthetic one.
+  double p_tpch = 0.25;
+};
+
+/// Deterministically expands a seed into a full scenario (catalog, query,
+/// optimizer options, churn). Same seed + same knobs -> identical scenario.
+Scenario GenerateScenario(uint64_t seed, const GeneratorKnobs& knobs = {});
+
+/// The optimizer configurations a scenario may draw (mirrors the paper's
+/// evaluated pruning levels plus the FIFO discipline).
+const std::vector<std::pair<std::string, OptimizerOptions>>& ScenarioOptionSets();
+
+struct DiffOptions {
+  /// Run ValidateInvariants at every fixpoint. Disabled for fault-injection
+  /// runs: an intentionally under-seeded optimizer holds stale-but-
+  /// consistent state and the freshness CHECK would abort the process
+  /// instead of letting the oracle report the divergence.
+  bool validate_invariants = true;
+  bool check_systemr = true;
+  bool check_volcano = true;
+  bool check_dump = true;
+  double rel_tol = 1e-9;
+};
+
+/// Deliberate fault for harness self-tests: silently discard one pending
+/// StatChange before a Reoptimize() (the under-seeding bug class the oracle
+/// must catch).
+struct FaultInjection {
+  enum class Kind : uint8_t { kNone, kDropSeed };
+  Kind kind = Kind::kNone;
+  int step = 0;  // churn step whose seeding is sabotaged
+};
+
+/// Recomputes a plan's cumulative cost bottom-up from the cost model —
+/// end-to-end verification of the optimizer's arithmetic. Shared by the
+/// oracle and the unit tests so both agree on what "recomputed" means.
+double RecomputeTreeCost(const PlanTree& tree, const CostModel& model);
+
+struct DiffResult {
+  bool ok = true;
+  /// -1: the initial optimization diverged; >= 0: index of the churn step
+  /// after which the divergence appeared.
+  int fail_step = -2;
+  std::string message;
+};
+
+DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options = {},
+                       const FaultInjection& fault = {});
+
+/// Greedily minimizes a failing scenario while `fails` keeps returning
+/// true: drops churn steps and mutations, strips predicates, windows,
+/// aggregates and whole relations. `budget` caps the number of `fails`
+/// evaluations.
+Scenario ShrinkScenario(const Scenario& failing,
+                        const std::function<bool(const Scenario&)>& fails, int budget = 400);
+
+}  // namespace iqro::testing
+
+#endif  // IQRO_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,227 @@
+#include "testing/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace iqro::testing {
+
+namespace {
+
+enum class Shape : uint8_t { kChain, kStar, kRandomTree, kClique };
+
+Shape PickShape(Rng& rng) {
+  switch (rng.NextBelow(8)) {
+    case 0:
+    case 1:
+      return Shape::kChain;
+    case 2:
+    case 3:
+      return Shape::kStar;
+    case 4:
+      return Shape::kClique;
+    default:
+      return Shape::kRandomTree;
+  }
+}
+
+/// Column value bounds of table `t`, column `c` — used to draw predicate
+/// literals that land inside (and occasionally outside) the data domain.
+struct ColBounds {
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
+ColBounds BoundsOf(const CatalogSpec& cat, const QuerySpec& q, int slot, int col) {
+  TableId t = q.relations[static_cast<size_t>(slot)].table;
+  if (cat.use_tpch) {
+    const TpchFixture& tpch = SharedTpchFixture();
+    const TableStats& ts = tpch.stats[static_cast<size_t>(t)];
+    if (col < static_cast<int>(ts.columns.size())) {
+      return {ts.column(col).min, ts.column(col).max};
+    }
+    return {0, 100};
+  }
+  const SyntheticColumnSpec& cs = cat.tables[static_cast<size_t>(t)].cols[static_cast<size_t>(col)];
+  return {cs.min, cs.max};
+}
+
+int NumColsOf(const CatalogSpec& cat, TableId t) {
+  if (cat.use_tpch) {
+    return SharedTpchFixture().catalog.table(t).num_columns();
+  }
+  return static_cast<int>(cat.tables[static_cast<size_t>(t)].cols.size());
+}
+
+PredOp PickJoinOp(const QueryGenOptions& options, Rng& rng) {
+  if (!rng.NextBool(options.p_nonequi_join)) return PredOp::kEq;
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return PredOp::kLt;
+    case 1:
+      return PredOp::kGt;
+    default:
+      return PredOp::kNe;
+  }
+}
+
+PredOp PickLocalOp(Rng& rng) {
+  constexpr PredOp kOps[] = {PredOp::kEq, PredOp::kNe, PredOp::kLt, PredOp::kLe,
+                             PredOp::kGt, PredOp::kGe, PredOp::kBetween};
+  return kOps[rng.NextBelow(7)];
+}
+
+SyntheticTableSpec GenerateTableSpec(int index, Rng& rng) {
+  SyntheticTableSpec t;
+  t.name = StrFormat("g%d", index);
+  t.rows = std::floor(std::pow(10.0, 1.0 + 3.0 * rng.NextDouble()));  // 10 .. 10^4
+  t.width = 1.0 + std::floor(rng.NextDouble() * 8);
+  t.hist_seed = rng.Next();
+  int ncols = 3 + static_cast<int>(rng.NextBelow(3));  // 3..5
+  for (int c = 0; c < ncols; ++c) {
+    SyntheticColumnSpec cs;
+    cs.min = rng.NextInRange(-100, 100);
+    cs.max = cs.min + rng.NextInRange(1, 100000);
+    cs.ndv = std::max(1.0, std::floor(t.rows * (0.01 + 0.99 * rng.NextDouble())));
+    t.cols.push_back(cs);
+    if (rng.NextBool(0.4)) t.indexed_cols |= 1u << c;
+  }
+  if (rng.NextBool(0.5)) t.clustered_on = static_cast<int>(rng.NextBelow(t.cols.size()));
+  return t;
+}
+
+}  // namespace
+
+void GenerateCatalogAndQuery(const QueryGenOptions& options, bool use_tpch, Rng& rng,
+                             CatalogSpec* catalog, QuerySpec* query) {
+  catalog->use_tpch = use_tpch;
+  catalog->tables.clear();
+  *query = QuerySpec{};
+
+  Shape shape = PickShape(rng);
+  int max_n = shape == Shape::kClique ? options.max_dense_relations : options.max_relations;
+  max_n = std::max(max_n, options.min_relations);
+  // Bias toward small queries: the scenario budget buys breadth, not depth.
+  int span = max_n - options.min_relations;
+  int n = options.min_relations +
+          static_cast<int>(std::min(rng.NextBelow(static_cast<uint64_t>(span) + 1),
+                                    rng.NextBelow(static_cast<uint64_t>(span) + 1)));
+  IQRO_CHECK(n >= 1 && n <= kMaxRelations);
+
+  // Relation slots. Synthetic mode creates one fresh table per slot except
+  // when a self-join reuses an earlier one; TPC-H picks among the 8 tables.
+  const int num_tpch_tables = use_tpch ? SharedTpchFixture().catalog.num_tables() : 0;
+  for (int r = 0; r < n; ++r) {
+    TableId t;
+    if (use_tpch) {
+      t = static_cast<TableId>(rng.NextBelow(static_cast<uint64_t>(num_tpch_tables)));
+    } else if (r > 0 && rng.NextBool(options.p_self_join)) {
+      t = query->relations[rng.NextBelow(static_cast<uint64_t>(r))].table;  // self-join
+    } else {
+      t = static_cast<TableId>(catalog->tables.size());
+      catalog->tables.push_back(GenerateTableSpec(static_cast<int>(t), rng));
+    }
+    WindowSpec window;
+    if (rng.NextBool(options.p_window)) {
+      if (rng.NextBool(0.5)) {
+        window.kind = WindowSpec::Kind::kTime;
+        window.size = static_cast<int64_t>(std::pow(10.0, rng.NextInRange(1, 3)));
+      } else {
+        window.kind = WindowSpec::Kind::kTuples;
+        window.size = rng.NextInRange(1, 64);
+        int ncols = NumColsOf(*catalog, t);
+        window.partition_col =
+            rng.NextBool(0.5) ? static_cast<int>(rng.NextBelow(static_cast<uint64_t>(ncols)))
+                              : -1;
+      }
+    }
+    query->relations.push_back({t, StrFormat("r%d", r), window});
+  }
+
+  // Spanning structure first (connectivity guarantee), extra edges after.
+  auto add_edge = [&](int a, int b) {
+    int acols = NumColsOf(*catalog, query->relations[static_cast<size_t>(a)].table);
+    int bcols = NumColsOf(*catalog, query->relations[static_cast<size_t>(b)].table);
+    JoinPredicate j;
+    j.left_rel = a;
+    j.left_col = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(acols)));
+    j.right_rel = b;
+    j.right_col = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(bcols)));
+    j.op = PickJoinOp(options, rng);
+    query->joins.push_back(j);
+  };
+  switch (shape) {
+    case Shape::kChain:
+      for (int i = 0; i + 1 < n; ++i) add_edge(i, i + 1);
+      break;
+    case Shape::kStar:
+      for (int i = 1; i < n; ++i) add_edge(0, i);
+      break;
+    case Shape::kRandomTree:
+      // Each relation attaches to a uniformly random earlier one.
+      for (int i = 1; i < n; ++i) add_edge(static_cast<int>(rng.NextBelow(static_cast<uint64_t>(i))), i);
+      break;
+    case Shape::kClique:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) add_edge(i, j);
+      }
+      break;
+  }
+  if (shape != Shape::kClique && n <= options.max_dense_relations + 2) {
+    // Extra non-tree edges (cycles, parallel edges between the same pair
+    // are intentionally possible — SegTollS has them).
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.NextBool(options.p_extra_edge)) add_edge(i, j);
+      }
+    }
+  }
+
+  // Local predicates across the full PredOp alphabet, with literals drawn
+  // from (a slightly widened) column domain.
+  for (int r = 0; r < n; ++r) {
+    if (!rng.NextBool(options.p_local_pred)) continue;
+    int count = 1 + static_cast<int>(rng.NextBelow(
+                        static_cast<uint64_t>(options.max_locals_per_rel)));
+    int ncols = NumColsOf(*catalog, query->relations[static_cast<size_t>(r)].table);
+    for (int k = 0; k < count; ++k) {
+      LocalPredicate p;
+      p.rel = r;
+      p.col = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(ncols)));
+      p.op = PickLocalOp(rng);
+      ColBounds b = BoundsOf(*catalog, *query, r, p.col);
+      int64_t slack = std::max<int64_t>(1, (b.max - b.min) / 10);
+      p.value = rng.NextInRange(b.min - slack, b.max + slack);
+      if (p.op == PredOp::kBetween) p.value2 = p.value + rng.NextInRange(0, b.max - b.min + slack);
+      query->locals.push_back(p);
+    }
+  }
+
+  // Projections, grouping and aggregates (no effect on join ordering, but
+  // they ride through BindStats / context wiring and must never break it).
+  auto random_colref = [&] {
+    int r = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+    int ncols = NumColsOf(*catalog, query->relations[static_cast<size_t>(r)].table);
+    return ColRef{r, static_cast<int>(rng.NextBelow(static_cast<uint64_t>(ncols)))};
+  };
+  if (rng.NextBool(0.5)) {
+    int nproj = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int k = 0; k < nproj; ++k) query->projections.push_back(random_colref());
+  }
+  if (rng.NextBool(options.p_aggregation)) {
+    int ngroup = static_cast<int>(rng.NextBelow(3));
+    for (int k = 0; k < ngroup; ++k) query->group_by.push_back(random_colref());
+    constexpr AggFn kFns[] = {AggFn::kCount, AggFn::kSum, AggFn::kMin, AggFn::kMax,
+                              AggFn::kCountDistinct};
+    int naggs = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int k = 0; k < naggs; ++k) {
+      query->aggregates.push_back({kFns[rng.NextBelow(5)], random_colref()});
+    }
+  }
+
+  query->name = StrFormat("gen_%s_n%d", use_tpch ? "tpch" : "syn", n);
+}
+
+}  // namespace iqro::testing

@@ -1,0 +1,44 @@
+// Seeded random generator for single-block SPJA QuerySpecs: random join
+// graphs (chain / star / random tree with extra edges / clique) over up to
+// ten relations, local predicates across every PredOp, aggregates, and
+// stream-window variants — against either a generated synthetic catalog or
+// the shared TPC-H catalog.
+#ifndef IQRO_TESTING_QUERY_GEN_H_
+#define IQRO_TESTING_QUERY_GEN_H_
+
+#include "common/rng.h"
+#include "testing/scenario.h"
+
+namespace iqro::testing {
+
+struct QueryGenOptions {
+  int min_relations = 1;
+  int max_relations = 9;
+  /// Clique and dense random graphs are capped here: their plan spaces grow
+  /// as 3^n and would dominate the scenario budget.
+  int max_dense_relations = 5;
+  /// Probability of adding each candidate non-tree edge (density knob).
+  double p_extra_edge = 0.2;
+  /// Probability that a join predicate is a non-equality (kLt/kGt/kNe).
+  double p_nonequi_join = 0.12;
+  /// Probability that a relation slot reuses an already-picked table
+  /// (self-join coverage).
+  double p_self_join = 0.2;
+  /// Per-relation probability of carrying local predicates.
+  double p_local_pred = 0.55;
+  int max_locals_per_rel = 2;
+  /// Probability that the query has an aggregation block.
+  double p_aggregation = 0.35;
+  /// Per-relation probability of a sliding-window declaration.
+  double p_window = 0.2;
+};
+
+/// Generates a catalog spec plus a query against it. The join graph is
+/// always connected (spanning structure first, optional extra edges after),
+/// so every generated query has at least one complete plan.
+void GenerateCatalogAndQuery(const QueryGenOptions& options, bool use_tpch, Rng& rng,
+                             CatalogSpec* catalog, QuerySpec* query);
+
+}  // namespace iqro::testing
+
+#endif  // IQRO_TESTING_QUERY_GEN_H_

@@ -1,0 +1,170 @@
+#include "testing/stat_churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace iqro::testing {
+
+namespace {
+
+/// Tracks the evolving statistics during generation so every recorded
+/// mutation carries an absolute value, plus the original value of every
+/// touched statistic for revert (oscillation) mutations.
+struct ChurnState {
+  // Key identifying one scalar statistic: (kind, target, scope).
+  using Key = std::tuple<StatMutation::Kind, int, RelSet>;
+
+  std::map<Key, double> current;   // only keys touched or read so far
+  std::map<Key, double> original;  // first-seen value of each key
+
+  double Get(const StatsRegistry& reg, StatMutation::Kind kind, int target, RelSet scope) {
+    Key key{kind, target, scope};
+    auto it = current.find(key);
+    if (it != current.end()) return it->second;
+    double v = 1.0;
+    switch (kind) {
+      case StatMutation::Kind::kBaseRows:
+        v = reg.base_rows(target);
+        break;
+      case StatMutation::Kind::kLocalSelectivity:
+        v = reg.local_selectivity(target);
+        break;
+      case StatMutation::Kind::kRowWidth:
+        v = reg.row_width(target);
+        break;
+      case StatMutation::Kind::kScanCost:
+        v = reg.scan_cost_multiplier(target);
+        break;
+      case StatMutation::Kind::kJoinSelectivity:
+        v = reg.join_selectivity(target);
+        break;
+      case StatMutation::Kind::kCardMultiplier:
+        v = reg.ScopeMultiplier(scope);
+        break;
+    }
+    current[key] = v;
+    original[key] = v;
+    return v;
+  }
+
+  void Set(StatMutation::Kind kind, int target, RelSet scope, double v) {
+    current[Key{kind, target, scope}] = v;
+  }
+};
+
+double ClampFor(StatMutation::Kind kind, double v) {
+  switch (kind) {
+    case StatMutation::Kind::kBaseRows:
+      return std::clamp(std::floor(v), 1.0, 1e12);
+    case StatMutation::Kind::kLocalSelectivity:
+      return std::clamp(v, 1e-9, 1.0);
+    case StatMutation::Kind::kRowWidth:
+      return std::clamp(v, 1.0, 64.0);
+    case StatMutation::Kind::kScanCost:
+      return std::clamp(v, 1.0 / 64.0, 1024.0);
+    case StatMutation::Kind::kJoinSelectivity:
+      return std::clamp(v, 1e-12, 1.0);
+    case StatMutation::Kind::kCardMultiplier:
+      return std::clamp(v, 1.0 / 1024.0, 1024.0);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<ChurnStep> GenerateChurn(const ChurnGenOptions& options, const QuerySpec& query,
+                                     const JoinGraph& graph, const StatsRegistry& initial,
+                                     Rng& rng) {
+  const int n = query.num_relations();
+  const int num_edges = static_cast<int>(query.joins.size());
+
+  // Multi-relation connected subexpressions, for card-multiplier scopes.
+  std::vector<RelSet> scopes;
+  for (const auto& group : graph.ConnectedSubsetsBySize()) {
+    for (RelSet s : group) {
+      if (RelCount(s) >= 2) scopes.push_back(s);
+    }
+  }
+
+  ChurnState state;
+  std::vector<ChurnStep> churn;
+  const int steps =
+      options.min_steps +
+      static_cast<int>(rng.NextBelow(
+          static_cast<uint64_t>(options.max_steps - options.min_steps) + 1));
+  for (int s = 0; s < steps; ++s) {
+    ChurnStep step;
+    const int count = 1 + static_cast<int>(rng.NextBelow(
+                              static_cast<uint64_t>(options.max_mutations_per_step)));
+    for (int k = 0; k < count; ++k) {
+      StatMutation m;
+      if (rng.NextBool(options.p_revert) && !state.original.empty()) {
+        // Oscillation: send a previously mutated statistic back to its
+        // original value (may resurrect pruned/collected state).
+        auto it = state.original.begin();
+        std::advance(it, static_cast<long>(rng.NextBelow(state.original.size())));
+        auto [kind, target, scope] = it->first;
+        m.kind = kind;
+        m.target = target;
+        m.scope = scope;
+        m.value = it->second;
+        state.Set(kind, target, scope, m.value);
+        step.mutations.push_back(m);
+        continue;
+      }
+      // Pick a mutation kind applicable to this query.
+      for (;;) {
+        switch (rng.NextBelow(6)) {
+          case 0:
+            m.kind = StatMutation::Kind::kBaseRows;
+            break;
+          case 1:
+            m.kind = StatMutation::Kind::kLocalSelectivity;
+            break;
+          case 2:
+            m.kind = StatMutation::Kind::kRowWidth;
+            break;
+          case 3:
+            m.kind = StatMutation::Kind::kScanCost;
+            break;
+          case 4:
+            m.kind = StatMutation::Kind::kJoinSelectivity;
+            break;
+          default:
+            m.kind = StatMutation::Kind::kCardMultiplier;
+            break;
+        }
+        if (m.kind == StatMutation::Kind::kJoinSelectivity && num_edges == 0) continue;
+        if (m.kind == StatMutation::Kind::kCardMultiplier && scopes.empty()) continue;
+        break;
+      }
+      if (m.kind == StatMutation::Kind::kCardMultiplier) {
+        m.scope = scopes[rng.NextBelow(scopes.size())];
+      } else if (m.kind == StatMutation::Kind::kJoinSelectivity) {
+        m.target = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(num_edges)));
+      } else {
+        m.target = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+      }
+      const double cur = state.Get(initial, m.kind, m.target, m.scope);
+      if (rng.NextBool(options.p_noop)) {
+        m.value = cur;  // no-op: the registry must not record a StatChange
+      } else if (m.kind == StatMutation::Kind::kCardMultiplier && rng.NextBool(0.25)) {
+        m.value = 1.0;  // multiplier removal
+      } else {
+        const double swing = options.max_log2_swing;
+        const double factor = std::pow(2.0, swing * (2.0 * rng.NextDouble() - 1.0));
+        m.value = ClampFor(m.kind, cur * factor);
+      }
+      state.Set(m.kind, m.target, m.scope, m.value);
+      step.mutations.push_back(m);
+    }
+    churn.push_back(std::move(step));
+  }
+  return churn;
+}
+
+}  // namespace iqro::testing

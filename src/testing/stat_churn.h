@@ -1,0 +1,42 @@
+// Seeded random generator of StatChange sequences: growth, shrinkage,
+// no-ops, oscillations (revert to an earlier value), scan-cost swings and
+// expression-multiplier churn over random connected subexpressions —
+// including changes that land on garbage-collected or suppressed optimizer
+// state. Mutations are recorded with absolute target values (see
+// scenario.h), so a shrunk subsequence replays deterministically.
+#ifndef IQRO_TESTING_STAT_CHURN_H_
+#define IQRO_TESTING_STAT_CHURN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "query/join_graph.h"
+#include "stats/stats_registry.h"
+#include "testing/scenario.h"
+
+namespace iqro::testing {
+
+struct ChurnGenOptions {
+  int min_steps = 1;
+  int max_steps = 6;
+  int max_mutations_per_step = 4;
+  /// Probability that a mutation re-sets the current value (the registry
+  /// must swallow it without recording a StatChange).
+  double p_noop = 0.1;
+  /// Probability that a mutation reverts a previously changed statistic to
+  /// its original value (oscillation; exercises state resurrection).
+  double p_revert = 0.2;
+  /// Magnitude: values scale by 2^U(-max_log2_swing, +max_log2_swing).
+  double max_log2_swing = 4.0;
+};
+
+/// Generates a churn sequence for `query` given the scenario's initial
+/// (frozen) registry contents. Pure function of `rng`; does not mutate
+/// `initial`.
+std::vector<ChurnStep> GenerateChurn(const ChurnGenOptions& options, const QuerySpec& query,
+                                     const JoinGraph& graph, const StatsRegistry& initial,
+                                     Rng& rng);
+
+}  // namespace iqro::testing
+
+#endif  // IQRO_TESTING_STAT_CHURN_H_

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "delta/counted_multiset.h"
@@ -140,6 +145,110 @@ TEST(CountedMultisetTest, NegativeCountsConverge) {
   EXPECT_TRUE(ms.Converged());
   EXPECT_EQ(ms.Add(7, 1), +1);
   EXPECT_TRUE(ms.Present(7));
+}
+
+// Randomized differential against a naive std::multiset + std::map model
+// (same style as the flat_map differential in common_test.cpp): checks the
+// returned extreme-changed flags, MinEntry/MaxEntry including the id
+// tie-break, ValueOf/Contains, and the full ascending iteration order.
+TEST(ExtremeAggTest, RandomizedDifferentialAgainstMultisetModel) {
+  ExtremeAgg<uint32_t> agg;
+  std::multiset<std::pair<double, uint32_t>> entries;  // model: sorted (value, id)
+  std::map<uint32_t, double> values;                   // model: id -> value
+  Rng rng(20260729);
+  auto model_min = [&] {
+    return entries.empty() ? std::pair<double, uint32_t>{
+                                 std::numeric_limits<double>::infinity(), 0u}
+                           : *entries.begin();
+  };
+  auto model_max = [&] {
+    return entries.empty() ? std::pair<double, uint32_t>{
+                                 -std::numeric_limits<double>::infinity(), 0u}
+                           : *entries.rbegin();
+  };
+  for (int step = 0; step < 100000; ++step) {
+    // A small id universe plus a small value universe forces frequent
+    // updates, erases, and genuine (value, id) ties.
+    uint32_t id = static_cast<uint32_t>(rng.NextBelow(24));
+    auto old_min = model_min();
+    auto old_max = model_max();
+    if (rng.NextBool(0.35)) {
+      bool changed = agg.Erase(id);
+      auto it = values.find(id);
+      bool model_present = it != values.end();
+      if (model_present) {
+        entries.erase(entries.find({it->second, id}));
+        values.erase(it);
+      }
+      EXPECT_EQ(changed, model_present && (model_min() != old_min || model_max() != old_max));
+    } else {
+      double v = static_cast<double>(rng.NextBelow(50));
+      bool changed = agg.Set(id, v);
+      auto [it, inserted] = values.try_emplace(id, v);
+      bool model_noop = !inserted && it->second == v;
+      if (!model_noop) {
+        if (!inserted) entries.erase(entries.find({it->second, id}));
+        it->second = v;
+        entries.insert({v, id});
+      }
+      EXPECT_EQ(changed, !model_noop && (model_min() != old_min || model_max() != old_max));
+    }
+    ASSERT_EQ(agg.size(), values.size());
+    ASSERT_EQ(agg.empty(), values.empty());
+    EXPECT_EQ(agg.MinEntry(), model_min());
+    EXPECT_EQ(agg.MaxEntry(), model_max());
+    uint32_t probe = static_cast<uint32_t>(rng.NextBelow(24));
+    auto it = values.find(probe);
+    EXPECT_EQ(agg.Contains(probe), it != values.end());
+    if (it != values.end()) {
+      EXPECT_EQ(agg.ValueOf(probe), it->second);
+    }
+  }
+  // Ascending iteration equals the model's multiset order exactly.
+  std::vector<std::pair<double, uint32_t>> got(agg.begin(), agg.end());
+  std::vector<std::pair<double, uint32_t>> want(entries.begin(), entries.end());
+  EXPECT_EQ(got, want);
+}
+
+// Randomized differential for the counted store against a plain
+// std::map<value, count> with the presence rule applied naively.
+TEST(CountedMultisetTest, RandomizedDifferentialAgainstMapModel) {
+  CountedMultiset<int> ms;
+  std::map<int, int64_t> model;  // non-zero counts only
+  Rng rng(777);
+  for (int step = 0; step < 100000; ++step) {
+    int value = static_cast<int>(rng.NextBelow(32));
+    int64_t delta = static_cast<int64_t>(rng.NextInRange(-3, 3));
+    int64_t before = 0;
+    if (auto it = model.find(value); it != model.end()) before = it->second;
+    int64_t after = before + delta;
+    if (after == 0) {
+      model.erase(value);
+    } else {
+      model[value] = after;
+    }
+    int expected_transition = 0;
+    if (before <= 0 && after > 0) expected_transition = +1;
+    if (before > 0 && after <= 0) expected_transition = -1;
+    EXPECT_EQ(ms.Add(value, delta), expected_transition);
+    ASSERT_EQ(ms.size(), model.size());
+    int probe = static_cast<int>(rng.NextBelow(32));
+    int64_t want = 0;
+    if (auto it = model.find(probe); it != model.end()) want = it->second;
+    EXPECT_EQ(ms.Count(probe), want);
+    EXPECT_EQ(ms.Present(probe), want > 0);
+    if (step % 1024 == 0) {
+      bool converged = true;
+      for (auto& [v, c] : model) {
+        if (c < 0) converged = false;
+      }
+      EXPECT_EQ(ms.Converged(), converged);
+    }
+  }
+  // Iteration visits exactly the model's non-zero counts.
+  std::map<int, int64_t> seen;
+  for (const auto& [v, c] : ms) seen[v] = c;
+  EXPECT_EQ(seen, model);
 }
 
 TEST(CountedMultisetTest, SizeTracksDistinctValues) {

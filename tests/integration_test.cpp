@@ -262,10 +262,15 @@ TEST(PipelineTest, EndToEndQ3S) {
   for (const auto& oc : r2.observed) {
     EXPECT_NEAR(ctx->summaries->Get(oc.expr).rows, std::max<int64_t>(1, oc.rows), 1.5);
   }
-  // And the incremental answer still matches ground truth.
+  // And the incremental answer still matches ground truth — both the root
+  // cost against System-R and the full fixpoint state against a
+  // from-scratch declarative optimization (the differential-harness oracle).
   SystemROptimizer sr(ctx->enumerator.get(), ctx->cost_model.get());
   sr.Optimize();
   EXPECT_NEAR(opt.BestCost(), sr.BestCost(), 1e-9 * sr.BestCost());
+  DeclarativeOptimizer scratch(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry);
+  scratch.Optimize();
+  EXPECT_EQ(opt.CanonicalDumpState(), scratch.CanonicalDumpState());
 }
 
 }  // namespace

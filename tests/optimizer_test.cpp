@@ -11,6 +11,7 @@
 #include "core/declarative_optimizer.h"
 #include "core/rules.h"
 #include "test_util.h"
+#include "testing/differential.h"
 
 namespace iqro {
 namespace {
@@ -19,6 +20,7 @@ using ::iqro::testing::ApplyRandomStatUpdate;
 using ::iqro::testing::GraphShape;
 using ::iqro::testing::GraphShapeName;
 using ::iqro::testing::MakeWorld;
+using ::iqro::testing::RecomputeTreeCost;
 using ::iqro::testing::TestWorld;
 using ::iqro::testing::WorldOptions;
 
@@ -28,43 +30,10 @@ void ExpectClose(double a, double b, const std::string& what) {
   EXPECT_NEAR(a, b, kRelTol * std::max({1.0, std::abs(a), std::abs(b)})) << what;
 }
 
-/// Recomputes a plan tree's cumulative cost from the cost model, verifying
-/// the optimizer's arithmetic end to end.
-double RecomputeTreeCost(const PlanTree& t, const CostModel& model) {
-  double local;
-  switch (t.alt.logop) {
-    case LogOp::kScan:
-      local = model.ScanCost(RelLowest(t.expr), t.alt.phyop);
-      break;
-    case LogOp::kSort:
-      local = model.SortLocalCost(t.expr);
-      break;
-    case LogOp::kJoin:
-      local = model.JoinLocalCost(t.alt.phyop, t.alt.lexpr, t.alt.rexpr);
-      break;
-    default:
-      ADD_FAILURE();
-      return 0;
-  }
-  double total = local;
-  if (t.left != nullptr) total += RecomputeTreeCost(*t.left, model);
-  if (t.right != nullptr) total += RecomputeTreeCost(*t.right, model);
-  return total;
-}
-
-std::vector<std::pair<std::string, OptimizerOptions>> AllOptionSets() {
-  std::vector<std::pair<std::string, OptimizerOptions>> sets = {
-      {"all", OptimizerOptions::Default()},
-      {"aggsel", OptimizerOptions::UseAggSel()},
-      {"aggsel+refcount", OptimizerOptions::UseAggSelRefCount()},
-      {"aggsel+bounding", OptimizerOptions::UseAggSelBounding()},
-      {"evita", OptimizerOptions::UseEvitaRaced()},
-      {"nopruning", OptimizerOptions::UseNoPruning()},
-  };
-  OptimizerOptions fifo = OptimizerOptions::Default();
-  fifo.discipline = QueueDiscipline::kFifo;
-  sets.emplace_back("all-fifo", fifo);
-  return sets;
+// The configurations under test are the differential harness's rotation —
+// one shared list, so the fuzzer and the equivalence tests never drift.
+const std::vector<std::pair<std::string, OptimizerOptions>>& AllOptionSets() {
+  return ::iqro::testing::ScenarioOptionSets();
 }
 
 struct Scenario {
@@ -131,6 +100,13 @@ TEST_P(OptimizerEquivalenceTest, IncrementalReoptimizationMatchesFromScratch) {
       auto plan = opt.GetBestPlan();
       ExpectClose(RecomputeTreeCost(*plan, *world->cost_model), fresh.BestCost(),
                   "plan recompute round " + std::to_string(round) + " options=" + name);
+      // Full state equivalence, not just the root cost: the incremental
+      // fixpoint canonically dumps identically to a from-scratch run.
+      DeclarativeOptimizer scratch(world->enumerator.get(), world->cost_model.get(),
+                                   &world->registry, options);
+      scratch.Optimize();
+      EXPECT_EQ(opt.CanonicalDumpState(), scratch.CanonicalDumpState())
+          << "round " << round << " options=" << name;
     }
   }
 }
@@ -182,9 +158,13 @@ TEST_F(OptimizerBehaviorTest, ReoptimizeWithoutChangesIsFreeAndStable) {
   opt.Optimize();
   double c = opt.BestCost();
   opt.Reoptimize();
+  opt.ValidateInvariants();
   EXPECT_EQ(opt.BestCost(), c);
   EXPECT_EQ(opt.metrics().round_touched_eps, 0);
   EXPECT_EQ(opt.metrics().round_touched_alts, 0);
+  SystemROptimizer fresh(world->enumerator.get(), world->cost_model.get());
+  fresh.Optimize();
+  ExpectClose(opt.BestCost(), fresh.BestCost(), "no-op reoptimize oracle");
 }
 
 TEST_F(OptimizerBehaviorTest, PruningReducesExplorationVsNoPruning) {
@@ -237,6 +217,7 @@ TEST_F(OptimizerBehaviorTest, TargetedUpdateTouchesSubsetOfState) {
   // affected state is a small fraction of the space (paper Fig. 5).
   world->registry.SetCardMultiplier(world->query.AllRelations(), 4.0);
   opt.Reoptimize();
+  opt.ValidateInvariants();
   EXPECT_GT(opt.metrics().round_touched_eps, 0);
   EXPECT_LT(opt.metrics().round_touched_eps, full.eps / 2);
   SystemROptimizer fresh(world->enumerator.get(), world->cost_model.get());
@@ -251,11 +232,16 @@ TEST_F(OptimizerBehaviorTest, LeafUpdateTouchesMoreThanTopUpdate) {
   opt.Optimize();
   world->registry.SetCardMultiplier(world->query.AllRelations(), 2.0);
   opt.Reoptimize();
+  opt.ValidateInvariants();
   int64_t top_touched = opt.metrics().round_touched_eps;
   world->registry.SetJoinSelectivity(0, world->registry.join_selectivity(0) * 2.0);
   opt.Reoptimize();
+  opt.ValidateInvariants();
   int64_t leaf_touched = opt.metrics().round_touched_eps;
   EXPECT_GE(leaf_touched, top_touched);
+  SystemROptimizer fresh(world->enumerator.get(), world->cost_model.get());
+  fresh.Optimize();
+  ExpectClose(opt.BestCost(), fresh.BestCost(), "leaf update oracle");
 }
 
 TEST_F(OptimizerBehaviorTest, DramaticCostSwingFlipsPlan) {
@@ -295,6 +281,7 @@ TEST_F(OptimizerBehaviorTest, ReintroductionHappensAfterBestPlanDegrades) {
     world->registry.SetScanCostMultiplier(r, r % 2 == 0 ? 50.0 : 1.0);
   }
   opt.Reoptimize();
+  opt.ValidateInvariants();
   SystemROptimizer fresh(world->enumerator.get(), world->cost_model.get());
   fresh.Optimize();
   ExpectClose(opt.BestCost(), fresh.BestCost(), "post-degrade");
@@ -366,6 +353,77 @@ TEST_F(OptimizerBehaviorTest, DumpStateRestoredAfterRoundTripReoptimization) {
   opt.Reoptimize();
   opt.ValidateInvariants();
   EXPECT_EQ(opt.DumpState(), before);
+}
+
+// DumpState() ordering contract (documented in declarative_optimizer.h):
+// the raw dump iterates in memo insertion order, so it is byte-stable
+// across identical histories but NOT across different ones. Differential
+// comparison therefore uses CanonicalDumpState(), which must be identical
+// for two optimizers that reach the same fixpoint through *different*
+// delta orders — one absorbing updates one at a time, the other the same
+// updates reordered and batched.
+TEST_F(OptimizerBehaviorTest, CanonicalDumpIdenticalAcrossDeltaOrders) {
+  auto apply = [](TestWorld& w, int which) {
+    switch (which) {
+      case 0:
+        w.registry.SetScanCostMultiplier(0, 12.0);
+        break;
+      case 1:
+        w.registry.SetJoinSelectivity(1, w.registry.join_selectivity(1) * 0.125);
+        break;
+      case 2:
+        w.registry.SetBaseRows(3, w.registry.base_rows(3) * 64.0);
+        break;
+      case 3:
+        w.registry.SetCardMultiplier(0b011110, 0.25);
+        break;
+    }
+  };
+  auto one_at_a_time = MakeChain(6, 21);
+  DeclarativeOptimizer a(one_at_a_time->enumerator.get(), one_at_a_time->cost_model.get(),
+                         &one_at_a_time->registry);
+  a.Optimize();
+  for (int u = 0; u < 4; ++u) {
+    apply(*one_at_a_time, u);
+    a.Reoptimize();
+    a.ValidateInvariants();
+  }
+  auto reordered_batch = MakeChain(6, 21);
+  DeclarativeOptimizer b(reordered_batch->enumerator.get(), reordered_batch->cost_model.get(),
+                         &reordered_batch->registry);
+  b.Optimize();
+  for (int u = 3; u >= 0; --u) apply(*reordered_batch, u);  // reverse order, one batch
+  b.Reoptimize();
+  b.ValidateInvariants();
+  EXPECT_EQ(a.CanonicalDumpState(), b.CanonicalDumpState());
+  // And both equal a from-scratch optimization under the final statistics.
+  DeclarativeOptimizer scratch(reordered_batch->enumerator.get(),
+                               reordered_batch->cost_model.get(), &reordered_batch->registry);
+  scratch.Optimize();
+  EXPECT_EQ(b.CanonicalDumpState(), scratch.CanonicalDumpState());
+  EXPECT_FALSE(scratch.CanonicalDumpState().empty());
+}
+
+// The canonical dump resolves properties through their content, not their
+// interned PropId, so it must not depend on the PropTable sharing either:
+// an optimizer over a private enumerator (fresh interning order) dumps
+// identically to one over a shared, history-laden enumerator.
+TEST_F(OptimizerBehaviorTest, CanonicalDumpIndependentOfPropInterning) {
+  auto world = MakeChain(5, 13);
+  DeclarativeOptimizer shared(world->enumerator.get(), world->cost_model.get(),
+                              &world->registry);
+  shared.Optimize();
+  world->registry.SetScanCostMultiplier(1, 9.0);
+  shared.Reoptimize();
+  shared.ValidateInvariants();
+
+  // A second world with identical statistics but its own PropTable.
+  auto world2 = MakeChain(5, 13);
+  world2->registry.SetScanCostMultiplier(1, 9.0);
+  DeclarativeOptimizer priv(world2->enumerator.get(), world2->cost_model.get(),
+                            &world2->registry);
+  priv.Optimize();
+  EXPECT_EQ(shared.CanonicalDumpState(), priv.CanonicalDumpState());
 }
 
 TEST(RulesTest, FourteenRulesInPaperOrder) {

@@ -72,8 +72,8 @@ TEST(RobustnessTest, UpdateStormConvergesToTruth) {
   for (int round = 1; round <= 100; ++round) {
     ApplyRandomStatUpdate(world.get(), rng);
     opt.Reoptimize();
+    opt.ValidateInvariants();
     if (round % 10 == 0) {
-      opt.ValidateInvariants();
       double truth = Truth(*world);
       ASSERT_NEAR(opt.BestCost(), truth, 1e-9 * std::max(1.0, truth)) << round;
     }
@@ -98,11 +98,21 @@ TEST(RobustnessTest, BatchedUpdatesEquivalentToSequential) {
   Rng rng_b(55);
   for (int i = 0; i < 6; ++i) ApplyRandomStatUpdate(world_batch.get(), rng_a);
   batch.Reoptimize();
+  batch.ValidateInvariants();
   for (int i = 0; i < 6; ++i) {
     ApplyRandomStatUpdate(world_seq.get(), rng_b);
     seq.Reoptimize();
+    seq.ValidateInvariants();
   }
   EXPECT_NEAR(batch.BestCost(), seq.BestCost(), 1e-9 * std::max(1.0, batch.BestCost()));
+  // Same final statistics: both reach the same fixpoint state, which must
+  // equal a from-scratch optimization's (the differential-harness oracle).
+  EXPECT_EQ(batch.CanonicalDumpState(), seq.CanonicalDumpState());
+  EXPECT_NEAR(batch.BestCost(), Truth(*world_batch), 1e-9 * std::max(1.0, batch.BestCost()));
+  DeclarativeOptimizer scratch(world_batch->enumerator.get(), world_batch->cost_model.get(),
+                               &world_batch->registry);
+  scratch.Optimize();
+  EXPECT_EQ(batch.CanonicalDumpState(), scratch.CanonicalDumpState());
 }
 
 TEST(RobustnessTest, RepeatedIdenticalUpdatesAreCheap) {
@@ -114,11 +124,14 @@ TEST(RobustnessTest, RepeatedIdenticalUpdatesAreCheap) {
   opt.Optimize();
   world->registry.SetScanCostMultiplier(0, 3.0);
   opt.Reoptimize();
+  opt.ValidateInvariants();
   // Setting the same value again records nothing and costs nothing.
   world->registry.SetScanCostMultiplier(0, 3.0);
   opt.Reoptimize();
+  opt.ValidateInvariants();
   EXPECT_EQ(opt.metrics().round_touched_eps, 0);
   EXPECT_EQ(opt.metrics().round_touched_alts, 0);
+  EXPECT_NEAR(opt.BestCost(), Truth(*world), 1e-9 * std::max(1.0, opt.BestCost()));
 }
 
 TEST(RobustnessTest, NoIndexesAnywhere) {
@@ -254,6 +267,10 @@ TEST(RobustnessTest, TpchQ5IncrementalAfterEveryKindOfChange) {
     SystemROptimizer sr(ctx->enumerator.get(), ctx->cost_model.get());
     sr.Optimize();
     ASSERT_NEAR(opt.BestCost(), sr.BestCost(), 1e-9 * sr.BestCost()) << what;
+    DeclarativeOptimizer scratch(ctx->enumerator.get(), ctx->cost_model.get(),
+                                 &ctx->registry);
+    scratch.Optimize();
+    ASSERT_EQ(opt.CanonicalDumpState(), scratch.CanonicalDumpState()) << what;
   };
   ctx->registry.SetScanCostMultiplier(4, 16.0);  // lineitem scan
   verify("scan cost raise");

@@ -3,10 +3,13 @@
 #include <set>
 #include <unordered_map>
 
-#include "stream/linear_road.h"
+#include "baseline/systemr.h"
+#include "core/declarative_optimizer.h"
 #include "query/join_graph.h"
+#include "stream/linear_road.h"
 #include "stream/segtoll.h"
 #include "stream/window.h"
+#include "workload/context.h"
 
 namespace iqro {
 namespace {
@@ -133,6 +136,43 @@ TEST(SegTollTest, QueryShape) {
   // r2-r3 has both an equality and a non-equality edge.
   auto cross = graph.CrossEdges(RelSingleton(1), RelSingleton(2));
   EXPECT_EQ(cross.size(), 2u);
+}
+
+// Incremental re-optimization over the windowed five-way self-join: every
+// Reoptimize() validates its invariants and is checked against the
+// from-scratch oracles (System-R ground truth + a fresh declarative run),
+// matching the differential-harness discipline for stored-table queries.
+TEST(SegTollTest, WindowedReoptimizationMatchesFromScratch) {
+  auto setup = MakeSegTollS();
+  LinearRoadGenerator gen(LinearRoadConfig{});
+  for (int64_t t = 0; t < 3; ++t) setup->Advance(gen.Second(t), t);
+  auto ctx = MakeQueryContext(&setup->catalog, setup->query,
+                              CollectCatalogStats(setup->catalog));
+  DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry);
+  opt.Optimize();
+  opt.ValidateInvariants();
+
+  auto verify = [&](const char* what) {
+    opt.Reoptimize();
+    opt.ValidateInvariants();
+    SystemROptimizer sr(ctx->enumerator.get(), ctx->cost_model.get());
+    sr.Optimize();
+    ASSERT_NEAR(opt.BestCost(), sr.BestCost(), 1e-9 * sr.BestCost()) << what;
+    DeclarativeOptimizer scratch(ctx->enumerator.get(), ctx->cost_model.get(),
+                                 &ctx->registry);
+    scratch.Optimize();
+    ASSERT_EQ(opt.CanonicalDumpState(), scratch.CanonicalDumpState()) << what;
+  };
+  // The stream churns: window cardinalities swing as hotspots drift.
+  ctx->registry.SetBaseRows(0, ctx->registry.base_rows(0) * 8.0);
+  verify("window growth");
+  ctx->registry.SetBaseRows(0, ctx->registry.base_rows(0) / 32.0);
+  ctx->registry.SetJoinSelectivity(0, ctx->registry.join_selectivity(0) * 4.0);
+  verify("window shrink + selectivity swing");
+  ctx->registry.SetScanCostMultiplier(3, 20.0);
+  verify("scan cost spike");
+  ctx->registry.SetCardMultiplier(0b00011, 6.0);
+  verify("subexpression multiplier");
 }
 
 TEST(SegTollTest, WindowsTrackTheSameStream) {
