@@ -195,6 +195,7 @@ void DeclarativeOptimizer::Drain() {
 void DeclarativeOptimizer::Optimize() {
   if (optimized_) return;
   optimized_ = true;
+  stats_epoch_ = registry_->epoch();
   ++round_;
   metrics_.BeginRound();
   root_ = GetOrCreateEP(EPExpr(enumerator_->RootKey()), EPProp(enumerator_->RootKey()));
@@ -203,12 +204,32 @@ void DeclarativeOptimizer::Optimize() {
   UpdatePeakMemoBytes();
 }
 
-void DeclarativeOptimizer::Reoptimize() {
+void DeclarativeOptimizer::Reoptimize() { ReoptimizeBatch(registry_->TakePending()); }
+
+int64_t DeclarativeOptimizer::ReoptimizeBatch(const std::vector<StatChange>& changes) {
   IQRO_CHECK(optimized_);
+  // `changes` is (the net of) everything since the last drain, so the
+  // post-fixpoint state reflects the registry's current epoch.
+  stats_epoch_ = registry_->epoch();
+  // An empty batch still opens a (trivial) round: the per-round touched
+  // counters must read 0 after it, not the previous round's values.
   ++round_;
   metrics_.BeginRound();
-  std::vector<StatChange> changes = registry_->TakePending();
-  if (changes.empty()) return;
+  if (changes.empty()) return 0;
+
+  // Whole-batch prefilter masks: an EP can only be affected if it overlaps
+  // some change's scope — `card_union` rejects most EPs with one AND before
+  // the per-change subset loop runs, which matters when a coalesced batch
+  // carries several changes.
+  RelSet card_union = 0;
+  RelSet scan_union = 0;
+  for (const StatChange& c : changes) {
+    if (c.kind == StatChange::Kind::kCardinality) {
+      card_union |= c.scope;
+    } else {
+      scan_union |= c.scope;
+    }
+  }
 
   // Seed deltas bottom-up: children settle before parents, and the
   // (expr, none) entry of an expression precedes its (expr, sorted(..))
@@ -229,8 +250,10 @@ void DeclarativeOptimizer::Reoptimize() {
     reopt_order_stale_ = false;
   }
 
+  int64_t seeded = 0;
   for (EPState* ep : reopt_order_) {
     if (!ep->enumerated) continue;
+    if ((ep->expr & (card_union | scan_union)) == 0) continue;
     bool affected = false;
     for (const StatChange& c : changes) {
       if (c.kind == StatChange::Kind::kCardinality) {
@@ -241,6 +264,7 @@ void DeclarativeOptimizer::Reoptimize() {
       if (affected) break;
     }
     if (!affected) continue;
+    ++seeded;
     if (!Live(*ep)) {
       // Garbage-collected state that the update would invalidate: evict it
       // now (§3.2 + §4 — pruned state is re-derived only if re-referenced).
@@ -251,6 +275,11 @@ void DeclarativeOptimizer::Reoptimize() {
   }
   Drain();
   UpdatePeakMemoBytes();  // O(1) unless this round enumerated new state
+  return seeded;
+}
+
+RelSet DeclarativeOptimizer::RootRelations() const {
+  return EPExpr(enumerator_->RootKey());
 }
 
 // ---------------------------------------------------------------------------

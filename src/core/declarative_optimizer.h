@@ -31,8 +31,12 @@
 //
 // Incremental re-optimization (§4): Reoptimize() drains StatChange records
 // from the StatsRegistry and seeds deltas only for affected state;
-// everything else is reused. The result is always identical to a fresh
-// optimization under the new statistics (tested against System-R/Volcano).
+// everything else is reused. ReoptimizeBatch() is the multi-query variant:
+// it accepts an externally drained, coalesced change list (from a
+// ReoptSession flush) and seeds every change before one fixpoint run, so a
+// batch of updates costs one delta pass instead of one per change. The
+// result is always identical to a fresh optimization under the new
+// statistics (tested against System-R/Volcano).
 // Memory layout (perf engineering): the memo's data layer is built for the
 // constant factor of the delta fixpoint, whose unit of work is a memo probe
 // plus a task push/pop:
@@ -91,7 +95,46 @@ class DeclarativeOptimizer {
   /// Incremental re-optimization: drains pending StatChanges from the
   /// registry, seeds deltas for affected state only, re-runs the fixpoint.
   /// Requires Optimize() to have run.
+  ///
+  /// Single-consumer semantics: this drains the registry's whole pending
+  /// batch. When several optimizers share one registry, calling this on one
+  /// of them starves the rest — multi-query setups must flush through a
+  /// service::-layer ReoptSession, which drains once and hands the same
+  /// coalesced change list to every registered optimizer via
+  /// ReoptimizeBatch().
   void Reoptimize();
+
+  /// Batch variant of Reoptimize(): seeds deltas for the externally
+  /// supplied (already drained, already coalesced) change list instead of
+  /// draining the registry, then runs a single fixpoint over all of them —
+  /// the paper's "batched updates amortize the delta pass" observation made
+  /// a first-class entry point. The registry must already hold the
+  /// statistics the changes describe. An empty list is a no-op. Returns the
+  /// number of memo entries seeded (re-driven or evicted) — 0 means the
+  /// batch could not affect this query's plan space.
+  ///
+  /// Thread-safety: like every method of this class, must be called from
+  /// the single thread that owns the optimizer.
+  int64_t ReoptimizeBatch(const std::vector<StatChange>& changes);
+
+  /// True once Optimize() has run (the precondition of the reoptimize
+  /// entry points and of ReoptSession::Register).
+  bool optimized() const { return optimized_; }
+
+  /// The query's full relation set (every EP expression is a subset): the
+  /// cheap whole-query prefilter for "can this StatChange affect me at
+  /// all", used by the ReoptSession dispatcher.
+  RelSet RootRelations() const;
+
+  /// The registry this optimizer drains (never null; not owned).
+  StatsRegistry* registry() const { return registry_; }
+
+  /// Registry epoch this optimizer's state reflects (0 before Optimize()):
+  /// set on every (re)optimization entry. ReoptSession::Register compares
+  /// it against StatsRegistry::drained_epoch() to reject an optimizer that
+  /// missed an already-drained batch (it could never catch up — those
+  /// deltas are gone).
+  uint64_t stats_epoch() const { return stats_epoch_; }
 
   /// Best cumulative cost of the root (expr, prop); infinity before
   /// Optimize().
@@ -285,6 +328,7 @@ class DeclarativeOptimizer {
   EPState* root_ = nullptr;
   bool optimized_ = false;
   uint32_t round_ = 0;
+  uint64_t stats_epoch_ = 0;  // registry epoch the current state reflects
 
   // Reoptimize()'s bottom-up seeding order; rebuilt only when the memo grew
   // since the last rebuild (new pairs invalidate it).

@@ -1,0 +1,88 @@
+#include "service/reopt_session.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace iqro {
+
+ReoptSession::ReoptSession(StatsRegistry* registry, ReoptSessionOptions options)
+    : registry_(registry), options_(options) {
+  IQRO_CHECK(registry_ != nullptr);
+  registry_->Subscribe(this);
+}
+
+ReoptSession::~ReoptSession() { registry_->Unsubscribe(this); }
+
+ReoptSession::QueryId ReoptSession::Register(DeclarativeOptimizer* optimizer) {
+  IQRO_CHECK(optimizer != nullptr);
+  // The session dispatches drained change lists; an optimizer wired to a
+  // different registry would be seeded with deltas its statistics never
+  // saw, and an un-optimized one has no state to maintain.
+  IQRO_CHECK(optimizer->registry() == registry_);
+  IQRO_CHECK(optimizer->optimized());
+  // An optimizer whose fixpoint predates the last drain missed deltas that
+  // are gone for good: future flushes would leave it silently stale
+  // forever. Pending-but-undrained changes are fine (the next flush seeds
+  // them), as is being *ahead* of the last drain.
+  IQRO_CHECK(optimizer->stats_epoch() >= registry_->drained_epoch());
+  queries_.push_back({next_id_, optimizer});
+  return next_id_++;
+}
+
+void ReoptSession::Unregister(QueryId id) {
+  auto it = std::find_if(queries_.begin(), queries_.end(),
+                         [id](const Slot& s) { return s.id == id; });
+  IQRO_CHECK(it != queries_.end());
+  queries_.erase(it);
+}
+
+size_t ReoptSession::Flush() {
+  if (in_flush_) return 0;
+  const bool had_pending = registry_->HasPending();
+  mutations_since_flush_ = 0;
+  std::vector<StatChange> changes = registry_->TakePending();
+  if (changes.empty()) {
+    // Either nothing was recorded, or the whole batch oscillated back to
+    // its baseline and the coalescer absorbed it: no optimizer runs.
+    if (had_pending) ++metrics_.empty_flushes;
+    return 0;
+  }
+  ++metrics_.flushes;
+  metrics_.changes_flushed += static_cast<int64_t>(changes.size());
+
+  in_flush_ = true;
+  for (const Slot& slot : queries_) {
+    // Whole-query prefilter: a change can only matter to a query whose
+    // relation set contains the change's scope. (Per-EP filtering inside
+    // ReoptimizeBatch handles the precise subset tests.)
+    const RelSet root = slot.optimizer->RootRelations();
+    const bool affected =
+        std::any_of(changes.begin(), changes.end(),
+                    [root](const StatChange& c) { return RelIsSubset(c.scope, root); });
+    if (!affected) {
+      ++metrics_.queries_skipped;
+      // The skip itself proves this optimizer's state reflects the new
+      // statistics; an empty batch stamps its stats epoch (otherwise a
+      // later Register() would reject it as having missed this drain).
+      slot.optimizer->ReoptimizeBatch({});
+      continue;
+    }
+    metrics_.eps_seeded += slot.optimizer->ReoptimizeBatch(changes);
+    ++metrics_.reopt_passes;
+  }
+  in_flush_ = false;
+  return changes.size();
+}
+
+void ReoptSession::OnStatsMutated(StatsRegistry& registry) {
+  IQRO_CHECK(&registry == registry_);
+  ++metrics_.mutations_observed;
+  ++mutations_since_flush_;
+  if (options_.auto_flush_after > 0 && !in_flush_ &&
+      mutations_since_flush_ >= options_.auto_flush_after) {
+    Flush();
+  }
+}
+
+}  // namespace iqro

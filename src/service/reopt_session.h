@@ -1,0 +1,144 @@
+// ReoptSession: the multi-query re-optimization manager — the first
+// service-layer subsystem above the single-query engine.
+//
+// The paper treats re-optimization as incremental view maintenance over the
+// optimizer's internal state and notes that deltas are cheapest when
+// updates are *batched* before the fixpoint runs (§4). A production
+// deployment amplifies that twice over: dozens of live queries (prepared
+// statements, standing stream queries, AQP mid-flight plans) watch the same
+// statistics, and runtime feedback arrives as a churny stream full of
+// oscillations and no-ops. This class turns that stream into the minimum
+// amount of fixpoint work:
+//
+//   mutators ──► StatsRegistry (NetDeltaTable: one net delta per statistic)
+//                     │ OnStatsMutated (auto-flush policy hook)
+//                     ▼
+//              ReoptSession::Flush
+//                     │ TakePending(): coalesced StatChanges, net-zero
+//                     │ churn already absorbed
+//                     ▼
+//        for each registered query whose relations overlap the batch:
+//              DeclarativeOptimizer::ReoptimizeBatch(changes)
+//              — all dirty memo state seeded, then ONE fixpoint run
+//
+// One flush therefore costs one registry drain plus at most one delta
+// fixpoint per *affected* optimizer, no matter how many raw mutations the
+// batch contained (see bench_batch_churn for the measured payoff vs
+// change-at-a-time Reoptimize()).
+//
+// ## Ownership
+//
+// The session borrows everything: the registry and every registered
+// optimizer must outlive it (or be unregistered first). The session
+// subscribes to the registry on construction and unsubscribes in its
+// destructor. Registered optimizers must already have run Optimize() and
+// must drain this session's registry (checked).
+//
+// ## Consistency contract
+//
+// Between flushes, registered optimizers hold plans that are exact w.r.t.
+// the statistics of the *last* flush — the same staleness window a single
+// optimizer has between Reoptimize() calls. A flush brings every
+// registered optimizer to the fixpoint of the current statistics; the
+// differential harness proves that state byte-equal (CanonicalDumpState)
+// to a from-scratch optimization, for every registered optimizer, under
+// randomized batched churn (docs/TESTING.md).
+//
+// Registered optimizers must never call Reoptimize() themselves: that
+// would drain the shared registry and starve their peers. Registering an
+// optimizer that is already at fixpoint w.r.t. *newer* statistics than the
+// last flush is safe — the next flush re-seeds it and lands it in the same
+// state (re-optimization is idempotent). Registering one whose fixpoint
+// *predates* the last drain is a hard error (Register checks epochs): the
+// drained deltas are gone, so it would stay silently stale forever.
+//
+// ## Thread-safety
+//
+// Single-threaded, like the engine underneath: one session, its registry
+// and its optimizers belong to one thread. (Sharding sessions across
+// threads is a roadmap item — see ROADMAP.md "Open items".)
+#ifndef IQRO_SERVICE_REOPT_SESSION_H_
+#define IQRO_SERVICE_REOPT_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/declarative_optimizer.h"
+#include "stats/stats_registry.h"
+
+namespace iqro {
+
+struct ReoptSessionOptions {
+  /// 0: manual flushing only. N > 0: Flush() fires automatically once N
+  /// value-changing mutations have been observed since the last flush (a
+  /// latency/batching trade-off knob; the callback-driven flush is
+  /// reentrancy-safe). Writes that repeat a statistic's current value are
+  /// swallowed before recording and do not count.
+  int64_t auto_flush_after = 0;
+};
+
+struct ReoptSessionMetrics {
+  int64_t mutations_observed = 0;  // value-changing post-freeze mutations seen
+  int64_t flushes = 0;             // Flush() calls that dispatched >= 1 change
+  int64_t empty_flushes = 0;       // batches absorbed entirely by coalescing
+  int64_t changes_flushed = 0;     // coalesced StatChanges dispatched
+  int64_t reopt_passes = 0;        // per-optimizer ReoptimizeBatch fixpoints
+  int64_t queries_skipped = 0;     // registered queries untouched by a flush
+  int64_t eps_seeded = 0;          // memo entries seeded across all passes
+};
+
+class ReoptSession final : public StatsSubscriber {
+ public:
+  using QueryId = int;
+
+  /// `registry` must outlive the session. Subscribes immediately.
+  explicit ReoptSession(StatsRegistry* registry, ReoptSessionOptions options = {});
+  ~ReoptSession() override;
+
+  ReoptSession(const ReoptSession&) = delete;
+  ReoptSession& operator=(const ReoptSession&) = delete;
+
+  /// Registers a live query. `optimizer` must have run Optimize(), must
+  /// drain this session's registry, and must outlive the session or be
+  /// Unregister()ed first. Its state must not predate the registry's last
+  /// drain (checked via stats_epoch(): the drained deltas are gone, so a
+  /// late optimizer could never catch up and would stay silently stale);
+  /// pending-but-undrained changes at registration time are fine — the
+  /// next flush seeds them. Returns a stable id for Unregister.
+  QueryId Register(DeclarativeOptimizer* optimizer);
+  void Unregister(QueryId id);
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+
+  /// True when mutations were recorded since the last flush (they may still
+  /// coalesce to nothing — see StatsRegistry::HasPending).
+  bool HasPending() const { return registry_->HasPending(); }
+
+  /// Drains the registry's coalesced pending batch and dispatches it as one
+  /// ReoptimizeBatch() pass to every registered optimizer whose relation
+  /// set the batch can affect. Returns the number of StatChanges
+  /// dispatched; 0 when the batch coalesced away (or nothing was pending).
+  size_t Flush();
+
+  const ReoptSessionMetrics& metrics() const { return metrics_; }
+
+  /// StatsSubscriber: counts mutations and applies the auto-flush policy.
+  void OnStatsMutated(StatsRegistry& registry) override;
+
+ private:
+  struct Slot {
+    QueryId id;
+    DeclarativeOptimizer* optimizer;
+  };
+
+  StatsRegistry* registry_;
+  ReoptSessionOptions options_;
+  ReoptSessionMetrics metrics_;
+  std::vector<Slot> queries_;
+  QueryId next_id_ = 0;
+  int64_t mutations_since_flush_ = 0;
+  bool in_flush_ = false;  // guards against reentrant auto-flush
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_SERVICE_REOPT_SESSION_H_

@@ -1,5 +1,7 @@
 #include "stats/stats_registry.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace iqro {
@@ -8,6 +10,10 @@ StatsRegistry::StatsRegistry(int num_relations) { Reset(num_relations); }
 
 void StatsRegistry::Reset(int num_relations) {
   IQRO_CHECK(num_relations >= 0 && num_relations <= kMaxRelations);
+  // Reset is setup-time only: a subscribed session may still dispatch to
+  // optimizers built over the OLD relation slots (out-of-bounds reads).
+  // Destroy sessions before resetting the world they watch.
+  IQRO_CHECK(subscribers_.empty());
   num_relations_ = num_relations;
   base_rows_.assign(static_cast<size_t>(num_relations), 1.0);
   local_sel_.assign(static_cast<size_t>(num_relations), 1.0);
@@ -17,7 +23,9 @@ void StatsRegistry::Reset(int num_relations) {
   card_mults_.clear();
   frozen_ = false;
   epoch_ = 1;
-  pending_.clear();
+  drained_epoch_ = 1;
+  pending_.Clear();
+  coalesce_ = CoalesceStats{};
 }
 
 int StatsRegistry::AddEdge(RelSet endpoints, double selectivity) {
@@ -27,40 +35,71 @@ int StatsRegistry::AddEdge(RelSet endpoints, double selectivity) {
   return static_cast<int>(edges_.size()) - 1;
 }
 
-void StatsRegistry::Record(StatChange::Kind kind, RelSet scope) {
+void StatsRegistry::Record(StatId stat, uint64_t target, double value_before) {
   ++epoch_;
-  if (frozen_) pending_.push_back({kind, scope});
+  if (!frozen_) return;
+  ++coalesce_.recorded;
+  // First mutation of this statistic in the batch captures the baseline;
+  // later ones collapse into it (only the net delta ever reaches an
+  // optimizer).
+  if (!pending_.Record(StatKey(stat, target), value_before)) ++coalesce_.collapsed;
+  // Notify after the value and the pending entry are both in place: a
+  // subscriber may flush (TakePending) from inside the callback. Indexed
+  // loop: callbacks must not Subscribe/Unsubscribe (see header), but an
+  // index never dangles the way a vector iterator would.
+  for (size_t i = 0; i < subscribers_.size(); ++i) subscribers_[i]->OnStatsMutated(*this);
+}
+
+void StatsRegistry::SetScalar(StatId stat, int target, std::vector<double>& slots,
+                              double value) {
+  double& v = slots[static_cast<size_t>(target)];
+  if (v == value) return;
+  const double before = v;
+  v = value;
+  Record(stat, static_cast<uint64_t>(target), before);
+}
+
+double StatsRegistry::CurrentValue(StatId stat, uint64_t target) const {
+  switch (stat) {
+    case StatId::kBaseRows:
+      return base_rows_[static_cast<size_t>(target)];
+    case StatId::kLocalSel:
+      return local_sel_[static_cast<size_t>(target)];
+    case StatId::kRowWidth:
+      return row_width_[static_cast<size_t>(target)];
+    case StatId::kScanMult:
+      return scan_mult_[static_cast<size_t>(target)];
+    case StatId::kJoinSel:
+      return edges_[static_cast<size_t>(target)].selectivity;
+    case StatId::kCardMult:
+      return ScopeMultiplier(static_cast<RelSet>(target));
+  }
+  IQRO_CHECK(false);
 }
 
 void StatsRegistry::SetBaseRows(int rel, double rows) {
-  if (base_rows_[static_cast<size_t>(rel)] == rows) return;
-  base_rows_[static_cast<size_t>(rel)] = rows;
-  Record(StatChange::Kind::kCardinality, RelSingleton(rel));
+  SetScalar(StatId::kBaseRows, rel, base_rows_, rows);
 }
 
 void StatsRegistry::SetLocalSelectivity(int rel, double sel) {
-  if (local_sel_[static_cast<size_t>(rel)] == sel) return;
-  local_sel_[static_cast<size_t>(rel)] = sel;
-  Record(StatChange::Kind::kCardinality, RelSingleton(rel));
+  SetScalar(StatId::kLocalSel, rel, local_sel_, sel);
 }
 
 void StatsRegistry::SetRowWidth(int rel, double width) {
-  if (row_width_[static_cast<size_t>(rel)] == width) return;
-  row_width_[static_cast<size_t>(rel)] = width;
-  Record(StatChange::Kind::kCardinality, RelSingleton(rel));
+  SetScalar(StatId::kRowWidth, rel, row_width_, width);
 }
 
 void StatsRegistry::SetScanCostMultiplier(int rel, double mult) {
-  if (scan_mult_[static_cast<size_t>(rel)] == mult) return;
-  scan_mult_[static_cast<size_t>(rel)] = mult;
-  Record(StatChange::Kind::kScanCost, RelSingleton(rel));
+  SetScalar(StatId::kScanMult, rel, scan_mult_, mult);
 }
 
 void StatsRegistry::SetJoinSelectivity(int edge_id, double sel) {
   IQRO_CHECK(edge_id >= 0 && edge_id < num_edges());
-  if (edges_[static_cast<size_t>(edge_id)].selectivity == sel) return;
-  edges_[static_cast<size_t>(edge_id)].selectivity = sel;
-  Record(StatChange::Kind::kCardinality, edges_[static_cast<size_t>(edge_id)].endpoints);
+  double& v = edges_[static_cast<size_t>(edge_id)].selectivity;
+  if (v == sel) return;
+  const double before = v;
+  v = sel;
+  Record(StatId::kJoinSel, static_cast<uint64_t>(edge_id), before);
 }
 
 void StatsRegistry::SetCardMultiplier(RelSet scope, double factor) {
@@ -68,14 +107,15 @@ void StatsRegistry::SetCardMultiplier(RelSet scope, double factor) {
   for (auto& [s, f] : card_mults_) {
     if (s == scope) {
       if (f == factor) return;
+      const double before = f;
       f = factor;
-      Record(StatChange::Kind::kCardinality, scope);
+      Record(StatId::kCardMult, scope, before);
       return;
     }
   }
   if (factor == 1.0) return;  // absent scope already means factor 1
   card_mults_.emplace_back(scope, factor);
-  Record(StatChange::Kind::kCardinality, scope);
+  Record(StatId::kCardMult, scope, 1.0);
 }
 
 void StatsRegistry::ScaleCardMultiplier(RelSet scope, double factor) {
@@ -98,15 +138,62 @@ double StatsRegistry::CardMultiplier(RelSet s) const {
 }
 
 std::vector<StatChange> StatsRegistry::TakePending() {
+  drained_epoch_ = epoch_;
   std::vector<StatChange> out;
-  out.swap(pending_);
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    const NetDeltaTable::Entry& e = pending_.entry(i);
+    const auto stat = static_cast<StatId>(e.key >> 32);
+    const uint64_t target = e.key & 0xFFFFFFFFull;
+    if (CurrentValue(stat, target) == e.baseline) {
+      ++coalesce_.net_zero;  // oscillated back: nothing to re-optimize
+      continue;
+    }
+    StatChange c;
+    switch (stat) {
+      case StatId::kBaseRows:
+      case StatId::kLocalSel:
+      case StatId::kRowWidth:
+        c = {StatChange::Kind::kCardinality, RelSingleton(static_cast<int>(target))};
+        break;
+      case StatId::kScanMult:
+        c = {StatChange::Kind::kScanCost, RelSingleton(static_cast<int>(target))};
+        break;
+      case StatId::kJoinSel:
+        c = {StatChange::Kind::kCardinality, edges_[static_cast<size_t>(target)].endpoints};
+        break;
+      case StatId::kCardMult:
+        c = {StatChange::Kind::kCardinality, static_cast<RelSet>(target)};
+        break;
+    }
+    // Distinct statistics with one (kind, scope) seed the same state — the
+    // change list is small, so a linear dedup beats hashing here.
+    const bool dup = std::any_of(out.begin(), out.end(), [&](const StatChange& o) {
+      return o.kind == c.kind && o.scope == c.scope;
+    });
+    if (dup) {
+      ++coalesce_.scope_merged;
+      continue;
+    }
+    out.push_back(c);
+  }
+  pending_.Clear();
+  coalesce_.emitted += static_cast<int64_t>(out.size());
   return out;
 }
 
-bool StatsRegistry::DropOnePendingForTest() {
-  if (pending_.empty()) return false;
-  pending_.pop_back();
-  return true;
+void StatsRegistry::Subscribe(StatsSubscriber* subscriber) {
+  IQRO_CHECK(subscriber != nullptr);
+  IQRO_CHECK(std::find(subscribers_.begin(), subscribers_.end(), subscriber) ==
+             subscribers_.end());
+  subscribers_.push_back(subscriber);
 }
+
+void StatsRegistry::Unsubscribe(StatsSubscriber* subscriber) {
+  auto it = std::find(subscribers_.begin(), subscribers_.end(), subscriber);
+  IQRO_CHECK(it != subscribers_.end());
+  subscribers_.erase(it);
+}
+
+bool StatsRegistry::DropOnePendingForTest() { return pending_.PopBack(); }
 
 }  // namespace iqro

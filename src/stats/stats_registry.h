@@ -1,6 +1,7 @@
 // StatsRegistry: the runtime-updatable cost and cardinality inputs of one
-// query's optimization, shared by the declarative optimizer and the
-// procedural baselines ("common code across the implementations", §5).
+// optimization world, shared by the declarative optimizer, the procedural
+// baselines ("common code across the implementations", §5) and — since the
+// service layer exists — by every optimizer registered in a ReoptSession.
 //
 // Re-optimization in the paper is triggered by "updated cost (or
 // cardinality) estimates based on information collected at runtime". All
@@ -10,9 +11,39 @@
 //   * per-expression cardinality multipliers (what-if scaling of one
 //     subexpression's output, as in Fig. 5),
 //   * per-relation scan-cost multipliers (as in Fig. 8).
-// After Freeze(), every mutation records a StatChange that the incremental
-// optimizer drains to seed delta propagation, and bumps the epoch used for
-// summary-cache invalidation.
+//
+// ## Pending-delta coalescing
+//
+// After Freeze(), every mutation is recorded into a NetDeltaTable keyed by
+// the identity of the statistic (delta/net_delta.h), remembering the value
+// the statistic held before its first mutation of the batch. TakePending()
+// — the seed source of DeclarativeOptimizer::Reoptimize()/ReoptimizeBatch()
+// — then emits at most one StatChange per affected (kind, scope):
+//   * repeated mutations of one statistic collapse into one delta,
+//   * mutations that net to their baseline (oscillations, reverts) are
+//     absorbed entirely and emit nothing,
+//   * distinct statistics that map to the same (kind, scope) — e.g. base
+//     rows and local selectivity of the same relation — merge into one
+//     StatChange.
+// Every mutation still bumps the epoch (summary/local-cost caches must
+// refresh even for net-zero churn). HasPending() reports recorded-but-
+// undrained mutations and may therefore overreport: a pending batch can
+// coalesce to an empty change list at TakePending() time.
+//
+// ## Subscribers
+//
+// StatsSubscriber::OnStatsMutated fires after every recorded post-freeze
+// mutation (the new value is already visible). This is the hook the
+// service-layer ReoptSession uses to implement auto-flush policies; a
+// subscriber may call TakePending() (flush) from inside the callback.
+//
+// ## Ownership and thread-safety
+//
+// The registry owns no optimizers and does not outlive-track subscribers:
+// a subscriber must Unsubscribe() before it is destroyed. All methods are
+// single-threaded — one registry belongs to one optimization session/thread
+// (making mutation + flush concurrent is a service-layer roadmap item, see
+// docs/ARCHITECTURE.md).
 #ifndef IQRO_STATS_STATS_REGISTRY_H_
 #define IQRO_STATS_STATS_REGISTRY_H_
 
@@ -20,6 +51,7 @@
 #include <vector>
 
 #include "common/relset.h"
+#include "delta/net_delta.h"
 
 namespace iqro {
 
@@ -39,10 +71,36 @@ struct JoinEdgeStats {
   double selectivity = 1.0;
 };
 
+class StatsRegistry;
+
+/// Observer of post-freeze statistics mutations (see class comment).
+class StatsSubscriber {
+ public:
+  virtual ~StatsSubscriber() = default;
+  /// Fired after each recorded mutation; the registry already holds the new
+  /// value. Reentrant draining (TakePending) is allowed; mutating the
+  /// registry or (un)subscribing any subscriber from inside the callback
+  /// is not.
+  virtual void OnStatsMutated(StatsRegistry& registry) = 0;
+};
+
+/// Cumulative coalescing counters since construction/Reset (the service
+/// layer diffs them across flushes).
+struct CoalesceStats {
+  int64_t recorded = 0;    // post-freeze mutations recorded
+  int64_t collapsed = 0;   // mutations merged into an existing pending entry
+  int64_t emitted = 0;     // StatChanges returned by TakePending
+  int64_t net_zero = 0;    // pending entries dropped: value back at baseline
+  int64_t scope_merged = 0;  // entries merged into an equal (kind, scope)
+};
+
 class StatsRegistry {
  public:
   explicit StatsRegistry(int num_relations = 0);
 
+  /// Re-initializes for a new world. Setup-time only: requires that no
+  /// subscriber (session) is attached — a surviving session could dispatch
+  /// optimizers built over the old relation slots.
   void Reset(int num_relations);
   int num_relations() const { return num_relations_; }
 
@@ -52,7 +110,7 @@ class StatsRegistry {
   int num_edges() const { return static_cast<int>(edges_.size()); }
   const JoinEdgeStats& edge(int e) const { return edges_[static_cast<size_t>(e)]; }
 
-  // ---- mutators (record StatChanges once frozen) ----
+  // ---- mutators (record coalesced StatChanges once frozen) ----
   void SetBaseRows(int rel, double rows);
   void SetLocalSelectivity(int rel, double sel);
   void SetRowWidth(int rel, double width);
@@ -88,19 +146,66 @@ class StatsRegistry {
 
   uint64_t epoch() const { return epoch_; }
 
-  /// Drains the pending updates recorded since the last call.
+  /// The epoch at which TakePending() last drained (1 if never): an
+  /// optimizer whose state predates this has missed a drained batch and
+  /// can never catch up through future deltas (see ReoptSession::Register).
+  uint64_t drained_epoch() const { return drained_epoch_; }
+
+  /// Drains the batch of mutations recorded since the last call, coalesced
+  /// to net deltas: at most one StatChange per affected (kind, scope), and
+  /// none for statistics whose value is back at its batch baseline. The
+  /// order of the returned changes follows the order in which their
+  /// statistics first mutated (deterministic across replays).
+  ///
+  /// With several optimizers sharing one registry, whoever calls this
+  /// starves the others — multi-query setups must drain through a
+  /// ReoptSession, which calls it once per flush and dispatches the same
+  /// change list to every registered optimizer (service/reopt_session.h).
   std::vector<StatChange> TakePending();
+
+  /// True when post-freeze mutations are recorded but not yet drained. May
+  /// overreport relative to TakePending(): the whole batch can still
+  /// coalesce to nothing.
   bool HasPending() const { return !pending_.empty(); }
 
+  /// Number of distinct statistics with a recorded (possibly net-zero)
+  /// pending mutation.
+  size_t PendingStatCount() const { return pending_.size(); }
+
+  const CoalesceStats& coalesce_stats() const { return coalesce_; }
+
+  // ---- subscribers ----
+  void Subscribe(StatsSubscriber* subscriber);
+  void Unsubscribe(StatsSubscriber* subscriber);
+
   /// Fault injection for the differential test harness ONLY: silently
-  /// discards one pending StatChange (the statistic itself stays mutated),
-  /// simulating an under-seeded Reoptimize(). Returns false when nothing
-  /// was pending. The harness asserts that its from-scratch oracle catches
-  /// the resulting divergence.
+  /// discards one pending statistic's delta (the statistic itself stays
+  /// mutated), simulating an under-seeded Reoptimize(). Returns false when
+  /// nothing was pending. The harness asserts that its from-scratch oracle
+  /// catches the resulting divergence.
   bool DropOnePendingForTest();
 
  private:
-  void Record(StatChange::Kind kind, RelSet scope);
+  /// Identity of one mutable statistic, for net-delta coalescing. kJoinSel
+  /// is keyed by edge id (two edges may share endpoints); kCardMult by its
+  /// exact scope.
+  enum class StatId : uint8_t {
+    kBaseRows,
+    kLocalSel,
+    kRowWidth,
+    kScanMult,
+    kJoinSel,
+    kCardMult,
+  };
+  static uint64_t StatKey(StatId stat, uint64_t target) {
+    return (static_cast<uint64_t>(stat) << 32) | target;
+  }
+
+  void Record(StatId stat, uint64_t target, double value_before);
+  /// Shared body of the per-relation scalar setters: no-op check, baseline
+  /// capture, Record.
+  void SetScalar(StatId stat, int target, std::vector<double>& slots, double value);
+  double CurrentValue(StatId stat, uint64_t target) const;
 
   int num_relations_ = 0;
   std::vector<double> base_rows_;
@@ -111,7 +216,10 @@ class StatsRegistry {
   std::vector<std::pair<RelSet, double>> card_mults_;
   bool frozen_ = false;
   uint64_t epoch_ = 1;
-  std::vector<StatChange> pending_;
+  uint64_t drained_epoch_ = 1;
+  NetDeltaTable pending_;
+  CoalesceStats coalesce_;
+  std::vector<StatsSubscriber*> subscribers_;
 };
 
 }  // namespace iqro

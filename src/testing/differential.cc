@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 
 #include "baseline/systemr.h"
@@ -9,6 +10,7 @@
 #include "common/check.h"
 #include "common/str_util.h"
 #include "core/declarative_optimizer.h"
+#include "service/reopt_session.h"
 
 namespace iqro::testing {
 
@@ -181,18 +183,58 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
   if (options.validate_invariants) inc.ValidateInvariants();
   if (auto err = oracle.Check(inc)) return {false, -1, "initial optimization: " + *err};
 
-  for (size_t s = 0; s < scenario.churn.size(); ++s) {
-    for (const StatMutation& m : scenario.churn[s].mutations) {
-      ApplyMutation(&world->registry, m);
+  // Batch mode: a ReoptSession owns the flushes, and a shadow optimizer
+  // (same options, same registry) rides along to prove that one drained
+  // batch drives every registered query to the identical fixpoint.
+  std::unique_ptr<ReoptSession> session;
+  std::unique_ptr<DeclarativeOptimizer> shadow;
+  if (options.batch_steps >= 1) {
+    shadow = std::make_unique<DeclarativeOptimizer>(
+        world->enumerator.get(), world->cost_model.get(), &world->registry, scenario.options);
+    shadow->Optimize();
+    session = std::make_unique<ReoptSession>(&world->registry);
+    session->Register(&inc);
+    session->Register(shadow.get());
+  }
+  const size_t group = options.batch_steps >= 1 ? static_cast<size_t>(options.batch_steps) : 1;
+
+  for (size_t s0 = 0; s0 < scenario.churn.size(); s0 += group) {
+    const size_t s1 = std::min(s0 + group, scenario.churn.size());
+    for (size_t s = s0; s < s1; ++s) {
+      for (const StatMutation& m : scenario.churn[s].mutations) {
+        ApplyMutation(&world->registry, m);
+      }
+      if (fault.kind == FaultInjection::Kind::kDropSeed &&
+          static_cast<size_t>(fault.step) == s) {
+        world->registry.DropOnePendingForTest();
+      }
     }
-    if (fault.kind == FaultInjection::Kind::kDropSeed &&
-        static_cast<size_t>(fault.step) == s) {
-      world->registry.DropOnePendingForTest();
+    const int fail_step = static_cast<int>(s1 - 1);
+    if (session != nullptr) {
+      session->Flush();
+    } else {
+      inc.Reoptimize();
     }
-    inc.Reoptimize();
-    if (options.validate_invariants) inc.ValidateInvariants();
+    if (options.validate_invariants) {
+      inc.ValidateInvariants();
+      if (shadow != nullptr) shadow->ValidateInvariants();
+    }
     if (auto err = oracle.Check(inc)) {
-      return {false, static_cast<int>(s), StrFormat("after churn step %zu: ", s) + *err};
+      return {false, fail_step, StrFormat("after churn step %zu: ", s1 - 1) + *err};
+    }
+    if (shadow != nullptr) {
+      if (!CostsAgree(shadow->BestCost(), inc.BestCost(), options.rel_tol)) {
+        return {false, fail_step,
+                StrFormat("after churn step %zu: shadow session query diverged: "
+                          "shadow=%s primary=%s",
+                          s1 - 1, DoubleToString(shadow->BestCost()).c_str(),
+                          DoubleToString(inc.BestCost()).c_str())};
+      }
+      if (options.check_dump && shadow->CanonicalDumpState() != inc.CanonicalDumpState()) {
+        return {false, fail_step,
+                StrFormat("after churn step %zu: shadow session query dump diverged",
+                          s1 - 1)};
+      }
     }
   }
   return {};

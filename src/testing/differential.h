@@ -50,6 +50,13 @@ struct DiffOptions {
   bool check_systemr = true;
   bool check_volcano = true;
   bool check_dump = true;
+  /// 0: legacy mode — one Reoptimize() per churn step.
+  /// k >= 1: batch mode — churn steps are applied in groups of k and
+  /// flushed through a ReoptSession (exercising the coalescer and the
+  /// multi-query dispatcher), with a same-options shadow optimizer
+  /// registered alongside the primary; after every flush both must agree
+  /// with the from-scratch oracle AND with each other byte-for-byte.
+  int batch_steps = 0;
   double rel_tol = 1e-9;
 };
 

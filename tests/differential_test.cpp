@@ -86,13 +86,17 @@ TEST(DifferentialHarnessTest, GeneratorIsDeterministic) {
 }
 
 // The tentpole: thousands of generated scenarios, zero divergences between
-// Reoptimize() and every from-scratch oracle.
+// Reoptimize() and every from-scratch oracle. Scenarios rotate through
+// flush modes: legacy change-at-a-time Reoptimize() and ReoptSession batch
+// flushes grouping 1..3 churn steps (batch mode also rides a same-options
+// shadow optimizer through every flush — multi-query dispatch is checked
+// by the same 2,000-scenario run).
 TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
   const auto start = std::chrono::steady_clock::now();
   const GeneratorKnobs knobs;
-  const DiffOptions options;
   int64_t ran = 0;
   int64_t reopt_checks = 0;
+  int64_t batched_runs = 0;
   bool time_box_hit = false;
   for (int i = 0; i < g_iters; ++i) {
     if (g_time_budget_ms > 0) {
@@ -108,13 +112,21 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
     const uint64_t seed = g_base_seed + static_cast<uint64_t>(i);
     g_current_seed = seed;
     Scenario scenario = GenerateScenario(seed, knobs);
+    DiffOptions options;
+    // Mode is a function of the seed (not the loop index) so that
+    // `--seed=N --iters=1` replays a failure in the mode that found it.
+    options.batch_steps = static_cast<int>(seed % 4);  // 0 = legacy; 1..3 = batch sizes
+    if (options.batch_steps >= 1) ++batched_runs;
     DiffResult result = RunScenario(scenario, options);
     ++ran;
     reopt_checks += static_cast<int64_t>(scenario.churn.size());
     if (!result.ok) {
-      FAIL() << "seed " << seed << ": "
+      FAIL() << "seed " << seed << " (batch_steps=" << options.batch_steps << "): "
              << FailureReport(scenario, result, options, FaultInjection{});
     }
+  }
+  if (ran >= 4) {
+    EXPECT_GT(batched_runs, 0);
   }
   std::fprintf(stderr,
                "differential: %lld scenarios, %lld reoptimize/from-scratch checks, "

@@ -1,0 +1,273 @@
+// Unit tests for the service layer: the StatsRegistry coalescer (net-delta
+// batching) and the multi-query ReoptSession manager. The end-to-end
+// batch ≡ from-scratch property is covered by the randomized differential
+// harness (tests/differential_test.cpp, batch mode); these tests pin the
+// small contracts — net-zero absorption, duplicate collapse, task dedup,
+// multi-query dispatch, auto-flush and unregistration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "core/declarative_optimizer.h"
+#include "service/reopt_session.h"
+#include "test_util.h"
+
+namespace iqro::testing {
+namespace {
+
+std::unique_ptr<TestWorld> ChainWorld(int relations = 5, uint64_t seed = 11) {
+  WorldOptions wo;
+  wo.num_relations = relations;
+  wo.shape = GraphShape::kChain;
+  wo.seed = seed;
+  return MakeWorld(wo);
+}
+
+/// Fresh from-scratch optimizer over the world's *current* statistics.
+std::string ScratchDump(TestWorld& world, OptimizerOptions options) {
+  DeclarativeOptimizer scratch(world.enumerator.get(), world.cost_model.get(),
+                               &world.registry, options);
+  scratch.Optimize();
+  return scratch.CanonicalDumpState();
+}
+
+TEST(ReoptSessionTest, NetZeroChurnProducesZeroWork) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSession session(&world->registry);
+  session.Register(&opt);
+
+  const double rows0 = world->registry.base_rows(1);
+  const int64_t enqueued0 = opt.metrics().tasks_enqueued;
+
+  // Oscillate two statistics back to their baselines, plus one exact no-op
+  // (swallowed before it even reaches the pending table).
+  world->registry.SetBaseRows(1, rows0 * 4);
+  world->registry.SetBaseRows(1, rows0);
+  world->registry.SetScanCostMultiplier(0, 2.0);
+  world->registry.SetScanCostMultiplier(0, 1.0);
+  world->registry.SetScanCostMultiplier(0, 1.0);
+
+  EXPECT_TRUE(session.HasPending());  // recorded, not yet coalesced away
+  EXPECT_EQ(session.Flush(), 0u);     // ...but the batch nets to zero
+
+  EXPECT_EQ(opt.metrics().tasks_enqueued, enqueued0);  // zero enqueued tasks
+  EXPECT_EQ(session.metrics().reopt_passes, 0);
+  EXPECT_EQ(session.metrics().empty_flushes, 1);
+  EXPECT_EQ(session.metrics().changes_flushed, 0);
+  EXPECT_EQ(session.metrics().mutations_observed, 4);  // the no-op never records
+  EXPECT_FALSE(session.HasPending());
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+TEST(ReoptSessionTest, OscillationCoalescesToOneChange) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSession session(&world->registry);
+  session.Register(&opt);
+
+  const double rows0 = world->registry.base_rows(2);
+  world->registry.SetBaseRows(2, rows0 * 2);
+  world->registry.SetBaseRows(2, rows0 * 8);
+  world->registry.SetBaseRows(2, rows0 * 3);  // three mutations, one stat
+
+  EXPECT_EQ(session.Flush(), 1u);  // one net StatChange
+  const CoalesceStats& cs = world->registry.coalesce_stats();
+  EXPECT_EQ(cs.recorded, 3);
+  EXPECT_EQ(cs.collapsed, 2);
+  EXPECT_EQ(cs.emitted, 1);
+  EXPECT_EQ(session.metrics().reopt_passes, 1);
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// The batching claim itself: one coalesced flush enqueues strictly less
+// worklist traffic than change-at-a-time re-optimization of the same
+// mutations, and the enqueue-time dedup (tasks_deduped) is doing real work
+// during the batched seed. Both paths must land in the identical state.
+TEST(ReoptSessionTest, BatchedFlushDedupesTasks) {
+  auto world_batch = ChainWorld();
+  auto world_seq = ChainWorld();  // deterministic: identical world
+
+  DeclarativeOptimizer batch(world_batch->enumerator.get(), world_batch->cost_model.get(),
+                             &world_batch->registry);
+  batch.Optimize();
+  DeclarativeOptimizer seq(world_seq->enumerator.get(), world_seq->cost_model.get(),
+                           &world_seq->registry);
+  seq.Optimize();
+  ASSERT_EQ(batch.CanonicalDumpState(), seq.CanonicalDumpState());
+
+  auto mutate = [](StatsRegistry& reg) -> std::vector<std::function<void()>> {
+    return {
+        [&reg] { reg.SetBaseRows(0, reg.base_rows(0) * 5); },
+        [&reg] { reg.SetLocalSelectivity(1, 0.33); },
+        [&reg] { reg.SetScanCostMultiplier(2, 4.0); },
+        [&reg] { reg.SetBaseRows(3, reg.base_rows(3) * 0.25); },
+        [&reg] { reg.SetJoinSelectivity(0, reg.join_selectivity(0) * 0.5); },
+        [&reg] { reg.SetScanCostMultiplier(2, 8.0); },  // collapses with #3
+    };
+  };
+
+  // Sequential: one fixpoint per mutation.
+  const int64_t seq_enq0 = seq.metrics().tasks_enqueued;
+  for (auto& m : mutate(world_seq->registry)) {
+    m();
+    seq.Reoptimize();
+  }
+  const int64_t seq_enqueued = seq.metrics().tasks_enqueued - seq_enq0;
+
+  // Batched: all mutations coalesced, one flush, one fixpoint.
+  ReoptSession session(&world_batch->registry);
+  session.Register(&batch);
+  const int64_t batch_enq0 = batch.metrics().tasks_enqueued;
+  const int64_t batch_dedup0 = batch.metrics().tasks_deduped;
+  for (auto& m : mutate(world_batch->registry)) m();
+  EXPECT_EQ(session.Flush(), 5u);  // 6 mutations -> 5 net changes
+  const int64_t batch_enqueued = batch.metrics().tasks_enqueued - batch_enq0;
+  const int64_t batch_deduped = batch.metrics().tasks_deduped - batch_dedup0;
+
+  EXPECT_LT(batch_enqueued, seq_enqueued);
+  EXPECT_GT(batch_deduped, 0);
+  EXPECT_GT(session.metrics().eps_seeded, 0);
+
+  batch.ValidateInvariants();
+  seq.ValidateInvariants();
+  EXPECT_NEAR(batch.BestCost(), seq.BestCost(), 1e-9 * std::max(1.0, batch.BestCost()));
+  EXPECT_EQ(batch.CanonicalDumpState(), seq.CanonicalDumpState());
+}
+
+TEST(ReoptSessionTest, MultiQueryFlushDrivesAllRegisteredOptimizers) {
+  auto world = ChainWorld(6, 23);
+  // Three live "queries" with different pruning configurations, all
+  // watching one registry through one session — the fig8 configurations as
+  // a multi-query workload.
+  DeclarativeOptimizer all(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry, OptimizerOptions::Default());
+  DeclarativeOptimizer aggsel(world->enumerator.get(), world->cost_model.get(),
+                              &world->registry, OptimizerOptions::UseAggSel());
+  DeclarativeOptimizer nopruning(world->enumerator.get(), world->cost_model.get(),
+                                 &world->registry, OptimizerOptions::UseNoPruning());
+  all.Optimize();
+  aggsel.Optimize();
+  nopruning.Optimize();
+
+  ReoptSession session(&world->registry);
+  session.Register(&all);
+  session.Register(&aggsel);
+  session.Register(&nopruning);
+  EXPECT_EQ(session.num_queries(), 3);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 10);
+  world->registry.SetScanCostMultiplier(4, 3.0);
+  world->registry.SetLocalSelectivity(5, 0.2);
+  EXPECT_GT(session.Flush(), 0u);
+  EXPECT_EQ(session.metrics().reopt_passes, 3);
+
+  for (auto* opt : {&all, &aggsel, &nopruning}) {
+    opt->ValidateInvariants();
+    EXPECT_EQ(opt->CanonicalDumpState(), ScratchDump(*world, opt->options()))
+        << "config diverged from its from-scratch oracle";
+  }
+  // All exact configurations agree on the optimum.
+  EXPECT_NEAR(all.BestCost(), nopruning.BestCost(), 1e-9 * std::max(1.0, all.BestCost()));
+}
+
+TEST(ReoptSessionTest, AutoFlushFiresAfterThreshold) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSessionOptions so;
+  so.auto_flush_after = 3;
+  ReoptSession session(&world->registry, so);
+  session.Register(&opt);
+
+  world->registry.SetBaseRows(0, 999);
+  world->registry.SetBaseRows(1, 888);
+  EXPECT_TRUE(session.HasPending());  // below threshold: nothing fired
+  EXPECT_EQ(session.metrics().flushes, 0);
+  world->registry.SetScanCostMultiplier(2, 2.0);  // third mutation: fires
+  EXPECT_FALSE(session.HasPending());
+  EXPECT_EQ(session.metrics().flushes, 1);
+  EXPECT_EQ(session.metrics().reopt_passes, 1);
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+TEST(ReoptSessionTest, UnregisterStopsDispatch) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer kept(world->enumerator.get(), world->cost_model.get(),
+                            &world->registry);
+  DeclarativeOptimizer dropped(world->enumerator.get(), world->cost_model.get(),
+                               &world->registry);
+  kept.Optimize();
+  dropped.Optimize();
+
+  ReoptSession session(&world->registry);
+  session.Register(&kept);
+  const ReoptSession::QueryId dropped_id = session.Register(&dropped);
+  session.Unregister(dropped_id);
+  EXPECT_EQ(session.num_queries(), 1);
+
+  const int64_t dropped_enq0 = dropped.metrics().tasks_enqueued;
+  world->registry.SetBaseRows(2, world->registry.base_rows(2) * 7);
+  EXPECT_EQ(session.Flush(), 1u);
+  EXPECT_EQ(session.metrics().reopt_passes, 1);
+  EXPECT_EQ(dropped.metrics().tasks_enqueued, dropped_enq0);  // untouched
+  kept.ValidateInvariants();
+  EXPECT_EQ(kept.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+TEST(ReoptSessionTest, RegisterRejectsOptimizerThatMissedADrain) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer current(world->enumerator.get(), world->cost_model.get(),
+                               &world->registry);
+  DeclarativeOptimizer late(world->enumerator.get(), world->cost_model.get(),
+                            &world->registry);
+  current.Optimize();
+  late.Optimize();
+
+  ReoptSession session(&world->registry);
+  session.Register(&current);
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 3);
+  session.Flush();  // drains: `late` has now missed deltas it can never get
+
+  EXPECT_LT(late.stats_epoch(), world->registry.drained_epoch());
+  EXPECT_DEATH_IF_SUPPORTED(session.Register(&late), "stats_epoch");
+
+  // A fresh optimizer over the post-drain statistics registers fine.
+  DeclarativeOptimizer fresh(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry);
+  fresh.Optimize();
+  session.Register(&fresh);
+  EXPECT_EQ(session.num_queries(), 2);
+}
+
+TEST(ReoptSessionTest, DestructorUnsubscribes) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  {
+    ReoptSession session(&world->registry);
+    session.Register(&opt);
+  }
+  // Mutating after the session died must not touch freed memory (the
+  // subscriber list no longer references it); the delta just sits pending.
+  world->registry.SetBaseRows(0, 123);
+  EXPECT_TRUE(world->registry.HasPending());
+  opt.Reoptimize();  // single-query draining still works without a session
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+}  // namespace
+}  // namespace iqro::testing

@@ -112,6 +112,93 @@ TEST(StatsRegistryTest, PendingOnlyAfterFreeze) {
   EXPECT_FALSE(reg.HasPending());
 }
 
+TEST(StatsRegistryTest, OscillationCoalescesToNetZero) {
+  StatsRegistry reg(2);
+  reg.SetBaseRows(0, 100);
+  reg.Freeze();
+  const uint64_t e0 = reg.epoch();
+  reg.SetBaseRows(0, 400);
+  reg.SetBaseRows(0, 100);  // back at the batch baseline
+  EXPECT_TRUE(reg.HasPending());  // recorded-but-undrained (may overreport)
+  EXPECT_EQ(reg.PendingStatCount(), 1u);
+  EXPECT_TRUE(reg.TakePending().empty());  // ...and it nets to zero
+  EXPECT_FALSE(reg.HasPending());
+  EXPECT_GT(reg.epoch(), e0);  // caches still invalidate on net-zero churn
+  EXPECT_EQ(reg.coalesce_stats().net_zero, 1);
+  EXPECT_EQ(reg.coalesce_stats().emitted, 0);
+}
+
+TEST(StatsRegistryTest, RepeatedMutationsCollapseToOneChange) {
+  StatsRegistry reg(2);
+  reg.Freeze();
+  reg.SetBaseRows(1, 10);
+  reg.SetBaseRows(1, 20);
+  reg.SetBaseRows(1, 30);
+  auto pending = reg.TakePending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].kind, StatChange::Kind::kCardinality);
+  EXPECT_EQ(pending[0].scope, RelSingleton(1));
+  EXPECT_EQ(reg.coalesce_stats().recorded, 3);
+  EXPECT_EQ(reg.coalesce_stats().collapsed, 2);
+  EXPECT_EQ(reg.coalesce_stats().emitted, 1);
+}
+
+TEST(StatsRegistryTest, DistinctStatsWithEqualScopeMergeOnEmission) {
+  StatsRegistry reg(2);
+  reg.Freeze();
+  // Base rows and local selectivity of relation 0 are different statistics
+  // but seed the same (kCardinality, {0}) delta.
+  reg.SetBaseRows(0, 500);
+  reg.SetLocalSelectivity(0, 0.5);
+  auto pending = reg.TakePending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].scope, RelSingleton(0));
+  EXPECT_EQ(reg.coalesce_stats().scope_merged, 1);
+  // ...but a scan-cost change of the same relation is a different Kind and
+  // survives alongside a cardinality change.
+  reg.SetBaseRows(0, 600);
+  reg.SetScanCostMultiplier(0, 2.0);
+  pending = reg.TakePending();
+  EXPECT_EQ(pending.size(), 2u);
+}
+
+TEST(StatsRegistryTest, CardMultiplierRemovalNetsToZero) {
+  StatsRegistry reg(3);
+  reg.Freeze();
+  reg.SetCardMultiplier(0b110, 2.0);
+  reg.SetCardMultiplier(0b110, 1.0);  // remove the override again
+  EXPECT_TRUE(reg.TakePending().empty());
+  EXPECT_EQ(reg.CardMultiplier(0b110), 1.0);
+}
+
+TEST(StatsRegistryTest, BaselineResetsAcrossBatches) {
+  StatsRegistry reg(1);
+  reg.SetBaseRows(0, 100);
+  reg.Freeze();
+  reg.SetBaseRows(0, 200);
+  EXPECT_EQ(reg.TakePending().size(), 1u);
+  // New batch: 200 is now the baseline, so returning to 100 is a CHANGE.
+  reg.SetBaseRows(0, 100);
+  auto pending = reg.TakePending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].scope, RelSingleton(0));
+}
+
+TEST(StatsRegistryTest, JoinSelectivityCoalescesPerEdge) {
+  StatsRegistry reg(2);
+  // Two parallel edges over the same endpoints (self-join shapes produce
+  // these): distinct statistics, one shared (kind, scope) on emission.
+  reg.AddEdge(0b11, 0.5);
+  reg.AddEdge(0b11, 0.25);
+  reg.Freeze();
+  reg.SetJoinSelectivity(0, 0.1);
+  reg.SetJoinSelectivity(1, 0.2);
+  EXPECT_EQ(reg.PendingStatCount(), 2u);
+  auto pending = reg.TakePending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].scope, RelSet{0b11});
+}
+
 TEST(StatsRegistryTest, EpochAdvancesOnEveryChange) {
   StatsRegistry reg(2);
   uint64_t e0 = reg.epoch();

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Scans every tracked .md file for inline links/images and verifies that
+relative targets exist in the repo (anchors are stripped; external
+http(s)/mailto links are not fetched). Exits non-zero listing every
+broken link. No dependencies beyond the standard library.
+"""
+import os
+import re
+import subprocess
+import sys
+
+# [text](target) — skips images vs links distinction (both must resolve);
+# ignores fenced code blocks and inline code spans.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+
+def repo_root() -> str:
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                         capture_output=True, text=True, check=False)
+    return out.stdout.strip() or os.getcwd()
+
+
+def md_files(root: str):
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard", "*.md"],
+        capture_output=True, text=True, check=False, cwd=root)
+    files = [f for f in out.stdout.splitlines() if f]
+    if files:
+        return files
+    # Fallback outside git: walk, skipping build trees.
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if not d.startswith((".", "build"))]
+        found += [os.path.relpath(os.path.join(dirpath, f), root)
+                  for f in filenames if f.endswith(".md")]
+    return found
+
+
+def links_in(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(CODE_SPAN_RE.sub("`", line)):
+                yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = repo_root()
+    broken = []
+    checked = 0
+    for rel in md_files(root):
+        md = os.path.join(root, rel)
+        for lineno, target in links_in(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+            if not os.path.exists(resolved):
+                broken.append(f"{rel}:{lineno}: broken link -> {target}")
+    for b in broken:
+        print(b, file=sys.stderr)
+    print(f"check_md_links: {checked} local links checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
