@@ -1,0 +1,116 @@
+// ThreadPool: the fixed-size worker pool behind the parallel ReoptSession
+// flush (service/reopt_session.h) — and deliberately nothing more.
+//
+// Design constraints, in order:
+//  * **Futures per task.** The flush dispatcher needs each per-query
+//    fixpoint's result (seeded-EP count, per-flush OptMetrics deltas) back
+//    on the coordinating thread, so Submit() returns a std::future of the
+//    callable's result. Aggregation on the coordinator after joining the
+//    futures is what keeps the session's per-flush metrics race-free.
+//  * **Deterministic shutdown.** The destructor *drains*: every task that
+//    Submit() accepted runs exactly once before the workers join. A flush
+//    interrupted by session teardown therefore completes its dispatched
+//    passes instead of dropping optimizers in a half-seeded state
+//    (tests/concurrency_test.cpp pins this).
+//  * **Fixed size, no growth.** Worker count is chosen once
+//    (ReoptSessionOptions::worker_threads); there is no work stealing, no
+//    resizing, no task priorities. Per-query fixpoints are coarse (tens to
+//    hundreds of microseconds), so a mutex-guarded deque is nowhere near
+//    the bottleneck — see bench_batch_churn's threads axis.
+//
+// Thread-safety: Submit() may be called from any thread, including from a
+// worker (tasks are never executed inline, so a worker submitting and then
+// blocking on its own future would deadlock a 1-thread pool — don't).
+// Submitting after the destructor has begun is a programming error
+// (checked).
+#ifndef IQRO_COMMON_THREAD_POOL_H_
+#define IQRO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace iqro {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    IQRO_CHECK(num_threads >= 1);
+    threads_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Drains every accepted task, then joins all workers.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues `fn` and returns the future of its result. The future also
+  /// transports exceptions, but engine code aborts on IQRO_CHECK rather
+  /// than throwing — the transport exists for test callables.
+  template <typename F>
+  std::future<std::invoke_result_t<std::decay_t<F>>> Submit(F&& fn) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> result = task.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      IQRO_CHECK(!stopping_);
+      // packaged_task<void()> accepts the move-only wrapper; std::function
+      // would not (it requires copyable callables).
+      tasks_.emplace_back([t = std::move(task)]() mutable { t(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Tasks accepted but not yet started (for tests; racy by nature).
+  size_t QueuedTasks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::packaged_task<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping_ and fully drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_COMMON_THREAD_POOL_H_

@@ -204,13 +204,23 @@ void DeclarativeOptimizer::Optimize() {
   UpdatePeakMemoBytes();
 }
 
-void DeclarativeOptimizer::Reoptimize() { ReoptimizeBatch(registry_->TakePending()); }
+void DeclarativeOptimizer::Reoptimize() {
+  StatsRegistry::DrainedBatch batch = registry_->TakePendingBatch();
+  ReoptimizeBatch(batch.changes, batch.epoch);
+}
 
-int64_t DeclarativeOptimizer::ReoptimizeBatch(const std::vector<StatChange>& changes) {
+void DeclarativeOptimizer::EnableConcurrentFlushes() {
+  enumerator_->EnableConcurrentUse();
+  cost_model_->summaries().EnableConcurrentUse();
+}
+
+int64_t DeclarativeOptimizer::ReoptimizeBatch(const std::vector<StatChange>& changes,
+                                              uint64_t stats_epoch) {
   IQRO_CHECK(optimized_);
   // `changes` is (the net of) everything since the last drain, so the
-  // post-fixpoint state reflects the registry's current epoch.
-  stats_epoch_ = registry_->epoch();
+  // post-fixpoint state reflects the drained epoch — passed in by a flush
+  // dispatcher, or read live when the caller owns the registry's thread.
+  stats_epoch_ = stats_epoch != 0 ? stats_epoch : registry_->epoch();
   // An empty batch still opens a (trivial) round: the per-round touched
   // counters must read 0 after it, not the previous round's values.
   ++round_;

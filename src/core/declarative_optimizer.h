@@ -113,9 +113,27 @@ class DeclarativeOptimizer {
   /// number of memo entries seeded (re-driven or evicted) — 0 means the
   /// batch could not affect this query's plan space.
   ///
-  /// Thread-safety: like every method of this class, must be called from
-  /// the single thread that owns the optimizer.
-  int64_t ReoptimizeBatch(const std::vector<StatChange>& changes);
+  /// `stats_epoch` is the registry epoch the drained batch reflects
+  /// (StatsRegistry::DrainedBatch::epoch); 0 reads the registry's live
+  /// epoch, which is only equivalent when no mutator can run between the
+  /// drain and this call — i.e. on the single-threaded path.
+  ///
+  /// Thread-safety: the optimizer itself must still be driven by exactly
+  /// one thread at a time — a parallel ReoptSession flush gives each
+  /// optimizer to exactly one pool task. What IS safe concurrently is
+  /// several optimizers fixpointing over one shared world, provided the
+  /// session enabled it (EnableConcurrentFlushes) and the dispatcher holds
+  /// the registry reader lock for the dispatch window.
+  int64_t ReoptimizeBatch(const std::vector<StatChange>& changes, uint64_t stats_epoch = 0);
+
+  /// Opts the *shared* parts of this optimizer's world — the split memo,
+  /// the PropTable it interns into, and the summary cache — into internal
+  /// locking, so several optimizers over the same world can run
+  /// ReoptimizeBatch on different threads of one flush. Sticky; called by
+  /// ReoptSession::Register when the session dispatches on a worker pool.
+  /// Per-optimizer state (memo, arena, worklist, metrics) needs no locks:
+  /// it is owned by one task per flush.
+  void EnableConcurrentFlushes();
 
   /// True once Optimize() has run (the precondition of the reoptimize
   /// entry points and of ReoptSession::Register).

@@ -1,6 +1,7 @@
 #include "service/reopt_session.h"
 
 #include <algorithm>
+#include <future>
 
 #include "common/check.h"
 
@@ -9,10 +10,18 @@ namespace iqro {
 ReoptSession::ReoptSession(StatsRegistry* registry, ReoptSessionOptions options)
     : registry_(registry), options_(options) {
   IQRO_CHECK(registry_ != nullptr);
+  IQRO_CHECK(options_.worker_threads >= 0);
+  if (options_.worker_threads >= 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
   registry_->Subscribe(this);
 }
 
-ReoptSession::~ReoptSession() { registry_->Unsubscribe(this); }
+ReoptSession::~ReoptSession() {
+  registry_->Unsubscribe(this);
+  // pool_ (if any) drains and joins in its destructor: a dispatched pass
+  // never outlives the session that owns its optimizers' slots.
+}
 
 ReoptSession::QueryId ReoptSession::Register(DeclarativeOptimizer* optimizer) {
   IQRO_CHECK(optimizer != nullptr);
@@ -26,6 +35,13 @@ ReoptSession::QueryId ReoptSession::Register(DeclarativeOptimizer* optimizer) {
   // forever. Pending-but-undrained changes are fine (the next flush seeds
   // them), as is being *ahead* of the last drain.
   IQRO_CHECK(optimizer->stats_epoch() >= registry_->drained_epoch());
+  if (pool_ != nullptr) {
+    // Pool dispatch runs this optimizer's fixpoint concurrently with its
+    // world-sharing peers: flip the shared read surfaces (split memo,
+    // PropTable, summary cache) to internal locking now, while still
+    // single-threaded.
+    optimizer->EnableConcurrentFlushes();
+  }
   queries_.push_back({next_id_, optimizer});
   return next_id_++;
 }
@@ -37,52 +53,125 @@ void ReoptSession::Unregister(QueryId id) {
   queries_.erase(it);
 }
 
+ReoptSession::PassResult ReoptSession::RunPass(DeclarativeOptimizer* optimizer,
+                                               const std::vector<StatChange>& changes,
+                                               uint64_t epoch) {
+  PassResult r;
+  // Whole-query prefilter: a change can only matter to a query whose
+  // relation set contains the change's scope. (Per-EP filtering inside
+  // ReoptimizeBatch handles the precise subset tests.)
+  const RelSet root = optimizer->RootRelations();
+  r.affected = std::any_of(changes.begin(), changes.end(), [root](const StatChange& c) {
+    return RelIsSubset(c.scope, root);
+  });
+  const int64_t enqueued_before = optimizer->metrics().tasks_enqueued;
+  if (!r.affected) {
+    // The skip itself proves this optimizer's state reflects the new
+    // statistics; an empty batch stamps its stats epoch (otherwise a
+    // later Register() would reject it as having missed this drain).
+    static const std::vector<StatChange> kEmpty;
+    optimizer->ReoptimizeBatch(kEmpty, epoch);
+    return r;
+  }
+  r.eps_seeded = optimizer->ReoptimizeBatch(changes, epoch);
+  const OptMetrics& m = optimizer->metrics();
+  r.fixpoint_steps = m.round_steps;
+  r.touched_eps = m.round_touched_eps;
+  r.touched_alts = m.round_touched_alts;
+  r.tasks_enqueued = m.tasks_enqueued - enqueued_before;
+  return r;
+}
+
+void ReoptSession::AggregatePass(const PassResult& r) {
+  if (!r.affected) {
+    ++metrics_.queries_skipped;
+    return;
+  }
+  metrics_.eps_seeded += r.eps_seeded;
+  ++metrics_.reopt_passes;
+  ++last_flush_.passes;
+  last_flush_.eps_seeded += r.eps_seeded;
+  last_flush_.fixpoint_steps += r.fixpoint_steps;
+  last_flush_.touched_eps += r.touched_eps;
+  last_flush_.touched_alts += r.touched_alts;
+  last_flush_.tasks_enqueued += r.tasks_enqueued;
+}
+
 size_t ReoptSession::Flush() {
-  if (in_flush_) return 0;
-  const bool had_pending = registry_->HasPending();
-  mutations_since_flush_ = 0;
-  std::vector<StatChange> changes = registry_->TakePending();
-  if (changes.empty()) {
+  // One flush at a time: a second caller (auto-flush reentrancy, or a
+  // mutator-thread flush racing the coordinator's) backs off — whatever it
+  // wanted drained is either in the in-flight batch or stays pending for
+  // the next flush.
+  if (in_flush_.exchange(true)) return 0;
+  // RAII: an exception escaping the dispatch (a task's bad_alloc rethrown
+  // from its future, a failed Submit) must not leave in_flush_ stuck true
+  // — that would silently turn every later Flush() into a no-op.
+  struct InFlushGuard {
+    std::atomic<bool>& flag;
+    ~InFlushGuard() { flag.store(false); }
+  } in_flush_guard{in_flush_};
+  {
+    // Reset the auto-flush counter BEFORE the drain: a mutation recorded
+    // in the gap is then over-counted (worst case one spurious early
+    // flush, benign) rather than under-counted (its increment erased
+    // while its pending entry survives — with no later mutation the
+    // threshold would never re-fire and the change would sit pending
+    // forever).
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    mutations_since_flush_ = 0;
+  }
+  StatsRegistry::DrainedBatch batch = registry_->TakePendingBatch();
+  if (batch.changes.empty()) {
     // Either nothing was recorded, or the whole batch oscillated back to
     // its baseline and the coalescer absorbed it: no optimizer runs.
-    if (had_pending) ++metrics_.empty_flushes;
+    if (batch.had_pending) ++metrics_.empty_flushes;
     return 0;
   }
   ++metrics_.flushes;
-  metrics_.changes_flushed += static_cast<int64_t>(changes.size());
+  metrics_.changes_flushed += static_cast<int64_t>(batch.changes.size());
+  last_flush_ = FlushOptStats{};
 
-  in_flush_ = true;
-  for (const Slot& slot : queries_) {
-    // Whole-query prefilter: a change can only matter to a query whose
-    // relation set contains the change's scope. (Per-EP filtering inside
-    // ReoptimizeBatch handles the precise subset tests.)
-    const RelSet root = slot.optimizer->RootRelations();
-    const bool affected =
-        std::any_of(changes.begin(), changes.end(),
-                    [root](const StatChange& c) { return RelIsSubset(c.scope, root); });
-    if (!affected) {
-      ++metrics_.queries_skipped;
-      // The skip itself proves this optimizer's state reflects the new
-      // statistics; an empty batch stamps its stats epoch (otherwise a
-      // later Register() would reject it as having missed this drain).
-      slot.optimizer->ReoptimizeBatch({});
-      continue;
+  {
+    // Freeze the statistics values for the whole dispatch window: every
+    // pass — on whichever thread — reads exactly the drained epoch's
+    // values; racing mutators block here and land in the next batch.
+    auto stats_frozen = registry_->ReaderLock();
+    if (pool_ != nullptr) {
+      std::vector<std::future<PassResult>> passes;
+      passes.reserve(queries_.size());
+      for (const Slot& slot : queries_) {
+        DeclarativeOptimizer* optimizer = slot.optimizer;
+        passes.push_back(pool_->Submit([optimizer, &batch] {
+          return RunPass(optimizer, batch.changes, batch.epoch);
+        }));
+      }
+      // Join + aggregate in registration order: the sums are commutative,
+      // but deterministic order keeps any future non-commutative metric
+      // honest for free.
+      for (std::future<PassResult>& f : passes) AggregatePass(f.get());
+    } else {
+      for (const Slot& slot : queries_) {
+        AggregatePass(RunPass(slot.optimizer, batch.changes, batch.epoch));
+      }
     }
-    metrics_.eps_seeded += slot.optimizer->ReoptimizeBatch(changes);
-    ++metrics_.reopt_passes;
   }
-  in_flush_ = false;
-  return changes.size();
+  return batch.changes.size();
 }
 
 void ReoptSession::OnStatsMutated(StatsRegistry& registry) {
   IQRO_CHECK(&registry == registry_);
-  ++metrics_.mutations_observed;
-  ++mutations_since_flush_;
-  if (options_.auto_flush_after > 0 && !in_flush_ &&
-      mutations_since_flush_ >= options_.auto_flush_after) {
-    Flush();
+  bool fire;
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    ++metrics_.mutations_observed;
+    ++mutations_since_flush_;
+    fire = options_.auto_flush_after > 0 &&
+           mutations_since_flush_ >= options_.auto_flush_after;
   }
+  // Flush() itself rejects reentrancy and cross-thread races via
+  // in_flush_; a rejected auto-flush just means the threshold fires again
+  // on the next mutation.
+  if (fire && !in_flush_.load()) Flush();
 }
 
 }  // namespace iqro

@@ -52,17 +52,45 @@
 // *predates* the last drain is a hard error (Register checks epochs): the
 // drained deltas are gone, so it would stay silently stale forever.
 //
-// ## Thread-safety
+// ## Threading model
 //
-// Single-threaded, like the engine underneath: one session, its registry
-// and its optimizers belong to one thread. (Sharding sessions across
-// threads is a roadmap item — see ROADMAP.md "Open items".)
+// Two independent degrees of concurrency, both off by default:
+//
+//  * **Parallel dispatch** (`ReoptSessionOptions::worker_threads >= 1`):
+//    Flush() drains one epoch-versioned batch, then dispatches the
+//    per-query ReoptimizeBatch() passes onto a fixed-size worker pool
+//    (common/thread_pool.h) instead of running them in registration order
+//    on the calling thread. Each optimizer — its memo, arena, worklist,
+//    metrics — is owned by exactly one pool task per flush; the *shared*
+//    world state an optimizer reads while fixpointing (split memo,
+//    PropTable, summary cache) is switched to internal locking at
+//    Register() time (DeclarativeOptimizer::EnableConcurrentFlushes), and
+//    the statistics values are frozen for the whole dispatch window by the
+//    registry's reader lock. Per-flush metrics are aggregated from the
+//    task futures on the coordinator, in registration order — race-free
+//    by construction, not by atomics. `worker_threads == 0` keeps the
+//    serial dispatch path, byte-identical to the pre-pool behavior.
+//
+//  * **Concurrent mutation**: statistics producers may Record() from other
+//    threads while a flush runs. The registry's mutation lock serializes
+//    them against the drain and the dispatch window: a racing mutation
+//    lands in the *next* epoch's batch, never lost, never double-applied
+//    (tests/concurrency_test.cpp). Between the drain and the next flush it
+//    simply sits pending — the same staleness window as always.
+//
+// Register/Unregister and session destruction remain single-threaded
+// calls: do them from the thread that owns the session, with no flush in
+// flight. docs/ARCHITECTURE.md has the full ownership/epoch lifecycle.
 #ifndef IQRO_SERVICE_REOPT_SESSION_H_
 #define IQRO_SERVICE_REOPT_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/declarative_optimizer.h"
 #include "stats/stats_registry.h"
 
@@ -75,6 +103,11 @@ struct ReoptSessionOptions {
   /// reentrancy-safe). Writes that repeat a statistic's current value are
   /// swallowed before recording and do not count.
   int64_t auto_flush_after = 0;
+  /// 0: Flush() dispatches every per-query fixpoint serially on the
+  /// calling thread — the pre-pool path, byte-identical results and
+  /// behavior. N >= 1: dispatch on a fixed pool of N worker threads (one
+  /// task per registered query per flush; see the threading model above).
+  int worker_threads = 0;
 };
 
 struct ReoptSessionMetrics {
@@ -85,6 +118,20 @@ struct ReoptSessionMetrics {
   int64_t reopt_passes = 0;        // per-optimizer ReoptimizeBatch fixpoints
   int64_t queries_skipped = 0;     // registered queries untouched by a flush
   int64_t eps_seeded = 0;          // memo entries seeded across all passes
+};
+
+/// Aggregated OptMetrics deltas of the most recent non-empty flush, summed
+/// over every dispatched pass. Collected from per-task results after the
+/// futures join (parallel mode) or inline (serial mode) — never written by
+/// two threads at once, since only the thread that won `in_flush_` writes
+/// it. Read it only when no flush can be in flight (see metrics()).
+struct FlushOptStats {
+  int64_t passes = 0;          // ReoptimizeBatch fixpoints this flush
+  int64_t eps_seeded = 0;      // memo entries seeded
+  int64_t fixpoint_steps = 0;  // sum of per-optimizer round_steps
+  int64_t touched_eps = 0;     // sum of per-optimizer round_touched_eps
+  int64_t touched_alts = 0;    // sum of per-optimizer round_touched_alts
+  int64_t tasks_enqueued = 0;  // worklist pushes across all passes
 };
 
 class ReoptSession final : public StatsSubscriber {
@@ -115,13 +162,30 @@ class ReoptSession final : public StatsSubscriber {
 
   /// Drains the registry's coalesced pending batch and dispatches it as one
   /// ReoptimizeBatch() pass to every registered optimizer whose relation
-  /// set the batch can affect. Returns the number of StatChanges
-  /// dispatched; 0 when the batch coalesced away (or nothing was pending).
+  /// set the batch can affect — serially or on the worker pool, per
+  /// `worker_threads`. Returns the number of StatChanges dispatched; 0 when
+  /// the batch coalesced away (or nothing was pending, or another thread's
+  /// flush is already in flight — the racing batch belongs to that flush).
   size_t Flush();
 
+  /// Read metrics()/last_flush() only from a state where no flush can be
+  /// in flight and no mutator is recording: after your own *successful*
+  /// Flush() (one that drained, not one that returned 0 because another
+  /// thread's flush held `in_flush_` — backing off does not synchronize
+  /// with that flush's writes), or after every mutator thread has joined.
+  /// With auto-flush + a mutator thread, a flush may be running on *their*
+  /// thread at any moment — quiesce first.
   const ReoptSessionMetrics& metrics() const { return metrics_; }
 
+  /// OptMetrics aggregate of the most recent non-empty flush (read rules
+  /// above); zeroed at session construction.
+  const FlushOptStats& last_flush() const { return last_flush_; }
+
+  /// The dispatch pool's size (0 = serial dispatch).
+  int worker_threads() const { return pool_ ? pool_->size() : 0; }
+
   /// StatsSubscriber: counts mutations and applies the auto-flush policy.
+  /// May be invoked from any mutating thread (no registry lock held).
   void OnStatsMutated(StatsRegistry& registry) override;
 
  private:
@@ -130,13 +194,37 @@ class ReoptSession final : public StatsSubscriber {
     DeclarativeOptimizer* optimizer;
   };
 
+  /// What one dispatched pass reports back to the coordinator (by value,
+  /// through the task future — the race-free aggregation path).
+  struct PassResult {
+    bool affected = false;
+    int64_t eps_seeded = 0;
+    int64_t fixpoint_steps = 0;
+    int64_t touched_eps = 0;
+    int64_t touched_alts = 0;
+    int64_t tasks_enqueued = 0;
+  };
+
+  /// One per-query pass: prefilter, ReoptimizeBatch, metrics delta. Runs
+  /// on a pool worker (parallel) or the flushing thread (serial).
+  static PassResult RunPass(DeclarativeOptimizer* optimizer,
+                            const std::vector<StatChange>& changes, uint64_t epoch);
+  void AggregatePass(const PassResult& r);
+
   StatsRegistry* registry_;
   ReoptSessionOptions options_;
   ReoptSessionMetrics metrics_;
+  FlushOptStats last_flush_;
   std::vector<Slot> queries_;
+  std::unique_ptr<ThreadPool> pool_;  // null when worker_threads == 0
   QueryId next_id_ = 0;
+  /// Guards the mutation-policy counters OnStatsMutated touches from
+  /// mutator threads (everything else in this class is coordinator-only).
+  std::mutex policy_mu_;
   int64_t mutations_since_flush_ = 0;
-  bool in_flush_ = false;  // guards against reentrant auto-flush
+  /// Mutual exclusion + reentrancy guard for Flush (auto-flush callbacks,
+  /// racing mutator-thread flushes).
+  std::atomic<bool> in_flush_{false};
 };
 
 }  // namespace iqro

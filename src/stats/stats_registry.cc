@@ -1,6 +1,7 @@
 #include "stats/stats_registry.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/check.h"
 
@@ -35,28 +36,37 @@ int StatsRegistry::AddEdge(RelSet endpoints, double selectivity) {
   return static_cast<int>(edges_.size()) - 1;
 }
 
-void StatsRegistry::Record(StatId stat, uint64_t target, double value_before) {
+bool StatsRegistry::RecordLocked(StatId stat, uint64_t target, double value_before) {
   ++epoch_;
-  if (!frozen_) return;
+  if (!frozen_) return false;
   ++coalesce_.recorded;
   // First mutation of this statistic in the batch captures the baseline;
   // later ones collapse into it (only the net delta ever reaches an
   // optimizer).
   if (!pending_.Record(StatKey(stat, target), value_before)) ++coalesce_.collapsed;
-  // Notify after the value and the pending entry are both in place: a
-  // subscriber may flush (TakePending) from inside the callback. Indexed
-  // loop: callbacks must not Subscribe/Unsubscribe (see header), but an
-  // index never dangles the way a vector iterator would.
+  return true;
+}
+
+void StatsRegistry::NotifySubscribers() {
+  // Outside the lock: a subscriber may flush (TakePendingBatch takes the
+  // lock itself) from inside the callback. Indexed loop: callbacks must
+  // not Subscribe/Unsubscribe (see header), but an index never dangles the
+  // way a vector iterator would.
   for (size_t i = 0; i < subscribers_.size(); ++i) subscribers_[i]->OnStatsMutated(*this);
 }
 
 void StatsRegistry::SetScalar(StatId stat, int target, std::vector<double>& slots,
                               double value) {
-  double& v = slots[static_cast<size_t>(target)];
-  if (v == value) return;
-  const double before = v;
-  v = value;
-  Record(stat, static_cast<uint64_t>(target), before);
+  bool notify;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    double& v = slots[static_cast<size_t>(target)];
+    if (v == value) return;
+    const double before = v;
+    v = value;
+    notify = RecordLocked(stat, static_cast<uint64_t>(target), before);
+  }
+  if (notify) NotifySubscribers();
 }
 
 double StatsRegistry::CurrentValue(StatId stat, uint64_t target) const {
@@ -95,31 +105,54 @@ void StatsRegistry::SetScanCostMultiplier(int rel, double mult) {
 
 void StatsRegistry::SetJoinSelectivity(int edge_id, double sel) {
   IQRO_CHECK(edge_id >= 0 && edge_id < num_edges());
-  double& v = edges_[static_cast<size_t>(edge_id)].selectivity;
-  if (v == sel) return;
-  const double before = v;
-  v = sel;
-  Record(StatId::kJoinSel, static_cast<uint64_t>(edge_id), before);
+  bool notify;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    double& v = edges_[static_cast<size_t>(edge_id)].selectivity;
+    if (v == sel) return;
+    const double before = v;
+    v = sel;
+    notify = RecordLocked(StatId::kJoinSel, static_cast<uint64_t>(edge_id), before);
+  }
+  if (notify) NotifySubscribers();
+}
+
+bool StatsRegistry::SetCardMultiplierLocked(RelSet scope, double factor) {
+  for (auto& [s, f] : card_mults_) {
+    if (s == scope) {
+      if (f == factor) return false;
+      const double before = f;
+      f = factor;
+      return RecordLocked(StatId::kCardMult, scope, before);
+    }
+  }
+  if (factor == 1.0) return false;  // absent scope already means factor 1
+  card_mults_.emplace_back(scope, factor);
+  return RecordLocked(StatId::kCardMult, scope, 1.0);
 }
 
 void StatsRegistry::SetCardMultiplier(RelSet scope, double factor) {
   IQRO_CHECK(RelCount(scope) >= 1);
-  for (auto& [s, f] : card_mults_) {
-    if (s == scope) {
-      if (f == factor) return;
-      const double before = f;
-      f = factor;
-      Record(StatId::kCardMult, scope, before);
-      return;
-    }
+  bool notify;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    notify = SetCardMultiplierLocked(scope, factor);
   }
-  if (factor == 1.0) return;  // absent scope already means factor 1
-  card_mults_.emplace_back(scope, factor);
-  Record(StatId::kCardMult, scope, 1.0);
+  if (notify) NotifySubscribers();
 }
 
 void StatsRegistry::ScaleCardMultiplier(RelSet scope, double factor) {
-  SetCardMultiplier(scope, ScopeMultiplier(scope) * factor);
+  IQRO_CHECK(RelCount(scope) >= 1);
+  bool notify;
+  {
+    // One critical section for the whole read-modify-write: the read half
+    // (ScopeMultiplier walks card_mults_, which a racing mutator may
+    // reallocate) and the write half must see the same vector, and two
+    // racing Scales must compose rather than lose one factor.
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    notify = SetCardMultiplierLocked(scope, ScopeMultiplier(scope) * factor);
+  }
+  if (notify) NotifySubscribers();
 }
 
 double StatsRegistry::ScopeMultiplier(RelSet scope) const {
@@ -137,9 +170,13 @@ double StatsRegistry::CardMultiplier(RelSet s) const {
   return f;
 }
 
-std::vector<StatChange> StatsRegistry::TakePending() {
+StatsRegistry::DrainedBatch StatsRegistry::TakePendingBatch() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  DrainedBatch batch;
+  batch.had_pending = !pending_.empty();
   drained_epoch_ = epoch_;
-  std::vector<StatChange> out;
+  batch.epoch = epoch_;
+  std::vector<StatChange>& out = batch.changes;
   for (size_t i = 0; i < pending_.size(); ++i) {
     const NetDeltaTable::Entry& e = pending_.entry(i);
     const auto stat = static_cast<StatId>(e.key >> 32);
@@ -178,7 +215,7 @@ std::vector<StatChange> StatsRegistry::TakePending() {
   }
   pending_.Clear();
   coalesce_.emitted += static_cast<int64_t>(out.size());
-  return out;
+  return batch;
 }
 
 void StatsRegistry::Subscribe(StatsSubscriber* subscriber) {
@@ -194,6 +231,9 @@ void StatsRegistry::Unsubscribe(StatsSubscriber* subscriber) {
   subscribers_.erase(it);
 }
 
-bool StatsRegistry::DropOnePendingForTest() { return pending_.PopBack(); }
+bool StatsRegistry::DropOnePendingForTest() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return pending_.PopBack();
+}
 
 }  // namespace iqro

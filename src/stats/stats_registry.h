@@ -40,14 +40,37 @@
 // ## Ownership and thread-safety
 //
 // The registry owns no optimizers and does not outlive-track subscribers:
-// a subscriber must Unsubscribe() before it is destroyed. All methods are
-// single-threaded — one registry belongs to one optimization session/thread
-// (making mutation + flush concurrent is a service-layer roadmap item, see
-// docs/ARCHITECTURE.md).
+// a subscriber must Unsubscribe() before it is destroyed. Subscribe/
+// Unsubscribe and Reset/AddEdge are setup-time, single-threaded calls.
+//
+// Post-freeze, the registry is the one piece of engine state shared
+// between mutator threads and a flushing ReoptSession, so it carries the
+// mutation-side lock of the threading model (docs/ARCHITECTURE.md):
+//
+//  * Every mutator (SetBaseRows, ..., ScaleCardMultiplier) takes `mu_`
+//    exclusively: the value write, the epoch bump and the NetDeltaTable
+//    record are one atomic step. Subscribers are notified *after* the
+//    lock is released (on the mutating thread), so a callback may re-enter
+//    the registry — e.g. an auto-flush draining it — without deadlocking.
+//  * TakePendingBatch() takes `mu_` exclusively and snapshots the whole
+//    coalesced batch together with the epoch it reflects — an
+//    epoch-versioned snapshot of the NetDeltaTable. A Record() racing the
+//    drain serializes either before it (and is included) or after it (and
+//    lands in the *next* batch); nothing is lost or applied twice.
+//  * ReaderLock() takes `mu_` shared. A flush dispatcher holds it for the
+//    whole dispatch, so worker threads running ReoptimizeBatch() read
+//    statistics values frozen at the drained epoch through the plain
+//    accessors (which stay lock-free — they are the cost model's hot
+//    path). Mutators block until the flush releases the lock.
+//
+// Outside a ReaderLock window, concurrent accessor reads racing a mutator
+// are undefined — the contract is "readers hold the reader lock or own the
+// registry's thread", not "every method is individually atomic".
 #ifndef IQRO_STATS_STATS_REGISTRY_H_
 #define IQRO_STATS_STATS_REGISTRY_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/relset.h"
@@ -77,8 +100,9 @@ class StatsRegistry;
 class StatsSubscriber {
  public:
   virtual ~StatsSubscriber() = default;
-  /// Fired after each recorded mutation; the registry already holds the new
-  /// value. Reentrant draining (TakePending) is allowed; mutating the
+  /// Fired after each recorded mutation, on the mutating thread, with no
+  /// registry lock held (the new value and its pending entry are already
+  /// published). Reentrant draining (TakePending) is allowed; mutating the
   /// registry or (un)subscribing any subscriber from inside the callback
   /// is not.
   virtual void OnStatsMutated(StatsRegistry& registry) = 0;
@@ -151,17 +175,40 @@ class StatsRegistry {
   /// can never catch up through future deltas (see ReoptSession::Register).
   uint64_t drained_epoch() const { return drained_epoch_; }
 
+  /// One atomically drained batch: the coalesced change list plus the
+  /// registry epoch it reflects — what a flush dispatches and what every
+  /// dispatched optimizer stamps as its stats_epoch().
+  struct DrainedBatch {
+    std::vector<StatChange> changes;
+    uint64_t epoch = 0;        // epoch at drain time (the batch's version)
+    bool had_pending = false;  // raw mutations were recorded (may net to 0)
+  };
+
   /// Drains the batch of mutations recorded since the last call, coalesced
   /// to net deltas: at most one StatChange per affected (kind, scope), and
   /// none for statistics whose value is back at its batch baseline. The
   /// order of the returned changes follows the order in which their
-  /// statistics first mutated (deterministic across replays).
+  /// statistics first mutated (deterministic across replays). The whole
+  /// drain happens under the mutation lock: the change list and the
+  /// returned epoch are one consistent snapshot even with mutators racing.
   ///
   /// With several optimizers sharing one registry, whoever calls this
   /// starves the others — multi-query setups must drain through a
   /// ReoptSession, which calls it once per flush and dispatches the same
   /// change list to every registered optimizer (service/reopt_session.h).
-  std::vector<StatChange> TakePending();
+  DrainedBatch TakePendingBatch();
+
+  /// Convenience wrapper over TakePendingBatch() for single-query callers.
+  std::vector<StatChange> TakePending() { return TakePendingBatch().changes; }
+
+  /// Shared (reader) lock over the statistics values. A flush dispatcher
+  /// holds this for its whole dispatch window so worker threads observe
+  /// values frozen at the drained epoch; mutators block until release and
+  /// their changes land in the next batch. Single-threaded callers never
+  /// need it.
+  std::shared_lock<std::shared_mutex> ReaderLock() const {
+    return std::shared_lock<std::shared_mutex>(mu_);
+  }
 
   /// True when post-freeze mutations are recorded but not yet drained. May
   /// overreport relative to TakePending(): the whole batch can still
@@ -201,12 +248,24 @@ class StatsRegistry {
     return (static_cast<uint64_t>(stat) << 32) | target;
   }
 
-  void Record(StatId stat, uint64_t target, double value_before);
-  /// Shared body of the per-relation scalar setters: no-op check, baseline
-  /// capture, Record.
+  /// Bookkeeping half of a mutation (epoch bump + pending record). Caller
+  /// holds `mu_` exclusively. Returns true when subscribers must be
+  /// notified (post-freeze mutation), which the caller does after
+  /// unlocking.
+  bool RecordLocked(StatId stat, uint64_t target, double value_before);
+  /// Body of SetCardMultiplier under an already-held exclusive `mu_` —
+  /// also the write half of ScaleCardMultiplier's atomic read-modify-write.
+  bool SetCardMultiplierLocked(RelSet scope, double factor);
+  /// Shared body of the per-relation scalar setters: lock, no-op check,
+  /// baseline capture, record, then unlocked subscriber notification.
   void SetScalar(StatId stat, int target, std::vector<double>& slots, double value);
+  void NotifySubscribers();
   double CurrentValue(StatId stat, uint64_t target) const;
 
+  /// The mutation-side lock: exclusive for mutators and the drain, shared
+  /// for a flush's dispatch window (see the class comment). The plain value
+  /// accessors intentionally do not touch it.
+  mutable std::shared_mutex mu_;
   int num_relations_ = 0;
   std::vector<double> base_rows_;
   std::vector<double> local_sel_;

@@ -1,17 +1,45 @@
 #include "stats/summary.h"
 
+#include <mutex>
+
 #include "common/check.h"
 
 namespace iqro {
 
 const Summary& SummaryCalculator::Get(RelSet s) const {
-  if (cached_epoch_ != registry_->epoch()) {
-    cache_.clear();
-    cached_epoch_ = registry_->epoch();
+  if (!concurrent_) {
+    if (cached_epoch_ != registry_->epoch()) {
+      cache_.clear();
+      cached_epoch_ = registry_->epoch();
+    }
+    auto it = cache_.find(s);
+    if (it != cache_.end()) return it->second;
+    return cache_.emplace(s, Compute(s)).first->second;
   }
-  auto it = cache_.find(s);
-  if (it != cache_.end()) return it->second;
-  return cache_.emplace(s, Compute(s)).first->second;
+  // Concurrent path: reads vastly outnumber misses once the epoch's cache
+  // is warm, so the hit path is a shared lock + find. unordered_map nodes
+  // are address-stable across inserts, so the returned reference survives
+  // other threads' misses; the epoch cannot move while workers are inside
+  // a flush (the dispatcher holds the registry reader lock), so the clear
+  // below never runs under a worker's feet.
+  const uint64_t epoch = registry_->epoch();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (cached_epoch_ == epoch) {
+      auto it = cache_.find(s);
+      if (it != cache_.end()) return it->second;
+    }
+  }
+  // Compute outside any lock (pure function of frozen registry state);
+  // racing computes of one key produce identical values and the first
+  // insert wins.
+  Summary computed = Compute(s);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (cached_epoch_ != epoch) {
+    cache_.clear();
+    cached_epoch_ = epoch;
+  }
+  return cache_.try_emplace(s, computed).first->second;
 }
 
 Summary SummaryCalculator::Compute(RelSet s) const {

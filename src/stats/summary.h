@@ -9,6 +9,7 @@
 #ifndef IQRO_STATS_SUMMARY_H_
 #define IQRO_STATS_SUMMARY_H_
 
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/relset.h"
@@ -21,6 +22,14 @@ struct Summary {
   double width = 0;
 };
 
+/// Thread-safety: single-threaded by default (the epoch-keyed cache is
+/// unsynchronized). EnableConcurrentUse() (sticky; call while still
+/// single-threaded) switches Get() to an internally locked cache so the
+/// per-query fixpoints of a parallel ReoptSession flush can share one
+/// calculator. Concurrent readers additionally require the registry's
+/// statistics to be frozen for the duration (the flush holds
+/// StatsRegistry::ReaderLock), which also pins the epoch — so a mid-flush
+/// cache flush can never invalidate a reference another worker still holds.
 class SummaryCalculator {
  public:
   explicit SummaryCalculator(const StatsRegistry* registry) : registry_(registry) {}
@@ -32,12 +41,18 @@ class SummaryCalculator {
 
   const StatsRegistry& registry() const { return *registry_; }
 
+  /// Sticky opt-in to internal cache locking (see class comment). Const
+  /// because the cache infrastructure is already logically-const state.
+  void EnableConcurrentUse() const { concurrent_ = true; }
+
  private:
   Summary Compute(RelSet s) const;
 
   const StatsRegistry* registry_;
   mutable uint64_t cached_epoch_ = 0;
   mutable std::unordered_map<RelSet, Summary> cache_;
+  mutable bool concurrent_ = false;
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace iqro

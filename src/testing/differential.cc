@@ -188,13 +188,35 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
   // batch drives every registered query to the identical fixpoint.
   std::unique_ptr<ReoptSession> session;
   std::unique_ptr<DeclarativeOptimizer> shadow;
+  // Parallel mode additionally runs a full serial-mirror world in
+  // lockstep (see DiffOptions::worker_threads).
+  std::unique_ptr<ScenarioWorld> mirror_world;
+  std::unique_ptr<DeclarativeOptimizer> mirror_inc;
+  std::unique_ptr<DeclarativeOptimizer> mirror_shadow;
+  std::unique_ptr<ReoptSession> mirror_session;
   if (options.batch_steps >= 1) {
     shadow = std::make_unique<DeclarativeOptimizer>(
         world->enumerator.get(), world->cost_model.get(), &world->registry, scenario.options);
     shadow->Optimize();
-    session = std::make_unique<ReoptSession>(&world->registry);
+    ReoptSessionOptions session_options;
+    session_options.worker_threads = options.worker_threads;
+    session = std::make_unique<ReoptSession>(&world->registry, session_options);
     session->Register(&inc);
     session->Register(shadow.get());
+    if (options.worker_threads >= 1) {
+      mirror_world = BuildScenarioWorld(scenario);
+      mirror_inc = std::make_unique<DeclarativeOptimizer>(
+          mirror_world->enumerator.get(), mirror_world->cost_model.get(),
+          &mirror_world->registry, scenario.options);
+      mirror_shadow = std::make_unique<DeclarativeOptimizer>(
+          mirror_world->enumerator.get(), mirror_world->cost_model.get(),
+          &mirror_world->registry, scenario.options);
+      mirror_inc->Optimize();
+      mirror_shadow->Optimize();
+      mirror_session = std::make_unique<ReoptSession>(&mirror_world->registry);
+      mirror_session->Register(mirror_inc.get());
+      mirror_session->Register(mirror_shadow.get());
+    }
   }
   const size_t group = options.batch_steps >= 1 ? static_cast<size_t>(options.batch_steps) : 1;
 
@@ -203,15 +225,18 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
     for (size_t s = s0; s < s1; ++s) {
       for (const StatMutation& m : scenario.churn[s].mutations) {
         ApplyMutation(&world->registry, m);
+        if (mirror_world != nullptr) ApplyMutation(&mirror_world->registry, m);
       }
       if (fault.kind == FaultInjection::Kind::kDropSeed &&
           static_cast<size_t>(fault.step) == s) {
         world->registry.DropOnePendingForTest();
+        if (mirror_world != nullptr) mirror_world->registry.DropOnePendingForTest();
       }
     }
     const int fail_step = static_cast<int>(s1 - 1);
     if (session != nullptr) {
       session->Flush();
+      if (mirror_session != nullptr) mirror_session->Flush();
     } else {
       inc.Reoptimize();
     }
@@ -234,6 +259,35 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
         return {false, fail_step,
                 StrFormat("after churn step %zu: shadow session query dump diverged",
                           s1 - 1)};
+      }
+    }
+    if (mirror_session != nullptr) {
+      // The direct parallel ≡ serial claim: every registered query of the
+      // pooled session must land byte-identical to its serial twin.
+      if (!CostsAgree(mirror_inc->BestCost(), inc.BestCost(), options.rel_tol)) {
+        return {false, fail_step,
+                StrFormat("after churn step %zu: parallel flush diverged from serial "
+                          "mirror: parallel=%s serial=%s",
+                          s1 - 1, DoubleToString(inc.BestCost()).c_str(),
+                          DoubleToString(mirror_inc->BestCost()).c_str())};
+      }
+      if (options.check_dump) {
+        if (inc.CanonicalDumpState() != mirror_inc->CanonicalDumpState()) {
+          return {false, fail_step,
+                  StrFormat("after churn step %zu: parallel primary dump diverged from "
+                            "serial mirror (worker_threads=%d)",
+                            s1 - 1, options.worker_threads)};
+        }
+        if (shadow->CanonicalDumpState() != mirror_shadow->CanonicalDumpState()) {
+          return {false, fail_step,
+                  StrFormat("after churn step %zu: parallel shadow dump diverged from "
+                            "serial mirror (worker_threads=%d)",
+                            s1 - 1, options.worker_threads)};
+        }
+      }
+      if (options.validate_invariants) {
+        mirror_inc->ValidateInvariants();
+        mirror_shadow->ValidateInvariants();
       }
     }
   }

@@ -57,6 +57,15 @@ struct DiffOptions {
   /// registered alongside the primary; after every flush both must agree
   /// with the from-scratch oracle AND with each other byte-for-byte.
   int batch_steps = 0;
+  /// Only meaningful in batch mode. 0: the session flushes serially.
+  /// N >= 1: the session dispatches on an N-thread pool — and a *serial
+  /// mirror* world (its own registry/enumerator/optimizers, same scenario,
+  /// same mutations, serial session) runs every flush in lockstep; after
+  /// each flush the pooled primary and shadow must be byte-identical
+  /// (CanonicalDumpState) to their serial twins. That is the direct
+  /// "parallel flush ≡ serial flush" claim, on top of the existing
+  /// "≡ from-scratch" oracle which the pooled optimizers still face.
+  int worker_threads = 0;
   double rel_tol = 1e-9;
 };
 

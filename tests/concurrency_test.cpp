@@ -1,0 +1,300 @@
+// Concurrency contracts of the parallel ReoptSession flush and its
+// ThreadPool substrate. The *equivalence* of parallel and serial flushes
+// is proven at scale by the randomized differential harness (pooled
+// scenarios run a serial mirror world in lockstep — docs/TESTING.md);
+// these tests pin the deterministic contracts:
+//
+//   * ThreadPool futures deliver results; destructor-drain runs every
+//     accepted task exactly once (shutdown mid-queue loses nothing).
+//   * A 4-worker flush drives every registered query to its from-scratch
+//     oracle state, byte-identically to a serial twin session.
+//   * Record() racing Flush() from a second thread lands in the next
+//     epoch's batch — no mutation is lost, none is applied twice.
+//   * Auto-flush firing on a mutator thread dispatches correctly.
+//
+// The whole file is the primary target of the ThreadSanitizer CI job: its
+// value is as much "TSan sees these interleavings race-free" as the
+// assertions themselves.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/declarative_optimizer.h"
+#include "service/reopt_session.h"
+#include "test_util.h"
+
+namespace iqro::testing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, FuturesDeliverResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+// Deterministic shutdown: destroying the pool with tasks still queued
+// *drains* — every accepted task runs exactly once before the workers
+// join. This is what lets a session tear down mid-stream without leaving
+// optimizers half-dispatched.
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      }));
+    }
+    // Destructor runs here, with most of the queue still pending.
+  }
+  EXPECT_EQ(ran.load(), 32);
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.wait_for(std::chrono::seconds(0)) == std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolTest, WorkerMaySubmitFollowUpWork) {
+  ThreadPool pool(2);
+  std::promise<int> inner_done;
+  std::future<int> inner = inner_done.get_future();
+  pool.Submit([&pool, &inner_done] {
+     // A worker scheduling follow-up work must not deadlock (tasks are
+     // never run inline, and the queue lock is not held while executing).
+     pool.Submit([&inner_done] { inner_done.set_value(7); });
+   }).get();
+  EXPECT_EQ(inner.get(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel session flush
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<TestWorld> ChainWorld(int relations = 6, uint64_t seed = 17) {
+  WorldOptions wo;
+  wo.num_relations = relations;
+  wo.shape = GraphShape::kChain;
+  wo.seed = seed;
+  return MakeWorld(wo);
+}
+
+std::string ScratchDump(TestWorld& world, OptimizerOptions options) {
+  DeclarativeOptimizer scratch(world.enumerator.get(), world.cost_model.get(),
+                               &world.registry, options);
+  scratch.Optimize();
+  return scratch.CanonicalDumpState();
+}
+
+const std::vector<OptimizerOptions>& QueryConfigs() {
+  static const auto* configs = new std::vector<OptimizerOptions>{
+      OptimizerOptions::Default(),        OptimizerOptions::UseAggSel(),
+      OptimizerOptions::UseAggSelRefCount(), OptimizerOptions::UseAggSelBounding(),
+      OptimizerOptions::UseNoPruning(),
+  };
+  return *configs;
+}
+
+/// Scripted churn round r: a mix of swings, an oscillation that nets to
+/// zero, and a scan-cost change — deterministic, so serial and parallel
+/// twins see identical streams.
+void ApplyChurnRound(StatsRegistry& reg, int r) {
+  const double rows1 = reg.base_rows(1);
+  reg.SetBaseRows(1, std::max(1.0, rows1 * ((r % 2) != 0 ? 2.5 : 0.4)));
+  reg.SetScanCostMultiplier(2, (r % 3) + 1.0);
+  reg.SetScanCostMultiplier(2, 1.0);  // oscillates back
+  reg.SetLocalSelectivity(3, (r % 2) != 0 ? 0.35 : 0.9);
+  reg.SetJoinSelectivity(0, ((r % 4) + 1) * 0.125);
+  if (r % 2 != 0) reg.SetCardMultiplier(0b11, 1.0 + 0.5 * (r % 3));
+}
+
+// An N-query session flushed on 4 workers lands every registered query in
+// its from-scratch oracle state after every flush.
+TEST(ParallelFlushTest, FourWorkerFlushMatchesFreshOracles) {
+  auto world = ChainWorld();
+  std::vector<std::unique_ptr<DeclarativeOptimizer>> opts;
+  for (const OptimizerOptions& o : QueryConfigs()) {
+    opts.push_back(std::make_unique<DeclarativeOptimizer>(
+        world->enumerator.get(), world->cost_model.get(), &world->registry, o));
+    opts.back()->Optimize();
+  }
+  ReoptSessionOptions so;
+  so.worker_threads = 4;
+  ReoptSession session(&world->registry, so);
+  EXPECT_EQ(session.worker_threads(), 4);
+  for (auto& o : opts) session.Register(o.get());
+
+  for (int r = 0; r < 6; ++r) {
+    ApplyChurnRound(world->registry, r);
+    session.Flush();
+    for (auto& o : opts) {
+      o->ValidateInvariants();
+      EXPECT_EQ(o->CanonicalDumpState(), ScratchDump(*world, o->options()))
+          << "config diverged from its from-scratch oracle at round " << r;
+    }
+  }
+  EXPECT_GT(session.metrics().reopt_passes, 0);
+  EXPECT_GT(session.last_flush().fixpoint_steps, 0);
+}
+
+// worker_threads=0 and worker_threads=4 twin sessions over twin worlds see
+// the same mutation stream and must land byte-identical, flush after flush
+// — the serial path is the reference the pool must reproduce exactly.
+TEST(ParallelFlushTest, SerialAndParallelSessionsAreByteIdentical) {
+  auto world_s = ChainWorld();
+  auto world_p = ChainWorld();  // deterministic twin
+
+  std::vector<std::unique_ptr<DeclarativeOptimizer>> serial_opts, parallel_opts;
+  for (const OptimizerOptions& o : QueryConfigs()) {
+    serial_opts.push_back(std::make_unique<DeclarativeOptimizer>(
+        world_s->enumerator.get(), world_s->cost_model.get(), &world_s->registry, o));
+    serial_opts.back()->Optimize();
+    parallel_opts.push_back(std::make_unique<DeclarativeOptimizer>(
+        world_p->enumerator.get(), world_p->cost_model.get(), &world_p->registry, o));
+    parallel_opts.back()->Optimize();
+  }
+  ReoptSession serial_session(&world_s->registry);
+  ReoptSessionOptions po;
+  po.worker_threads = 4;
+  ReoptSession parallel_session(&world_p->registry, po);
+  for (auto& o : serial_opts) serial_session.Register(o.get());
+  for (auto& o : parallel_opts) parallel_session.Register(o.get());
+
+  for (int r = 0; r < 6; ++r) {
+    ApplyChurnRound(world_s->registry, r);
+    ApplyChurnRound(world_p->registry, r);
+    const size_t n_serial = serial_session.Flush();
+    const size_t n_parallel = parallel_session.Flush();
+    EXPECT_EQ(n_serial, n_parallel) << "round " << r;
+    for (size_t q = 0; q < serial_opts.size(); ++q) {
+      EXPECT_EQ(parallel_opts[q]->CanonicalDumpState(), serial_opts[q]->CanonicalDumpState())
+          << "query " << q << " diverged at round " << r;
+    }
+  }
+  // The aggregated per-flush metrics agree too: same batch, same seeding,
+  // same fixpoint work — only the dispatch threads differ.
+  EXPECT_EQ(parallel_session.metrics().reopt_passes, serial_session.metrics().reopt_passes);
+  EXPECT_EQ(parallel_session.metrics().eps_seeded, serial_session.metrics().eps_seeded);
+  EXPECT_EQ(parallel_session.last_flush().eps_seeded, serial_session.last_flush().eps_seeded);
+}
+
+// Record() racing Flush() from a second thread: every mutation either
+// makes the batch a flush drains or stays pending for the next one —
+// nothing is lost, nothing applies twice. After the mutator joins, one
+// final flush must land every optimizer exactly in its oracle state.
+TEST(ParallelFlushTest, RecordRacingFlushLandsInNextEpoch) {
+  auto world = ChainWorld();
+  std::vector<std::unique_ptr<DeclarativeOptimizer>> opts;
+  for (const OptimizerOptions& o : QueryConfigs()) {
+    opts.push_back(std::make_unique<DeclarativeOptimizer>(
+        world->enumerator.get(), world->cost_model.get(), &world->registry, o));
+    opts.back()->Optimize();
+  }
+  ReoptSessionOptions so;
+  so.worker_threads = 2;
+  ReoptSession session(&world->registry, so);
+  for (auto& o : opts) session.Register(o.get());
+
+  constexpr int kMutations = 200;
+  const double rows0 = world->registry.base_rows(0);
+  std::thread mutator([&world, rows0] {
+    for (int i = 1; i <= kMutations; ++i) {
+      // Strictly changing values: every call records (and bumps the epoch).
+      world->registry.SetBaseRows(0, rows0 + i);
+      if (i % 16 == 0) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  // Flush continuously while the mutator runs: each flush drains whatever
+  // epoch-consistent batch exists at that instant.
+  int flushed_batches = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (session.Flush() > 0) ++flushed_batches;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  mutator.join();
+  session.Flush();  // whatever raced past the last mid-stream flush
+  EXPECT_FALSE(world->registry.HasPending());
+
+  // No lost update: the registry's value is the mutator's last write, and
+  // every optimizer is at the fixpoint of exactly that value.
+  EXPECT_EQ(world->registry.base_rows(0), rows0 + kMutations);
+  // No double-apply/over-count: every one of the 200 distinct writes was
+  // observed exactly once.
+  EXPECT_EQ(session.metrics().mutations_observed, kMutations);
+  for (auto& o : opts) {
+    o->ValidateInvariants();
+    EXPECT_EQ(o->CanonicalDumpState(), ScratchDump(*world, o->options()));
+  }
+  // Sanity: the race was real — some batches were drained mid-stream.
+  EXPECT_GE(flushed_batches, 1);
+}
+
+// Auto-flush with a pool: the threshold callback fires Flush() on the
+// *mutator's* thread, which dispatches to the pool and joins there.
+TEST(ParallelFlushTest, AutoFlushDispatchesFromMutatorThread) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSessionOptions so;
+  so.auto_flush_after = 4;
+  so.worker_threads = 2;
+  ReoptSession session(&world->registry, so);
+  session.Register(&opt);
+
+  std::thread mutator([&world] {
+    for (int i = 1; i <= 40; ++i) {
+      world->registry.SetBaseRows(1, 100.0 + i);
+    }
+  });
+  mutator.join();
+  session.Flush();  // tail below the last threshold
+  EXPECT_GE(session.metrics().flushes, 1);
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// A session owning a pool tears down cleanly right after heavy parallel
+// use — the pool drains and joins deterministically in the destructor.
+TEST(ParallelFlushTest, SessionTeardownAfterParallelFlushes) {
+  auto world = ChainWorld();
+  std::vector<std::unique_ptr<DeclarativeOptimizer>> opts;
+  for (const OptimizerOptions& o : QueryConfigs()) {
+    opts.push_back(std::make_unique<DeclarativeOptimizer>(
+        world->enumerator.get(), world->cost_model.get(), &world->registry, o));
+    opts.back()->Optimize();
+  }
+  {
+    ReoptSessionOptions so;
+    so.worker_threads = 4;
+    ReoptSession session(&world->registry, so);
+    for (auto& o : opts) session.Register(o.get());
+    ApplyChurnRound(world->registry, 1);
+    session.Flush();
+    // Destructor: unsubscribe + pool drain/join.
+  }
+  // The world remains fully usable single-threaded afterwards.
+  world->registry.SetBaseRows(1, 12345);
+  opts[0]->Reoptimize();
+  opts[0]->ValidateInvariants();
+  EXPECT_EQ(opts[0]->CanonicalDumpState(), ScratchDump(*world, opts[0]->options()));
+}
+
+}  // namespace
+}  // namespace iqro::testing

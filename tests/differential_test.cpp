@@ -8,10 +8,16 @@
 // --seed=N          base seed (scenario i uses seed N+i); default 1
 // --iters=N         scenarios to attempt; default 2000
 // --time_budget_ms=N  stop early after this much wall clock (0 = unlimited)
+// --workers=N       force worker_threads=N for every batch-mode scenario
+//                   (default -1: rotate seed % 3; the TSan CI smoke pins 4)
 //
-// Every failure prints the scenario seed (reproduce with --seed=<seed>
-// --iters=1) plus the shrunk minimal scenario. A SIGABRT handler prints the
-// in-flight seed even when an optimizer-internal IQRO_CHECK aborts.
+// Every failure prints the scenario seed AND the active flush mode
+// (legacy / batch_steps=K serial / batch_steps=K workers=W) — both are
+// needed to reproduce, since the mode rotation is part of the scenario's
+// identity. Reproduce with --seed=<seed> --iters=1 (plus --workers=W if
+// the failing run forced one); a shrunk minimal scenario is printed too.
+// A SIGABRT handler prints the same seed+mode line even when an
+// optimizer-internal IQRO_CHECK aborts.
 //
 // This file defines its own main() (flag parsing), so CMakeLists.txt links
 // it against gtest without gtest_main.
@@ -34,28 +40,46 @@ namespace {
 uint64_t g_base_seed = 1;
 int g_iters = 2000;
 int g_time_budget_ms = 120'000;
+int g_force_workers = -1;  // --workers override; -1 = rotate seed % 3
 
-// Seed of the scenario currently executing, for the SIGABRT handler.
+// Mode of the scenario currently executing, for the SIGABRT handler: a
+// seed alone does not reproduce a batch/parallel failure (the flush mode
+// rotation is part of the repro), so the handler prints all three.
 volatile uint64_t g_current_seed = 0;
+volatile int g_current_batch_steps = 0;
+volatile int g_current_workers = 0;
 
 extern "C" void DifferentialAbortHandler(int) {
   // Async-signal-safe: manual formatting + write(2).
-  char buf[96];
-  char digits[24];
-  int n = 0;
-  uint64_t v = g_current_seed;
-  do {
-    digits[n++] = static_cast<char>('0' + v % 10);
-    v /= 10;
-  } while (v != 0);
-  const char* prefix = "\ndifferential_test: aborted while running scenario seed=";
+  char buf[192];
   size_t len = 0;
-  while (prefix[len] != '\0' && len + 1 < sizeof(buf)) {
-    buf[len] = prefix[len];
-    ++len;
+  const auto append_str = [&](const char* s) {
+    while (*s != '\0' && len + 1 < sizeof(buf)) buf[len++] = *s++;
+  };
+  const auto append_u64 = [&](uint64_t v) {
+    char digits[24];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0 && len + 1 < sizeof(buf)) buf[len++] = digits[--n];
+  };
+  append_str("\ndifferential_test: aborted while running scenario seed=");
+  append_u64(g_current_seed);
+  if (g_current_batch_steps <= 0) {
+    append_str(" mode=legacy");
+  } else {
+    append_str(" mode=batch_steps=");
+    append_u64(static_cast<uint64_t>(g_current_batch_steps));
+    if (g_current_workers <= 0) {
+      append_str(" serial");
+    } else {
+      append_str(" workers=");
+      append_u64(static_cast<uint64_t>(g_current_workers));
+    }
   }
-  while (n > 0 && len + 2 < sizeof(buf)) buf[len++] = digits[--n];
-  buf[len++] = '\n';
+  append_str("\n");
   ssize_t ignored = write(STDERR_FILENO, buf, len);
   (void)ignored;
   std::signal(SIGABRT, SIG_DFL);
@@ -76,6 +100,8 @@ std::string FailureReport(const Scenario& scenario, const DiffResult& result,
 }
 
 TEST(DifferentialHarnessTest, GeneratorIsDeterministic) {
+  g_current_batch_steps = 0;
+  g_current_workers = 0;
   for (uint64_t seed : {1ull, 7ull, 1234567ull}) {
     g_current_seed = seed;
     Scenario a = GenerateScenario(seed);
@@ -87,16 +113,19 @@ TEST(DifferentialHarnessTest, GeneratorIsDeterministic) {
 
 // The tentpole: thousands of generated scenarios, zero divergences between
 // Reoptimize() and every from-scratch oracle. Scenarios rotate through
-// flush modes: legacy change-at-a-time Reoptimize() and ReoptSession batch
+// flush modes: legacy change-at-a-time Reoptimize(), ReoptSession batch
 // flushes grouping 1..3 churn steps (batch mode also rides a same-options
 // shadow optimizer through every flush — multi-query dispatch is checked
-// by the same 2,000-scenario run).
+// by the same 2,000-scenario run), and — within batch mode — serial vs
+// thread-pool dispatch (worker_threads = seed % 3; pooled scenarios run a
+// serial mirror world in lockstep and must match it byte-for-byte).
 TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
   const auto start = std::chrono::steady_clock::now();
   const GeneratorKnobs knobs;
   int64_t ran = 0;
   int64_t reopt_checks = 0;
   int64_t batched_runs = 0;
+  int64_t parallel_runs = 0;
   bool time_box_hit = false;
   for (int i = 0; i < g_iters; ++i) {
     if (g_time_budget_ms > 0) {
@@ -110,23 +139,34 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
       }
     }
     const uint64_t seed = g_base_seed + static_cast<uint64_t>(i);
-    g_current_seed = seed;
     Scenario scenario = GenerateScenario(seed, knobs);
     DiffOptions options;
     // Mode is a function of the seed (not the loop index) so that
     // `--seed=N --iters=1` replays a failure in the mode that found it.
     options.batch_steps = static_cast<int>(seed % 4);  // 0 = legacy; 1..3 = batch sizes
-    if (options.batch_steps >= 1) ++batched_runs;
+    if (options.batch_steps >= 1) {
+      ++batched_runs;
+      options.worker_threads =
+          g_force_workers >= 0 ? g_force_workers : static_cast<int>(seed % 3);
+      if (options.worker_threads >= 1) ++parallel_runs;
+    }
+    g_current_seed = seed;
+    g_current_batch_steps = options.batch_steps;
+    g_current_workers = options.worker_threads;
     DiffResult result = RunScenario(scenario, options);
     ++ran;
     reopt_checks += static_cast<int64_t>(scenario.churn.size());
     if (!result.ok) {
-      FAIL() << "seed " << seed << " (batch_steps=" << options.batch_steps << "): "
+      FAIL() << "seed " << seed << " (batch_steps=" << options.batch_steps
+             << " worker_threads=" << options.worker_threads << "): "
              << FailureReport(scenario, result, options, FaultInjection{});
     }
   }
   if (ran >= 4) {
     EXPECT_GT(batched_runs, 0);
+  }
+  if (ran >= 12 && g_force_workers != 0) {
+    EXPECT_GT(parallel_runs, 0);  // the rotation actually covers the pool
   }
   std::fprintf(stderr,
                "differential: %lld scenarios, %lld reoptimize/from-scratch checks, "
@@ -156,6 +196,8 @@ TEST(DifferentialHarnessTest, InjectedFaultIsCaughtAndShrunk) {
   const FaultInjection fault{FaultInjection::Kind::kDropSeed, 0};
 
   int caught = 0;
+  g_current_batch_steps = 0;
+  g_current_workers = 0;
   for (uint64_t seed = 9000; seed < 9120 && caught == 0; ++seed) {
     g_current_seed = seed;
     Scenario scenario = GenerateScenario(seed, knobs);
@@ -200,6 +242,8 @@ TEST(DifferentialHarnessTest, InjectedFaultIsCaughtAndShrunk) {
 // harness itself).
 TEST(DifferentialHarnessTest, ScenarioReplayIsByteStable) {
   g_current_seed = 4242;
+  g_current_batch_steps = 0;
+  g_current_workers = 0;
   Scenario scenario = GenerateScenario(4242);
   auto run_dump = [&] {
     auto world = BuildScenarioWorld(scenario);
@@ -229,6 +273,8 @@ int main(int argc, char** argv) {
       iqro::testing::g_iters = std::atoi(arg + 8);
     } else if (std::strncmp(arg, "--time_budget_ms=", 17) == 0) {
       iqro::testing::g_time_budget_ms = std::atoi(arg + 17);
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      iqro::testing::g_force_workers = std::atoi(arg + 10);
     } else {
       argv[out++] = argv[i];
     }

@@ -78,10 +78,12 @@ class MicroExecTest : public ::testing::Test {
     l.BuildIndex(0);
   }
 
-  QueryContext MakeCtx(QuerySpec q) {
-    QueryContext ctx;
-    ctx.query = std::move(q);
-    ctx.graph = std::make_unique<JoinGraph>(ctx.query);
+  // By pointer: QueryContext is pinned in place now that the registry and
+  // PropTable carry their (non-movable) concurrency locks.
+  std::unique_ptr<QueryContext> MakeCtx(QuerySpec q) {
+    auto ctx = std::make_unique<QueryContext>();
+    ctx->query = std::move(q);
+    ctx->graph = std::make_unique<JoinGraph>(ctx->query);
     return ctx;
   }
 
@@ -93,7 +95,8 @@ TEST_F(MicroExecTest, HashJoinMatchesExpected) {
   b.AddRelation("left_t", "l");
   b.AddRelation("right_t", "r");
   b.Join("l", "id", "r", "fk");
-  QueryContext ctx = MakeCtx(b.Build());
+  auto ctx_owner = MakeCtx(b.Build());
+  QueryContext& ctx = *ctx_owner;
   Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
 
   // Build the two-way hash join by hand (build = left).
@@ -112,7 +115,8 @@ TEST_F(MicroExecTest, AllJoinOperatorsAgree) {
   b.AddRelation("left_t", "l");
   b.AddRelation("right_t", "r");
   b.Join("l", "id", "r", "fk");
-  QueryContext ctx = MakeCtx(b.Build());
+  auto ctx_owner = MakeCtx(b.Build());
+  QueryContext& ctx = *ctx_owner;
   Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
 
   auto hash_rows = SortedRows(exec.Execute(*LeftDeepPlan(ctx, PhysOp::kHashJoin)).rows);
@@ -144,7 +148,8 @@ TEST_F(MicroExecTest, NonEquiNestedLoop) {
   b.AddRelation("left_t", "l");
   b.AddRelation("right_t", "r");
   b.Join("l", "id", "r", "fk", PredOp::kGt);  // id > fk
-  QueryContext ctx = MakeCtx(b.Build());
+  auto ctx_owner = MakeCtx(b.Build());
+  QueryContext& ctx = *ctx_owner;
   Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
   auto result = exec.Execute(*LeftDeepPlan(ctx, PhysOp::kNestedLoopJoin));
   // Pairs with id > fk: (2,1)x2, (3,1)x2 -> 4 rows.
@@ -157,7 +162,8 @@ TEST_F(MicroExecTest, LocalPredicatesApplyAtScans) {
   b.AddRelation("right_t", "r");
   b.Join("l", "id", "r", "fk");
   b.Filter("r", "w", PredOp::kGt, 100);
-  QueryContext ctx = MakeCtx(b.Build());
+  auto ctx_owner = MakeCtx(b.Build());
+  QueryContext& ctx = *ctx_owner;
   Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
   auto result = exec.Execute(*LeftDeepPlan(ctx, PhysOp::kHashJoin));
   ASSERT_EQ(result.rows.size(), 2u);  // w in {101, 103}
@@ -166,7 +172,8 @@ TEST_F(MicroExecTest, LocalPredicatesApplyAtScans) {
 TEST_F(MicroExecTest, SortOperatorOrdersRows) {
   QueryBuilder b("q", &catalog_);
   b.AddRelation("right_t", "r");
-  QueryContext ctx = MakeCtx(b.Build());
+  auto ctx_owner = MakeCtx(b.Build());
+  QueryContext& ctx = *ctx_owner;
   Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
   auto scan = std::make_unique<PlanTree>();
   scan->expr = 0b1;
@@ -195,7 +202,8 @@ TEST_F(MicroExecTest, AggregationFunctions) {
   b.Aggregate(AggFn::kMin, "r", "w");
   b.Aggregate(AggFn::kMax, "r", "w");
   b.Aggregate(AggFn::kCountDistinct, "r", "w");
-  QueryContext ctx = MakeCtx(b.Build());
+  auto ctx_owner = MakeCtx(b.Build());
+  QueryContext& ctx = *ctx_owner;
   Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
   auto scan = std::make_unique<PlanTree>();
   scan->expr = 0b1;
@@ -215,7 +223,8 @@ TEST_F(MicroExecTest, ObservedCardinalities) {
   b.AddRelation("left_t", "l");
   b.AddRelation("right_t", "r");
   b.Join("l", "id", "r", "fk");
-  QueryContext ctx = MakeCtx(b.Build());
+  auto ctx_owner = MakeCtx(b.Build());
+  QueryContext& ctx = *ctx_owner;
   Executor exec(&catalog_, &ctx.query, ctx.graph.get(), &ctx.props);
   auto result = exec.Execute(*LeftDeepPlan(ctx, PhysOp::kHashJoin));
   ASSERT_EQ(result.observed.size(), 3u);
@@ -232,7 +241,8 @@ TEST_F(MicroExecTest, FeedbackMakesSummariesMatchObservations) {
   b.AddRelation("left_t", "l");
   b.AddRelation("right_t", "r");
   b.Join("l", "id", "r", "fk");
-  QueryContext ctx = MakeCtx(b.Build());
+  auto ctx_owner = MakeCtx(b.Build());
+  QueryContext& ctx = *ctx_owner;
   ctx.registry.Reset(2);
   ctx.registry.SetBaseRows(0, 3);
   ctx.registry.SetBaseRows(1, 4);
