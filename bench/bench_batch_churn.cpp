@@ -112,7 +112,7 @@ void Run() {
       opt_b.Optimize();
       ChurnScript script_b(ctx_b->registry);
       ReoptSession session(&ctx_b->registry);
-      session.Register(&opt_b);
+      QueryHandle handle = session.Register(opt_b);
       const int64_t enq_b0 = opt_b.metrics().tasks_enqueued;
       batched_times.push_back(OnceMs([&] {
         for (int r = 0; r < kRounds; ++r) {
@@ -206,7 +206,8 @@ void Run() {
         qopts.back()->Optimize();
       }
       ReoptSession session(&ctx->registry);
-      for (auto& q : qopts) session.Register(q.get());
+      std::vector<QueryHandle> handles;
+      for (auto& q : qopts) handles.push_back(session.Register(*q));
       ChurnScript script(ctx->registry);
       batch_times.push_back(OnceMs([&] {
         for (int r = 0; r < kRounds; ++r) {
@@ -223,6 +224,39 @@ void Run() {
     multi_batch_ms = MedianOf(batch_times);
   }
   const double multi_speedup = multi_seq_ms / multi_batch_ms;
+
+  // ---- flush-level metrics export (untimed instrumentation run) -----------
+  // One more pass over the same churn with a JsonMetricsExporter and a
+  // counting subscriber attached: every dispatched flush lands as a
+  // FlushReport, written out as BENCH_bench_batch_churn_flushes.json so the
+  // flush-level counters (and the plan-change stream) join the perf
+  // trajectory next to this bench's own JSON. Kept out of the timed loops:
+  // the no-exporter numbers above stay comparable across PRs.
+  JsonMetricsExporter exporter;
+  int64_t exported_plan_changes = 0;
+  {
+    class CountingSubscriber final : public PlanSubscriber {
+     public:
+      explicit CountingSubscriber(int64_t* n) : n_(n) {}
+      void OnPlanChange(const PlanChangeEvent&) override { ++*n_; }
+
+     private:
+      int64_t* n_;
+    } counting(&exported_plan_changes);
+    auto ctx = MakeContext(*fixture, "Q5");
+    DeclarativeOptimizer opt(ctx->enumerator.get(), ctx->cost_model.get(), &ctx->registry);
+    opt.Optimize();
+    ReoptSessionOptions so;
+    so.metrics_exporter = &exporter;
+    ReoptSession session(&ctx->registry, so);
+    QueryHandle handle = session.Register(opt, &counting);
+    ChurnScript script(ctx->registry);
+    for (int r = 0; r < kRounds; ++r) {
+      script.Apply(ctx->registry, r, [] {});
+      session.Flush();
+    }
+  }
+  exporter.WriteBenchReport("bench_batch_churn_flushes");
 
   // ---- threads axis: parallel dispatch of the session flush ---------------
   // Eight live queries (the four fig8 configurations, twice over) in one
@@ -251,7 +285,8 @@ void Run() {
       ReoptSessionOptions so;
       so.worker_threads = kThreadsAxis[t];
       ReoptSession session(&ctx->registry, so);
-      for (auto& q : qopts) session.Register(q.get());
+      std::vector<QueryHandle> handles;
+      for (auto& q : qopts) handles.push_back(session.Register(*q));
       ChurnScript script(ctx->registry);
       times.push_back(OnceMs([&] {
         for (int r = 0; r < kRounds; ++r) {
@@ -322,6 +357,8 @@ void Run() {
       .Put("workers2_flush_ms", axis_ms[2])
       .Put("workers4_flush_ms", axis_ms[3])
       .Put("parallel_speedup_4w", speedup_4w)
+      .Put("flush_reports_exported", exporter.num_reports())
+      .Put("plan_changes_observed", exported_plan_changes)
       .Put("coalesce", coalesce_json);
   JsonObj root = BenchRoot("bench_batch_churn", metrics,
                            {&mode_table, &coalesce_table, &threads_table, &multi_table});

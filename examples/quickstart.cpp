@@ -1,16 +1,35 @@
-// Quickstart: build a catalog, define a query, optimize it, apply a cost
-// update, and re-optimize incrementally.
+// Quickstart: build a catalog, define a query, optimize it, register it
+// with a ReoptSession, and watch incremental re-optimization publish a
+// plan-change event when a cost update flips the best plan.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
 
 #include "baseline/volcano.h"
 #include "core/declarative_optimizer.h"
+#include "service/reopt_session.h"
 #include "workload/context.h"
 #include "workload/queries.h"
 #include "workload/tpch_gen.h"
 
 using namespace iqro;
+
+namespace {
+
+// A PlanSubscriber receives one event per flush per query whose canonical
+// best plan actually changed — the executor-facing notification edge.
+class PrintingSubscriber final : public PlanSubscriber {
+ public:
+  void OnPlanChange(const PlanChangeEvent& event) override {
+    std::printf("\nplan change (flush #%lld): cost %.1f -> %.1f, "
+                "%d/%d operators changed, join prefix %d/%d kept\n",
+                static_cast<long long>(event.flush_index), event.old_cost, event.new_cost,
+                event.diff.changed_operators, event.diff.total_operators,
+                event.diff.join_order_prefix, event.diff.join_order_len);
+  }
+};
+
+}  // namespace
 
 int main() {
   // 1. Generate a small TPC-H-like database and collect statistics.
@@ -35,19 +54,28 @@ int main() {
   std::printf("\ninitial best plan (cost %.1f):\n%s", optimizer.BestCost(),
               optimizer.GetBestPlan()->ToString(ctx->query, ctx->props).c_str());
 
-  // 4. Runtime information arrives: the Orders scan turned out 8x more
+  // 4. Register the live query with a ReoptSession and subscribe to plan
+  //    changes. The QueryHandle is the registration: move-only, and its
+  //    destructor unregisters.
+  ReoptSession session(&ctx->registry);
+  PrintingSubscriber subscriber;
+  QueryHandle query = session.Register(optimizer, &subscriber);
+
+  // 5. Runtime information arrives: the Orders scan turned out 8x more
   //    expensive (e.g. the machine hosting it is loaded), and the
-  //    customer-orders join produces 4x more rows than estimated.
+  //    customer-orders join produces 4x more rows than estimated. One
+  //    coalesced flush seeds both deltas and runs ONE incremental fixpoint;
+  //    the subscriber fires iff the canonical best plan moved.
   ctx->registry.SetScanCostMultiplier(1, 8.0);        // slot 1 = orders
   ctx->registry.SetCardMultiplier(0b011, 4.0);        // customer x orders
-  optimizer.Reoptimize();                             // incremental!
+  session.Flush();                                    // incremental!
   std::printf("\nafter the cost update (cost %.1f):\n%s", optimizer.BestCost(),
               optimizer.GetBestPlan()->ToString(ctx->query, ctx->props).c_str());
   std::printf("re-optimization touched %lld plan-table entries (%lld alternatives)\n",
               static_cast<long long>(optimizer.metrics().round_touched_eps),
               static_cast<long long>(optimizer.metrics().round_touched_alts));
 
-  // 5. Cross-check against a from-scratch procedural optimization.
+  // 6. Cross-check against a from-scratch procedural optimization.
   VolcanoOptimizer volcano(ctx->enumerator.get(), ctx->cost_model.get());
   volcano.Optimize();
   std::printf("\nfrom-scratch Volcano cost: %.1f (must match: %s)\n", volcano.BestCost(),

@@ -758,6 +758,16 @@ std::string DeclarativeOptimizer::DumpState() const {
 }
 
 std::string DeclarativeOptimizer::CanonicalDumpState() const {
+  // Render-only walk: string callers (tests, oracles) skip the structured
+  // ops/join-order views the service layer's notifications need.
+  return ComputePlanDigestImpl(/*want_structured=*/false).canonical;
+}
+
+PlanDigest DeclarativeOptimizer::ComputePlanDigest() const {
+  return ComputePlanDigestImpl(/*want_structured=*/true);
+}
+
+PlanDigest DeclarativeOptimizer::ComputePlanDigestImpl(bool want_structured) const {
   const QuerySpec& q = enumerator_->query();
   const PropTable& props = enumerator_->props();
   // Collect the winner closure: from the root, each pair contributes its
@@ -800,27 +810,56 @@ std::string DeclarativeOptimizer::CanonicalDumpState() const {
     if (a->expr != b->expr) return a->expr < b->expr;
     return prop_key(a->prop) < prop_key(b->prop);
   });
-  std::string out;
+  PlanDigest digest;
+  digest.best_cost = BestCost();
+  if (want_structured) digest.ops.reserve(reach.size());
   for (const EPState* ep : reach) {
-    out += StrFormat("EP %s %s best=%s\n", RelSetToString(ep->expr).c_str(),
-                     props.ToString(ep->prop, &q).c_str(),
-                     DoubleToString(ep->best_agg.empty() ? kInf : ep->best_agg.MinValue())
-                         .c_str());
-    if (ep->best_agg.empty()) continue;
-    const AltState& a = ep->alts[ep->best_agg.MinEntry().second];
-    std::string children;
-    if (a.def.NumChildren() >= 1) {
-      children += StrFormat(" l=%s%s", RelSetToString(a.def.lexpr).c_str(),
-                            props.ToString(a.def.lprop, &q).c_str());
+    PlanDigestOp op;
+    op.expr = ep->expr;
+    op.prop = props.ToString(ep->prop, &q);
+    op.cost = ep->best_agg.empty() ? kInf : ep->best_agg.MinValue();
+    digest.canonical += StrFormat("EP %s %s best=%s\n", RelSetToString(op.expr).c_str(),
+                                  op.prop.c_str(), DoubleToString(op.cost).c_str());
+    if (!ep->best_agg.empty()) {
+      const AltState& a = ep->alts[ep->best_agg.MinEntry().second];
+      op.has_win = true;
+      op.logop = a.def.logop;
+      op.phyop = a.def.phyop;
+      std::string children;
+      if (a.def.NumChildren() >= 1) {
+        op.lexpr = a.def.lexpr;
+        op.lprop = props.ToString(a.def.lprop, &q);
+        children += StrFormat(" l=%s%s", RelSetToString(op.lexpr).c_str(), op.lprop.c_str());
+      }
+      if (a.def.NumChildren() == 2) {
+        op.rexpr = a.def.rexpr;
+        op.rprop = props.ToString(a.def.rprop, &q);
+        children += StrFormat(" r=%s%s", RelSetToString(op.rexpr).c_str(), op.rprop.c_str());
+      }
+      digest.canonical +=
+          StrFormat("  win %s %s%s cost=%s\n", LogOpName(a.def.logop), PhysOpName(a.def.phyop),
+                    children.c_str(), DoubleToString(a.cost).c_str());
     }
-    if (a.def.NumChildren() == 2) {
-      children += StrFormat(" r=%s%s", RelSetToString(a.def.rexpr).c_str(),
-                            props.ToString(a.def.rprop, &q).c_str());
-    }
-    out += StrFormat("  win %s %s%s cost=%s\n", LogOpName(a.def.logop), PhysOpName(a.def.phyop),
-                     children.c_str(), DoubleToString(a.cost).c_str());
+    if (want_structured) digest.ops.push_back(std::move(op));
   }
-  return out;
+  // Join order: the best plan's leaf slots in tree order (left before
+  // right), following winners from the root — the executor-facing "which
+  // pipelined prefix survived" view of the same closure.
+  if (want_structured && root_ != nullptr && root_->enumerated && !root_->best_agg.empty()) {
+    auto walk = [this](auto&& self, const EPState* ep, std::vector<int>& out) -> void {
+      if (ep == nullptr || !ep->enumerated || ep->best_agg.empty()) return;
+      const AltState& win = ep->alts[ep->best_agg.MinEntry().second];
+      if (win.def.NumChildren() == 0) {
+        out.push_back(RelLowest(ep->expr));
+        return;
+      }
+      for (int s = 0; s < win.def.NumChildren(); ++s) {
+        self(self, ChildEP(win, s), out);
+      }
+    };
+    walk(walk, root_, digest.join_order);
+  }
+  return digest;
 }
 
 void DeclarativeOptimizer::ValidateInvariants() const {

@@ -70,6 +70,7 @@
 #include "common/ring_buffer.h"
 #include "core/metrics.h"
 #include "core/optimizer_options.h"
+#include "core/plan_digest.h"
 #include "cost/cost_model.h"
 #include "delta/extreme_agg.h"
 #include "enumerate/plan_enumerator.h"
@@ -192,8 +193,15 @@ class DeclarativeOptimizer {
   /// from-scratch optimizer at the same statistics (and the same pruning
   /// options) must produce byte-identical output — the equality the
   /// differential harness asserts (§4's "identical to a fresh
-  /// optimization").
+  /// optimization"). Implemented as ComputePlanDigest().canonical.
   std::string CanonicalDumpState() const;
+
+  /// The winner closure as a value (core/plan_digest.h): the canonical
+  /// rendering plus the structured ops/join-order views the service layer's
+  /// plan-change notifications diff. `digest.canonical` is byte-identical
+  /// to CanonicalDumpState() by construction, so digest equality and
+  /// canonical-dump equality can never disagree.
+  PlanDigest ComputePlanDigest() const;
 
   /// Asserts internal invariants at a fixpoint; used heavily by tests.
   void ValidateInvariants() const;
@@ -324,6 +332,11 @@ class DeclarativeOptimizer {
 
   void Touch(EPState* ep);
   void Touch(EPState* ep, uint32_t alt_idx);
+
+  /// Shared winner-closure walk behind CanonicalDumpState (string only)
+  /// and ComputePlanDigest (`want_structured`: also the ops vector and
+  /// join order).
+  PlanDigest ComputePlanDigestImpl(bool want_structured) const;
 
   /// Per-EP heap footprint (alt/parent vector capacities + aggregate
   /// entries, the latter estimated): the O(#EPs) walk behind the peak

@@ -1,0 +1,29 @@
+#include "core/plan_digest.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace iqro {
+
+PlanDiffSummary DiffPlanDigests(const PlanDigest& before, const PlanDigest& after) {
+  PlanDiffSummary d;
+  d.total_operators = static_cast<int>(after.ops.size());
+  d.join_order_len = static_cast<int>(after.join_order.size());
+  // Each closure holds at most one op per (expr, prop) pair, so pairing
+  // slots is a lookup, not an alignment problem. Closures are small (the
+  // best plan's substructure), so a linear probe per op beats hashing.
+  for (const PlanDigestOp& op : after.ops) {
+    const auto it = std::find_if(
+        before.ops.begin(), before.ops.end(), [&op](const PlanDigestOp& b) {
+          return b.expr == op.expr && b.prop == op.prop;
+        });
+    if (it == before.ops.end() || !it->SameOperator(op)) ++d.changed_operators;
+  }
+  const size_t n = std::min(before.join_order.size(), after.join_order.size());
+  size_t p = 0;
+  while (p < n && before.join_order[p] == after.join_order[p]) ++p;
+  d.join_order_prefix = static_cast<int>(p);
+  return d;
+}
+
+}  // namespace iqro

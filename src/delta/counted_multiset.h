@@ -5,6 +5,7 @@
 #ifndef IQRO_DELTA_COUNTED_MULTISET_H_
 #define IQRO_DELTA_COUNTED_MULTISET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 

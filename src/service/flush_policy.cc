@@ -1,0 +1,100 @@
+#include "service/flush_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace iqro {
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  std::chrono::steady_clock::time_point Now() const override {
+    return std::chrono::steady_clock::now();
+  }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const SteadyClock* clock = new SteadyClock;
+  return clock;
+}
+
+CountPolicy::CountPolicy(int64_t flush_after) : flush_after_(flush_after) {
+  IQRO_CHECK(flush_after_ >= 1);
+}
+
+bool CountPolicy::ShouldFlush(const FlushPolicyContext& ctx) {
+  return ctx.mutations_since_flush >= flush_after_;
+}
+
+DeadlinePolicy::DeadlinePolicy(std::chrono::milliseconds deadline, const Clock* clock)
+    : deadline_(deadline), clock_(clock) {
+  IQRO_CHECK(deadline_.count() >= 0);
+  IQRO_CHECK(clock_ != nullptr);
+}
+
+bool DeadlinePolicy::ShouldFlush(const FlushPolicyContext& ctx) {
+  // A Poll() with nothing recorded since the last flush has nothing to age:
+  // stay disarmed so a later burst starts its own window.
+  if (ctx.mutations_since_flush <= 0 && ctx.pending_stats == 0) return false;
+  if (!armed_) {
+    armed_ = true;
+    batch_opened_ = clock_->Now();
+  }
+  return clock_->Now() - batch_opened_ >= deadline_;
+}
+
+void DeadlinePolicy::OnFlush(const FlushOptStats& stats, int64_t changes,
+                             size_t pending_after) {
+  (void)stats;
+  (void)changes;
+  if (pending_after > 0) {
+    // Mutations raced this flush into the next epoch's batch: their wait
+    // is already running, so the window restarts now rather than at the
+    // next consultation (which, Poll()-driven, could be a full poll
+    // interval away — silently stretching the staleness bound).
+    armed_ = true;
+    batch_opened_ = clock_->Now();
+  } else {
+    armed_ = false;
+  }
+}
+
+CostGatedPolicy::CostGatedPolicy(double work_budget, double smoothing)
+    : work_budget_(work_budget), smoothing_(smoothing) {
+  IQRO_CHECK(work_budget_ > 0);
+  IQRO_CHECK(smoothing_ > 0 && smoothing_ <= 1.0);
+}
+
+bool CostGatedPolicy::ShouldFlush(const FlushPolicyContext& ctx) {
+  if (ctx.mutations_since_flush <= 0 && ctx.pending_stats == 0) return false;
+  // No history: flush eagerly to calibrate (header comment).
+  if (!has_history_) return true;
+  const double estimate = static_cast<double>(ctx.pending_stats) * work_per_change_;
+  return estimate >= work_budget_;
+}
+
+void CostGatedPolicy::OnFlush(const FlushOptStats& stats, int64_t changes,
+                              size_t pending_after) {
+  (void)pending_after;       // work estimation keys on history, not survivors
+  if (changes <= 0) return;  // absorbed batch: no work observation to learn from
+  // Floored at one work unit per change: a zero-work flush (every query
+  // prefiltered away) must neither wedge the estimate at 0 (auto-flush
+  // would never fire again) nor be skipped outright (the policy would stay
+  // in eager per-mutation calibration forever while churn keeps missing
+  // the registered queries). With the floor, zero-work history converges
+  // to batching ~work_budget pending statistics, and real observations
+  // take over as soon as a pass does actual work.
+  const double observed =
+      std::max(1.0, static_cast<double>(stats.fixpoint_steps + stats.eps_seeded) /
+                        static_cast<double>(changes));
+  work_per_change_ =
+      has_history_ ? (1.0 - smoothing_) * work_per_change_ + smoothing_ * observed
+                   : observed;
+  has_history_ = true;
+}
+
+}  // namespace iqro

@@ -1,0 +1,172 @@
+// FlushPolicy: when does a ReoptSession turn its pending mutation stream
+// into a flush?
+//
+// PR 3 hard-coded one answer (a raw mutation count, `auto_flush_after`).
+// Production feedback loops want different trade-offs: bound the staleness
+// *window* (a deadline), or bound the *work* a flush will cost (a batch
+// that has grown to cover half the memo re-fixpoints no cheaper than two
+// batches — flush before the estimate crosses the budget). This header
+// makes the trigger a strategy object; the session evaluates it on the
+// same re-entrancy-safe subscriber path the old counter used
+// (ReoptSession::OnStatsMutated), plus on demand via ReoptSession::Poll()
+// for time-based policies that must fire without a mutation arriving.
+//
+// ## Contract
+//
+//  * ShouldFlush() is consulted (a) after every value-changing recorded
+//    mutation, with the under-lock StatsMutationEvent snapshot mapped into
+//    the context, and (b) on every Poll(). Returning true asks the session
+//    to flush now; the session may still decline when another flush is in
+//    flight (the next mutation or Poll re-asks).
+//  * OnFlush() is called at the end of every Flush() that drained the
+//    registry — including one whose batch coalesced to nothing — with the
+//    aggregated FlushOptStats, the number of StatChanges dispatched
+//    (0 for an absorbed batch), and the count of statistics already
+//    pending again (mutations that raced the flush into the next epoch's
+//    batch). This is the policy's history feed and its reset hook.
+//  * Both methods are invoked under the session's policy mutex: calls are
+//    serialized across mutator threads and the coordinator, so policies
+//    need no internal locking. They must not call back into the session or
+//    the registry (that would deadlock on the policy mutex or the registry
+//    lock; the decision is pure), and must not throw — OnFlush runs from
+//    the flush epilogue's destructor, which fires even when a subscriber
+//    callback threw (the flush did drain; the policy's reset is owed).
+//  * One policy instance serves one session. Sessions share ownership of
+//    the policy (shared_ptr) so ReoptSessionOptions stays copyable.
+//
+// Time-based policies take a Clock so tests can drive them without
+// sleeping; everything here is single-clock, steady, and monotonic.
+#ifndef IQRO_SERVICE_FLUSH_POLICY_H_
+#define IQRO_SERVICE_FLUSH_POLICY_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "service/session_metrics.h"
+
+namespace iqro {
+
+/// Injectable monotonic time source (DeadlinePolicy). The default
+/// Real() clock reads std::chrono::steady_clock; tests substitute a
+/// hand-advanced fake.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::chrono::steady_clock::time_point Now() const = 0;
+  /// Process-wide steady-clock instance (never null, never destroyed).
+  static const Clock* Real();
+};
+
+/// What a policy may look at when deciding. Snapshot semantics: the fields
+/// describe the state at one recorded mutation (OnStatsMutated) or at one
+/// Poll() probe; they do not update while ShouldFlush runs.
+struct FlushPolicyContext {
+  /// Value-changing mutations observed since the last Flush() drained
+  /// (successful or absorbed). The CountPolicy input.
+  int64_t mutations_since_flush = 0;
+  /// Distinct statistics with a pending delta — the pending-scope mask
+  /// size. From the under-lock mutation snapshot (mutation path) or a
+  /// locked registry probe (Poll). The CostGatedPolicy input.
+  size_t pending_stats = 0;
+  /// Registry epoch after the triggering mutation; 0 on a Poll() probe.
+  uint64_t epoch = 0;
+};
+
+class FlushPolicy {
+ public:
+  virtual ~FlushPolicy() = default;
+
+  /// Flush now? See the contract above for when this is consulted.
+  virtual bool ShouldFlush(const FlushPolicyContext& ctx) = 0;
+
+  /// A flush drained the registry: `stats` aggregates the dispatched
+  /// passes, `changes` is the coalesced StatChange count (0 when the batch
+  /// was absorbed), `pending_after` the distinct statistics already
+  /// pending again at flush end — mutations that raced the flush and
+  /// landed in the NEXT epoch's batch, which a time-based policy must not
+  /// silently disarm on. Default: stateless policies ignore history.
+  virtual void OnFlush(const FlushOptStats& stats, int64_t changes, size_t pending_after) {
+    (void)stats;
+    (void)changes;
+    (void)pending_after;
+  }
+
+  /// Stable identifier for logs and metrics export.
+  virtual const char* name() const = 0;
+};
+
+/// PR 3's `auto_flush_after` as a policy: flush once N value-changing
+/// mutations accumulated. The latency/batching knob when mutation *count*
+/// is the right proxy for staleness.
+class CountPolicy final : public FlushPolicy {
+ public:
+  /// `flush_after` must be >= 1.
+  explicit CountPolicy(int64_t flush_after);
+  bool ShouldFlush(const FlushPolicyContext& ctx) override;
+  const char* name() const override { return "count"; }
+
+ private:
+  int64_t flush_after_;
+};
+
+/// Bounded staleness in wall-clock terms: flush once the oldest pending
+/// mutation has waited `deadline`. Arms on the first mutation after a
+/// flush; disarms on OnFlush. Deadlines are only *observed* when the
+/// session consults the policy — on the next mutation or on Poll() — so a
+/// deadline-driven deployment calls Poll() from its event loop (there is
+/// no timer thread; docs/API.md "Policy contract").
+class DeadlinePolicy final : public FlushPolicy {
+ public:
+  /// `clock` defaults to the real steady clock; tests inject a fake. Not
+  /// owned; must outlive the policy.
+  explicit DeadlinePolicy(std::chrono::milliseconds deadline,
+                          const Clock* clock = Clock::Real());
+  bool ShouldFlush(const FlushPolicyContext& ctx) override;
+  /// Disarms — unless mutations raced the flush and are already pending
+  /// for the next batch (`pending_after > 0`), in which case the window
+  /// re-arms immediately so their wait is bounded from now, not from
+  /// whenever the next consultation happens to arrive.
+  void OnFlush(const FlushOptStats& stats, int64_t changes, size_t pending_after) override;
+  const char* name() const override { return "deadline"; }
+
+ private:
+  std::chrono::milliseconds deadline_;
+  const Clock* clock_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point batch_opened_{};
+};
+
+/// Bounded *work* per flush: estimate the re-fixpoint cost of the pending
+/// batch as (pending-scope mask size) x (observed work per dispatched
+/// change, EWMA over OptMetrics flush history), and flush once the
+/// estimate reaches `work_budget` (in fixpoint-step units, the
+/// FlushOptStats::fixpoint_steps + eps_seeded scale). Until a first flush
+/// seeds the history the policy flushes eagerly (every mutation): an
+/// estimate of zero history is an estimate of nothing, and one eager
+/// flush is the cheapest possible calibration run.
+class CostGatedPolicy final : public FlushPolicy {
+ public:
+  /// `work_budget` must be > 0. `smoothing` in (0, 1]: EWMA weight of the
+  /// newest flush observation.
+  explicit CostGatedPolicy(double work_budget, double smoothing = 0.3);
+  bool ShouldFlush(const FlushPolicyContext& ctx) override;
+  void OnFlush(const FlushOptStats& stats, int64_t changes, size_t pending_after) override;
+  const char* name() const override { return "cost_gated"; }
+
+  /// Current expected-work-per-change estimate (0 until the first
+  /// non-empty flush; floored at 1 work unit per observed change so
+  /// zero-work flushes neither wedge nor perpetuate eager mode) —
+  /// exposed for tests and metrics.
+  double work_per_change() const { return work_per_change_; }
+
+ private:
+  double work_budget_;
+  double smoothing_;
+  double work_per_change_ = 0;
+  bool has_history_ = false;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_SERVICE_FLUSH_POLICY_H_

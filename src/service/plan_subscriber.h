@@ -1,0 +1,74 @@
+// PlanSubscriber: the notification edge between the re-optimizer and the
+// thing that runs plans.
+//
+// Re-optimization systems that act on plan changes mid-flight hinge on the
+// optimizer *publishing* "your best plan is now X, it was Y, here is how
+// much moved" — an executor then decides whether switching pays (the
+// mid-query re-optimization literature's cost/benefit gate). A ReoptSession
+// delivers exactly that: after each flush, every registered query whose
+// canonical best plan actually changed fires one PlanChangeEvent to its
+// attached subscriber.
+//
+// ## Exactness
+//
+// "Actually changed" is computed from the winner closure (the PlanDigest of
+// core/plan_digest.h), never from the dirty set: a flush that seeds and
+// re-derives half the memo but lands on the same best plan fires nothing,
+// and net-zero churn (absorbed by the coalescer) fires nothing. The
+// differential harness proves the exactness over the full scenario
+// rotation: an event fires iff CanonicalDumpState() changed for that query,
+// and the event's old/new costs match the from-scratch oracle
+// (docs/TESTING.md "Notification oracle").
+//
+// ## Delivery
+//
+// Events fire on the flushing thread, after every dispatched pass has
+// completed and the registry's reader lock has been released, in
+// registration order — exactly once per flush per changed query, in serial
+// and pooled dispatch alike. Reentrancy rules (what a callback may do) are
+// specified in docs/API.md and on ReoptSession.
+#ifndef IQRO_SERVICE_PLAN_SUBSCRIBER_H_
+#define IQRO_SERVICE_PLAN_SUBSCRIBER_H_
+
+#include <cstdint>
+
+#include "core/plan_digest.h"
+
+namespace iqro {
+
+class DeclarativeOptimizer;
+
+struct PlanChangeEvent {
+  /// The session-stable id of the query that changed (QueryHandle::id()).
+  int query_id = -1;
+  /// The changed query's optimizer — safe to inspect from the callback
+  /// (GetBestPlan, BestCost, metrics); the flush that produced the change
+  /// is complete.
+  DeclarativeOptimizer* optimizer = nullptr;
+  /// Registry epoch of the drained batch this flush applied
+  /// (StatsRegistry::DrainedBatch::epoch) — matches the optimizer's
+  /// stats_epoch() after the flush.
+  uint64_t flush_epoch = 0;
+  /// Ordinal of the firing flush (ReoptSessionMetrics::flushes at fire
+  /// time): lets a consumer correlate events with exported FlushReports.
+  int64_t flush_index = 0;
+  /// Root BestCost before/after the flush. `old_cost` is the value the
+  /// subscriber was last notified at (or the plan at attach time).
+  double old_cost = 0;
+  double new_cost = 0;
+  /// How much of the plan moved: changed operator count, surviving
+  /// join-order prefix (core/plan_digest.h).
+  PlanDiffSummary diff;
+};
+
+class PlanSubscriber {
+ public:
+  virtual ~PlanSubscriber() = default;
+  /// Fired per the delivery contract above. The event is valid only for
+  /// the duration of the call; copy what you keep.
+  virtual void OnPlanChange(const PlanChangeEvent& event) = 0;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_SERVICE_PLAN_SUBSCRIBER_H_

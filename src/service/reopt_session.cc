@@ -1,16 +1,26 @@
 #include "service/reopt_session.h"
 
 #include <algorithm>
+#include <exception>
 #include <future>
+#include <utility>
 
 #include "common/check.h"
 
 namespace iqro {
 
 ReoptSession::ReoptSession(StatsRegistry* registry, ReoptSessionOptions options)
-    : registry_(registry), options_(options) {
+    : registry_(registry), options_(std::move(options)),
+      alive_(std::make_shared<bool>(true)) {
   IQRO_CHECK(registry_ != nullptr);
   IQRO_CHECK(options_.worker_threads >= 0);
+  // v1 shim: map the deprecated raw counter onto the policy it always was.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  if (options_.flush_policy == nullptr && options_.auto_flush_after > 0) {
+    options_.flush_policy = std::make_shared<CountPolicy>(options_.auto_flush_after);
+  }
+#pragma GCC diagnostic pop
   if (options_.worker_threads >= 1) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
@@ -18,13 +28,20 @@ ReoptSession::ReoptSession(StatsRegistry* registry, ReoptSessionOptions options)
 }
 
 ReoptSession::~ReoptSession() {
+  // Flip the handle liveness token first: a handle destroyed after this
+  // point must no-op instead of calling back into a dying session.
+  *alive_ = false;
   registry_->Unsubscribe(this);
   // pool_ (if any) drains and joins in its destructor: a dispatched pass
   // never outlives the session that owns its optimizers' slots.
 }
 
-ReoptSession::QueryId ReoptSession::Register(DeclarativeOptimizer* optimizer) {
+ReoptSession::QueryId ReoptSession::RegisterImpl(DeclarativeOptimizer* optimizer,
+                                                 PlanSubscriber* subscriber) {
   IQRO_CHECK(optimizer != nullptr);
+  // Growing queries_ mid-notification would invalidate the event walk; the
+  // reentrancy rules forbid it (docs/API.md).
+  IQRO_CHECK(!notifying_);
   // The session dispatches drained change lists; an optimizer wired to a
   // different registry would be seeded with deltas its statistics never
   // saw, and an un-optimized one has no state to maintain.
@@ -42,20 +59,73 @@ ReoptSession::QueryId ReoptSession::Register(DeclarativeOptimizer* optimizer) {
     // single-threaded.
     optimizer->EnableConcurrentFlushes();
   }
-  queries_.push_back({next_id_, optimizer});
+  Slot slot{next_id_, optimizer, nullptr, 0, false, PlanDigest{}};
+  if (subscriber != nullptr) {
+    slot.subscriber = subscriber;
+    slot.digest = optimizer->ComputePlanDigest();
+  }
+  queries_.push_back(std::move(slot));
   return next_id_++;
 }
 
-void ReoptSession::Unregister(QueryId id) {
+QueryHandle ReoptSession::Register(DeclarativeOptimizer& optimizer,
+                                   PlanSubscriber* subscriber) {
+  const QueryId id = RegisterImpl(&optimizer, subscriber);
+  return QueryHandle(this, id, &optimizer, alive_);
+}
+
+ReoptSession::QueryId ReoptSession::Register(DeclarativeOptimizer* optimizer) {
+  return RegisterImpl(optimizer, nullptr);
+}
+
+void ReoptSession::Unregister(QueryId id) { UnregisterImpl(id); }
+
+ReoptSession::Slot* ReoptSession::FindSlot(QueryId id) {
   auto it = std::find_if(queries_.begin(), queries_.end(),
                          [id](const Slot& s) { return s.id == id; });
-  IQRO_CHECK(it != queries_.end());
-  queries_.erase(it);
+  return it == queries_.end() ? nullptr : &*it;
+}
+
+void ReoptSession::UnregisterImpl(QueryId id) {
+  Slot* slot = FindSlot(id);
+  IQRO_CHECK(slot != nullptr);
+  if (notifying_) {
+    // Unregistration from inside a subscriber callback is DEFERRED to the
+    // end of the in-flight flush: the flush's remaining events (including
+    // this query's own, if still queued) fire against a stable slot list,
+    // and the query stops being dispatched from the next flush on.
+    IQRO_CHECK(std::find(deferred_unregister_.begin(), deferred_unregister_.end(), id) ==
+               deferred_unregister_.end());
+    deferred_unregister_.push_back(id);
+    return;
+  }
+  queries_.erase(queries_.begin() + (slot - queries_.data()));
+}
+
+void ReoptSession::SetSubscriber(QueryId id, PlanSubscriber* subscriber) {
+  Slot* slot = FindSlot(id);
+  IQRO_CHECK(slot != nullptr);
+  slot->subscriber = subscriber;
+  // Every (re)subscription is a new generation: a pending event computed
+  // for an older generation never delivers, even to the same pointer. Any
+  // pending rediff dies with the old subscription (the new baseline is
+  // captured fresh below).
+  ++slot->subscription_gen;
+  slot->rediff_pending = false;
+  if (subscriber != nullptr) {
+    // The plan as of *now* is the baseline: the first event this
+    // subscriber sees describes a change relative to the plan it attached
+    // under, never a replay of older history.
+    slot->digest = slot->optimizer->ComputePlanDigest();
+  } else {
+    slot->digest = PlanDigest{};  // drop the digest work with the subscriber
+  }
 }
 
 ReoptSession::PassResult ReoptSession::RunPass(DeclarativeOptimizer* optimizer,
                                                const std::vector<StatChange>& changes,
-                                               uint64_t epoch) {
+                                               uint64_t epoch, bool want_digest,
+                                               bool force_digest) {
   PassResult r;
   // Whole-query prefilter: a change can only matter to a query whose
   // relation set contains the change's scope. (Per-EP filtering inside
@@ -67,10 +137,20 @@ ReoptSession::PassResult ReoptSession::RunPass(DeclarativeOptimizer* optimizer,
   const int64_t enqueued_before = optimizer->metrics().tasks_enqueued;
   if (!r.affected) {
     // The skip itself proves this optimizer's state reflects the new
-    // statistics; an empty batch stamps its stats epoch (otherwise a
-    // later Register() would reject it as having missed this drain).
+    // statistics — its canonical plan cannot have changed, so normally no
+    // digest is recomputed either. An empty batch stamps its stats epoch
+    // (otherwise a later Register() would reject it as having missed this
+    // drain).
     static const std::vector<StatChange> kEmpty;
     optimizer->ReoptimizeBatch(kEmpty, epoch);
+    if (want_digest && force_digest) {
+      // A prior flush left this slot's baseline unsettled (a throwing
+      // subscriber dropped its event): re-derive the digest so the dropped
+      // change is re-detected NOW, not only at some future flush that
+      // happens to touch this query's relations.
+      r.digest = optimizer->ComputePlanDigest();
+      r.digest_computed = true;
+    }
     return r;
   }
   r.eps_seeded = optimizer->ReoptimizeBatch(changes, epoch);
@@ -79,6 +159,14 @@ ReoptSession::PassResult ReoptSession::RunPass(DeclarativeOptimizer* optimizer,
   r.touched_eps = m.round_touched_eps;
   r.touched_alts = m.round_touched_alts;
   r.tasks_enqueued = m.tasks_enqueued - enqueued_before;
+  if (want_digest) {
+    // On the worker: the digest reads only task-owned optimizer state plus
+    // the PropTable, which is already in concurrent mode under a pooled
+    // session — so digest work parallelizes with the fixpoints instead of
+    // serializing on the coordinator.
+    r.digest = optimizer->ComputePlanDigest();
+    r.digest_computed = true;
+  }
   return r;
 }
 
@@ -98,7 +186,7 @@ void ReoptSession::AggregatePass(const PassResult& r) {
 }
 
 size_t ReoptSession::Flush() {
-  // One flush at a time: a second caller (auto-flush reentrancy, or a
+  // One flush at a time: a second caller (policy reentrancy, or a
   // mutator-thread flush racing the coordinator's) backs off — whatever it
   // wanted drained is either in the in-flight batch or stays pending for
   // the next flush.
@@ -111,26 +199,111 @@ size_t ReoptSession::Flush() {
     ~InFlushGuard() { flag.store(false); }
   } in_flush_guard{in_flush_};
   {
-    // Reset the auto-flush counter BEFORE the drain: a mutation recorded
-    // in the gap is then over-counted (worst case one spurious early
-    // flush, benign) rather than under-counted (its increment erased
-    // while its pending entry survives — with no later mutation the
-    // threshold would never re-fire and the change would sit pending
-    // forever).
+    // Reset the policy counter BEFORE the drain: a mutation recorded in
+    // the gap is then over-counted (worst case one spurious early flush,
+    // benign) rather than under-counted (its increment erased while its
+    // pending entry survives — with no later mutation a count policy
+    // would never re-fire and the change would sit pending forever).
     std::lock_guard<std::mutex> lock(policy_mu_);
     mutations_since_flush_ = 0;
   }
   StatsRegistry::DrainedBatch batch = registry_->TakePendingBatch();
-  if (batch.changes.empty()) {
+  // An unsettled baseline (a prior flush's delivery unwound before some
+  // query's event) must be re-diffed by THIS flush even when the batch
+  // coalesced to nothing — otherwise indefinite net-zero churn would defer
+  // the dropped notification forever.
+  const bool rediff_needed = std::any_of(
+      queries_.begin(), queries_.end(), [](const Slot& s) { return s.rediff_pending; });
+  if (batch.changes.empty() && !rediff_needed) {
     // Either nothing was recorded, or the whole batch oscillated back to
-    // its baseline and the coalescer absorbed it: no optimizer runs.
+    // its baseline and the coalescer absorbed it: no optimizer runs, no
+    // events fire (net-zero churn is invisible by construction).
     if (batch.had_pending) ++metrics_.empty_flushes;
+    PolicyOnFlush(FlushOptStats{}, 0);
     return 0;
   }
-  ++metrics_.flushes;
-  metrics_.changes_flushed += static_cast<int64_t>(batch.changes.size());
-  last_flush_ = FlushOptStats{};
+  if (!batch.changes.empty()) {
+    ++metrics_.flushes;
+    metrics_.changes_flushed += static_cast<int64_t>(batch.changes.size());
+    // Reset only for a dispatched flush: a rediff-only pass (empty batch)
+    // does no fixpoint work and must leave last_flush() describing the
+    // most recent NON-EMPTY flush, per its contract.
+    last_flush_ = FlushOptStats{};
+  } else if (batch.had_pending) {
+    ++metrics_.empty_flushes;  // rediff-only pass below; still no changes
+  }
 
+  int64_t skipped_this_flush = 0;
+  int64_t delivered = 0;
+  const int64_t queries_at_dispatch = static_cast<int64_t>(queries_.size());
+  // The flush epilogue — metrics export and the policy's OnFlush history
+  // feed — must run for every drained flush, whatever unwinds out of it: a
+  // subscriber callback throwing during delivery, or a pool task's
+  // exception rethrown from the dispatch join. The exporter is owed its
+  // report (partial counters and all) and the policy its reset (a
+  // DeadlinePolicy left armed would mis-time the next batch's window), so
+  // the guard is constructed BEFORE dispatch. Corollary: exporters and
+  // policies must not throw (this runs from a destructor).
+  struct FlushEpilogue {
+    ReoptSession* session;
+    uint64_t epoch;
+    int64_t changes;
+    int64_t queries;
+    const int64_t* skipped;
+    const int64_t* delivered;
+    ~FlushEpilogue() {
+      ReoptSession* s = session;
+      // Rediff-only passes (changes == 0) are not dispatched flushes: the
+      // exporter contract is one report per non-empty flush.
+      if (s->options_.metrics_exporter != nullptr && changes > 0) {
+        FlushReport report;
+        {
+          // metrics_.mutations_observed is written by mutator threads
+          // under policy_mu_ (concurrent Record() during a flush is
+          // supported), so the struct copy snapshots under the same
+          // mutex; every other field is coordinator-only.
+          std::lock_guard<std::mutex> lock(s->policy_mu_);
+          report.session = s->metrics_;
+        }
+        report.flush_index = report.session.flushes;
+        report.flush_epoch = epoch;
+        report.changes = changes;
+        report.queries = queries;
+        report.queries_skipped = *skipped;
+        report.plan_changes = *delivered;
+        report.opt = s->last_flush_;
+        s->options_.metrics_exporter->OnFlushMetrics(report);
+      }
+      s->PolicyOnFlush(s->last_flush_, changes);
+    }
+  } epilogue{this,
+             batch.epoch,
+             static_cast<int64_t>(batch.changes.size()),
+             queries_at_dispatch,
+             &skipped_this_flush,
+             &delivered};
+
+  // If anything unwinds between dispatch and the event-computation loop
+  // (a pool task's rethrown exception, a serial RunPass throw), some
+  // passes may have completed and changed plans with no event computed
+  // and no baseline advanced. Mark every subscribed slot unsettled on
+  // that path: the next flush force-re-diffs them (RunPass force_digest),
+  // so the change is re-detected instead of silently missed. Over-marking
+  // is benign — a forced re-diff that finds the baseline intact settles
+  // and clears. Disarmed once the event loop has handled every slot.
+  struct RediffOnUnwind {
+    ReoptSession* session;
+    bool armed = true;
+    ~RediffOnUnwind() {
+      if (!armed) return;
+      for (Slot& slot : session->queries_) {
+        if (slot.subscriber != nullptr) slot.rediff_pending = true;
+      }
+    }
+  } rediff_guard{this};
+
+  std::vector<PassResult> results;
+  results.reserve(queries_.size());
   {
     // Freeze the statistics values for the whole dispatch window: every
     // pass — on whichever thread — reads exactly the drained epoch's
@@ -141,37 +314,267 @@ size_t ReoptSession::Flush() {
       passes.reserve(queries_.size());
       for (const Slot& slot : queries_) {
         DeclarativeOptimizer* optimizer = slot.optimizer;
-        passes.push_back(pool_->Submit([optimizer, &batch] {
-          return RunPass(optimizer, batch.changes, batch.epoch);
+        const bool want_digest = slot.subscriber != nullptr;
+        const bool force_digest = want_digest && slot.rediff_pending;
+        passes.push_back(pool_->Submit([optimizer, &batch, want_digest, force_digest] {
+          return RunPass(optimizer, batch.changes, batch.epoch, want_digest, force_digest);
         }));
       }
-      // Join + aggregate in registration order: the sums are commutative,
-      // but deterministic order keeps any future non-commutative metric
-      // honest for free.
-      for (std::future<PassResult>& f : passes) AggregatePass(f.get());
+      // Join in registration order: result[i] belongs to queries_[i], and
+      // deterministic order keeps aggregation and event computation honest.
+      // Join ALL futures before rethrowing a task failure: queued tasks
+      // capture &batch (this stack frame) and read the reader-locked
+      // statistics — unwinding past them would hand freed memory and
+      // unfrozen stats to whatever the pool runs next.
+      std::exception_ptr task_error;
+      for (std::future<PassResult>& f : passes) {
+        try {
+          results.push_back(f.get());
+        } catch (...) {
+          if (task_error == nullptr) task_error = std::current_exception();
+          results.push_back(PassResult{});  // keep index alignment
+        }
+      }
+      if (task_error != nullptr) std::rethrow_exception(task_error);
     } else {
+      // Same run-all-then-rethrow structure as the pooled join: the
+      // drained batch is irrecoverable, so every OTHER query must still
+      // receive its pass even when one throws — otherwise the skipped
+      // queries would be stamped past deltas they never saw and diverge
+      // permanently. (The throwing pass's own optimizer is left
+      // mid-fixpoint and unrecoverable either way — unregister it and
+      // rebuild via Optimize(); its peers stay exact.)
+      std::exception_ptr serial_error;
       for (const Slot& slot : queries_) {
-        AggregatePass(RunPass(slot.optimizer, batch.changes, batch.epoch));
+        const bool want_digest = slot.subscriber != nullptr;
+        try {
+          results.push_back(RunPass(slot.optimizer, batch.changes, batch.epoch, want_digest,
+                                    want_digest && slot.rediff_pending));
+        } catch (...) {
+          if (serial_error == nullptr) serial_error = std::current_exception();
+          results.push_back(PassResult{});
+        }
+      }
+      if (serial_error != nullptr) std::rethrow_exception(serial_error);
+    }
+  }
+
+  // Aggregate metrics and compute the events — outside the reader lock
+  // (subscriber callbacks may mutate statistics; a same-thread mutation
+  // while holding the shared lock would deadlock on the exclusive lock).
+  struct PendingEvent {
+    QueryId query;
+    /// The subscription generation the event was computed for (the
+    /// pointer would be redundant: every attach/detach/swap bumps the
+    /// generation). Delivery re-checks the slot at fire time and delivers
+    /// only if this exact subscription is still attached: a
+    /// mid-notification detach, swap, or even detach-then-reattach of the
+    /// same pointer suppresses the event — the old observer may already
+    /// be destroyed, and any (re)attached one's baseline postdates the
+    /// change this event describes.
+    uint64_t computed_gen;
+    /// The post-flush baseline, moved into the slot when the event is
+    /// SETTLED (delivered or suppressed) — not before. A callback that
+    /// throws therefore leaves later queries' baselines untouched, so
+    /// their dropped events are re-detected (against the old baseline) at
+    /// the next flush that re-optimizes them, instead of being lost.
+    PlanDigest new_digest;
+    PlanChangeEvent event;
+  };
+  std::vector<PendingEvent> events;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    Slot& slot = queries_[i];
+    PassResult& r = results[i];
+    AggregatePass(r);
+    if (!r.affected) ++skipped_this_flush;
+    if (slot.subscriber != nullptr && r.digest_computed) {
+      if (!slot.digest.SamePlan(r.digest)) {
+        PlanChangeEvent e;
+        e.query_id = slot.id;
+        e.optimizer = slot.optimizer;
+        e.flush_epoch = batch.epoch;
+        e.flush_index = metrics_.flushes;
+        e.old_cost = slot.digest.best_cost;
+        e.new_cost = r.digest.best_cost;
+        e.diff = DiffPlanDigests(slot.digest, r.digest);
+        events.push_back({slot.id, slot.subscription_gen, std::move(r.digest), std::move(e)});
+        // Cleared when the event settles; if delivery unwinds first, the
+        // flag makes the next flush re-derive this query's digest even
+        // when the batch cannot affect it (RunPass force_digest).
+        slot.rediff_pending = true;
+      } else {
+        // No event: the post-flush closure becomes the baseline now. For
+        // slots WITH an event the advance waits until the event settles
+        // in the delivery loop (see PendingEvent::new_digest). A pending
+        // rediff that finds the plan back at the baseline is moot.
+        slot.digest = std::move(r.digest);
+        slot.rediff_pending = false;
       }
     }
   }
+  // Every slot's baseline/rediff state is now consistent; delivery-phase
+  // throws are handled by settle-before-fire, not by the unwind guard.
+  rediff_guard.armed = false;
+
+  // Deliver: registration order (events were collected walking queries_),
+  // at most once per changed query, on this thread. An event fires only if
+  // the subscriber it was computed for is still the slot's subscriber — a
+  // callback that detaches or replaces a later query's subscriber
+  // suppresses its pending event instead of firing into a possibly-
+  // destroyed observer or replaying pre-attach history to the new one.
+  // Unregistration from inside a callback defers (notifying_).
+  {
+    // RAII on both pieces of notification state: a throwing callback must
+    // not leave the session stuck in notifying mode (every later Register
+    // would abort, every Release would defer forever), and deferred
+    // unregistrations must apply even on the unwind path — the flush they
+    // were requested from is over either way.
+    struct NotifyGuard {
+      ReoptSession* session;
+      ~NotifyGuard() {
+        session->notifying_ = false;
+        for (QueryId id : std::exchange(session->deferred_unregister_, {})) {
+          session->UnregisterImpl(id);
+        }
+      }
+    } notify_guard{this};
+    notifying_ = true;
+    for (PendingEvent& pe : events) {
+      Slot* slot = FindSlot(pe.query);  // slots are stable: unregisters defer
+      if (slot == nullptr) continue;
+      if (slot->subscription_gen != pe.computed_gen) {
+        // Subscription changed mid-notification: suppressed, and NOT
+        // settled — SetSubscriber already left the slot's digest right
+        // (cleared on detach, re-baselined on attach) and cleared the
+        // rediff flag; re-installing this digest would leave a detached
+        // slot holding a dead one.
+        continue;
+      }
+      // Settle the event before firing it: the baseline advances exactly
+      // when the event is consumed, so an earlier callback's throw cannot
+      // advance a later query past a change its consumer never saw. A
+      // generation match implies the subscriber is still the non-null one
+      // the event was computed for.
+      slot->digest = std::move(pe.new_digest);
+      slot->rediff_pending = false;  // settled
+      // Counted before the callback runs: a subscriber that throws from
+      // its OWN event has still consumed it (at-most-once for the thrower;
+      // the settle above forecloses redelivery), so the metrics and the
+      // FlushReport record the delivery attempt rather than undercounting.
+      ++delivered;
+      ++metrics_.plan_changes;
+      slot->subscriber->OnPlanChange(pe.event);
+    }
+  }
+  // FlushEpilogue fires here (export + policy OnFlush), then InFlushGuard.
   return batch.changes.size();
 }
 
-void ReoptSession::OnStatsMutated(StatsRegistry& registry) {
-  IQRO_CHECK(&registry == registry_);
-  bool fire;
+void ReoptSession::PolicyOnFlush(const FlushOptStats& stats, int64_t changes) {
+  if (options_.flush_policy == nullptr) return;  // no registry probe either
+  // Mutations that raced this flush are already pending for the next
+  // epoch; a time-based policy re-arms on them instead of disarming. The
+  // registry read happens BEFORE policy_mu_ — this class never holds the
+  // policy mutex while touching the registry, so the lock order stays
+  // acyclic with mutator threads (registry lock -> subscriber callback ->
+  // policy_mu_).
+  const size_t probed = registry_->PendingStatCount();
+  std::lock_guard<std::mutex> lock(policy_mu_);
+  // A mutation can land between the probe and this lock; its ShouldFlush
+  // backed off on in_flush_, so a pending_after of 0 here would disarm a
+  // deadline the mutation thinks is armed. mutations_since_flush_ (only
+  // written under this mutex, reset at flush start) sees every such
+  // mutation — the worst case of trusting it is a mutation that made the
+  // drained batch after the counter reset, i.e. a spurious re-arm and at
+  // most one early flush, the same benign class as the documented
+  // reset-before-drain over-count.
+  const size_t pending_after =
+      std::max(probed, mutations_since_flush_ > 0 ? size_t{1} : size_t{0});
+  options_.flush_policy->OnFlush(stats, changes, pending_after);
+}
+
+size_t ReoptSession::MaybePolicyFlush(const StatsMutationEvent* event) {
+  bool fire = false;
+  // Poll() probe: no under-lock mutation snapshot to map, so read the
+  // registry up front — never while holding policy_mu_ (lock order, see
+  // PolicyOnFlush).
+  const size_t polled_pending =
+      event == nullptr && options_.flush_policy != nullptr ? registry_->PendingStatCount()
+                                                           : 0;
   {
     std::lock_guard<std::mutex> lock(policy_mu_);
-    ++metrics_.mutations_observed;
-    ++mutations_since_flush_;
-    fire = options_.auto_flush_after > 0 &&
-           mutations_since_flush_ >= options_.auto_flush_after;
+    if (event != nullptr) {
+      // Mutation path: count inside the same critical section the policy
+      // evaluates under — one lock acquisition per recorded mutation.
+      ++metrics_.mutations_observed;
+      ++mutations_since_flush_;
+    }
+    if (options_.flush_policy != nullptr) {
+      FlushPolicyContext ctx;
+      ctx.mutations_since_flush = mutations_since_flush_;
+      if (event != nullptr) {
+        ctx.pending_stats = event->pending_stats;
+        ctx.epoch = event->epoch;
+      } else {
+        ctx.pending_stats = polled_pending;
+      }
+      fire = options_.flush_policy->ShouldFlush(ctx);
+    }
   }
   // Flush() itself rejects reentrancy and cross-thread races via
-  // in_flush_; a rejected auto-flush just means the threshold fires again
-  // on the next mutation.
-  if (fire && !in_flush_.load()) Flush();
+  // in_flush_; a rejected policy flush just means the policy fires again
+  // on the next mutation or Poll.
+  if (fire && !in_flush_.load()) return Flush();
+  return 0;
+}
+
+size_t ReoptSession::Poll() { return MaybePolicyFlush(nullptr); }
+
+void ReoptSession::OnStatsMutated(StatsRegistry& registry, const StatsMutationEvent& event) {
+  IQRO_CHECK(&registry == registry_);
+  MaybePolicyFlush(&event);  // counts the mutation and evaluates the policy
+}
+
+// ---------------------------------------------------------------------------
+// QueryHandle
+// ---------------------------------------------------------------------------
+
+QueryHandle::QueryHandle(QueryHandle&& other) noexcept
+    : session_(std::exchange(other.session_, nullptr)),
+      optimizer_(std::exchange(other.optimizer_, nullptr)),
+      alive_(std::move(other.alive_)),
+      id_(std::exchange(other.id_, -1)) {}
+
+QueryHandle& QueryHandle::operator=(QueryHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    session_ = std::exchange(other.session_, nullptr);
+    optimizer_ = std::exchange(other.optimizer_, nullptr);
+    alive_ = std::move(other.alive_);
+    id_ = std::exchange(other.id_, -1);
+  }
+  return *this;
+}
+
+QueryHandle::~QueryHandle() { Release(); }
+
+void QueryHandle::Subscribe(PlanSubscriber* subscriber) {
+  IQRO_CHECK(session_ != nullptr);  // must own a registration
+  // Session already destroyed: the registration died with it — defined
+  // no-op, consistent with Release() and the destructor.
+  if (alive_ == nullptr || !*alive_) return;
+  session_->SetSubscriber(id_, subscriber);
+}
+
+void QueryHandle::Release() {
+  if (session_ == nullptr) return;
+  // A handle outliving its session is legal (the token flipped): nothing
+  // left to unregister — the dead session already dropped every slot.
+  if (alive_ != nullptr && *alive_) session_->UnregisterImpl(id_);
+  session_ = nullptr;
+  optimizer_ = nullptr;
+  alive_.reset();
+  id_ = -1;
 }
 
 }  // namespace iqro

@@ -1,5 +1,5 @@
-// ReoptSession: the multi-query re-optimization manager — the first
-// service-layer subsystem above the single-query engine.
+// ReoptSession: the multi-query re-optimization manager — the service
+// layer above the single-query engine.
 //
 // The paper treats re-optimization as incremental view maintenance over the
 // optimizer's internal state and notes that deltas are cheapest when
@@ -8,31 +8,86 @@
 // statements, standing stream queries, AQP mid-flight plans) watch the same
 // statistics, and runtime feedback arrives as a churny stream full of
 // oscillations and no-ops. This class turns that stream into the minimum
-// amount of fixpoint work:
+// amount of fixpoint work — and publishes the part consumers actually act
+// on, the plan changes:
 //
 //   mutators ──► StatsRegistry (NetDeltaTable: one net delta per statistic)
-//                     │ OnStatsMutated (auto-flush policy hook)
+//                     │ OnStatsMutated ──► FlushPolicy (when to flush)
 //                     ▼
 //              ReoptSession::Flush
-//                     │ TakePending(): coalesced StatChanges, net-zero
-//                     │ churn already absorbed
+//                     │ TakePendingBatch(): coalesced StatChanges,
+//                     │ net-zero churn already absorbed
 //                     ▼
 //        for each registered query whose relations overlap the batch:
 //              DeclarativeOptimizer::ReoptimizeBatch(changes)
 //              — all dirty memo state seeded, then ONE fixpoint run
+//                     │
+//                     ▼
+//        PlanChangeEvent per query whose canonical best plan changed
+//        (winner-closure diff, not dirty-set) ──► PlanSubscriber
+//        FlushReport ──► MetricsExporter
 //
 // One flush therefore costs one registry drain plus at most one delta
 // fixpoint per *affected* optimizer, no matter how many raw mutations the
 // batch contained (see bench_batch_churn for the measured payoff vs
 // change-at-a-time Reoptimize()).
 //
+// ## The v2 surface (this header's API)
+//
+//   ReoptSession session(&registry, options);
+//   QueryHandle q = session.Register(optimizer);   // typed, move-only
+//   q.Subscribe(&my_subscriber);                   // plan-change events
+//   ...
+//   // q's destructor unregisters; or q.Release() to do it early.
+//
+// Flush triggering is a pluggable FlushPolicy (service/flush_policy.h):
+// CountPolicy reproduces the old `auto_flush_after`, DeadlinePolicy bounds
+// wall-clock staleness (drive it via Poll()), CostGatedPolicy bounds the
+// expected re-fixpoint work of a pending batch. Session metrics stream out
+// through a MetricsExporter (service/metrics_exporter.h).
+//
+// The v1 surface — `Register(DeclarativeOptimizer*) -> QueryId`,
+// `Unregister(QueryId)`, `ReoptSessionOptions::auto_flush_after` — remains
+// this one PR as thin [[deprecated]] shims over the same internals;
+// docs/API.md has the migration table.
+//
+// ## Notification semantics (the exactness contract)
+//
+// After each flush, a PlanChangeEvent fires exactly once per registered
+// query whose *canonical best plan* changed — computed by diffing the
+// query's winner-closure PlanDigest (core/plan_digest.h) across the flush,
+// never from the dirty set. A flush that re-derives half the memo but
+// lands on the same plan fires nothing; net-zero churn fires nothing.
+// Events fire on the flushing thread, in registration order, after every
+// pass completed and the registry reader lock is released; the event
+// carries old/new BestCost, the operator/join-prefix diff, and the flush
+// epoch. Queries without a subscriber pay nothing (no digest is computed).
+// The differential harness proves the contract on the full scenario
+// rotation (docs/TESTING.md "Notification oracle").
+//
+// Reentrancy (inside OnPlanChange):
+//  * Reading the session, any registered optimizer, or the registry is
+//    allowed — the flush's passes are complete.
+//  * Unregister (handle destruction, Release(), or the deprecated
+//    Unregister(id)) is allowed and is DEFERRED to the end of the
+//    in-flight flush: every event of that flush still fires (including
+//    the unregistering query's own), and the query stops being dispatched
+//    from the next flush on.
+//  * Registering a new query is NOT allowed (checked).
+//  * Mutating statistics is allowed; a policy-triggered auto-flush from
+//    inside the callback backs off on `in_flush_` and the mutation sits
+//    pending for the next flush.
+//
 // ## Ownership
 //
 // The session borrows everything: the registry and every registered
-// optimizer must outlive it (or be unregistered first). The session
+// optimizer must outlive it (or be unregistered first); subscribers,
+// policies (shared) and exporters must outlive their use. The session
 // subscribes to the registry on construction and unsubscribes in its
-// destructor. Registered optimizers must already have run Optimize() and
-// must drain this session's registry (checked).
+// destructor. QueryHandles may outlive the session: a handle's destructor
+// detects the dead session (liveness token) and becomes a no-op.
+// Registered optimizers must already have run Optimize() and must drain
+// this session's registry (checked).
 //
 // ## Consistency contract
 //
@@ -61,26 +116,34 @@
 //    per-query ReoptimizeBatch() passes onto a fixed-size worker pool
 //    (common/thread_pool.h) instead of running them in registration order
 //    on the calling thread. Each optimizer — its memo, arena, worklist,
-//    metrics — is owned by exactly one pool task per flush; the *shared*
-//    world state an optimizer reads while fixpointing (split memo,
-//    PropTable, summary cache) is switched to internal locking at
-//    Register() time (DeclarativeOptimizer::EnableConcurrentFlushes), and
-//    the statistics values are frozen for the whole dispatch window by the
-//    registry's reader lock. Per-flush metrics are aggregated from the
+//    metrics — is owned by exactly one pool task per flush (the task also
+//    computes the post-flush PlanDigest for subscribed queries, so digest
+//    work parallelizes with the fixpoints); the *shared* world state an
+//    optimizer reads while fixpointing (split memo, PropTable, summary
+//    cache) is switched to internal locking at Register() time
+//    (DeclarativeOptimizer::EnableConcurrentFlushes), and the statistics
+//    values are frozen for the whole dispatch window by the registry's
+//    reader lock. Per-flush metrics and events are aggregated from the
 //    task futures on the coordinator, in registration order — race-free
-//    by construction, not by atomics. `worker_threads == 0` keeps the
-//    serial dispatch path, byte-identical to the pre-pool behavior.
+//    by construction, not by atomics; subscribers always run on the
+//    flushing thread, serial and pooled dispatch alike.
+//    `worker_threads == 0` keeps the serial dispatch path, byte-identical
+//    to the pre-pool behavior.
 //
 //  * **Concurrent mutation**: statistics producers may Record() from other
 //    threads while a flush runs. The registry's mutation lock serializes
 //    them against the drain and the dispatch window: a racing mutation
 //    lands in the *next* epoch's batch, never lost, never double-applied
 //    (tests/concurrency_test.cpp). Between the drain and the next flush it
-//    simply sits pending — the same staleness window as always.
+//    simply sits pending — the same staleness window as always. FlushPolicy
+//    evaluation is serialized under the session's policy mutex whatever
+//    thread mutates.
 //
-// Register/Unregister and session destruction remain single-threaded
-// calls: do them from the thread that owns the session, with no flush in
-// flight. docs/ARCHITECTURE.md has the full ownership/epoch lifecycle.
+// Register/Unregister/Subscribe and session destruction remain
+// single-threaded calls: do them from the thread that owns the session,
+// with no flush in flight (the one exception: Unregister from inside a
+// subscriber callback, which is defined above). docs/ARCHITECTURE.md has
+// the full ownership/epoch lifecycle.
 #ifndef IQRO_SERVICE_REOPT_SESSION_H_
 #define IQRO_SERVICE_REOPT_SESSION_H_
 
@@ -92,46 +155,49 @@
 
 #include "common/thread_pool.h"
 #include "core/declarative_optimizer.h"
+#include "service/flush_policy.h"
+#include "service/metrics_exporter.h"
+#include "service/plan_subscriber.h"
+#include "service/session_metrics.h"
 #include "stats/stats_registry.h"
 
 namespace iqro {
 
+class QueryHandle;
+
 struct ReoptSessionOptions {
-  /// 0: manual flushing only. N > 0: Flush() fires automatically once N
-  /// value-changing mutations have been observed since the last flush (a
-  /// latency/batching trade-off knob; the callback-driven flush is
-  /// reentrancy-safe). Writes that repeat a statistic's current value are
-  /// swallowed before recording and do not count.
+  /// v1 shim: N > 0 is mapped to `flush_policy = CountPolicy(N)` at
+  /// session construction when no policy is set. Writes that repeat a
+  /// statistic's current value are swallowed before recording and do not
+  /// count (unchanged from PR 3).
+  [[deprecated("set flush_policy = std::make_shared<CountPolicy>(n) instead")]]
   int64_t auto_flush_after = 0;
   /// 0: Flush() dispatches every per-query fixpoint serially on the
   /// calling thread — the pre-pool path, byte-identical results and
   /// behavior. N >= 1: dispatch on a fixed pool of N worker threads (one
   /// task per registered query per flush; see the threading model above).
   int worker_threads = 0;
-};
+  /// When to auto-flush (service/flush_policy.h). Null: manual Flush()
+  /// only. Evaluated after every value-changing mutation and on Poll();
+  /// shared so options stay copyable — one policy instance per session.
+  std::shared_ptr<FlushPolicy> flush_policy;
+  /// Receives one FlushReport per dispatched flush
+  /// (service/metrics_exporter.h). Borrowed, may be null; must outlive the
+  /// session or be detached with it.
+  MetricsExporter* metrics_exporter = nullptr;
 
-struct ReoptSessionMetrics {
-  int64_t mutations_observed = 0;  // value-changing post-freeze mutations seen
-  int64_t flushes = 0;             // Flush() calls that dispatched >= 1 change
-  int64_t empty_flushes = 0;       // batches absorbed entirely by coalescing
-  int64_t changes_flushed = 0;     // coalesced StatChanges dispatched
-  int64_t reopt_passes = 0;        // per-optimizer ReoptimizeBatch fixpoints
-  int64_t queries_skipped = 0;     // registered queries untouched by a flush
-  int64_t eps_seeded = 0;          // memo entries seeded across all passes
-};
-
-/// Aggregated OptMetrics deltas of the most recent non-empty flush, summed
-/// over every dispatched pass. Collected from per-task results after the
-/// futures join (parallel mode) or inline (serial mode) — never written by
-/// two threads at once, since only the thread that won `in_flush_` writes
-/// it. Read it only when no flush can be in flight (see metrics()).
-struct FlushOptStats {
-  int64_t passes = 0;          // ReoptimizeBatch fixpoints this flush
-  int64_t eps_seeded = 0;      // memo entries seeded
-  int64_t fixpoint_steps = 0;  // sum of per-optimizer round_steps
-  int64_t touched_eps = 0;     // sum of per-optimizer round_touched_eps
-  int64_t touched_alts = 0;    // sum of per-optimizer round_touched_alts
-  int64_t tasks_enqueued = 0;  // worklist pushes across all passes
+  // Special members defaulted inside a suppression region: otherwise the
+  // deprecated field makes every TU that merely copies/moves options warn,
+  // not just the ones that touch it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ReoptSessionOptions() = default;
+  ReoptSessionOptions(const ReoptSessionOptions&) = default;
+  ReoptSessionOptions(ReoptSessionOptions&&) = default;
+  ReoptSessionOptions& operator=(const ReoptSessionOptions&) = default;
+  ReoptSessionOptions& operator=(ReoptSessionOptions&&) = default;
+  ~ReoptSessionOptions() = default;
+#pragma GCC diagnostic pop
 };
 
 class ReoptSession final : public StatsSubscriber {
@@ -145,35 +211,55 @@ class ReoptSession final : public StatsSubscriber {
   ReoptSession(const ReoptSession&) = delete;
   ReoptSession& operator=(const ReoptSession&) = delete;
 
-  /// Registers a live query. `optimizer` must have run Optimize(), must
-  /// drain this session's registry, and must outlive the session or be
-  /// Unregister()ed first. Its state must not predate the registry's last
-  /// drain (checked via stats_epoch(): the drained deltas are gone, so a
-  /// late optimizer could never catch up and would stay silently stale);
-  /// pending-but-undrained changes at registration time are fine — the
-  /// next flush seeds them. Returns a stable id for Unregister.
+  /// Registers a live query and returns its typed handle (move-only; its
+  /// destructor unregisters). `optimizer` must have run Optimize(), must
+  /// drain this session's registry, and must outlive its registration. Its
+  /// state must not predate the registry's last drain (checked via
+  /// stats_epoch(): the drained deltas are gone, so a late optimizer could
+  /// never catch up and would stay silently stale); pending-but-undrained
+  /// changes at registration time are fine — the next flush seeds them.
+  /// `subscriber`, when non-null, is attached as by
+  /// QueryHandle::Subscribe() with the current plan as the baseline.
+  [[nodiscard]] QueryHandle Register(DeclarativeOptimizer& optimizer,
+                                     PlanSubscriber* subscriber = nullptr);
+
+  /// v1 shim: as Register(ref) but returns the raw id and leaves
+  /// unregistration to the caller (no RAII, no subscriber).
+  [[deprecated("use Register(DeclarativeOptimizer&) -> QueryHandle")]]
   QueryId Register(DeclarativeOptimizer* optimizer);
+  /// v1 shim over the handle's unregistration path (same deferred-during-
+  /// callback semantics).
+  [[deprecated("QueryHandle unregisters on destruction; or call handle.Release()")]]
   void Unregister(QueryId id);
+
   int num_queries() const { return static_cast<int>(queries_.size()); }
 
   /// True when mutations were recorded since the last flush (they may still
   /// coalesce to nothing — see StatsRegistry::HasPending).
   bool HasPending() const { return registry_->HasPending(); }
 
-  /// Drains the registry's coalesced pending batch and dispatches it as one
+  /// Drains the registry's coalesced pending batch, dispatches it as one
   /// ReoptimizeBatch() pass to every registered optimizer whose relation
   /// set the batch can affect — serially or on the worker pool, per
-  /// `worker_threads`. Returns the number of StatChanges dispatched; 0 when
-  /// the batch coalesced away (or nothing was pending, or another thread's
+  /// `worker_threads` — then fires PlanChangeEvents and the metrics
+  /// export. Returns the number of StatChanges dispatched; 0 when the
+  /// batch coalesced away (or nothing was pending, or another thread's
   /// flush is already in flight — the racing batch belongs to that flush).
   size_t Flush();
+
+  /// Consults the flush policy without a mutation having arrived — the
+  /// driver-loop hook for time-based policies (a DeadlinePolicy deadline
+  /// can only be observed when the policy is asked). Flushes and returns
+  /// the dispatched change count when the policy says so; otherwise 0.
+  /// No-op without a policy.
+  size_t Poll();
 
   /// Read metrics()/last_flush() only from a state where no flush can be
   /// in flight and no mutator is recording: after your own *successful*
   /// Flush() (one that drained, not one that returned 0 because another
   /// thread's flush held `in_flush_` — backing off does not synchronize
   /// with that flush's writes), or after every mutator thread has joined.
-  /// With auto-flush + a mutator thread, a flush may be running on *their*
+  /// With a policy + a mutator thread, a flush may be running on *their*
   /// thread at any moment — quiesce first.
   const ReoptSessionMetrics& metrics() const { return metrics_; }
 
@@ -184,14 +270,34 @@ class ReoptSession final : public StatsSubscriber {
   /// The dispatch pool's size (0 = serial dispatch).
   int worker_threads() const { return pool_ ? pool_->size() : 0; }
 
-  /// StatsSubscriber: counts mutations and applies the auto-flush policy.
-  /// May be invoked from any mutating thread (no registry lock held).
-  void OnStatsMutated(StatsRegistry& registry) override;
+  /// StatsSubscriber: counts the mutation and evaluates the flush policy
+  /// against the under-lock snapshot. May be invoked from any mutating
+  /// thread (no registry lock held).
+  void OnStatsMutated(StatsRegistry& registry, const StatsMutationEvent& event) override;
 
  private:
+  friend class QueryHandle;
+
   struct Slot {
     QueryId id;
     DeclarativeOptimizer* optimizer;
+    /// Plan-change subscriber; null = no notifications, no digest work.
+    PlanSubscriber* subscriber = nullptr;
+    /// Bumped by every SetSubscriber call: pending-event delivery checks
+    /// it so a mid-notification detach-then-reattach of the SAME pointer
+    /// still suppresses (the reattach took a fresh post-flush baseline;
+    /// pointer identity alone cannot see it).
+    uint64_t subscription_gen = 0;
+    /// True while a computed event has not settled (a throwing subscriber
+    /// unwound delivery before this slot's turn): the next flush
+    /// re-derives the digest even if its batch cannot affect the query,
+    /// so the dropped change is re-detected rather than deferred until
+    /// unrelated churn happens to touch it.
+    bool rediff_pending = false;
+    /// Winner-closure baseline the next flush diffs against. Valid iff
+    /// `subscriber != nullptr` (captured at attach time, advanced by every
+    /// flush that recomputed it).
+    PlanDigest digest;
   };
 
   /// What one dispatched pass reports back to the coordinator (by value,
@@ -203,13 +309,38 @@ class ReoptSession final : public StatsSubscriber {
     int64_t touched_eps = 0;
     int64_t touched_alts = 0;
     int64_t tasks_enqueued = 0;
+    /// Post-flush winner closure; computed only for affected queries with
+    /// a subscriber attached (an unaffected query's plan cannot change —
+    /// the prefilter already guarantees its state is exact).
+    bool digest_computed = false;
+    PlanDigest digest;
   };
 
-  /// One per-query pass: prefilter, ReoptimizeBatch, metrics delta. Runs
-  /// on a pool worker (parallel) or the flushing thread (serial).
+  /// One per-query pass: prefilter, ReoptimizeBatch, metrics delta, digest.
+  /// Runs on a pool worker (parallel) or the flushing thread (serial).
+  /// `force_digest` re-derives the digest even for a prefiltered-away
+  /// query (Slot::rediff_pending — an unsettled event from a prior flush).
   static PassResult RunPass(DeclarativeOptimizer* optimizer,
-                            const std::vector<StatChange>& changes, uint64_t epoch);
+                            const std::vector<StatChange>& changes, uint64_t epoch,
+                            bool want_digest, bool force_digest);
   void AggregatePass(const PassResult& r);
+
+  QueryId RegisterImpl(DeclarativeOptimizer* optimizer, PlanSubscriber* subscriber);
+  /// Unregisters `id` — immediately, or deferred to flush end when called
+  /// from inside a subscriber callback (see the reentrancy rules).
+  void UnregisterImpl(QueryId id);
+  /// Attaches/replaces/clears (nullptr) a slot's subscriber; captures the
+  /// current plan as the event baseline on attach.
+  void SetSubscriber(QueryId id, PlanSubscriber* subscriber);
+  Slot* FindSlot(QueryId id);
+
+  /// Evaluates the policy under `policy_mu_` and flushes on demand.
+  /// `event` is null for Poll() probes.
+  size_t MaybePolicyFlush(const StatsMutationEvent* event);
+  /// The one OnFlush protocol (empty and dispatched flushes alike): read
+  /// the post-drain pending count, then hand it to the policy under
+  /// `policy_mu_`. Registry reads always happen BEFORE the policy mutex.
+  void PolicyOnFlush(const FlushOptStats& stats, int64_t changes);
 
   StatsRegistry* registry_;
   ReoptSessionOptions options_;
@@ -218,13 +349,77 @@ class ReoptSession final : public StatsSubscriber {
   std::vector<Slot> queries_;
   std::unique_ptr<ThreadPool> pool_;  // null when worker_threads == 0
   QueryId next_id_ = 0;
-  /// Guards the mutation-policy counters OnStatsMutated touches from
-  /// mutator threads (everything else in this class is coordinator-only).
+  /// Liveness token handles hold: *alive_ flips false in the destructor so
+  /// a handle outliving its session no-ops instead of touching freed
+  /// memory.
+  std::shared_ptr<bool> alive_;
+  /// Guards the mutation-policy state OnStatsMutated/Poll touch from
+  /// mutator threads — including the FlushPolicy instance itself, whose
+  /// calls are serialized under this mutex (everything else in this class
+  /// is coordinator-only).
   std::mutex policy_mu_;
   int64_t mutations_since_flush_ = 0;
-  /// Mutual exclusion + reentrancy guard for Flush (auto-flush callbacks,
-  /// racing mutator-thread flushes).
+  /// Mutual exclusion + reentrancy guard for Flush (policy-triggered
+  /// callbacks, racing mutator-thread flushes).
   std::atomic<bool> in_flush_{false};
+  /// True while PlanChangeEvents are being delivered (coordinator thread
+  /// only): Unregister defers, Register checks.
+  bool notifying_ = false;
+  std::vector<QueryId> deferred_unregister_;
+};
+
+/// Move-only registration of one query in one ReoptSession. Destroying (or
+/// Release()ing) the handle unregisters the query — deferred to flush end
+/// when it happens inside a subscriber callback. A handle that outlives
+/// its session no-ops on destruction. Not thread-safe; use from the
+/// session's thread.
+class QueryHandle {
+ public:
+  /// Invalid handle (valid() == false); assign a real one into it.
+  QueryHandle() = default;
+  QueryHandle(QueryHandle&& other) noexcept;
+  QueryHandle& operator=(QueryHandle&& other) noexcept;
+  ~QueryHandle();
+
+  QueryHandle(const QueryHandle&) = delete;
+  QueryHandle& operator=(const QueryHandle&) = delete;
+
+  /// True while this handle owns a registration in a session that is
+  /// still alive — false once Released, moved-from, or the session was
+  /// destroyed (the registration died with it).
+  bool valid() const { return session_ != nullptr && alive_ != nullptr && *alive_; }
+  /// The session-stable id (PlanChangeEvent::query_id). -1 when invalid —
+  /// including a handle invalidated by its session's destruction.
+  ReoptSession::QueryId id() const { return valid() ? id_ : -1; }
+  /// The registered optimizer (null when invalid, as for id()).
+  DeclarativeOptimizer* optimizer() const { return valid() ? optimizer_ : nullptr; }
+
+  /// Attaches (or replaces) the plan-change subscriber; the query's
+  /// *current* canonical plan becomes the baseline the next flush diffs
+  /// against. nullptr detaches and drops the digest work. An event fires
+  /// only if the subscriber it was computed for is still attached at
+  /// delivery time, so detaching OR replacing from inside a subscriber
+  /// callback suppresses the query's undelivered event of the in-flight
+  /// flush (no replay of pre-attach history to the new observer, no call
+  /// into a destroyed old one). The handle must own a registration
+  /// (never-registered or Released handles are a programming error); on a
+  /// dead session this is a no-op like every other handle operation.
+  void Subscribe(PlanSubscriber* subscriber);
+
+  /// Unregisters now (or deferred, inside a callback) and invalidates the
+  /// handle. No-op when already invalid or the session is gone.
+  void Release();
+
+ private:
+  friend class ReoptSession;
+  QueryHandle(ReoptSession* session, ReoptSession::QueryId id,
+              DeclarativeOptimizer* optimizer, std::shared_ptr<const bool> alive)
+      : session_(session), optimizer_(optimizer), alive_(std::move(alive)), id_(id) {}
+
+  ReoptSession* session_ = nullptr;
+  DeclarativeOptimizer* optimizer_ = nullptr;
+  std::shared_ptr<const bool> alive_;
+  ReoptSession::QueryId id_ = -1;
 };
 
 }  // namespace iqro

@@ -1,6 +1,7 @@
 #include "stats/stats_registry.h"
 
 #include <algorithm>
+#include <exception>
 #include <mutex>
 
 #include "common/check.h"
@@ -47,17 +48,35 @@ bool StatsRegistry::RecordLocked(StatId stat, uint64_t target, double value_befo
   return true;
 }
 
-void StatsRegistry::NotifySubscribers() {
+void StatsRegistry::NotifySubscribers(const StatsMutationEvent& event) {
   // Outside the lock: a subscriber may flush (TakePendingBatch takes the
   // lock itself) from inside the callback. Indexed loop: callbacks must
   // not Subscribe/Unsubscribe (see header), but an index never dangles the
-  // way a vector iterator would.
-  for (size_t i = 0; i < subscribers_.size(); ++i) subscribers_[i]->OnStatsMutated(*this);
+  // way a vector iterator would. `event` was snapshotted under the lock
+  // that published the mutation, so every subscriber sees the consistent
+  // (epoch, pending size) pair of *this* mutation even when later mutators
+  // are already racing ahead.
+  //
+  // Every subscriber is notified even when an earlier one throws (a
+  // session's policy-triggered flush may propagate a PlanSubscriber
+  // exception): skipping the rest would silently starve their flush
+  // policies of the mutation count. The first exception rethrows after
+  // the loop.
+  std::exception_ptr first_error;
+  for (size_t i = 0; i < subscribers_.size(); ++i) {
+    try {
+      subscribers_[i]->OnStatsMutated(*this, event);
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 void StatsRegistry::SetScalar(StatId stat, int target, std::vector<double>& slots,
                               double value) {
   bool notify;
+  StatsMutationEvent event;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     double& v = slots[static_cast<size_t>(target)];
@@ -65,8 +84,9 @@ void StatsRegistry::SetScalar(StatId stat, int target, std::vector<double>& slot
     const double before = v;
     v = value;
     notify = RecordLocked(stat, static_cast<uint64_t>(target), before);
+    event = SnapshotEventLocked();
   }
-  if (notify) NotifySubscribers();
+  if (notify) NotifySubscribers(event);
 }
 
 double StatsRegistry::CurrentValue(StatId stat, uint64_t target) const {
@@ -106,6 +126,7 @@ void StatsRegistry::SetScanCostMultiplier(int rel, double mult) {
 void StatsRegistry::SetJoinSelectivity(int edge_id, double sel) {
   IQRO_CHECK(edge_id >= 0 && edge_id < num_edges());
   bool notify;
+  StatsMutationEvent event;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     double& v = edges_[static_cast<size_t>(edge_id)].selectivity;
@@ -113,8 +134,9 @@ void StatsRegistry::SetJoinSelectivity(int edge_id, double sel) {
     const double before = v;
     v = sel;
     notify = RecordLocked(StatId::kJoinSel, static_cast<uint64_t>(edge_id), before);
+    event = SnapshotEventLocked();
   }
-  if (notify) NotifySubscribers();
+  if (notify) NotifySubscribers(event);
 }
 
 bool StatsRegistry::SetCardMultiplierLocked(RelSet scope, double factor) {
@@ -134,16 +156,19 @@ bool StatsRegistry::SetCardMultiplierLocked(RelSet scope, double factor) {
 void StatsRegistry::SetCardMultiplier(RelSet scope, double factor) {
   IQRO_CHECK(RelCount(scope) >= 1);
   bool notify;
+  StatsMutationEvent event;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     notify = SetCardMultiplierLocked(scope, factor);
+    event = SnapshotEventLocked();
   }
-  if (notify) NotifySubscribers();
+  if (notify) NotifySubscribers(event);
 }
 
 void StatsRegistry::ScaleCardMultiplier(RelSet scope, double factor) {
   IQRO_CHECK(RelCount(scope) >= 1);
   bool notify;
+  StatsMutationEvent event;
   {
     // One critical section for the whole read-modify-write: the read half
     // (ScopeMultiplier walks card_mults_, which a racing mutator may
@@ -151,8 +176,9 @@ void StatsRegistry::ScaleCardMultiplier(RelSet scope, double factor) {
     // racing Scales must compose rather than lose one factor.
     std::unique_lock<std::shared_mutex> lock(mu_);
     notify = SetCardMultiplierLocked(scope, ScopeMultiplier(scope) * factor);
+    event = SnapshotEventLocked();
   }
-  if (notify) NotifySubscribers();
+  if (notify) NotifySubscribers(event);
 }
 
 double StatsRegistry::ScopeMultiplier(RelSet scope) const {

@@ -96,16 +96,31 @@ struct JoinEdgeStats {
 
 class StatsRegistry;
 
+/// What one recorded mutation looked like from inside the registry lock —
+/// the consistent snapshot a flush policy evaluates against. Captured
+/// atomically with the value write and the pending record, then handed to
+/// subscribers after the lock is released: a policy reading these fields
+/// never races the NetDeltaTable the way a lock-free PendingStatCount()
+/// probe from the callback would.
+struct StatsMutationEvent {
+  /// Registry epoch after this mutation.
+  uint64_t epoch = 0;
+  /// Distinct statistics with a pending (possibly net-zero) delta,
+  /// including this one — the pending-scope mask size a CostGatedPolicy
+  /// weighs against its expected-refixpoint-work estimate.
+  size_t pending_stats = 0;
+};
+
 /// Observer of post-freeze statistics mutations (see class comment).
 class StatsSubscriber {
  public:
   virtual ~StatsSubscriber() = default;
   /// Fired after each recorded mutation, on the mutating thread, with no
   /// registry lock held (the new value and its pending entry are already
-  /// published). Reentrant draining (TakePending) is allowed; mutating the
-  /// registry or (un)subscribing any subscriber from inside the callback
-  /// is not.
-  virtual void OnStatsMutated(StatsRegistry& registry) = 0;
+  /// published; `event` is the under-lock snapshot of that publication).
+  /// Reentrant draining (TakePending) is allowed; mutating the registry or
+  /// (un)subscribing any subscriber from inside the callback is not.
+  virtual void OnStatsMutated(StatsRegistry& registry, const StatsMutationEvent& event) = 0;
 };
 
 /// Cumulative coalescing counters since construction/Reset (the service
@@ -216,8 +231,13 @@ class StatsRegistry {
   bool HasPending() const { return !pending_.empty(); }
 
   /// Number of distinct statistics with a recorded (possibly net-zero)
-  /// pending mutation.
-  size_t PendingStatCount() const { return pending_.size(); }
+  /// pending mutation. Takes the registry lock shared: it is a policy/
+  /// inspection probe (ReoptSession::Poll), never a fixpoint hot path, and
+  /// unlike the plain accessors it must be safe against racing mutators.
+  size_t PendingStatCount() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return pending_.size();
+  }
 
   const CoalesceStats& coalesce_stats() const { return coalesce_; }
 
@@ -259,7 +279,10 @@ class StatsRegistry {
   /// Shared body of the per-relation scalar setters: lock, no-op check,
   /// baseline capture, record, then unlocked subscriber notification.
   void SetScalar(StatId stat, int target, std::vector<double>& slots, double value);
-  void NotifySubscribers();
+  /// Caller holds `mu_` exclusively; snapshots the post-mutation epoch and
+  /// pending size for the subscriber event.
+  StatsMutationEvent SnapshotEventLocked() const { return {epoch_, pending_.size()}; }
+  void NotifySubscribers(const StatsMutationEvent& event);
   double CurrentValue(StatId stat, uint64_t target) const;
 
   /// The mutation-side lock: exclusive for mutators and the drain, shared

@@ -43,6 +43,37 @@ std::optional<std::string> CheckPlanNodesAgainstSystemR(const PlanTree& t,
   return std::nullopt;
 }
 
+/// One delivered PlanChangeEvent, flattened for cross-session comparison
+/// (serial vs pooled event streams must be identical field-for-field).
+struct RecordedEvent {
+  int query_tag = -1;  // 0 = primary, 1 = shadow
+  uint64_t flush_epoch = 0;
+  double old_cost = 0;
+  double new_cost = 0;
+  PlanDiffSummary diff;
+
+  bool operator==(const RecordedEvent& o) const {
+    return query_tag == o.query_tag && flush_epoch == o.flush_epoch &&
+           old_cost == o.old_cost && new_cost == o.new_cost &&
+           diff.changed_operators == o.diff.changed_operators &&
+           diff.total_operators == o.diff.total_operators &&
+           diff.join_order_prefix == o.diff.join_order_prefix &&
+           diff.join_order_len == o.diff.join_order_len;
+  }
+};
+
+class RecordingSubscriber final : public PlanSubscriber {
+ public:
+  RecordingSubscriber(int tag, std::vector<RecordedEvent>* out) : tag_(tag), out_(out) {}
+  void OnPlanChange(const PlanChangeEvent& e) override {
+    out_->push_back({tag_, e.flush_epoch, e.old_cost, e.new_cost, e.diff});
+  }
+
+ private:
+  int tag_;
+  std::vector<RecordedEvent>* out_;
+};
+
 struct StepOracle {
   ScenarioWorld* world;
   const Scenario* scenario;
@@ -185,7 +216,10 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
 
   // Batch mode: a ReoptSession owns the flushes, and a shadow optimizer
   // (same options, same registry) rides along to prove that one drained
-  // batch drives every registered query to the identical fixpoint.
+  // batch drives every registered query to the identical fixpoint. Both
+  // carry a recording PlanSubscriber: after every flush the notification
+  // oracle below asserts an event fired iff the query's canonical plan
+  // changed, with the oracle's own before/after costs.
   std::unique_ptr<ReoptSession> session;
   std::unique_ptr<DeclarativeOptimizer> shadow;
   // Parallel mode additionally runs a full serial-mirror world in
@@ -194,6 +228,20 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
   std::unique_ptr<DeclarativeOptimizer> mirror_inc;
   std::unique_ptr<DeclarativeOptimizer> mirror_shadow;
   std::unique_ptr<ReoptSession> mirror_session;
+  // Handles after the sessions: they unregister (touching their session)
+  // before the sessions destruct.
+  std::vector<QueryHandle> handles;
+  std::vector<QueryHandle> mirror_handles;
+  std::vector<RecordedEvent> events;
+  std::vector<RecordedEvent> mirror_events;
+  RecordingSubscriber primary_sub(0, &events);
+  RecordingSubscriber shadow_sub(1, &events);
+  RecordingSubscriber mirror_primary_sub(0, &mirror_events);
+  RecordingSubscriber mirror_shadow_sub(1, &mirror_events);
+  std::string prev_primary_dump;
+  std::string prev_shadow_dump;
+  double prev_primary_cost = 0;
+  double prev_shadow_cost = 0;
   if (options.batch_steps >= 1) {
     shadow = std::make_unique<DeclarativeOptimizer>(
         world->enumerator.get(), world->cost_model.get(), &world->registry, scenario.options);
@@ -201,8 +249,12 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
     ReoptSessionOptions session_options;
     session_options.worker_threads = options.worker_threads;
     session = std::make_unique<ReoptSession>(&world->registry, session_options);
-    session->Register(&inc);
-    session->Register(shadow.get());
+    handles.push_back(session->Register(inc, &primary_sub));
+    handles.push_back(session->Register(*shadow, &shadow_sub));
+    prev_primary_dump = inc.CanonicalDumpState();
+    prev_shadow_dump = shadow->CanonicalDumpState();
+    prev_primary_cost = inc.BestCost();
+    prev_shadow_cost = shadow->BestCost();
     if (options.worker_threads >= 1) {
       mirror_world = BuildScenarioWorld(scenario);
       mirror_inc = std::make_unique<DeclarativeOptimizer>(
@@ -214,8 +266,8 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       mirror_inc->Optimize();
       mirror_shadow->Optimize();
       mirror_session = std::make_unique<ReoptSession>(&mirror_world->registry);
-      mirror_session->Register(mirror_inc.get());
-      mirror_session->Register(mirror_shadow.get());
+      mirror_handles.push_back(mirror_session->Register(*mirror_inc, &mirror_primary_sub));
+      mirror_handles.push_back(mirror_session->Register(*mirror_shadow, &mirror_shadow_sub));
     }
   }
   const size_t group = options.batch_steps >= 1 ? static_cast<size_t>(options.batch_steps) : 1;
@@ -235,6 +287,8 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
     }
     const int fail_step = static_cast<int>(s1 - 1);
     if (session != nullptr) {
+      events.clear();
+      mirror_events.clear();
       session->Flush();
       if (mirror_session != nullptr) mirror_session->Flush();
     } else {
@@ -289,6 +343,85 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
         mirror_inc->ValidateInvariants();
         mirror_shadow->ValidateInvariants();
       }
+    }
+    if (session != nullptr) {
+      // Notification oracle: for each registered query, a PlanChangeEvent
+      // fired this flush iff the query's CanonicalDumpState changed —
+      // exactly once, with old/new costs equal to the oracle's own
+      // before/after BestCost, in registration order; and (parallel mode)
+      // the pooled session's event stream is field-identical to the serial
+      // mirror's.
+      const std::string primary_dump = inc.CanonicalDumpState();
+      const std::string shadow_dump = shadow->CanonicalDumpState();
+      const double primary_cost = inc.BestCost();
+      const double shadow_cost = shadow->BestCost();
+      struct Expected {
+        int tag;
+        const char* name;
+        bool changed;
+        double before;
+        double after;
+      };
+      const Expected expected[] = {
+          {0, "primary", primary_dump != prev_primary_dump, prev_primary_cost, primary_cost},
+          {1, "shadow", shadow_dump != prev_shadow_dump, prev_shadow_cost, shadow_cost},
+      };
+      for (const Expected& ex : expected) {
+        int fired = 0;
+        const RecordedEvent* ev = nullptr;
+        for (const RecordedEvent& e : events) {
+          if (e.query_tag == ex.tag) {
+            ++fired;
+            ev = &e;
+          }
+        }
+        if (fired != (ex.changed ? 1 : 0)) {
+          return {false, fail_step,
+                  StrFormat("after churn step %zu: %s subscriber fired %d time(s) but the "
+                            "canonical plan %s — notification exactness violated",
+                            s1 - 1, ex.name, fired, ex.changed ? "changed" : "did not change")};
+        }
+        if (ev != nullptr) {
+          // The digest's costs are the same doubles the oracle reads
+          // (root best aggregate), so equality here is exact, not approximate.
+          if (ev->old_cost != ex.before || ev->new_cost != ex.after) {
+            return {false, fail_step,
+                    StrFormat("after churn step %zu: %s event costs diverged: event %s -> %s, "
+                              "oracle %s -> %s",
+                              s1 - 1, ex.name, DoubleToString(ev->old_cost).c_str(),
+                              DoubleToString(ev->new_cost).c_str(),
+                              DoubleToString(ex.before).c_str(),
+                              DoubleToString(ex.after).c_str())};
+          }
+          if (ev->diff.changed_operators < 0 ||
+              ev->diff.changed_operators > ev->diff.total_operators ||
+              ev->diff.join_order_prefix < 0 ||
+              ev->diff.join_order_prefix > ev->diff.join_order_len) {
+            return {false, fail_step,
+                    StrFormat("after churn step %zu: %s event diff summary out of range "
+                              "(%d/%d operators, prefix %d/%d)",
+                              s1 - 1, ex.name, ev->diff.changed_operators,
+                              ev->diff.total_operators, ev->diff.join_order_prefix,
+                              ev->diff.join_order_len)};
+          }
+        }
+      }
+      if (events.size() == 2 && events[0].query_tag != 0) {
+        return {false, fail_step,
+                StrFormat("after churn step %zu: events fired out of registration order",
+                          s1 - 1)};
+      }
+      if (mirror_session != nullptr && !(events == mirror_events)) {
+        return {false, fail_step,
+                StrFormat("after churn step %zu: parallel event stream diverged from serial "
+                          "mirror (%zu vs %zu events, worker_threads=%d)",
+                          s1 - 1, events.size(), mirror_events.size(),
+                          options.worker_threads)};
+      }
+      prev_primary_dump = primary_dump;
+      prev_shadow_dump = shadow_dump;
+      prev_primary_cost = primary_cost;
+      prev_shadow_cost = shadow_cost;
     }
   }
   return {};

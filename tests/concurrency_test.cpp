@@ -138,7 +138,8 @@ TEST(ParallelFlushTest, FourWorkerFlushMatchesFreshOracles) {
   so.worker_threads = 4;
   ReoptSession session(&world->registry, so);
   EXPECT_EQ(session.worker_threads(), 4);
-  for (auto& o : opts) session.Register(o.get());
+  std::vector<QueryHandle> handles;
+  for (auto& o : opts) handles.push_back(session.Register(*o));
 
   for (int r = 0; r < 6; ++r) {
     ApplyChurnRound(world->registry, r);
@@ -173,8 +174,9 @@ TEST(ParallelFlushTest, SerialAndParallelSessionsAreByteIdentical) {
   ReoptSessionOptions po;
   po.worker_threads = 4;
   ReoptSession parallel_session(&world_p->registry, po);
-  for (auto& o : serial_opts) serial_session.Register(o.get());
-  for (auto& o : parallel_opts) parallel_session.Register(o.get());
+  std::vector<QueryHandle> serial_handles, parallel_handles;
+  for (auto& o : serial_opts) serial_handles.push_back(serial_session.Register(*o));
+  for (auto& o : parallel_opts) parallel_handles.push_back(parallel_session.Register(*o));
 
   for (int r = 0; r < 6; ++r) {
     ApplyChurnRound(world_s->registry, r);
@@ -208,8 +210,13 @@ TEST(ParallelFlushTest, RecordRacingFlushLandsInNextEpoch) {
   }
   ReoptSessionOptions so;
   so.worker_threads = 2;
+  // Exporter attached: the flush epilogue's metrics snapshot must be
+  // race-free against the concurrent mutator (TSan checks it here).
+  JsonMetricsExporter exporter;
+  so.metrics_exporter = &exporter;
   ReoptSession session(&world->registry, so);
-  for (auto& o : opts) session.Register(o.get());
+  std::vector<QueryHandle> handles;
+  for (auto& o : opts) handles.push_back(session.Register(*o));
 
   constexpr int kMutations = 200;
   const double rows0 = world->registry.base_rows(0);
@@ -253,10 +260,10 @@ TEST(ParallelFlushTest, AutoFlushDispatchesFromMutatorThread) {
                            &world->registry);
   opt.Optimize();
   ReoptSessionOptions so;
-  so.auto_flush_after = 4;
+  so.flush_policy = std::make_shared<CountPolicy>(4);
   so.worker_threads = 2;
   ReoptSession session(&world->registry, so);
-  session.Register(&opt);
+  QueryHandle handle = session.Register(opt);
 
   std::thread mutator([&world] {
     for (int i = 1; i <= 40; ++i) {
@@ -268,6 +275,95 @@ TEST(ParallelFlushTest, AutoFlushDispatchesFromMutatorThread) {
   EXPECT_GE(session.metrics().flushes, 1);
   opt.ValidateInvariants();
   EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// Notification semantics under the pool: per flush, every subscribed query
+// fires at most once, events arrive on the flushing thread in registration
+// order, and a 4-worker session's event stream is field-identical to its
+// serial twin's — the digests are computed on the workers, but delivery is
+// coordinated. (TSan covers the interleavings; the assertions pin the
+// exactly-once and ordering contracts.)
+TEST(ParallelFlushTest, SubscriberEventsExactlyOnceInRegistrationOrder) {
+  struct Recorded {
+    int query_id;
+    int64_t flush_index;
+    double old_cost, new_cost;
+    PlanDiffSummary diff;
+  };
+  class Recorder final : public PlanSubscriber {
+   public:
+    Recorder(std::vector<Recorded>* out, std::thread::id home) : out_(out), home_(home) {}
+    void OnPlanChange(const PlanChangeEvent& e) override {
+      // Delivery happens on the flushing thread, never a pool worker.
+      EXPECT_EQ(std::this_thread::get_id(), home_);
+      out_->push_back({e.query_id, e.flush_index, e.old_cost, e.new_cost, e.diff});
+    }
+
+   private:
+    std::vector<Recorded>* out_;
+    std::thread::id home_;
+  };
+
+  auto world_s = ChainWorld();
+  auto world_p = ChainWorld();  // deterministic twin
+  std::vector<std::unique_ptr<DeclarativeOptimizer>> serial_opts, parallel_opts;
+  for (const OptimizerOptions& o : QueryConfigs()) {
+    serial_opts.push_back(std::make_unique<DeclarativeOptimizer>(
+        world_s->enumerator.get(), world_s->cost_model.get(), &world_s->registry, o));
+    serial_opts.back()->Optimize();
+    parallel_opts.push_back(std::make_unique<DeclarativeOptimizer>(
+        world_p->enumerator.get(), world_p->cost_model.get(), &world_p->registry, o));
+    parallel_opts.back()->Optimize();
+  }
+  ReoptSession serial_session(&world_s->registry);
+  ReoptSessionOptions po;
+  po.worker_threads = 4;
+  ReoptSession parallel_session(&world_p->registry, po);
+
+  std::vector<Recorded> serial_events, parallel_events;
+  const std::thread::id home = std::this_thread::get_id();
+  std::vector<std::unique_ptr<Recorder>> recorders;
+  std::vector<QueryHandle> serial_handles, parallel_handles;
+  for (size_t q = 0; q < serial_opts.size(); ++q) {
+    recorders.push_back(std::make_unique<Recorder>(&serial_events, home));
+    serial_handles.push_back(serial_session.Register(*serial_opts[q], recorders.back().get()));
+    recorders.push_back(std::make_unique<Recorder>(&parallel_events, home));
+    parallel_handles.push_back(
+        parallel_session.Register(*parallel_opts[q], recorders.back().get()));
+  }
+
+  int64_t total_events = 0;
+  for (int r = 0; r < 6; ++r) {
+    serial_events.clear();
+    parallel_events.clear();
+    ApplyChurnRound(world_s->registry, r);
+    ApplyChurnRound(world_p->registry, r);
+    serial_session.Flush();
+    parallel_session.Flush();
+
+    // Exactly-once: no query id repeats within one flush; registration
+    // order: ids are strictly increasing in the delivered sequence.
+    for (size_t i = 1; i < parallel_events.size(); ++i) {
+      EXPECT_GT(parallel_events[i].query_id, parallel_events[i - 1].query_id)
+          << "round " << r << ": duplicate or out-of-order event";
+    }
+    // Serial twin saw the identical stream, field for field.
+    ASSERT_EQ(parallel_events.size(), serial_events.size()) << "round " << r;
+    for (size_t i = 0; i < parallel_events.size(); ++i) {
+      EXPECT_EQ(parallel_events[i].query_id, serial_events[i].query_id);
+      EXPECT_EQ(parallel_events[i].flush_index, serial_events[i].flush_index);
+      EXPECT_EQ(parallel_events[i].old_cost, serial_events[i].old_cost);
+      EXPECT_EQ(parallel_events[i].new_cost, serial_events[i].new_cost);
+      EXPECT_EQ(parallel_events[i].diff.changed_operators,
+                serial_events[i].diff.changed_operators);
+      EXPECT_EQ(parallel_events[i].diff.join_order_prefix,
+                serial_events[i].diff.join_order_prefix);
+    }
+    total_events += static_cast<int64_t>(parallel_events.size());
+  }
+  EXPECT_GT(total_events, 0);  // the churn actually moved plans
+  EXPECT_EQ(parallel_session.metrics().plan_changes, total_events);
+  EXPECT_EQ(serial_session.metrics().plan_changes, total_events);
 }
 
 // A session owning a pool tears down cleanly right after heavy parallel
@@ -284,10 +380,11 @@ TEST(ParallelFlushTest, SessionTeardownAfterParallelFlushes) {
     ReoptSessionOptions so;
     so.worker_threads = 4;
     ReoptSession session(&world->registry, so);
-    for (auto& o : opts) session.Register(o.get());
+    std::vector<QueryHandle> handles;
+    for (auto& o : opts) handles.push_back(session.Register(*o));
     ApplyChurnRound(world->registry, 1);
     session.Flush();
-    // Destructor: unsubscribe + pool drain/join.
+    // Handles release, then the destructor: unsubscribe + pool drain/join.
   }
   // The world remains fully usable single-threaded afterwards.
   world->registry.SetBaseRows(1, 12345);

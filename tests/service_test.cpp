@@ -1,14 +1,21 @@
 // Unit tests for the service layer: the StatsRegistry coalescer (net-delta
-// batching) and the multi-query ReoptSession manager. The end-to-end
-// batch ≡ from-scratch property is covered by the randomized differential
-// harness (tests/differential_test.cpp, batch mode); these tests pin the
-// small contracts — net-zero absorption, duplicate collapse, task dedup,
-// multi-query dispatch, auto-flush and unregistration.
+// batching) and the multi-query ReoptSession manager behind the v2 typed
+// API — QueryHandle registration, plan-change subscriptions, pluggable
+// flush policies and metrics export. The end-to-end batch ≡ from-scratch
+// property is covered by the randomized differential harness
+// (tests/differential_test.cpp, batch mode, including the notification
+// oracle); these tests pin the small contracts — net-zero absorption,
+// duplicate collapse, task dedup, multi-query dispatch, handle lifecycle,
+// subscriber exactness and reentrancy, policy triggers, unregistration.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/declarative_optimizer.h"
@@ -34,13 +41,31 @@ std::string ScratchDump(TestWorld& world, OptimizerOptions options) {
   return scratch.CanonicalDumpState();
 }
 
-TEST(ReoptSessionTest, NetZeroChurnProducesZeroWork) {
+/// Collects every delivered event (copies — events are call-scoped).
+class RecordingSubscriber final : public PlanSubscriber {
+ public:
+  void OnPlanChange(const PlanChangeEvent& event) override { events.push_back(event); }
+  std::vector<PlanChangeEvent> events;
+};
+
+/// Hand-advanced clock for DeadlinePolicy tests.
+class FakeClock final : public Clock {
+ public:
+  std::chrono::steady_clock::time_point Now() const override { return now_; }
+  void Advance(std::chrono::milliseconds d) { now_ += d; }
+
+ private:
+  std::chrono::steady_clock::time_point now_{};
+};
+
+TEST(ReoptSessionTest, NetZeroChurnProducesZeroWorkAndZeroEvents) {
   auto world = ChainWorld();
   DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
                            &world->registry);
   opt.Optimize();
   ReoptSession session(&world->registry);
-  session.Register(&opt);
+  RecordingSubscriber subscriber;
+  QueryHandle handle = session.Register(opt, &subscriber);
 
   const double rows0 = world->registry.base_rows(1);
   const int64_t enqueued0 = opt.metrics().tasks_enqueued;
@@ -61,6 +86,8 @@ TEST(ReoptSessionTest, NetZeroChurnProducesZeroWork) {
   EXPECT_EQ(session.metrics().empty_flushes, 1);
   EXPECT_EQ(session.metrics().changes_flushed, 0);
   EXPECT_EQ(session.metrics().mutations_observed, 4);  // the no-op never records
+  EXPECT_TRUE(subscriber.events.empty());  // net-zero churn is invisible
+  EXPECT_EQ(session.metrics().plan_changes, 0);
   EXPECT_FALSE(session.HasPending());
   opt.ValidateInvariants();
   EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
@@ -72,7 +99,7 @@ TEST(ReoptSessionTest, OscillationCoalescesToOneChange) {
                            &world->registry);
   opt.Optimize();
   ReoptSession session(&world->registry);
-  session.Register(&opt);
+  QueryHandle handle = session.Register(opt);
 
   const double rows0 = world->registry.base_rows(2);
   world->registry.SetBaseRows(2, rows0 * 2);
@@ -126,7 +153,7 @@ TEST(ReoptSessionTest, BatchedFlushDedupesTasks) {
 
   // Batched: all mutations coalesced, one flush, one fixpoint.
   ReoptSession session(&world_batch->registry);
-  session.Register(&batch);
+  QueryHandle handle = session.Register(batch);
   const int64_t batch_enq0 = batch.metrics().tasks_enqueued;
   const int64_t batch_dedup0 = batch.metrics().tasks_deduped;
   for (auto& m : mutate(world_batch->registry)) m();
@@ -160,9 +187,10 @@ TEST(ReoptSessionTest, MultiQueryFlushDrivesAllRegisteredOptimizers) {
   nopruning.Optimize();
 
   ReoptSession session(&world->registry);
-  session.Register(&all);
-  session.Register(&aggsel);
-  session.Register(&nopruning);
+  std::vector<QueryHandle> handles;
+  handles.push_back(session.Register(all));
+  handles.push_back(session.Register(aggsel));
+  handles.push_back(session.Register(nopruning));
   EXPECT_EQ(session.num_queries(), 3);
 
   world->registry.SetBaseRows(0, world->registry.base_rows(0) * 10);
@@ -180,15 +208,687 @@ TEST(ReoptSessionTest, MultiQueryFlushDrivesAllRegisteredOptimizers) {
   EXPECT_NEAR(all.BestCost(), nopruning.BestCost(), 1e-9 * std::max(1.0, all.BestCost()));
 }
 
-TEST(ReoptSessionTest, AutoFlushFiresAfterThreshold) {
+// ---------------------------------------------------------------------------
+// QueryHandle lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(QueryHandleTest, DestructionUnregisters) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSession session(&world->registry);
+  {
+    QueryHandle handle = session.Register(opt);
+    EXPECT_TRUE(handle.valid());
+    EXPECT_EQ(handle.optimizer(), &opt);
+    EXPECT_EQ(session.num_queries(), 1);
+  }
+  EXPECT_EQ(session.num_queries(), 0);  // RAII unregistration
+
+  // A flush after the handle died re-optimizes nothing...
+  const int64_t enq0 = opt.metrics().tasks_enqueued;
+  world->registry.SetBaseRows(2, world->registry.base_rows(2) * 7);
+  EXPECT_EQ(session.Flush(), 1u);
+  EXPECT_EQ(session.metrics().reopt_passes, 0);
+  EXPECT_EQ(opt.metrics().tasks_enqueued, enq0);
+}
+
+TEST(QueryHandleTest, ReleaseStopsDispatchEarly) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer kept(world->enumerator.get(), world->cost_model.get(),
+                            &world->registry);
+  DeclarativeOptimizer dropped(world->enumerator.get(), world->cost_model.get(),
+                               &world->registry);
+  kept.Optimize();
+  dropped.Optimize();
+
+  ReoptSession session(&world->registry);
+  QueryHandle kept_handle = session.Register(kept);
+  QueryHandle dropped_handle = session.Register(dropped);
+  dropped_handle.Release();
+  EXPECT_FALSE(dropped_handle.valid());
+  EXPECT_EQ(dropped_handle.id(), -1);
+  EXPECT_EQ(session.num_queries(), 1);
+  dropped_handle.Release();  // double release: no-op
+
+  const int64_t dropped_enq0 = dropped.metrics().tasks_enqueued;
+  world->registry.SetBaseRows(2, world->registry.base_rows(2) * 7);
+  EXPECT_EQ(session.Flush(), 1u);
+  EXPECT_EQ(session.metrics().reopt_passes, 1);
+  EXPECT_EQ(dropped.metrics().tasks_enqueued, dropped_enq0);  // untouched
+  kept.ValidateInvariants();
+  EXPECT_EQ(kept.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+TEST(QueryHandleTest, MoveTransfersOwnership) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSession session(&world->registry);
+
+  QueryHandle a = session.Register(opt);
+  const ReoptSession::QueryId id = a.id();
+  QueryHandle b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): moved-from is defined invalid
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.id(), id);
+  EXPECT_EQ(session.num_queries(), 1);
+
+  QueryHandle c;
+  EXPECT_FALSE(c.valid());
+  c = std::move(b);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(session.num_queries(), 1);
+  c.Release();
+  EXPECT_EQ(session.num_queries(), 0);
+}
+
+TEST(QueryHandleTest, HandleOutlivingSessionIsANoOp) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  QueryHandle survivor;
+  RecordingSubscriber subscriber;
+  {
+    ReoptSession session(&world->registry);
+    survivor = session.Register(opt);
+    EXPECT_TRUE(survivor.valid());
+  }
+  // The session is gone: the registration died with it, and every handle
+  // operation is a defined no-op; the accessors report invalid.
+  EXPECT_FALSE(survivor.valid());
+  EXPECT_EQ(survivor.id(), -1);
+  EXPECT_EQ(survivor.optimizer(), nullptr);
+  survivor.Subscribe(&subscriber);
+  survivor.Release();
+  // Mutating after the session died must not touch freed memory (the
+  // subscriber list no longer references it); the delta just sits pending.
+  world->registry.SetBaseRows(0, 123);
+  EXPECT_TRUE(world->registry.HasPending());
+  opt.Reoptimize();  // single-query draining still works without a session
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+TEST(ReoptSessionTest, RegisterRejectsOptimizerThatMissedADrain) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer current(world->enumerator.get(), world->cost_model.get(),
+                               &world->registry);
+  DeclarativeOptimizer late(world->enumerator.get(), world->cost_model.get(),
+                            &world->registry);
+  current.Optimize();
+  late.Optimize();
+
+  ReoptSession session(&world->registry);
+  QueryHandle current_handle = session.Register(current);
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 3);
+  session.Flush();  // drains: `late` has now missed deltas it can never get
+
+  EXPECT_LT(late.stats_epoch(), world->registry.drained_epoch());
+  EXPECT_DEATH_IF_SUPPORTED({ QueryHandle h = session.Register(late); }, "stats_epoch");
+
+  // A fresh optimizer over the post-drain statistics registers fine.
+  DeclarativeOptimizer fresh(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry);
+  fresh.Optimize();
+  QueryHandle fresh_handle = session.Register(fresh);
+  EXPECT_EQ(session.num_queries(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-change subscriptions
+// ---------------------------------------------------------------------------
+
+// A swing big enough to flip the plan fires exactly one event whose
+// old/new costs are the BestCost values either side of the flush; flushing
+// again without churn fires nothing; restoring the statistics fires the
+// symmetric event (plans are history-free).
+TEST(PlanSubscriberTest, FiresExactlyWhenCanonicalPlanChanges) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSession session(&world->registry);
+  RecordingSubscriber subscriber;
+  QueryHandle handle = session.Register(opt, &subscriber);
+
+  const std::string dump0 = opt.CanonicalDumpState();
+  const double cost0 = opt.BestCost();
+  const double rows0 = world->registry.base_rows(0);
+
+  // Swing hard enough that the canonical plan (costs at minimum) changes.
+  world->registry.SetBaseRows(0, rows0 * 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  ASSERT_NE(opt.CanonicalDumpState(), dump0);
+  ASSERT_EQ(subscriber.events.size(), 1u);
+  {
+    const PlanChangeEvent& e = subscriber.events[0];
+    EXPECT_EQ(e.query_id, handle.id());
+    EXPECT_EQ(e.optimizer, &opt);
+    EXPECT_EQ(e.old_cost, cost0);
+    EXPECT_EQ(e.new_cost, opt.BestCost());
+    EXPECT_EQ(e.flush_index, 1);
+    EXPECT_EQ(e.flush_epoch, opt.stats_epoch());
+    EXPECT_GT(e.diff.total_operators, 0);
+    EXPECT_LE(e.diff.changed_operators, e.diff.total_operators);
+    EXPECT_EQ(e.diff.join_order_len, 6);  // all six relations in the plan
+    EXPECT_LE(e.diff.join_order_prefix, e.diff.join_order_len);
+  }
+  EXPECT_EQ(session.metrics().plan_changes, 1);
+
+  // No churn, no event (Flush with nothing pending is a no-op anyway).
+  EXPECT_EQ(session.Flush(), 0u);
+  EXPECT_EQ(subscriber.events.size(), 1u);
+
+  // Restore: the canonical plan returns to the original -> symmetric event.
+  world->registry.SetBaseRows(0, rows0);
+  ASSERT_GT(session.Flush(), 0u);
+  ASSERT_EQ(subscriber.events.size(), 2u);
+  EXPECT_EQ(opt.CanonicalDumpState(), dump0);
+  EXPECT_EQ(subscriber.events[1].old_cost, subscriber.events[0].new_cost);
+  EXPECT_EQ(subscriber.events[1].new_cost, cost0);
+  opt.ValidateInvariants();
+}
+
+// Attaching a subscriber after history has accumulated sets the baseline to
+// the plan at attach time: no replay of older changes, first event is
+// relative to that plan.
+TEST(PlanSubscriberTest, BaselineIsThePlanAtAttachTime) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSession session(&world->registry);
+  QueryHandle handle = session.Register(opt);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);
+  session.Flush();  // plan changed, but nobody was listening
+
+  RecordingSubscriber subscriber;
+  handle.Subscribe(&subscriber);
+  const double cost_at_attach = opt.BestCost();
+
+  // A flush that lands on the same plan fires nothing for the new
+  // subscriber even though the plan differs from pre-attach history.
+  world->registry.SetScanCostMultiplier(1, 2.0);
+  world->registry.SetScanCostMultiplier(1, 1.0);  // nets to zero
+  session.Flush();
+  EXPECT_TRUE(subscriber.events.empty());
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) / 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  ASSERT_EQ(subscriber.events.size(), 1u);
+  EXPECT_EQ(subscriber.events[0].old_cost, cost_at_attach);
+
+  handle.Subscribe(nullptr);  // detach: no further events, no digest work
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 50);
+  session.Flush();
+  EXPECT_EQ(subscriber.events.size(), 1u);
+}
+
+// Unregistering from inside a subscriber callback is deferred to flush
+// end: every event of the in-flight flush still fires (in registration
+// order), and the unregistered query stops being dispatched afterwards.
+TEST(PlanSubscriberTest, UnregisterDuringCallbackIsDeferredToFlushEnd) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer first(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry);
+  DeclarativeOptimizer second(world->enumerator.get(), world->cost_model.get(),
+                              &world->registry);
+  first.Optimize();
+  second.Optimize();
+  ReoptSession session(&world->registry);
+
+  QueryHandle second_handle;
+  std::vector<int> fired_order;
+  // First query's subscriber releases the SECOND query's handle mid-flush.
+  class ReleasingSubscriber final : public PlanSubscriber {
+   public:
+    ReleasingSubscriber(QueryHandle* victim, std::vector<int>* order)
+        : victim_(victim), order_(order) {}
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      order_->push_back(event.query_id);
+      victim_->Release();  // deferred: the flush is mid-notification
+    }
+
+   private:
+    QueryHandle* victim_;
+    std::vector<int>* order_;
+  };
+  class OrderSubscriber final : public PlanSubscriber {
+   public:
+    explicit OrderSubscriber(std::vector<int>* order) : order_(order) {}
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      order_->push_back(event.query_id);
+    }
+
+   private:
+    std::vector<int>* order_;
+  };
+  ReleasingSubscriber releasing(&second_handle, &fired_order);
+  OrderSubscriber ordering(&fired_order);
+
+  QueryHandle first_handle = session.Register(first, &releasing);
+  second_handle = session.Register(second, &ordering);
+  ASSERT_EQ(session.num_queries(), 2);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  // Both events fired, registration order, despite the mid-flight release.
+  ASSERT_EQ(fired_order.size(), 2u);
+  EXPECT_EQ(fired_order[0], first_handle.id());
+  EXPECT_EQ(fired_order[1], 1);  // the released handle's id
+  EXPECT_FALSE(second_handle.valid());
+  EXPECT_EQ(session.num_queries(), 1);  // removal applied at flush end
+
+  // The unregistered query is no longer dispatched (its state goes stale —
+  // it left the session's consistency contract when it was released).
+  const int64_t second_enq = second.metrics().tasks_enqueued;
+  world->registry.SetBaseRows(1, world->registry.base_rows(1) * 3);
+  session.Flush();
+  EXPECT_EQ(second.metrics().tasks_enqueued, second_enq);
+  first.ValidateInvariants();
+  EXPECT_EQ(first.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// A query may unregister ITSELF from its own callback; its event (already
+// delivered) stands, the slot dies at flush end.
+TEST(PlanSubscriberTest, SelfUnregisterDuringCallback) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSession session(&world->registry);
+
+  QueryHandle handle;
+  class SelfReleasing final : public PlanSubscriber {
+   public:
+    explicit SelfReleasing(QueryHandle* self) : self_(self) {}
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      (void)event;
+      ++fired;
+      self_->Release();
+    }
+    QueryHandle* self_;
+    int fired = 0;
+  };
+  SelfReleasing subscriber(&handle);
+  handle = session.Register(opt, &subscriber);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  EXPECT_EQ(subscriber.fired, 1);
+  EXPECT_FALSE(handle.valid());
+  EXPECT_EQ(session.num_queries(), 0);
+}
+
+// Detaching a later query's subscriber from inside a callback suppresses
+// that query's undelivered event of the in-flight flush: events go to the
+// subscriber attached at delivery time, so the detached observer may be
+// destroyed immediately.
+TEST(PlanSubscriberTest, DetachDuringCallbackSuppressesUndeliveredEvent) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer first(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry);
+  DeclarativeOptimizer second(world->enumerator.get(), world->cost_model.get(),
+                              &world->registry);
+  first.Optimize();
+  second.Optimize();
+  ReoptSession session(&world->registry);
+
+  QueryHandle second_handle;
+  class DetachingSubscriber final : public PlanSubscriber {
+   public:
+    explicit DetachingSubscriber(QueryHandle* victim) : victim_(victim) {}
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      (void)event;
+      ++fired;
+      victim_->Subscribe(nullptr);
+    }
+    int fired = 0;
+
+   private:
+    QueryHandle* victim_;
+  };
+  DetachingSubscriber detaching(&second_handle);
+  RecordingSubscriber recording;
+
+  QueryHandle first_handle = session.Register(first, &detaching);
+  second_handle = session.Register(second, &recording);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  EXPECT_EQ(detaching.fired, 1);
+  EXPECT_TRUE(recording.events.empty());  // suppressed by the mid-flight detach
+  EXPECT_EQ(session.metrics().plan_changes, 1);  // only the delivered event counts
+  EXPECT_EQ(session.num_queries(), 2);  // detach is not unregistration
+
+  // Re-attach: the suppressed change is never replayed (baseline is the
+  // post-flush plan); the next real change delivers normally. (Detach the
+  // troublemaker first, or it would suppress again on the next flush.)
+  first_handle.Subscribe(nullptr);
+  second_handle.Subscribe(&recording);
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) / 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  ASSERT_EQ(recording.events.size(), 1u);
+  EXPECT_EQ(recording.events[0].query_id, second_handle.id());
+}
+
+// Replacing (not just detaching) a subscriber mid-notification also
+// suppresses the pending event: the replacement's baseline postdates the
+// change, so replaying it would hand the new observer pre-attach history.
+TEST(PlanSubscriberTest, SwapDuringCallbackSuppressesUndeliveredEvent) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer first(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry);
+  DeclarativeOptimizer second(world->enumerator.get(), world->cost_model.get(),
+                              &world->registry);
+  first.Optimize();
+  second.Optimize();
+  ReoptSession session(&world->registry);
+
+  QueryHandle second_handle;
+  RecordingSubscriber original, replacement;
+  class SwappingSubscriber final : public PlanSubscriber {
+   public:
+    SwappingSubscriber(QueryHandle* victim, PlanSubscriber* replacement)
+        : victim_(victim), replacement_(replacement) {}
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      (void)event;
+      if (!swapped_) {
+        swapped_ = true;
+        victim_->Subscribe(replacement_);
+      }
+    }
+
+   private:
+    QueryHandle* victim_;
+    PlanSubscriber* replacement_;
+    bool swapped_ = false;
+  };
+  SwappingSubscriber swapping(&second_handle, &replacement);
+
+  QueryHandle first_handle = session.Register(first, &swapping);
+  second_handle = session.Register(second, &original);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  EXPECT_TRUE(original.events.empty());     // it was swapped out pre-delivery
+  EXPECT_TRUE(replacement.events.empty());  // no replay of pre-attach history
+
+  // The replacement's first event comes from the next flush.
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) / 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  ASSERT_EQ(replacement.events.size(), 1u);
+  EXPECT_TRUE(original.events.empty());
+
+  // Same-pointer reattach is a new subscription too (generation counter):
+  // detach-then-reattach of one observer mid-flight must also suppress —
+  // pointer identity alone cannot see that the baseline was re-captured.
+  class ReattachingSubscriber final : public PlanSubscriber {
+   public:
+    ReattachingSubscriber(QueryHandle* victim, PlanSubscriber* same)
+        : victim_(victim), same_(same) {}
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      (void)event;
+      if (!done_) {
+        done_ = true;
+        victim_->Subscribe(nullptr);
+        victim_->Subscribe(same_);  // generic reconfigure: detach, reattach
+      }
+    }
+
+   private:
+    QueryHandle* victim_;
+    PlanSubscriber* same_;
+    bool done_ = false;
+  };
+  ReattachingSubscriber reattaching(&second_handle, &replacement);
+  first_handle.Subscribe(&reattaching);
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  EXPECT_EQ(replacement.events.size(), 1u);  // suppressed despite same pointer
+  // ...and the reattached subscription delivers normally from then on.
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) / 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  EXPECT_EQ(replacement.events.size(), 2u);
+}
+
+// A throwing subscriber must not wedge the session: the exception escapes
+// Flush(), but notification state resets, deferred unregistrations still
+// apply, the exporter/policy epilogue still runs — and a LATER query's
+// event dropped by the unwind is re-detected at the next flush that
+// re-optimizes it (its baseline only advances when its event settles).
+TEST(PlanSubscriberTest, ThrowingSubscriberDoesNotWedgeTheSession) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  DeclarativeOptimizer watched(world->enumerator.get(), world->cost_model.get(),
+                               &world->registry);
+  DeclarativeOptimizer late(world->enumerator.get(), world->cost_model.get(),
+                            &world->registry);
+  opt.Optimize();
+  watched.Optimize();
+  JsonMetricsExporter exporter;
+  auto policy = std::make_shared<CostGatedPolicy>(/*work_budget=*/1e12);
+  ReoptSessionOptions so;
+  so.metrics_exporter = &exporter;
+  so.flush_policy = policy;
+  ReoptSession session(&world->registry, so);
+
+  QueryHandle handle;
+  class ThrowingSubscriber final : public PlanSubscriber {
+   public:
+    explicit ThrowingSubscriber(QueryHandle* self) : self_(self) {}
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      (void)event;
+      self_->Release();  // deferred — must still apply despite the throw
+      throw std::runtime_error("subscriber failure");
+    }
+
+   private:
+    QueryHandle* self_;
+  };
+  ThrowingSubscriber subscriber(&handle);
+  RecordingSubscriber recording;
+  handle = session.Register(opt, &subscriber);  // fires (and throws) first
+  QueryHandle watched_handle = session.Register(watched, &recording);
+  const double watched_cost0 = watched.BestCost();
+
+  // The policy (no history yet) flushes eagerly on the first mutation, so
+  // the subscriber's exception propagates out of the Set call itself.
+  EXPECT_THROW(world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000),
+               std::runtime_error);
+  EXPECT_EQ(session.num_queries(), 1);  // the deferred release applied
+  // The flush DID dispatch: the exporter got its report and the policy its
+  // history sample, despite the throwing subscriber (flush epilogue) —
+  // and the thrower's own event is counted as delivered (at-most-once).
+  ASSERT_EQ(exporter.num_reports(), 1);
+  EXPECT_EQ(exporter.reports()[0].plan_changes, 1);
+  EXPECT_GT(policy->work_per_change(), 0.0);
+  // watched's event was dropped by the unwind — not delivered, not lost:
+  EXPECT_TRUE(recording.events.empty());
+
+  // The session is not stuck in notifying mode: registering and flushing
+  // again both work — and watched's suppressed change re-fires, measured
+  // against the baseline its consumer last saw.
+  late.Optimize();
+  QueryHandle late_handle = session.Register(late);
+  world->registry.SetBaseRows(1, world->registry.base_rows(1) * 3);
+  EXPECT_GT(session.Flush(), 0u);
+  ASSERT_EQ(recording.events.size(), 1u);
+  EXPECT_EQ(recording.events[0].old_cost, watched_cost0);
+  EXPECT_EQ(recording.events[0].new_cost, watched.BestCost());
+  late.ValidateInvariants();
+  EXPECT_EQ(late.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// A dropped event (throwing subscriber unwound delivery) must re-fire
+// even when no later batch ever touches the dropped query's relations:
+// unsettled baselines force a re-diff on the next flush regardless of the
+// prefilter. A sub-query over a prefix of the world's relations makes
+// "registered but unaffected" constructible.
+TEST(PlanSubscriberTest, DroppedEventRefiresEvenWhenLaterFlushCannotAffectTheQuery) {
+  auto world = ChainWorld(6, 23);
+  // Sub-query over relations {0,1,2}, sharing the world's registry (its
+  // chain edges (0,1),(1,2) align with registry edge ids 0 and 1).
+  QuerySpec subq;
+  subq.name = "sub_chain_3";
+  for (int i = 0; i < 3; ++i) {
+    subq.relations.push_back(
+        {static_cast<TableId>(i), world->query.relations[static_cast<size_t>(i)].alias,
+         WindowSpec{}});
+  }
+  subq.joins.push_back({0, 0, 1, 1, PredOp::kEq});
+  subq.joins.push_back({1, 0, 2, 1, PredOp::kEq});
+  JoinGraph subgraph(subq);
+  SummaryCalculator subsummaries(&world->registry);
+  CostModel subcost(&subsummaries);
+  PropTable subprops;
+  PlanEnumerator subenum(&subq, &subgraph, &world->catalog, &subprops);
+
+  DeclarativeOptimizer full(world->enumerator.get(), world->cost_model.get(),
+                            &world->registry);
+  DeclarativeOptimizer sub(&subenum, &subcost, &world->registry);
+  full.Optimize();
+  sub.Optimize();
+  ASSERT_EQ(sub.RootRelations(), RelSet{0b111});
+
+  ReoptSession session(&world->registry);
+  class ThrowOnce final : public PlanSubscriber {
+   public:
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      (void)event;
+      if (!thrown_) {
+        thrown_ = true;
+        throw std::runtime_error("first delivery fails");
+      }
+    }
+
+   private:
+    bool thrown_ = false;
+  };
+  ThrowOnce throw_once;
+  RecordingSubscriber recording;
+  QueryHandle full_handle = session.Register(full, &throw_once);  // delivers first
+  QueryHandle sub_handle = session.Register(sub, &recording);
+  const double sub_cost0 = sub.BestCost();
+
+  // Flush 1 changes BOTH plans; full's subscriber throws before sub's
+  // event is delivered — dropped, baseline left unsettled.
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);
+  EXPECT_THROW(session.Flush(), std::runtime_error);
+  EXPECT_TRUE(recording.events.empty());
+
+  // Flush 2's batch even coalesces to NOTHING (an oscillation on relation
+  // 4, which the sub-query does not contain anyway): the unsettled
+  // baseline still forces the re-diff — the dropped change fires now,
+  // with the costs its consumer last saw, on a flush that dispatched zero
+  // changes.
+  world->registry.SetScanCostMultiplier(4, 8.0);
+  world->registry.SetScanCostMultiplier(4, 1.0);  // nets to zero
+  EXPECT_EQ(session.Flush(), 0u);  // no changes dispatched...
+  ASSERT_EQ(recording.events.size(), 1u);  // ...yet the dropped event fired
+  EXPECT_EQ(recording.events[0].old_cost, sub_cost0);
+  EXPECT_EQ(recording.events[0].new_cost, sub.BestCost());
+
+  // Settled: a further flush (real change, still outside sub's relations)
+  // fires nothing more for sub — and the prefilter skips it.
+  world->registry.SetScanCostMultiplier(4, 2.0);
+  ASSERT_GT(session.Flush(), 0u);
+  EXPECT_GE(session.metrics().queries_skipped, 1);  // sub really is prefiltered
+  EXPECT_EQ(recording.events.size(), 1u);
+  sub.ValidateInvariants();
+  full.ValidateInvariants();
+}
+
+// Two sessions on one registry: a throwing subscriber in the first must
+// not starve the second of its mutation notification — the registry
+// notifies every subscriber, then rethrows the first failure.
+TEST(PlanSubscriberTest, ThrowingSubscriberDoesNotStarveOtherSessions) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer first(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry);
+  DeclarativeOptimizer second(world->enumerator.get(), world->cost_model.get(),
+                              &world->registry);
+  first.Optimize();
+  second.Optimize();
+
+  class AlwaysThrow final : public PlanSubscriber {
+   public:
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      (void)event;
+      throw std::runtime_error("subscriber failure");
+    }
+  };
+  AlwaysThrow throwing;
+  // Session A: eager policy + throwing subscriber — its auto-flush fires
+  // from inside the registry's notification loop and throws there.
+  ReoptSessionOptions sa;
+  sa.flush_policy = std::make_shared<CountPolicy>(1);
+  ReoptSession session_a(&world->registry, sa);
+  QueryHandle handle_a = session_a.Register(first, &throwing);
+  // Session B subscribes after A: it must still observe the mutation.
+  ReoptSessionOptions sb;
+  sb.flush_policy = std::make_shared<CountPolicy>(1);
+  ReoptSession session_b(&world->registry, sb);
+  QueryHandle handle_b = session_b.Register(second);
+
+  EXPECT_THROW(world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000),
+               std::runtime_error);
+  // A's flush drained and threw; B was still notified and counted the
+  // mutation (its own flush found the batch already drained — that is the
+  // documented multi-consumer semantics, not a starvation).
+  EXPECT_EQ(session_b.metrics().mutations_observed, 1);
+  EXPECT_EQ(session_a.metrics().flushes, 1);
+}
+
+TEST(PlanSubscriberTest, RegisterDuringCallbackIsAnError) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  DeclarativeOptimizer other(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry);
+  opt.Optimize();
+  other.Optimize();
+  ReoptSession session(&world->registry);
+
+  class RegisteringSubscriber final : public PlanSubscriber {
+   public:
+    RegisteringSubscriber(ReoptSession* session, DeclarativeOptimizer* other)
+        : session_(session), other_(other) {}
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      (void)event;
+      QueryHandle h = session_->Register(*other_);  // forbidden mid-notification
+    }
+
+   private:
+    ReoptSession* session_;
+    DeclarativeOptimizer* other_;
+  };
+  RegisteringSubscriber subscriber(&session, &other);
+  QueryHandle handle = session.Register(opt, &subscriber);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);
+  EXPECT_DEATH_IF_SUPPORTED(session.Flush(), "notifying");
+}
+
+// ---------------------------------------------------------------------------
+// Flush policies
+// ---------------------------------------------------------------------------
+
+TEST(FlushPolicyTest, CountPolicyFiresAfterThreshold) {
   auto world = ChainWorld();
   DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
                            &world->registry);
   opt.Optimize();
   ReoptSessionOptions so;
-  so.auto_flush_after = 3;
+  so.flush_policy = std::make_shared<CountPolicy>(3);
   ReoptSession session(&world->registry, so);
-  session.Register(&opt);
+  QueryHandle handle = session.Register(opt);
 
   world->registry.SetBaseRows(0, 999);
   world->registry.SetBaseRows(1, 888);
@@ -202,71 +902,243 @@ TEST(ReoptSessionTest, AutoFlushFiresAfterThreshold) {
   EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
 }
 
-TEST(ReoptSessionTest, UnregisterStopsDispatch) {
-  auto world = ChainWorld();
-  DeclarativeOptimizer kept(world->enumerator.get(), world->cost_model.get(),
-                            &world->registry);
-  DeclarativeOptimizer dropped(world->enumerator.get(), world->cost_model.get(),
-                               &world->registry);
-  kept.Optimize();
-  dropped.Optimize();
-
-  ReoptSession session(&world->registry);
-  session.Register(&kept);
-  const ReoptSession::QueryId dropped_id = session.Register(&dropped);
-  session.Unregister(dropped_id);
-  EXPECT_EQ(session.num_queries(), 1);
-
-  const int64_t dropped_enq0 = dropped.metrics().tasks_enqueued;
-  world->registry.SetBaseRows(2, world->registry.base_rows(2) * 7);
-  EXPECT_EQ(session.Flush(), 1u);
-  EXPECT_EQ(session.metrics().reopt_passes, 1);
-  EXPECT_EQ(dropped.metrics().tasks_enqueued, dropped_enq0);  // untouched
-  kept.ValidateInvariants();
-  EXPECT_EQ(kept.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
-}
-
-TEST(ReoptSessionTest, RegisterRejectsOptimizerThatMissedADrain) {
-  auto world = ChainWorld();
-  DeclarativeOptimizer current(world->enumerator.get(), world->cost_model.get(),
-                               &world->registry);
-  DeclarativeOptimizer late(world->enumerator.get(), world->cost_model.get(),
-                            &world->registry);
-  current.Optimize();
-  late.Optimize();
-
-  ReoptSession session(&world->registry);
-  session.Register(&current);
-  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 3);
-  session.Flush();  // drains: `late` has now missed deltas it can never get
-
-  EXPECT_LT(late.stats_epoch(), world->registry.drained_epoch());
-  EXPECT_DEATH_IF_SUPPORTED(session.Register(&late), "stats_epoch");
-
-  // A fresh optimizer over the post-drain statistics registers fine.
-  DeclarativeOptimizer fresh(world->enumerator.get(), world->cost_model.get(),
-                             &world->registry);
-  fresh.Optimize();
-  session.Register(&fresh);
-  EXPECT_EQ(session.num_queries(), 2);
-}
-
-TEST(ReoptSessionTest, DestructorUnsubscribes) {
+// The deprecated auto_flush_after field must keep working for one PR: it
+// maps onto a CountPolicy at session construction.
+TEST(FlushPolicyTest, DeprecatedAutoFlushShimStillFires) {
   auto world = ChainWorld();
   DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
                            &world->registry);
   opt.Optimize();
-  {
-    ReoptSession session(&world->registry);
-    session.Register(&opt);
-  }
-  // Mutating after the session died must not touch freed memory (the
-  // subscriber list no longer references it); the delta just sits pending.
-  world->registry.SetBaseRows(0, 123);
-  EXPECT_TRUE(world->registry.HasPending());
-  opt.Reoptimize();  // single-query draining still works without a session
+  ReoptSessionOptions so;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  so.auto_flush_after = 2;
+#pragma GCC diagnostic pop
+  ReoptSession session(&world->registry, so);
+  QueryHandle handle = session.Register(opt);
+
+  world->registry.SetBaseRows(0, 999);
+  EXPECT_EQ(session.metrics().flushes, 0);
+  world->registry.SetBaseRows(1, 888);  // second mutation: fires
+  EXPECT_EQ(session.metrics().flushes, 1);
   opt.ValidateInvariants();
   EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// DeadlinePolicy with an injected clock: mutations inside the deadline do
+// not flush; once the oldest pending mutation has aged past it, the next
+// policy consultation — here a Poll(), no mutation needed — flushes.
+TEST(FlushPolicyTest, DeadlinePolicyFiresViaPollAfterClockAdvance) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  FakeClock clock;
+  ReoptSessionOptions so;
+  so.flush_policy = std::make_shared<DeadlinePolicy>(std::chrono::milliseconds(100), &clock);
+  ReoptSession session(&world->registry, so);
+  QueryHandle handle = session.Register(opt);
+
+  world->registry.SetBaseRows(0, 999);  // arms the deadline at t=0
+  clock.Advance(std::chrono::milliseconds(50));
+  world->registry.SetBaseRows(1, 888);  // still inside the deadline
+  EXPECT_EQ(session.Poll(), 0u);
+  EXPECT_EQ(session.metrics().flushes, 0);
+
+  clock.Advance(std::chrono::milliseconds(60));  // t=110 > 100ms deadline
+  EXPECT_GT(session.Poll(), 0u);
+  EXPECT_EQ(session.metrics().flushes, 1);
+  EXPECT_FALSE(session.HasPending());
+
+  // Disarmed after the flush: an idle Poll never fires...
+  clock.Advance(std::chrono::hours(1));
+  EXPECT_EQ(session.Poll(), 0u);
+  // ...and the next burst starts its own window at its own t0.
+  world->registry.SetBaseRows(0, 123);
+  EXPECT_EQ(session.Poll(), 0u);
+  clock.Advance(std::chrono::milliseconds(150));
+  EXPECT_GT(session.Poll(), 0u);
+  EXPECT_EQ(session.metrics().flushes, 2);
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// A mutation that lands while a flush is in flight (here: from inside a
+// subscriber callback, after the drain) survives into the next epoch's
+// batch — the deadline must re-arm on it at flush end, not disarm, or its
+// staleness bound would silently stretch by a poll interval.
+TEST(FlushPolicyTest, DeadlineRearmsOnMutationsThatRacedTheFlush) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  FakeClock clock;
+  ReoptSessionOptions so;
+  so.flush_policy = std::make_shared<DeadlinePolicy>(std::chrono::milliseconds(100), &clock);
+  ReoptSession session(&world->registry, so);
+
+  class MutateOnceSubscriber final : public PlanSubscriber {
+   public:
+    explicit MutateOnceSubscriber(StatsRegistry* registry) : registry_(registry) {}
+    void OnPlanChange(const PlanChangeEvent& event) override {
+      (void)event;
+      if (!mutated_) {
+        mutated_ = true;
+        registry_->SetBaseRows(1, 777);  // races the in-flight flush
+      }
+    }
+
+   private:
+    StatsRegistry* registry_;
+    bool mutated_ = false;
+  };
+  MutateOnceSubscriber subscriber(&world->registry);
+  QueryHandle handle = session.Register(opt, &subscriber);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);  // arms at t=0
+  clock.Advance(std::chrono::milliseconds(150));
+  EXPECT_GT(session.Poll(), 0u);  // deadline expired: flush; callback mutates
+  EXPECT_EQ(session.metrics().flushes, 1);
+  EXPECT_TRUE(session.HasPending());  // the callback's mutation survived
+
+  // Window restarted at flush end (t=150): not yet expired at t=200...
+  clock.Advance(std::chrono::milliseconds(50));
+  EXPECT_EQ(session.Poll(), 0u);
+  // ...expired at t=260. (A disarm-always policy would have re-armed at
+  // the t=200 Poll and still be waiting here.)
+  clock.Advance(std::chrono::milliseconds(60));
+  EXPECT_GT(session.Poll(), 0u);
+  EXPECT_EQ(session.metrics().flushes, 2);
+  EXPECT_FALSE(session.HasPending());
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// CostGatedPolicy: with no flush history it flushes eagerly (calibration);
+// with history and a huge budget it batches; with a tiny budget the
+// estimate crosses immediately and every mutation flushes.
+TEST(FlushPolicyTest, CostGatedPolicyBatchesUnderItsWorkBudget) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  auto policy = std::make_shared<CostGatedPolicy>(/*work_budget=*/1e12);
+  ReoptSessionOptions so;
+  so.flush_policy = policy;
+  ReoptSession session(&world->registry, so);
+  QueryHandle handle = session.Register(opt);
+
+  world->registry.SetBaseRows(0, 999);  // no history yet: eager calibration
+  EXPECT_EQ(session.metrics().flushes, 1);
+  EXPECT_GT(policy->work_per_change(), 0.0);
+
+  // History exists, budget is astronomical: mutations accumulate.
+  world->registry.SetBaseRows(1, 888);
+  world->registry.SetBaseRows(2, 777);
+  world->registry.SetScanCostMultiplier(0, 3.0);
+  EXPECT_EQ(session.metrics().flushes, 1);
+  EXPECT_TRUE(session.HasPending());
+  EXPECT_GT(session.Flush(), 0u);  // manual flush still drains
+  EXPECT_EQ(session.metrics().flushes, 2);
+
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// A dispatched-but-zero-work flush (every registered query prefiltered
+// away) is floored to one work unit per change: it must neither wedge the
+// estimate at 0 (auto-flush would never fire again) nor keep the policy
+// in eager per-mutation mode forever. Real observations take over as soon
+// as a pass does actual work.
+TEST(FlushPolicyTest, CostGatedFloorsZeroWorkCalibration) {
+  CostGatedPolicy policy(/*work_budget=*/100);
+  FlushPolicyContext ctx;
+  ctx.mutations_since_flush = 1;
+  ctx.pending_stats = 1;
+  EXPECT_TRUE(policy.ShouldFlush(ctx));  // no history: eager
+
+  policy.OnFlush(FlushOptStats{}, /*changes=*/3, /*pending_after=*/0);  // zero work
+  EXPECT_EQ(policy.work_per_change(), 1.0);  // floored, not 0, not skipped
+  EXPECT_FALSE(policy.ShouldFlush(ctx));     // 1 * 1 < 100: batches now
+  ctx.pending_stats = 200;
+  EXPECT_TRUE(policy.ShouldFlush(ctx));  // 200 * 1 >= 100: still bounded
+
+  FlushOptStats real;
+  real.fixpoint_steps = 50;
+  real.eps_seeded = 10;
+  policy.OnFlush(real, /*changes=*/1, /*pending_after=*/0);  // 60 work/change
+  // EWMA (smoothing 0.3): 0.7 * 1 + 0.3 * 60 = 18.7 work/change.
+  ctx.pending_stats = 2;
+  EXPECT_FALSE(policy.ShouldFlush(ctx));  // 2 * 18.7 < 100
+  ctx.pending_stats = 6;
+  EXPECT_TRUE(policy.ShouldFlush(ctx));  // 6 * 18.7 >= 100
+}
+
+TEST(FlushPolicyTest, CostGatedPolicyTinyBudgetFlushesPerMutation) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSessionOptions so;
+  so.flush_policy = std::make_shared<CostGatedPolicy>(/*work_budget=*/1e-6);
+  ReoptSession session(&world->registry, so);
+  QueryHandle handle = session.Register(opt);
+
+  world->registry.SetBaseRows(0, 999);  // calibration flush
+  world->registry.SetBaseRows(1, 888);  // estimate >= budget instantly
+  world->registry.SetBaseRows(2, 777);
+  EXPECT_EQ(session.metrics().flushes, 3);
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics export
+// ---------------------------------------------------------------------------
+
+TEST(MetricsExporterTest, JsonExporterReceivesOneReportPerDispatchedFlush) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  JsonMetricsExporter exporter;
+  ReoptSessionOptions so;
+  so.metrics_exporter = &exporter;
+  ReoptSession session(&world->registry, so);
+  RecordingSubscriber subscriber;
+  QueryHandle handle = session.Register(opt, &subscriber);
+
+  // Flush 1: a real change (and a plan change, with the big swing).
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 1000);
+  ASSERT_GT(session.Flush(), 0u);
+  // Flush 2: net-zero churn — absorbed, NO report (nothing dispatched).
+  world->registry.SetScanCostMultiplier(1, 2.0);
+  world->registry.SetScanCostMultiplier(1, 1.0);
+  EXPECT_EQ(session.Flush(), 0u);
+  // Flush 3: another real change.
+  world->registry.SetLocalSelectivity(2, 0.4);
+  ASSERT_GT(session.Flush(), 0u);
+
+  ASSERT_EQ(exporter.num_reports(), 2);
+  const FlushReport& r1 = exporter.reports()[0];
+  EXPECT_EQ(r1.flush_index, 1);
+  EXPECT_EQ(r1.changes, 1);
+  EXPECT_EQ(r1.queries, 1);
+  EXPECT_EQ(r1.plan_changes, 1);
+  EXPECT_GT(r1.opt.passes, 0);
+  EXPECT_GT(r1.opt.fixpoint_steps, 0);
+  EXPECT_GT(r1.flush_epoch, 1u);  // the drained batch's registry epoch
+  EXPECT_GT(exporter.reports()[1].flush_epoch, r1.flush_epoch);
+  EXPECT_EQ(exporter.reports()[1].flush_index, 2);
+  EXPECT_EQ(exporter.reports()[1].session.flushes, 2);
+
+  // The JSON rendering is parseable-shaped and carries the counters.
+  const std::string json = exporter.ToJson();
+  EXPECT_NE(json.find("\"flush_index\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"plan_changes\""), std::string::npos);
+  EXPECT_NE(json.find("\"fixpoint_steps\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
 }
 
 }  // namespace

@@ -216,6 +216,47 @@ TEST(StatsRegistryTest, ScanCostChangeKind) {
   EXPECT_EQ(pending[0].scope, RelSingleton(1));
 }
 
+// The subscriber event carries the under-lock snapshot a flush policy
+// evaluates against: the post-mutation epoch and the pending-scope mask
+// size, consistent with the mutation that fired the callback.
+TEST(StatsRegistryTest, MutationEventSnapshotsEpochAndPendingSize) {
+  class Capture final : public StatsSubscriber {
+   public:
+    void OnStatsMutated(StatsRegistry& registry, const StatsMutationEvent& event) override {
+      (void)registry;
+      events.push_back(event);
+    }
+    std::vector<StatsMutationEvent> events;
+  };
+  StatsRegistry reg(3);
+  Capture capture;
+  reg.Subscribe(&capture);
+  reg.Freeze();
+
+  reg.SetBaseRows(0, 100);
+  ASSERT_EQ(capture.events.size(), 1u);
+  EXPECT_EQ(capture.events[0].epoch, reg.epoch());
+  EXPECT_EQ(capture.events[0].pending_stats, 1u);
+
+  reg.SetBaseRows(0, 200);  // collapses into the same pending entry
+  ASSERT_EQ(capture.events.size(), 2u);
+  EXPECT_EQ(capture.events[1].pending_stats, 1u);
+
+  reg.SetScanCostMultiplier(1, 4.0);  // second distinct statistic
+  ASSERT_EQ(capture.events.size(), 3u);
+  EXPECT_EQ(capture.events[2].pending_stats, 2u);
+  EXPECT_GT(capture.events[2].epoch, capture.events[0].epoch);
+
+  reg.SetBaseRows(2, reg.base_rows(2));  // exact no-op: no record, no event
+  EXPECT_EQ(capture.events.size(), 3u);
+
+  reg.TakePending();
+  reg.SetLocalSelectivity(2, 0.5);  // fresh batch: pending size restarts
+  ASSERT_EQ(capture.events.size(), 4u);
+  EXPECT_EQ(capture.events[3].pending_stats, 1u);
+  reg.Unsubscribe(&capture);
+}
+
 TEST(StatsRegistryTest, CardMultiplierSubsetSemantics) {
   StatsRegistry reg(3);
   reg.SetCardMultiplier(0b011, 4.0);

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Header hygiene: every public header must compile standalone.
+
+Compiles each src/**/*.h as its own translation unit with -fsyntax-only,
+so a header that silently leans on its includers' #includes (or on
+include-order luck) fails CI instead of failing the next consumer. This is
+what keeps the service API surface (and every later one) self-contained.
+
+Usage: python3 tools/check_headers.py [--compiler c++] [--jobs N]
+Exit code 0 when every header compiles, 1 otherwise.
+"""
+
+import argparse
+import concurrent.futures
+import pathlib
+import shutil
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+def find_compiler(explicit: str | None) -> str:
+    candidates = [explicit] if explicit else ["c++", "g++", "clang++"]
+    for c in candidates:
+        if c and shutil.which(c):
+            return c
+    sys.exit("check_headers: no C++ compiler found (tried: %s)" % ", ".join(
+        c for c in candidates if c))
+
+
+def check_one(compiler: str, header: pathlib.Path) -> tuple[pathlib.Path, str | None]:
+    cmd = [
+        compiler,
+        "-std=c++20",
+        "-fsyntax-only",
+        "-Wall",
+        "-Wextra",
+        f"-I{SRC}",
+        "-x",
+        "c++",  # treat the .h as a C++ TU
+        str(header),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return header, proc.stderr.strip() or f"exit code {proc.returncode}"
+    return header, None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--compiler", default=None, help="compiler to use (default: c++/g++/clang++)")
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    compiler = find_compiler(args.compiler)
+    headers = sorted(SRC.rglob("*.h"))
+    if not headers:
+        sys.exit("check_headers: no headers found under src/")
+
+    failures: list[tuple[pathlib.Path, str]] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for header, error in pool.map(lambda h: check_one(compiler, h), headers):
+            if error is not None:
+                failures.append((header, error))
+
+    for header, error in failures:
+        rel = header.relative_to(ROOT)
+        print(f"FAIL {rel}\n{error}\n", file=sys.stderr)
+    ok = len(headers) - len(failures)
+    print(f"check_headers: {ok}/{len(headers)} headers compile standalone ({compiler})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
