@@ -29,7 +29,9 @@ class Arena {
   /// blocks double geometrically up to `max_block_bytes`. Oversized requests
   /// get a dedicated block.
   explicit Arena(size_t first_block_bytes = 4096, size_t max_block_bytes = 1 << 20)
-      : next_block_bytes_(first_block_bytes), max_block_bytes_(max_block_bytes) {
+      : first_block_bytes_(first_block_bytes),
+        next_block_bytes_(first_block_bytes),
+        max_block_bytes_(max_block_bytes) {
     IQRO_CHECK(first_block_bytes > 0 && max_block_bytes >= first_block_bytes);
   }
 
@@ -64,6 +66,20 @@ class Arena {
 
   size_t num_blocks() const { return blocks_.size(); }
 
+  /// Releases every block back to the heap and restores the growth schedule
+  /// to its construction state. Invalidates every pointer the arena ever
+  /// returned; as with destruction, the owner must have destroyed any
+  /// non-trivially-destructible objects first. Used by the optimizer's
+  /// teardown path so a quarantined query does not pin its old memo.
+  void Reset() {
+    blocks_.clear();
+    cursor_ = 0;
+    limit_ = 0;
+    next_block_bytes_ = first_block_bytes_;
+    bytes_used_ = 0;
+    bytes_reserved_ = 0;
+  }
+
  private:
   void AddBlock(size_t min_bytes) {
     size_t block_bytes = next_block_bytes_;
@@ -82,6 +98,7 @@ class Arena {
   std::vector<std::unique_ptr<char[]>> blocks_;
   uintptr_t cursor_ = 0;
   uintptr_t limit_ = 0;
+  size_t first_block_bytes_;
   size_t next_block_bytes_;
   size_t max_block_bytes_;
   size_t bytes_used_ = 0;

@@ -1,0 +1,94 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+namespace iqro {
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();  // leaked: outlives all users
+  return *instance;
+}
+
+void FaultInjector::OnHit(const char* site) {
+  int sleep_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_ || specs_.empty()) return;
+
+    int64_t* count = nullptr;
+    for (auto& [name, n] : hit_counts_) {
+      if (name == site) {
+        count = &n;
+        break;
+      }
+    }
+    if (count == nullptr) {
+      hit_counts_.emplace_back(site, 0);
+      count = &hit_counts_.back().second;
+    }
+    const int64_t hit = ++*count;
+
+    for (const ArmSpec& spec : specs_) {
+      if (spec.site != site) continue;
+      const bool fires =
+          hit == spec.fire_at_hit ||
+          (spec.period > 0 && hit > spec.fire_at_hit &&
+           (hit - spec.fire_at_hit) % spec.period == 0);
+      if (!fires) continue;
+      ++fired_;
+      switch (spec.action) {
+        case Action::kThrow:
+          throw InjectedFault(std::string("injected fault at ") + site + " hit " +
+                              std::to_string(hit));
+        case Action::kBadAlloc:
+          throw std::bad_alloc();
+        case Action::kDelay:
+          sleep_micros = spec.delay_micros;
+          break;
+      }
+      break;  // at most one delay per hit; throws already left
+    }
+  }
+  if (sleep_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+  }
+}
+
+void FaultInjector::Arm(ArmSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back(std::move(spec));
+  armed_.store(enabled_ && !specs_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+  hit_counts_.clear();
+  fired_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = on;
+  armed_.store(enabled_ && !specs_.empty(), std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, n] : hit_counts_) {
+    if (name == site) return n;
+  }
+  return 0;
+}
+
+int64_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+}  // namespace iqro

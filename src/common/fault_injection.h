@@ -1,0 +1,138 @@
+// Deterministic fault injection for exercising failure paths.
+//
+// A fault point is a named site compiled into the code unconditionally:
+//
+//   IQRO_FAULT_POINT("reopt.fixpoint");
+//
+// Disarmed (the default, and the only state production code ever sees) a
+// fault point costs one relaxed atomic load and a never-taken predicted
+// branch — no lock, no string compare, no allocation. The self-test in
+// tests/fault_injection_test.cpp bench-asserts that bound.
+//
+// A harness arms the injector with a site name, an action and a 1-based
+// hit ordinal; the Nth time execution reaches that site the injector
+// throws (InjectedFault or std::bad_alloc) or sleeps. Hit counting is
+// global and deterministic for a deterministic execution, which is what
+// lets the differential harness derive "fault at hit N of site S" from a
+// scenario seed and replay it exactly.
+//
+// set_enabled(false) opens a window in which armed sites neither count
+// nor fire — the harness uses it to confine hits to the primary world's
+// flushes while oracle and mirror worlds run the very same code paths.
+#ifndef IQRO_COMMON_FAULT_INJECTION_H_
+#define IQRO_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace iqro {
+
+/// Thrown by an armed fault point with Action::kThrow. Deliberately a
+/// distinct type so tests can tell an injected failure from a real one.
+struct InjectedFault : public std::runtime_error {
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+class FaultInjector {
+ public:
+  enum class Action : uint8_t {
+    kThrow,     // throw InjectedFault
+    kBadAlloc,  // throw std::bad_alloc (allocation-failure path)
+    kDelay,     // sleep delay_micros, then continue
+  };
+
+  struct ArmSpec {
+    std::string site;
+    Action action = Action::kThrow;
+    /// 1-based ordinal of the counted hit that fires. 1 == first hit.
+    int64_t fire_at_hit = 1;
+    /// 0: fire exactly once, at fire_at_hit. k > 0: also fire at every
+    /// k-th hit after that (fire_at_hit, fire_at_hit + k, ...).
+    int64_t period = 0;
+    int delay_micros = 0;  // kDelay only
+  };
+
+  static FaultInjector& Instance();
+
+  /// Hot-path guard: true iff at least one site is armed AND counting is
+  /// enabled. Relaxed load — the only cost a disarmed build pays.
+  static bool ArmedFast() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Slow path behind ArmedFast(): counts the hit and fires the action if
+  /// an armed spec matches. May throw per the spec's Action.
+  void OnHit(const char* site);
+
+  /// Adds an armed site. Hit counts are NOT reset — arm everything before
+  /// the run, or call DisarmAll() first.
+  void Arm(ArmSpec spec);
+
+  /// Removes every armed site and resets all hit counts and the fired
+  /// counter. Leaves the injector enabled.
+  void DisarmAll();
+
+  /// Gates hit counting: while disabled, armed sites neither count nor
+  /// fire. Lets a harness confine deterministic hit ordinals to one
+  /// world's execution windows.
+  void set_enabled(bool on);
+
+  /// Hits counted so far for `site` (0 if never hit while enabled).
+  int64_t hits(const std::string& site) const;
+
+  /// Total number of times any armed action fired (kDelay included).
+  int64_t fired() const;
+
+ private:
+  FaultInjector() = default;
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  std::vector<ArmSpec> specs_;
+  std::vector<std::pair<std::string, int64_t>> hit_counts_;
+  bool enabled_ = true;
+  int64_t fired_ = 0;
+};
+
+/// RAII: arms one or more sites for a scope, disarms everything (and
+/// resets hit counts) on exit — exception-safe cleanup for tests.
+class ScopedFaultArm {
+ public:
+  explicit ScopedFaultArm(FaultInjector::ArmSpec spec) {
+    FaultInjector::Instance().Arm(std::move(spec));
+  }
+  ScopedFaultArm(std::initializer_list<FaultInjector::ArmSpec> specs) {
+    for (const auto& s : specs) FaultInjector::Instance().Arm(s);
+  }
+  ~ScopedFaultArm() { FaultInjector::Instance().DisarmAll(); }
+  ScopedFaultArm(const ScopedFaultArm&) = delete;
+  ScopedFaultArm& operator=(const ScopedFaultArm&) = delete;
+};
+
+/// RAII: enables hit counting for a scope, disables it on exit. Used to
+/// open counting windows around exactly the code under fault test.
+class ScopedFaultWindow {
+ public:
+  ScopedFaultWindow() { FaultInjector::Instance().set_enabled(true); }
+  ~ScopedFaultWindow() { FaultInjector::Instance().set_enabled(false); }
+  ScopedFaultWindow(const ScopedFaultWindow&) = delete;
+  ScopedFaultWindow& operator=(const ScopedFaultWindow&) = delete;
+};
+
+}  // namespace iqro
+
+/// A named injection site. Always compiled in; one relaxed atomic load
+/// when disarmed.
+#define IQRO_FAULT_POINT(site)                                      \
+  do {                                                              \
+    if (__builtin_expect(::iqro::FaultInjector::ArmedFast(), 0)) {  \
+      ::iqro::FaultInjector::Instance().OnHit(site);                \
+    }                                                               \
+  } while (0)
+
+#endif  // IQRO_COMMON_FAULT_INJECTION_H_

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 
 namespace iqro {
@@ -170,6 +171,10 @@ void DeclarativeOptimizer::Drain() {
     ++metrics_.steps;
     ++metrics_.round_steps;
     IQRO_CHECK(metrics_.steps < static_cast<int64_t>(options_.max_steps));
+    if (work_budget_ > 0 && metrics_.round_steps > work_budget_) {
+      throw WorkBudgetExceeded(work_budget_, metrics_.round_steps);
+    }
+    IQRO_FAULT_POINT("reopt.fixpoint");
     Task t = lifo ? queue_.pop_back() : queue_.pop_front();
     switch (t.kind) {
       case Task::Kind::kEnumerate:
@@ -194,6 +199,15 @@ void DeclarativeOptimizer::Drain() {
 
 void DeclarativeOptimizer::Optimize() {
   if (optimized_) return;
+  try {
+    OptimizeImpl();
+  } catch (...) {
+    TearDown();  // all-or-nothing: no partial fixpoint survives a throw
+    throw;
+  }
+}
+
+void DeclarativeOptimizer::OptimizeImpl() {
   optimized_ = true;
   stats_epoch_ = registry_->epoch();
   ++round_;
@@ -202,6 +216,30 @@ void DeclarativeOptimizer::Optimize() {
   RefUp(root_);  // the query itself holds one virtual reference on the root
   Drain();
   UpdatePeakMemoBytes();
+}
+
+void DeclarativeOptimizer::RebuildFromScratch() {
+  IQRO_FAULT_POINT("reopt.rebuild");
+  TearDown();
+  Optimize();
+}
+
+void DeclarativeOptimizer::TearDown() {
+  for (EPState* ep : eps_in_order_) ep->~EPState();
+  eps_in_order_.clear();
+  memo_.Clear();
+  queue_.clear();
+  arena_.Reset();
+  reopt_order_.clear();
+  reopt_order_stale_ = true;
+  per_ep_walk_key_ = -1;
+  per_ep_bytes_cache_ = 0;
+  root_ = nullptr;
+  optimized_ = false;
+  stats_epoch_ = 0;
+  work_budget_ = 0;
+  // metrics_ is cumulative across the rebuild (counters are lifetime
+  // totals); round_ keeps advancing so touched_round stamps stay unique.
 }
 
 void DeclarativeOptimizer::Reoptimize() {
@@ -215,8 +253,19 @@ void DeclarativeOptimizer::EnableConcurrentFlushes() {
 }
 
 int64_t DeclarativeOptimizer::ReoptimizeBatch(const std::vector<StatChange>& changes,
-                                              uint64_t stats_epoch) {
+                                              uint64_t stats_epoch, int64_t work_budget) {
+  try {
+    return ReoptimizeBatchImpl(changes, stats_epoch, work_budget);
+  } catch (...) {
+    TearDown();  // all-or-nothing: no partial fixpoint survives a throw
+    throw;
+  }
+}
+
+int64_t DeclarativeOptimizer::ReoptimizeBatchImpl(const std::vector<StatChange>& changes,
+                                                  uint64_t stats_epoch, int64_t work_budget) {
   IQRO_CHECK(optimized_);
+  work_budget_ = work_budget;
   // `changes` is (the net of) everything since the last drain, so the
   // post-fixpoint state reflects the drained epoch — passed in by a flush
   // dispatcher, or read live when the caller owns the registry's thread.
@@ -225,7 +274,10 @@ int64_t DeclarativeOptimizer::ReoptimizeBatch(const std::vector<StatChange>& cha
   // counters must read 0 after it, not the previous round's values.
   ++round_;
   metrics_.BeginRound();
-  if (changes.empty()) return 0;
+  if (changes.empty()) {
+    work_budget_ = 0;
+    return 0;
+  }
 
   // Whole-batch prefilter masks: an EP can only be affected if it overlaps
   // some change's scope — `card_union` rejects most EPs with one AND before
@@ -275,6 +327,7 @@ int64_t DeclarativeOptimizer::ReoptimizeBatch(const std::vector<StatChange>& cha
     }
     if (!affected) continue;
     ++seeded;
+    IQRO_FAULT_POINT("reopt.seed");
     if (!Live(*ep)) {
       // Garbage-collected state that the update would invalidate: evict it
       // now (§3.2 + §4 — pruned state is re-derived only if re-referenced).
@@ -284,6 +337,7 @@ int64_t DeclarativeOptimizer::ReoptimizeBatch(const std::vector<StatChange>& cha
     for (uint32_t i = 0; i < ep->alts.size(); ++i) ScheduleDrive(ep, i);
   }
   Drain();
+  work_budget_ = 0;
   UpdatePeakMemoBytes();  // O(1) unless this round enumerated new state
   return seeded;
 }

@@ -62,6 +62,7 @@
 
 #include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,22 @@
 
 namespace iqro {
 
+/// Thrown by ReoptimizeBatch when the caller-supplied `work_budget` is
+/// exceeded mid-fixpoint (a runaway query under the new statistics). The
+/// strong guarantee applies: by the time this escapes, the optimizer has
+/// been torn down to its pre-Optimize() state — no partial fixpoint
+/// survives. Distinct from the hard `max_steps` CHECK, which is a
+/// correctness backstop and aborts the process.
+struct WorkBudgetExceeded : public std::runtime_error {
+  WorkBudgetExceeded(int64_t budget_in, int64_t steps_in)
+      : std::runtime_error("fixpoint work budget exceeded: " + std::to_string(steps_in) +
+                           " steps > budget " + std::to_string(budget_in)),
+        budget(budget_in),
+        steps(steps_in) {}
+  int64_t budget;
+  int64_t steps;
+};
+
 class DeclarativeOptimizer {
  public:
   /// `enumerator`, `cost_model` and `registry` must outlive the optimizer.
@@ -91,6 +108,14 @@ class DeclarativeOptimizer {
   DeclarativeOptimizer& operator=(const DeclarativeOptimizer&) = delete;
 
   /// Initial optimization: seeds the root Expr tuple and runs the fixpoint.
+  ///
+  /// Exception guarantee (all-or-nothing, here and in the reoptimize entry
+  /// points): if the fixpoint throws — an injected fault, a bad_alloc, a
+  /// WorkBudgetExceeded — the optimizer tears itself down to a consistent
+  /// empty, unoptimized state (memo, arena, worklist and aggregates all
+  /// released; optimized() == false) before the exception escapes. No
+  /// partially applied fixpoint is ever observable; recover with
+  /// RebuildFromScratch() once the cause is gone.
   void Optimize();
 
   /// Incremental re-optimization: drains pending StatChanges from the
@@ -125,7 +150,31 @@ class DeclarativeOptimizer {
   /// several optimizers fixpointing over one shared world, provided the
   /// session enabled it (EnableConcurrentFlushes) and the dispatcher holds
   /// the registry reader lock for the dispatch window.
-  int64_t ReoptimizeBatch(const std::vector<StatChange>& changes, uint64_t stats_epoch = 0);
+  ///
+  /// `work_budget` > 0 caps this call's fixpoint task count
+  /// (OptMetrics::round_steps); exceeding it throws WorkBudgetExceeded.
+  /// 0 means unbudgeted. Either way a throw leaves the optimizer torn down
+  /// per the Optimize() exception guarantee — the ReoptSession quarantines
+  /// the query and later restores it via RebuildFromScratch().
+  int64_t ReoptimizeBatch(const std::vector<StatChange>& changes, uint64_t stats_epoch = 0,
+                          int64_t work_budget = 0);
+
+  /// Recovery entry point: discards all optimizer state (the teardown the
+  /// exception path runs) and re-optimizes from scratch against the
+  /// registry's *current* statistics. By the incremental ≡ from-scratch
+  /// equivalence this lands on exactly the state an optimizer that never
+  /// failed — and incrementally applied every drained batch — would hold,
+  /// which is what lets a quarantined query rejoin a session losslessly.
+  /// Safe to call in any state (optimized or torn down).
+  void RebuildFromScratch();
+
+  /// Discards all optimizer state (same teardown the exception path runs)
+  /// WITHOUT re-optimizing: optimized() becomes false and stays false until
+  /// Optimize()/RebuildFromScratch(). The ReoptSession uses this to pin a
+  /// query whose pass failed *outside* the fixpoint (so the optimizer was
+  /// not self-torn-down) into the one canonical quarantined state — never
+  /// serve a plan that may have missed a drained batch.
+  void Invalidate() { TearDown(); }
 
   /// Opts the *shared* parts of this optimizer's world — the split memo,
   /// the PropTable it interns into, and the summary cache — into internal
@@ -297,6 +346,15 @@ class DeclarativeOptimizer {
   double Threshold(const EPState& ep) const;
   double CurrentBound(const EPState& ep) const;  // min(BestCost, MaxBound)
 
+  // ---- entry-point internals ----
+  void OptimizeImpl();
+  int64_t ReoptimizeBatchImpl(const std::vector<StatChange>& changes, uint64_t stats_epoch,
+                              int64_t work_budget);
+  /// Destroys every piece of fixpoint state (memo, arena, worklist,
+  /// ordering caches) and returns to the pre-Optimize() configuration.
+  /// The exception-path half of the strong guarantee.
+  void TearDown();
+
   // ---- fixpoint tasks ----
   void Drain();
   void Push(Task t);
@@ -360,6 +418,7 @@ class DeclarativeOptimizer {
   bool optimized_ = false;
   uint32_t round_ = 0;
   uint64_t stats_epoch_ = 0;  // registry epoch the current state reflects
+  int64_t work_budget_ = 0;   // per-call cap on round_steps; 0 = unbudgeted
 
   // Reoptimize()'s bottom-up seeding order; rebuilt only when the memo grew
   // since the last rebuild (new pairs invalidate it).

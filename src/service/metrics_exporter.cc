@@ -22,7 +22,11 @@ bench::JsonObj ReportJson(const FlushReport& r) {
       .Put("reopt_passes", r.session.reopt_passes)
       .Put("queries_skipped", r.session.queries_skipped)
       .Put("eps_seeded", r.session.eps_seeded)
-      .Put("plan_changes", r.session.plan_changes);
+      .Put("plan_changes", r.session.plan_changes)
+      .Put("quarantines", r.session.quarantines)
+      .Put("rehabilitations", r.session.rehabilitations)
+      .Put("queries_parked", r.session.queries_parked)
+      .Put("watermark_flushes", r.session.watermark_flushes);
   bench::JsonObj obj;
   obj.Put("flush_index", r.flush_index)
       .Put("flush_epoch", static_cast<int64_t>(r.flush_epoch))
@@ -30,6 +34,10 @@ bench::JsonObj ReportJson(const FlushReport& r) {
       .Put("queries", r.queries)
       .Put("queries_skipped", r.queries_skipped)
       .Put("plan_changes", r.plan_changes)
+      .Put("queries_quarantined", r.queries_quarantined)
+      .Put("quarantines", r.quarantines)
+      .Put("rehabilitations", r.rehabilitations)
+      .Put("mutations_rejected", r.mutations_rejected)
       .Put("opt", opt)
       .Put("session", session);
   return obj;

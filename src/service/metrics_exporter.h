@@ -34,6 +34,16 @@ struct FlushReport {
   int64_t queries_skipped = 0;
   /// PlanChangeEvents delivered by this flush.
   int64_t plan_changes = 0;
+  /// Registered queries not dispatched because they are quarantined or
+  /// parked (snapshot at dispatch time).
+  int64_t queries_quarantined = 0;
+  /// Strikes this flush recorded (failed passes + failed rebuilds).
+  int64_t quarantines = 0;
+  /// Rehabilitations this flush performed.
+  int64_t rehabilitations = 0;
+  /// Cumulative registry mutations refused by the pending-backlog limit
+  /// (StatsRegistry CoalesceStats::rejected at report time).
+  int64_t mutations_rejected = 0;
   /// Aggregated OptMetrics of the dispatched passes.
   FlushOptStats opt;
   /// Cumulative session counters after this flush.

@@ -1,39 +1,98 @@
 #include "service/reopt_session.h"
 
 #include <algorithm>
-#include <exception>
 #include <future>
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace iqro {
+
+namespace {
+
+/// Conditionally engaged lock on the registration gate. Only sessions with
+/// a poll timer have cross-thread Register/Unregister/Subscribe traffic to
+/// serialize; everyone else skips the mutex entirely. The flushing thread
+/// itself also skips it (callback-reentrant handle operations during a
+/// timer-driven flush would otherwise self-deadlock on the gate the timer
+/// already holds).
+class GateLock {
+ public:
+  GateLock(std::mutex& gate, bool engage) : gate_(engage ? &gate : nullptr) {
+    if (gate_ != nullptr) gate_->lock();
+  }
+  ~GateLock() {
+    if (gate_ != nullptr) gate_->unlock();
+  }
+  GateLock(const GateLock&) = delete;
+  GateLock& operator=(const GateLock&) = delete;
+
+ private:
+  std::mutex* gate_;
+};
+
+}  // namespace
 
 ReoptSession::ReoptSession(StatsRegistry* registry, ReoptSessionOptions options)
     : registry_(registry), options_(std::move(options)),
       alive_(std::make_shared<bool>(true)) {
   IQRO_CHECK(registry_ != nullptr);
   IQRO_CHECK(options_.worker_threads >= 0);
-  // v1 shim: map the deprecated raw counter onto the policy it always was.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  if (options_.flush_policy == nullptr && options_.auto_flush_after > 0) {
-    options_.flush_policy = std::make_shared<CountPolicy>(options_.auto_flush_after);
-  }
-#pragma GCC diagnostic pop
+  IQRO_CHECK(options_.per_query_work_budget >= 0);
+  IQRO_CHECK(options_.quarantine_max_strikes >= 1);
+  IQRO_CHECK(options_.quarantine_backoff_base_ticks >= 1);
+  IQRO_CHECK(options_.quarantine_backoff_cap_ticks >=
+             options_.quarantine_backoff_base_ticks);
+  IQRO_CHECK(options_.poll_interval.count() >= 0);
   if (options_.worker_threads >= 1) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
+  if (options_.pending_hard_watermark > 0) {
+    registry_->SetPendingLimit(options_.pending_hard_watermark);
+  }
   registry_->Subscribe(this);
+  // The timer starts last: everything it can reach is initialized.
+  if (options_.poll_interval.count() > 0) {
+    timer_ = std::thread([this] { TimerLoop(); });
+  }
 }
 
 ReoptSession::~ReoptSession() {
-  // Flip the handle liveness token first: a handle destroyed after this
+  // Stop the timer FIRST: its polls walk queries_ and flush; nothing else
+  // may be torn down while it can still fire.
+  if (timer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(timer_mu_);
+      timer_stop_ = true;
+    }
+    timer_cv_.notify_all();
+    timer_.join();
+  }
+  // Flip the handle liveness token next: a handle destroyed after this
   // point must no-op instead of calling back into a dying session.
   *alive_ = false;
   registry_->Unsubscribe(this);
+  // The backlog limit was this session's overload policy, not the
+  // registry's: lift it for whoever uses the registry next.
+  if (options_.pending_hard_watermark > 0) registry_->SetPendingLimit(0);
   // pool_ (if any) drains and joins in its destructor: a dispatched pass
   // never outlives the session that owns its optimizers' slots.
+}
+
+void ReoptSession::TimerLoop() {
+  std::unique_lock<std::mutex> lk(timer_mu_);
+  while (!timer_stop_) {
+    timer_cv_.wait_for(lk, options_.poll_interval);
+    if (timer_stop_) break;
+    lk.unlock();
+    {
+      // Unconditional gate: this thread is never the flush owner here.
+      GateLock gate(reg_gate_, true);
+      PollTick();
+    }
+    lk.lock();
+  }
 }
 
 ReoptSession::QueryId ReoptSession::RegisterImpl(DeclarativeOptimizer* optimizer,
@@ -42,6 +101,15 @@ ReoptSession::QueryId ReoptSession::RegisterImpl(DeclarativeOptimizer* optimizer
   // Growing queries_ mid-notification would invalidate the event walk; the
   // reentrancy rules forbid it (docs/API.md).
   IQRO_CHECK(!notifying_);
+  // Overload degradation: at the hard watermark the session sheds load —
+  // taking on MORE standing queries while the backlog is pinned at its
+  // ceiling only digs the hole deeper.
+  if (options_.pending_hard_watermark > 0 &&
+      registry_->PendingStatCount() >= options_.pending_hard_watermark) {
+    throw SessionOverloaded(
+        "ReoptSession::Register rejected: pending backlog at the hard "
+        "watermark (overload)");
+  }
   // The session dispatches drained change lists; an optimizer wired to a
   // different registry would be seeded with deltas its statistics never
   // saw, and an un-optimized one has no state to maintain.
@@ -56,10 +124,12 @@ ReoptSession::QueryId ReoptSession::RegisterImpl(DeclarativeOptimizer* optimizer
     // Pool dispatch runs this optimizer's fixpoint concurrently with its
     // world-sharing peers: flip the shared read surfaces (split memo,
     // PropTable, summary cache) to internal locking now, while still
-    // single-threaded.
+    // single-threaded. (Sticky — it survives quarantine teardowns.)
     optimizer->EnableConcurrentFlushes();
   }
-  Slot slot{next_id_, optimizer, nullptr, 0, false, PlanDigest{}};
+  Slot slot;
+  slot.id = next_id_;
+  slot.optimizer = optimizer;
   if (subscriber != nullptr) {
     slot.subscriber = subscriber;
     slot.digest = optimizer->ComputePlanDigest();
@@ -70,20 +140,41 @@ ReoptSession::QueryId ReoptSession::RegisterImpl(DeclarativeOptimizer* optimizer
 
 QueryHandle ReoptSession::Register(DeclarativeOptimizer& optimizer,
                                    PlanSubscriber* subscriber) {
+  GateLock gate(reg_gate_,
+                timer_.joinable() && flush_owner_.load(std::memory_order_relaxed) !=
+                                         std::this_thread::get_id());
   const QueryId id = RegisterImpl(&optimizer, subscriber);
   return QueryHandle(this, id, &optimizer, alive_);
 }
-
-ReoptSession::QueryId ReoptSession::Register(DeclarativeOptimizer* optimizer) {
-  return RegisterImpl(optimizer, nullptr);
-}
-
-void ReoptSession::Unregister(QueryId id) { UnregisterImpl(id); }
 
 ReoptSession::Slot* ReoptSession::FindSlot(QueryId id) {
   auto it = std::find_if(queries_.begin(), queries_.end(),
                          [id](const Slot& s) { return s.id == id; });
   return it == queries_.end() ? nullptr : &*it;
+}
+
+const ReoptSession::Slot* ReoptSession::FindSlot(QueryId id) const {
+  auto it = std::find_if(queries_.begin(), queries_.end(),
+                         [id](const Slot& s) { return s.id == id; });
+  return it == queries_.end() ? nullptr : &*it;
+}
+
+QueryState ReoptSession::query_state(QueryId id) const {
+  const Slot* slot = FindSlot(id);
+  IQRO_CHECK(slot != nullptr);
+  return slot->state;
+}
+
+int ReoptSession::num_quarantined() const {
+  int n = 0;
+  for (const Slot& s : queries_) n += s.state == QueryState::kQuarantined ? 1 : 0;
+  return n;
+}
+
+int ReoptSession::num_parked() const {
+  int n = 0;
+  for (const Slot& s : queries_) n += s.state == QueryState::kParked ? 1 : 0;
+  return n;
 }
 
 void ReoptSession::UnregisterImpl(QueryId id) {
@@ -100,6 +191,26 @@ void ReoptSession::UnregisterImpl(QueryId id) {
     return;
   }
   queries_.erase(queries_.begin() + (slot - queries_.data()));
+  if (options_.flush_policy != nullptr) {
+    // Per-query policy state (CostGatedPolicy EWMAs) dies with the query.
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    options_.flush_policy->OnQueryUnregistered(id);
+  }
+  RefreshQuarantineIndex();
+}
+
+void ReoptSession::HandleRelease(QueryId id) {
+  GateLock gate(reg_gate_,
+                timer_.joinable() && flush_owner_.load(std::memory_order_relaxed) !=
+                                         std::this_thread::get_id());
+  UnregisterImpl(id);
+}
+
+void ReoptSession::HandleSubscribe(QueryId id, PlanSubscriber* subscriber) {
+  GateLock gate(reg_gate_,
+                timer_.joinable() && flush_owner_.load(std::memory_order_relaxed) !=
+                                         std::this_thread::get_id());
+  SetSubscriber(id, subscriber);
 }
 
 void ReoptSession::SetSubscriber(QueryId id, PlanSubscriber* subscriber) {
@@ -112,21 +223,27 @@ void ReoptSession::SetSubscriber(QueryId id, PlanSubscriber* subscriber) {
   // captured fresh below).
   ++slot->subscription_gen;
   slot->rediff_pending = false;
-  if (subscriber != nullptr) {
+  if (subscriber != nullptr && slot->state == QueryState::kHealthy) {
     // The plan as of *now* is the baseline: the first event this
     // subscriber sees describes a change relative to the plan it attached
     // under, never a replay of older history.
     slot->digest = slot->optimizer->ComputePlanDigest();
   } else {
-    slot->digest = PlanDigest{};  // drop the digest work with the subscriber
+    // Detach — or an attach to a quarantined query, whose torn-down
+    // optimizer has no plan to baseline against: the empty digest plus the
+    // rehabilitation-time forced re-diff makes the first post-recovery
+    // event describe everything since attach.
+    slot->digest = PlanDigest{};
   }
 }
 
 ReoptSession::PassResult ReoptSession::RunPass(DeclarativeOptimizer* optimizer,
                                                const std::vector<StatChange>& changes,
                                                uint64_t epoch, bool want_digest,
-                                               bool force_digest) {
+                                               bool force_digest, int64_t work_budget) {
+  IQRO_FAULT_POINT("service.pass");
   PassResult r;
+  r.dispatched = true;
   // Whole-query prefilter: a change can only matter to a query whose
   // relation set contains the change's scope. (Per-EP filtering inside
   // ReoptimizeBatch handles the precise subset tests.)
@@ -140,20 +257,21 @@ ReoptSession::PassResult ReoptSession::RunPass(DeclarativeOptimizer* optimizer,
     // statistics — its canonical plan cannot have changed, so normally no
     // digest is recomputed either. An empty batch stamps its stats epoch
     // (otherwise a later Register() would reject it as having missed this
-    // drain).
+    // drain); no work budget — it does no fixpoint work.
     static const std::vector<StatChange> kEmpty;
     optimizer->ReoptimizeBatch(kEmpty, epoch);
     if (want_digest && force_digest) {
       // A prior flush left this slot's baseline unsettled (a throwing
-      // subscriber dropped its event): re-derive the digest so the dropped
-      // change is re-detected NOW, not only at some future flush that
-      // happens to touch this query's relations.
+      // subscriber dropped its event, or a rehabilitation restored the
+      // optimizer): re-derive the digest so the dropped change is
+      // re-detected NOW, not only at some future flush that happens to
+      // touch this query's relations.
       r.digest = optimizer->ComputePlanDigest();
       r.digest_computed = true;
     }
     return r;
   }
-  r.eps_seeded = optimizer->ReoptimizeBatch(changes, epoch);
+  r.eps_seeded = optimizer->ReoptimizeBatch(changes, epoch, work_budget);
   const OptMetrics& m = optimizer->metrics();
   r.fixpoint_steps = m.round_steps;
   r.touched_eps = m.round_touched_eps;
@@ -185,19 +303,147 @@ void ReoptSession::AggregatePass(const PassResult& r) {
   last_flush_.tasks_enqueued += r.tasks_enqueued;
 }
 
+void ReoptSession::RecordStrike(Slot& slot, const std::exception_ptr& err, uint64_t epoch,
+                                std::vector<ServiceEvent>* events, int64_t* strikes) {
+  QueryQuarantinedEvent::Reason reason = QueryQuarantinedEvent::Reason::kException;
+  std::string message = "unknown failure";
+  try {
+    std::rethrow_exception(err);
+  } catch (const WorkBudgetExceeded& e) {
+    reason = QueryQuarantinedEvent::Reason::kWorkBudget;
+    message = e.what();
+  } catch (const std::exception& e) {
+    message = e.what();
+  } catch (...) {
+  }
+  // A fixpoint throw already tore the optimizer down (the core's strong
+  // guarantee). A failure OUTSIDE the fixpoint — digest computation, an
+  // injected service-layer fault before dispatch — leaves it untorn but
+  // possibly short one drained batch, which is unrecoverable incrementally
+  // (the drained deltas are gone): pin it to the one canonical quarantined
+  // state so nothing reads a maybe-stale plan.
+  if (slot.optimizer->optimized()) slot.optimizer->Invalidate();
+  slot.state = QueryState::kQuarantined;
+  ++slot.strikes;
+  // The digest BASELINE is kept (last plan the subscriber saw); only the
+  // unsettled-event flag is dropped — no digest exists to re-diff until a
+  // rebuild restores one.
+  slot.rediff_pending = false;
+  ++metrics_.quarantines;
+  ++*strikes;
+  bool parked = false;
+  int64_t backoff = 0;
+  if (slot.strikes >= options_.quarantine_max_strikes) {
+    slot.state = QueryState::kParked;
+    ++metrics_.queries_parked;
+    parked = true;
+  } else {
+    // Capped exponential: min(cap, base * 2^(strikes-1)) ticks from now.
+    backoff = options_.quarantine_backoff_base_ticks;
+    for (int i = 1;
+         i < slot.strikes && backoff < options_.quarantine_backoff_cap_ticks; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, options_.quarantine_backoff_cap_ticks);
+    slot.eligible_at_tick = ticks_.load(std::memory_order_relaxed) + backoff;
+  }
+  if (slot.subscriber != nullptr) {
+    ServiceEvent se;
+    se.kind = ServiceEvent::Kind::kQuarantined;
+    se.query = slot.id;
+    se.computed_gen = slot.subscription_gen;
+    se.quarantined.query_id = slot.id;
+    se.quarantined.optimizer = slot.optimizer;
+    se.quarantined.flush_epoch = epoch;
+    se.quarantined.flush_index = metrics_.flushes;
+    se.quarantined.reason = reason;
+    se.quarantined.message = std::move(message);
+    se.quarantined.strikes = slot.strikes;
+    se.quarantined.parked = parked;
+    se.quarantined.retry_in_ticks = backoff;
+    events->push_back(std::move(se));
+  }
+}
+
+void ReoptSession::AttemptRehabs(uint64_t epoch, std::vector<ServiceEvent>* events,
+                                 int64_t* strikes, int64_t* rehabs) {
+  const int64_t tick = ticks_.load(std::memory_order_relaxed);
+  if (quarantined_count_.load(std::memory_order_relaxed) == 0 ||
+      next_rehab_tick_.load(std::memory_order_relaxed) > tick) {
+    return;
+  }
+  for (Slot& slot : queries_) {
+    if (slot.state != QueryState::kQuarantined || slot.eligible_at_tick > tick) continue;
+    try {
+      // Same freeze the dispatch window uses: the rebuild reads the
+      // statistics values directly, so racing mutators must wait. Taken
+      // per rebuild so a long rebuild chain doesn't starve mutators of
+      // the whole window at once.
+      auto stats_frozen = registry_->ReaderLock();
+      slot.optimizer->RebuildFromScratch();
+      slot.state = QueryState::kHealthy;
+      const int cleared = slot.strikes;
+      slot.strikes = 0;
+      slot.eligible_at_tick = 0;
+      ++metrics_.rehabilitations;
+      ++*rehabs;
+      if (slot.subscriber != nullptr) {
+        // The pre-quarantine baseline was kept: force a re-diff so THIS
+        // flush fires exactly one PlanChangeEvent iff the rebuilt plan
+        // differs from the last one the subscriber actually saw.
+        slot.rediff_pending = true;
+        ServiceEvent se;
+        se.kind = ServiceEvent::Kind::kRehabilitated;
+        se.query = slot.id;
+        se.computed_gen = slot.subscription_gen;
+        se.rehabilitated.query_id = slot.id;
+        se.rehabilitated.optimizer = slot.optimizer;
+        se.rehabilitated.flush_epoch = epoch;
+        se.rehabilitated.flush_index = metrics_.flushes;
+        se.rehabilitated.strikes_cleared = cleared;
+        events->push_back(std::move(se));
+      }
+    } catch (...) {
+      // The rebuild itself failed (Optimize tore down again): another
+      // strike, deeper backoff — or the parking lot.
+      RecordStrike(slot, std::current_exception(), epoch, events, strikes);
+    }
+  }
+  RefreshQuarantineIndex();
+}
+
+void ReoptSession::RefreshQuarantineIndex() {
+  int64_t n = 0;
+  int64_t next = std::numeric_limits<int64_t>::max();
+  for (const Slot& s : queries_) {
+    if (s.state != QueryState::kQuarantined) continue;
+    ++n;
+    next = std::min(next, s.eligible_at_tick);
+  }
+  quarantined_count_.store(n, std::memory_order_relaxed);
+  next_rehab_tick_.store(next, std::memory_order_relaxed);
+}
+
 size_t ReoptSession::Flush() {
   // One flush at a time: a second caller (policy reentrancy, or a
   // mutator-thread flush racing the coordinator's) backs off — whatever it
   // wanted drained is either in the in-flight batch or stays pending for
   // the next flush.
   if (in_flush_.exchange(true)) return 0;
-  // RAII: an exception escaping the dispatch (a task's bad_alloc rethrown
-  // from its future, a failed Submit) must not leave in_flush_ stuck true
-  // — that would silently turn every later Flush() into a no-op.
+  flush_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  // RAII: an exception escaping the flush (a subscriber callback's throw)
+  // must not leave in_flush_ stuck true — that would silently turn every
+  // later Flush() into a no-op.
   struct InFlushGuard {
-    std::atomic<bool>& flag;
-    ~InFlushGuard() { flag.store(false); }
-  } in_flush_guard{in_flush_};
+    ReoptSession* s;
+    ~InFlushGuard() {
+      s->flush_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+      s->in_flush_.store(false);
+    }
+  } in_flush_guard{this};
+  // One tick of the retry clock per flush (quarantine backoffs count in
+  // these).
+  ticks_.fetch_add(1, std::memory_order_relaxed);
   {
     // Reset the policy counter BEFORE the drain: a mutation recorded in
     // the gap is then over-counted (worst case one spurious early flush,
@@ -208,13 +454,24 @@ size_t ReoptSession::Flush() {
     mutations_since_flush_ = 0;
   }
   StatsRegistry::DrainedBatch batch = registry_->TakePendingBatch();
+
+  // Quarantined queries whose backoff expired rebuild from scratch before
+  // dispatch. Ordering is safe either way — the drain moves no values, and
+  // re-seeding the drained changes into a just-rebuilt optimizer is
+  // idempotent (it already read the post-change statistics) — but doing it
+  // post-drain gives the events the batch's epoch.
+  std::vector<ServiceEvent> service_events;
+  int64_t strikes_this_flush = 0;
+  int64_t rehabs_this_flush = 0;
+  AttemptRehabs(batch.epoch, &service_events, &strikes_this_flush, &rehabs_this_flush);
+
   // An unsettled baseline (a prior flush's delivery unwound before some
-  // query's event) must be re-diffed by THIS flush even when the batch
-  // coalesced to nothing — otherwise indefinite net-zero churn would defer
-  // the dropped notification forever.
+  // query's event, or a rehabilitation above) must be re-diffed by THIS
+  // flush even when the batch coalesced to nothing — otherwise indefinite
+  // net-zero churn would defer the dropped notification forever.
   const bool rediff_needed = std::any_of(
       queries_.begin(), queries_.end(), [](const Slot& s) { return s.rediff_pending; });
-  if (batch.changes.empty() && !rediff_needed) {
+  if (batch.changes.empty() && !rediff_needed && service_events.empty()) {
     // Either nothing was recorded, or the whole batch oscillated back to
     // its baseline and the coalescer absorbed it: no optimizer runs, no
     // events fire (net-zero churn is invisible by construction).
@@ -229,6 +486,16 @@ size_t ReoptSession::Flush() {
     // does no fixpoint work and must leave last_flush() describing the
     // most recent NON-EMPTY flush, per its contract.
     last_flush_ = FlushOptStats{};
+    last_pass_work_.clear();
+    // Rehab-phase events were built before the flush counter advanced:
+    // restamp so they carry the same index this flush's plan events will.
+    for (ServiceEvent& se : service_events) {
+      if (se.kind == ServiceEvent::Kind::kQuarantined) {
+        se.quarantined.flush_index = metrics_.flushes;
+      } else {
+        se.rehabilitated.flush_index = metrics_.flushes;
+      }
+    }
   } else if (batch.had_pending) {
     ++metrics_.empty_flushes;  // rediff-only pass below; still no changes
   }
@@ -236,32 +503,42 @@ size_t ReoptSession::Flush() {
   int64_t skipped_this_flush = 0;
   int64_t delivered = 0;
   const int64_t queries_at_dispatch = static_cast<int64_t>(queries_.size());
+  // How many registered queries this flush will NOT dispatch because they
+  // are quarantined or parked (the FlushReport snapshot).
+  const int64_t quarantined_at_dispatch =
+      static_cast<int64_t>(std::count_if(queries_.begin(), queries_.end(), [](const Slot& s) {
+        return s.state != QueryState::kHealthy;
+      }));
   // The flush epilogue — metrics export and the policy's OnFlush history
-  // feed — must run for every drained flush, whatever unwinds out of it: a
-  // subscriber callback throwing during delivery, or a pool task's
-  // exception rethrown from the dispatch join. The exporter is owed its
-  // report (partial counters and all) and the policy its reset (a
-  // DeadlinePolicy left armed would mis-time the next batch's window), so
-  // the guard is constructed BEFORE dispatch. Corollary: exporters and
+  // feed — must run for every drained flush, whatever unwinds out of it
+  // (a subscriber callback throwing during delivery). The exporter is
+  // owed its report (partial counters and all) and the policy its reset
+  // (a DeadlinePolicy left armed would mis-time the next batch's window),
+  // so the guard is constructed BEFORE dispatch. Corollary: exporters and
   // policies must not throw (this runs from a destructor).
   struct FlushEpilogue {
     ReoptSession* session;
     uint64_t epoch;
     int64_t changes;
     int64_t queries;
+    int64_t quarantined;
     const int64_t* skipped;
     const int64_t* delivered;
+    const int64_t* strikes;
+    const int64_t* rehabs;
     ~FlushEpilogue() {
       ReoptSession* s = session;
       // Rediff-only passes (changes == 0) are not dispatched flushes: the
       // exporter contract is one report per non-empty flush.
       if (s->options_.metrics_exporter != nullptr && changes > 0) {
         FlushReport report;
+        // Registry reads BEFORE policy_mu_ (lock order; see PolicyOnFlush).
+        report.mutations_rejected = s->registry_->RejectedCount();
         {
-          // metrics_.mutations_observed is written by mutator threads
-          // under policy_mu_ (concurrent Record() during a flush is
-          // supported), so the struct copy snapshots under the same
-          // mutex; every other field is coordinator-only.
+          // metrics_.mutations_observed/watermark_flushes are written by
+          // mutator threads under policy_mu_ (concurrent Record() during a
+          // flush is supported), so the struct copy snapshots under the
+          // same mutex; every other field is coordinator-only.
           std::lock_guard<std::mutex> lock(s->policy_mu_);
           report.session = s->metrics_;
         }
@@ -271,6 +548,9 @@ size_t ReoptSession::Flush() {
         report.queries = queries;
         report.queries_skipped = *skipped;
         report.plan_changes = *delivered;
+        report.queries_quarantined = quarantined;
+        report.quarantines = *strikes;
+        report.rehabilitations = *rehabs;
         report.opt = s->last_flush_;
         s->options_.metrics_exporter->OnFlushMetrics(report);
       }
@@ -280,88 +560,104 @@ size_t ReoptSession::Flush() {
              batch.epoch,
              static_cast<int64_t>(batch.changes.size()),
              queries_at_dispatch,
+             quarantined_at_dispatch,
              &skipped_this_flush,
-             &delivered};
+             &delivered,
+             &strikes_this_flush,
+             &rehabs_this_flush};
 
-  // If anything unwinds between dispatch and the event-computation loop
-  // (a pool task's rethrown exception, a serial RunPass throw), some
-  // passes may have completed and changed plans with no event computed
-  // and no baseline advanced. Mark every subscribed slot unsettled on
-  // that path: the next flush force-re-diffs them (RunPass force_digest),
-  // so the change is re-detected instead of silently missed. Over-marking
-  // is benign — a forced re-diff that finds the baseline intact settles
-  // and clears. Disarmed once the event loop has handled every slot.
+  // If anything unwinds between dispatch and the event-computation loop,
+  // some passes may have completed and changed plans with no event
+  // computed and no baseline advanced. Mark every subscribed healthy slot
+  // unsettled on that path: the next flush force-re-diffs them (RunPass
+  // force_digest), so the change is re-detected instead of silently
+  // missed. Over-marking is benign — a forced re-diff that finds the
+  // baseline intact settles and clears. Disarmed once the event loop has
+  // handled every slot.
   struct RediffOnUnwind {
     ReoptSession* session;
     bool armed = true;
     ~RediffOnUnwind() {
       if (!armed) return;
       for (Slot& slot : session->queries_) {
-        if (slot.subscriber != nullptr) slot.rediff_pending = true;
+        if (slot.state == QueryState::kHealthy && slot.subscriber != nullptr) {
+          slot.rediff_pending = true;
+        }
       }
     }
   } rediff_guard{this};
 
   std::vector<PassResult> results;
   results.reserve(queries_.size());
+  // Per-index failure capture: a throwing pass becomes a quarantine for
+  // THAT query after the join; it never unwinds the flush. (The drained
+  // batch is irrecoverable, so every other query must still receive its
+  // pass — otherwise the skipped queries would be stamped past deltas
+  // they never saw and diverge permanently.)
+  std::vector<std::exception_ptr> errors(queries_.size());
   {
     // Freeze the statistics values for the whole dispatch window: every
     // pass — on whichever thread — reads exactly the drained epoch's
     // values; racing mutators block here and land in the next batch.
     auto stats_frozen = registry_->ReaderLock();
     if (pool_ != nullptr) {
-      std::vector<std::future<PassResult>> passes;
-      passes.reserve(queries_.size());
-      for (const Slot& slot : queries_) {
+      // One future per slot; quarantined/parked slots keep an invalid
+      // future (no task) and fall out as undispatched placeholders.
+      std::vector<std::future<PassResult>> passes(queries_.size());
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        const Slot& slot = queries_[i];
+        if (slot.state != QueryState::kHealthy) continue;
         DeclarativeOptimizer* optimizer = slot.optimizer;
         const bool want_digest = slot.subscriber != nullptr;
         const bool force_digest = want_digest && slot.rediff_pending;
-        passes.push_back(pool_->Submit([optimizer, &batch, want_digest, force_digest] {
-          return RunPass(optimizer, batch.changes, batch.epoch, want_digest, force_digest);
-        }));
+        const int64_t budget = options_.per_query_work_budget;
+        passes[i] =
+            pool_->Submit([optimizer, &batch, want_digest, force_digest, budget] {
+              return RunPass(optimizer, batch.changes, batch.epoch, want_digest,
+                             force_digest, budget);
+            });
       }
       // Join in registration order: result[i] belongs to queries_[i], and
-      // deterministic order keeps aggregation and event computation honest.
-      // Join ALL futures before rethrowing a task failure: queued tasks
+      // deterministic order keeps aggregation and event computation
+      // honest. Every future is joined whatever fails — queued tasks
       // capture &batch (this stack frame) and read the reader-locked
-      // statistics — unwinding past them would hand freed memory and
-      // unfrozen stats to whatever the pool runs next.
-      std::exception_ptr task_error;
-      for (std::future<PassResult>& f : passes) {
+      // statistics, so none may outlive this block.
+      for (size_t i = 0; i < passes.size(); ++i) {
+        if (!passes[i].valid()) {
+          results.push_back(PassResult{});
+          continue;
+        }
         try {
-          results.push_back(f.get());
+          results.push_back(passes[i].get());
         } catch (...) {
-          if (task_error == nullptr) task_error = std::current_exception();
+          errors[i] = std::current_exception();
           results.push_back(PassResult{});  // keep index alignment
         }
       }
-      if (task_error != nullptr) std::rethrow_exception(task_error);
     } else {
-      // Same run-all-then-rethrow structure as the pooled join: the
-      // drained batch is irrecoverable, so every OTHER query must still
-      // receive its pass even when one throws — otherwise the skipped
-      // queries would be stamped past deltas they never saw and diverge
-      // permanently. (The throwing pass's own optimizer is left
-      // mid-fixpoint and unrecoverable either way — unregister it and
-      // rebuild via Optimize(); its peers stay exact.)
-      std::exception_ptr serial_error;
-      for (const Slot& slot : queries_) {
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        const Slot& slot = queries_[i];
+        if (slot.state != QueryState::kHealthy) {
+          results.push_back(PassResult{});
+          continue;
+        }
         const bool want_digest = slot.subscriber != nullptr;
         try {
-          results.push_back(RunPass(slot.optimizer, batch.changes, batch.epoch, want_digest,
-                                    want_digest && slot.rediff_pending));
+          results.push_back(RunPass(slot.optimizer, batch.changes, batch.epoch,
+                                    want_digest, want_digest && slot.rediff_pending,
+                                    options_.per_query_work_budget));
         } catch (...) {
-          if (serial_error == nullptr) serial_error = std::current_exception();
+          errors[i] = std::current_exception();
           results.push_back(PassResult{});
         }
       }
-      if (serial_error != nullptr) std::rethrow_exception(serial_error);
     }
   }
 
-  // Aggregate metrics and compute the events — outside the reader lock
-  // (subscriber callbacks may mutate statistics; a same-thread mutation
-  // while holding the shared lock would deadlock on the exclusive lock).
+  // Aggregate metrics, quarantine the failures, and compute the events —
+  // outside the reader lock (subscriber callbacks may mutate statistics; a
+  // same-thread mutation while holding the shared lock would deadlock on
+  // the exclusive lock).
   struct PendingEvent {
     QueryId query;
     /// The subscription generation the event was computed for (the
@@ -385,8 +681,21 @@ size_t ReoptSession::Flush() {
   for (size_t i = 0; i < queries_.size(); ++i) {
     Slot& slot = queries_[i];
     PassResult& r = results[i];
+    if (errors[i] != nullptr) {
+      // Exactly this query failed: quarantine it; its peers' results
+      // aggregate and notify normally below.
+      RecordStrike(slot, errors[i], batch.epoch, &service_events, &strikes_this_flush);
+      continue;
+    }
+    if (!r.dispatched) continue;  // quarantined/parked: snapshot counted above
     AggregatePass(r);
-    if (!r.affected) ++skipped_this_flush;
+    if (r.affected) {
+      // The CostGatedPolicy per-query feed (PolicyOnFlush hands these to
+      // OnQueryPassWork at epilogue time).
+      last_pass_work_.emplace_back(slot.id, r.fixpoint_steps + r.eps_seeded);
+    } else {
+      ++skipped_this_flush;
+    }
     if (slot.subscriber != nullptr && r.digest_computed) {
       if (!slot.digest.SamePlan(r.digest)) {
         PlanChangeEvent e;
@@ -412,17 +721,19 @@ size_t ReoptSession::Flush() {
       }
     }
   }
+  // Dispatch-phase strikes changed the quarantine set: refresh the
+  // timer-readable index before delivery can re-enter anything.
+  RefreshQuarantineIndex();
   // Every slot's baseline/rediff state is now consistent; delivery-phase
   // throws are handled by settle-before-fire, not by the unwind guard.
   rediff_guard.armed = false;
 
-  // Deliver: registration order (events were collected walking queries_),
-  // at most once per changed query, on this thread. An event fires only if
-  // the subscriber it was computed for is still the slot's subscriber — a
-  // callback that detaches or replaces a later query's subscriber
-  // suppresses its pending event instead of firing into a possibly-
-  // destroyed observer or replaying pre-attach history to the new one.
-  // Unregistration from inside a callback defers (notifying_).
+  // Deliver: failure-domain events first (a subscriber told its query was
+  // quarantined must not learn it from a later plan event's absence), then
+  // plan changes — both in registration-order collection, at most once, on
+  // this thread. An event fires only if the subscription it was computed
+  // for is still attached (generation check); unregistration from inside a
+  // callback defers (notifying_).
   {
     // RAII on both pieces of notification state: a throwing callback must
     // not leave the session stuck in notifying mode (every later Register
@@ -439,8 +750,21 @@ size_t ReoptSession::Flush() {
       }
     } notify_guard{this};
     notifying_ = true;
+    for (ServiceEvent& se : service_events) {
+      Slot* slot = FindSlot(se.query);  // slots are stable: unregisters defer
+      if (slot == nullptr || slot->subscriber == nullptr) continue;
+      if (slot->subscription_gen != se.computed_gen) continue;
+      // At-most-once, never replayed: a throw here drops the remaining
+      // failure events for good (query_state() stays authoritative) while
+      // plan events stay unsettled and re-detect next flush.
+      if (se.kind == ServiceEvent::Kind::kQuarantined) {
+        slot->subscriber->OnQueryQuarantined(se.quarantined);
+      } else {
+        slot->subscriber->OnQueryRehabilitated(se.rehabilitated);
+      }
+    }
     for (PendingEvent& pe : events) {
-      Slot* slot = FindSlot(pe.query);  // slots are stable: unregisters defer
+      Slot* slot = FindSlot(pe.query);
       if (slot == nullptr) continue;
       if (slot->subscription_gen != pe.computed_gen) {
         // Subscription changed mid-notification: suppressed, and NOT
@@ -490,17 +814,27 @@ void ReoptSession::PolicyOnFlush(const FlushOptStats& stats, int64_t changes) {
   // reset-before-drain over-count.
   const size_t pending_after =
       std::max(probed, mutations_since_flush_ > 0 ? size_t{1} : size_t{0});
+  if (changes > 0) {
+    // Per-query observations before the flush summary: a history-keeping
+    // policy's OnFlush sees this flush's per-query state already applied.
+    for (const auto& work : last_pass_work_) {
+      options_.flush_policy->OnQueryPassWork(work.first, work.second, changes);
+    }
+  }
   options_.flush_policy->OnFlush(stats, changes, pending_after);
 }
 
 size_t ReoptSession::MaybePolicyFlush(const StatsMutationEvent* event) {
   bool fire = false;
+  bool via_watermark = false;
   // Poll() probe: no under-lock mutation snapshot to map, so read the
   // registry up front — never while holding policy_mu_ (lock order, see
-  // PolicyOnFlush).
+  // PolicyOnFlush). The soft watermark needs the same count.
+  const bool want_probe =
+      options_.flush_policy != nullptr || options_.pending_soft_watermark > 0;
   const size_t polled_pending =
-      event == nullptr && options_.flush_policy != nullptr ? registry_->PendingStatCount()
-                                                           : 0;
+      event == nullptr && want_probe ? registry_->PendingStatCount() : 0;
+  const size_t pending = event != nullptr ? event->pending_stats : polled_pending;
   {
     std::lock_guard<std::mutex> lock(policy_mu_);
     if (event != nullptr) {
@@ -512,23 +846,53 @@ size_t ReoptSession::MaybePolicyFlush(const StatsMutationEvent* event) {
     if (options_.flush_policy != nullptr) {
       FlushPolicyContext ctx;
       ctx.mutations_since_flush = mutations_since_flush_;
-      if (event != nullptr) {
-        ctx.pending_stats = event->pending_stats;
-        ctx.epoch = event->epoch;
-      } else {
-        ctx.pending_stats = polled_pending;
-      }
+      ctx.pending_stats = pending;
+      if (event != nullptr) ctx.epoch = event->epoch;
       fire = options_.flush_policy->ShouldFlush(ctx);
+    }
+    if (!fire && options_.pending_soft_watermark > 0 &&
+        pending >= options_.pending_soft_watermark) {
+      // Soft watermark: the backlog is deep enough that waiting — on the
+      // policy's judgement, or for a manual Flush() with no policy at all
+      // — costs more than flushing early.
+      fire = true;
+      via_watermark = true;
     }
   }
   // Flush() itself rejects reentrancy and cross-thread races via
   // in_flush_; a rejected policy flush just means the policy fires again
   // on the next mutation or Poll.
-  if (fire && !in_flush_.load()) return Flush();
+  if (fire && !in_flush_.load()) {
+    if (via_watermark) {
+      std::lock_guard<std::mutex> lock(policy_mu_);
+      ++metrics_.watermark_flushes;
+    }
+    return Flush();
+  }
   return 0;
 }
 
-size_t ReoptSession::Poll() { return MaybePolicyFlush(nullptr); }
+size_t ReoptSession::Poll() {
+  GateLock gate(reg_gate_,
+                timer_.joinable() && flush_owner_.load(std::memory_order_relaxed) !=
+                                         std::this_thread::get_id());
+  return PollTick();
+}
+
+size_t ReoptSession::PollTick() {
+  // A poll while a flush runs has nothing to add: the flush ticks, rehabs,
+  // and re-arms the policy itself.
+  if (in_flush_.load()) return 0;
+  const int64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (quarantined_count_.load(std::memory_order_relaxed) > 0 &&
+      next_rehab_tick_.load(std::memory_order_relaxed) <= tick) {
+    // A quarantine backoff expired: flush regardless of the policy — the
+    // flush's rehab phase is the only place rebuilds run, and a parked
+    // policy must not strand a recoverable query.
+    return Flush();
+  }
+  return MaybePolicyFlush(nullptr);
+}
 
 void ReoptSession::OnStatsMutated(StatsRegistry& registry, const StatsMutationEvent& event) {
   IQRO_CHECK(&registry == registry_);
@@ -558,19 +922,24 @@ QueryHandle& QueryHandle::operator=(QueryHandle&& other) noexcept {
 
 QueryHandle::~QueryHandle() { Release(); }
 
+QueryState QueryHandle::state() const {
+  if (!valid()) return QueryState::kHealthy;
+  return session_->query_state(id_);
+}
+
 void QueryHandle::Subscribe(PlanSubscriber* subscriber) {
   IQRO_CHECK(session_ != nullptr);  // must own a registration
   // Session already destroyed: the registration died with it — defined
   // no-op, consistent with Release() and the destructor.
   if (alive_ == nullptr || !*alive_) return;
-  session_->SetSubscriber(id_, subscriber);
+  session_->HandleSubscribe(id_, subscriber);
 }
 
 void QueryHandle::Release() {
   if (session_ == nullptr) return;
   // A handle outliving its session is legal (the token flipped): nothing
   // left to unregister — the dead session already dropped every slot.
-  if (alive_ != nullptr && *alive_) session_->UnregisterImpl(id_);
+  if (alive_ != nullptr && *alive_) session_->HandleRelease(id_);
   session_ = nullptr;
   optimizer_ = nullptr;
   alive_.reset();

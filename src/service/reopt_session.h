@@ -32,7 +32,7 @@
 // batch contained (see bench_batch_churn for the measured payoff vs
 // change-at-a-time Reoptimize()).
 //
-// ## The v2 surface (this header's API)
+// ## The session surface
 //
 //   ReoptSession session(&registry, options);
 //   QueryHandle q = session.Register(optimizer);   // typed, move-only
@@ -41,15 +41,11 @@
 //   // q's destructor unregisters; or q.Release() to do it early.
 //
 // Flush triggering is a pluggable FlushPolicy (service/flush_policy.h):
-// CountPolicy reproduces the old `auto_flush_after`, DeadlinePolicy bounds
-// wall-clock staleness (drive it via Poll()), CostGatedPolicy bounds the
-// expected re-fixpoint work of a pending batch. Session metrics stream out
-// through a MetricsExporter (service/metrics_exporter.h).
-//
-// The v1 surface — `Register(DeclarativeOptimizer*) -> QueryId`,
-// `Unregister(QueryId)`, `ReoptSessionOptions::auto_flush_after` — remains
-// this one PR as thin [[deprecated]] shims over the same internals;
-// docs/API.md has the migration table.
+// CountPolicy flushes every N mutations, DeadlinePolicy bounds wall-clock
+// staleness (drive it via Poll() or the built-in timer, below),
+// CostGatedPolicy bounds the expected re-fixpoint work of a pending batch
+// using per-query work history. Session metrics stream out through a
+// MetricsExporter (service/metrics_exporter.h).
 //
 // ## Notification semantics (the exactness contract)
 //
@@ -65,18 +61,47 @@
 // The differential harness proves the contract on the full scenario
 // rotation (docs/TESTING.md "Notification oracle").
 //
-// Reentrancy (inside OnPlanChange):
+// Reentrancy (inside OnPlanChange and the failure-event callbacks):
 //  * Reading the session, any registered optimizer, or the registry is
 //    allowed — the flush's passes are complete.
-//  * Unregister (handle destruction, Release(), or the deprecated
-//    Unregister(id)) is allowed and is DEFERRED to the end of the
-//    in-flight flush: every event of that flush still fires (including
-//    the unregistering query's own), and the query stops being dispatched
-//    from the next flush on.
+//  * Unregister (handle destruction or Release()) is allowed and is
+//    DEFERRED to the end of the in-flight flush: every event of that flush
+//    still fires (including the unregistering query's own), and the query
+//    stops being dispatched from the next flush on.
 //  * Registering a new query is NOT allowed (checked).
 //  * Mutating statistics is allowed; a policy-triggered auto-flush from
 //    inside the callback backs off on `in_flush_` and the mutation sits
 //    pending for the next flush.
+//
+// ## Failure domain (docs/ARCHITECTURE.md "Failure domains")
+//
+// A flush pass that throws — an allocation failure, an injected fault
+// (common/fault_injection.h), or a WorkBudgetExceeded from
+// `per_query_work_budget` — is contained to its query. The failing
+// optimizer is left in the core's torn-down-but-consistent state
+// (optimized() == false), the query is marked kQuarantined and skipped by
+// subsequent dispatches, and every OTHER query's pass completes normally;
+// its subscriber (if any) gets one QueryQuarantinedEvent. The session then
+// retries a from-scratch rebuild (DeclarativeOptimizer::RebuildFromScratch)
+// on a capped exponential backoff measured in *ticks* — one tick per
+// Flush() plus per Poll() that found no flush in flight, a deterministic
+// clock-free schedule. A successful rebuild rehabilitates the query
+// (QueryRehabilitatedEvent; a PlanChangeEvent against the last plan its
+// subscriber saw follows in the same flush iff the plan moved — the
+// incremental ≡ from-scratch equivalence makes the rebuilt state exactly
+// what a never-failed optimizer would hold). After
+// `quarantine_max_strikes` consecutive failures the query is kParked: no
+// more retries, release the handle to dispose of it. query_state() is the
+// authoritative state; events are at-most-once notifications.
+//
+// Overload sheds load before it becomes a failure: past
+// `pending_soft_watermark` distinct pending statistics the session forces
+// an early flush (counted in ReoptSessionMetrics::watermark_flushes); at
+// `pending_hard_watermark` the registry starts rejecting NEW pending
+// entries (StatsRegistry::SetPendingLimit — mutations that coalesce into
+// an existing entry still apply) and Register() of additional queries
+// throws SessionOverloaded, so backlog memory stays bounded instead of
+// growing without limit.
 //
 // ## Ownership
 //
@@ -97,7 +122,10 @@
 // registered optimizer to the fixpoint of the current statistics; the
 // differential harness proves that state byte-equal (CanonicalDumpState)
 // to a from-scratch optimization, for every registered optimizer, under
-// randomized batched churn (docs/TESTING.md).
+// randomized batched churn — and, under fault rotation, that every
+// injected failure either leaves the flush fully applied or quarantines
+// exactly the faulted query, whose post-recovery state again matches a
+// never-faulted mirror (docs/TESTING.md).
 //
 // Registered optimizers must never call Reoptimize() themselves: that
 // would drain the shared registry and starve their peers. Registering an
@@ -109,7 +137,7 @@
 //
 // ## Threading model
 //
-// Two independent degrees of concurrency, both off by default:
+// Three independent degrees of concurrency, all off by default:
 //
 //  * **Parallel dispatch** (`ReoptSessionOptions::worker_threads >= 1`):
 //    Flush() drains one epoch-versioned batch, then dispatches the
@@ -139,18 +167,38 @@
 //    evaluation is serialized under the session's policy mutex whatever
 //    thread mutates.
 //
+//  * **Timer-driven polling** (`ReoptSessionOptions::poll_interval > 0`):
+//    the session owns one background thread that calls Poll() every
+//    interval, so DeadlinePolicy deadlines and quarantine-backoff
+//    expirations fire without the application running a driver loop. The
+//    timer serializes against Register/Unregister/Subscribe through an
+//    internal gate (those calls remain owner-thread operations; they just
+//    briefly block while a timer poll runs), and its flushes exclude
+//    manual ones via `in_flush_` like any other. Policies still see
+//    injected Clocks; the timer only decides *when to ask*, never what
+//    time it is.
+//
 // Register/Unregister/Subscribe and session destruction remain
 // single-threaded calls: do them from the thread that owns the session,
-// with no flush in flight (the one exception: Unregister from inside a
-// subscriber callback, which is defined above). docs/ARCHITECTURE.md has
-// the full ownership/epoch lifecycle.
+// with no flush in flight on a *mutator* thread (the two exceptions:
+// the timer thread, gated as above, and Unregister from inside a
+// subscriber callback, which defers). docs/ARCHITECTURE.md has the full
+// ownership/epoch lifecycle.
 #ifndef IQRO_SERVICE_REOPT_SESSION_H_
 #define IQRO_SERVICE_REOPT_SESSION_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -165,13 +213,25 @@ namespace iqro {
 
 class QueryHandle;
 
+/// Thrown by Register() when the pending backlog sits at or above the hard
+/// watermark: the session is shedding load, not accepting more work.
+/// Mutations are shed separately (RecordOutcome::kRejectedBacklog — a
+/// return code, not a throw, since mutators are hot paths).
+class SessionOverloaded : public std::runtime_error {
+ public:
+  explicit SessionOverloaded(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Failure-domain state of one registered query (authoritative; the
+/// subscriber events are at-most-once notifications of transitions).
+enum class QueryState : uint8_t {
+  kHealthy,      // dispatched normally
+  kQuarantined,  // last pass failed; skipped; rebuild scheduled (backoff)
+  kParked,       // strikes exhausted; skipped forever; release the handle
+};
+
 struct ReoptSessionOptions {
-  /// v1 shim: N > 0 is mapped to `flush_policy = CountPolicy(N)` at
-  /// session construction when no policy is set. Writes that repeat a
-  /// statistic's current value are swallowed before recording and do not
-  /// count (unchanged from PR 3).
-  [[deprecated("set flush_policy = std::make_shared<CountPolicy>(n) instead")]]
-  int64_t auto_flush_after = 0;
   /// 0: Flush() dispatches every per-query fixpoint serially on the
   /// calling thread — the pre-pool path, byte-identical results and
   /// behavior. N >= 1: dispatch on a fixed pool of N worker threads (one
@@ -186,25 +246,48 @@ struct ReoptSessionOptions {
   /// session or be detached with it.
   MetricsExporter* metrics_exporter = nullptr;
 
-  // Special members defaulted inside a suppression region: otherwise the
-  // deprecated field makes every TU that merely copies/moves options warn,
-  // not just the ones that touch it.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ReoptSessionOptions() = default;
-  ReoptSessionOptions(const ReoptSessionOptions&) = default;
-  ReoptSessionOptions(ReoptSessionOptions&&) = default;
-  ReoptSessionOptions& operator=(const ReoptSessionOptions&) = default;
-  ReoptSessionOptions& operator=(ReoptSessionOptions&&) = default;
-  ~ReoptSessionOptions() = default;
-#pragma GCC diagnostic pop
+  // ---- failure domain ----
+
+  /// > 0: cap each per-query fixpoint at this many worklist steps per
+  /// flush (DeclarativeOptimizer work_budget). A pass that exceeds it is
+  /// treated exactly like a throwing pass: the query is quarantined, its
+  /// peers finish. 0: unbudgeted.
+  int64_t per_query_work_budget = 0;
+  /// Consecutive failed passes/rebuilds (strikes) before a quarantined
+  /// query is parked permanently. Must be >= 1.
+  int quarantine_max_strikes = 3;
+  /// Rebuild backoff after the Nth strike: min(cap, base * 2^(N-1)) ticks
+  /// (one tick per Flush()/idle Poll()). base >= 1, cap >= base.
+  int64_t quarantine_backoff_base_ticks = 1;
+  int64_t quarantine_backoff_cap_ticks = 8;
+
+  // ---- overload degradation ----
+
+  /// > 0: once this many distinct statistics are pending, the session
+  /// forces a flush on the next mutation/Poll even if the policy declines
+  /// (counted in ReoptSessionMetrics::watermark_flushes). 0: off.
+  size_t pending_soft_watermark = 0;
+  /// > 0: backlog ceiling. The registry refuses to create NEW pending
+  /// entries past it (StatsRegistry::SetPendingLimit semantics: coalescing
+  /// writes to already-pending statistics still apply, rejected mutations
+  /// return RecordOutcome::kRejectedBacklog) and Register() throws
+  /// SessionOverloaded while the backlog sits at the ceiling. Bounds the
+  /// session's memory under mutation storms. 0: unbounded.
+  size_t pending_hard_watermark = 0;
+
+  /// > 0: start a session-owned timer thread that calls Poll() at this
+  /// interval (deadline policies and quarantine backoffs fire without an
+  /// application driver loop). 0: no thread; drive Poll() yourself.
+  std::chrono::milliseconds poll_interval{0};
 };
 
 class ReoptSession final : public StatsSubscriber {
  public:
   using QueryId = int;
 
-  /// `registry` must outlive the session. Subscribes immediately.
+  /// `registry` must outlive the session. Subscribes immediately; applies
+  /// `pending_hard_watermark` to the registry and starts the poll timer
+  /// (if configured) before returning.
   explicit ReoptSession(StatsRegistry* registry, ReoptSessionOptions options = {});
   ~ReoptSession() override;
 
@@ -220,38 +303,45 @@ class ReoptSession final : public StatsSubscriber {
   /// changes at registration time are fine — the next flush seeds them.
   /// `subscriber`, when non-null, is attached as by
   /// QueryHandle::Subscribe() with the current plan as the baseline.
+  /// Throws SessionOverloaded at the hard watermark (see options).
   [[nodiscard]] QueryHandle Register(DeclarativeOptimizer& optimizer,
                                      PlanSubscriber* subscriber = nullptr);
 
-  /// v1 shim: as Register(ref) but returns the raw id and leaves
-  /// unregistration to the caller (no RAII, no subscriber).
-  [[deprecated("use Register(DeclarativeOptimizer&) -> QueryHandle")]]
-  QueryId Register(DeclarativeOptimizer* optimizer);
-  /// v1 shim over the handle's unregistration path (same deferred-during-
-  /// callback semantics).
-  [[deprecated("QueryHandle unregisters on destruction; or call handle.Release()")]]
-  void Unregister(QueryId id);
-
   int num_queries() const { return static_cast<int>(queries_.size()); }
+
+  /// Failure-domain state of a registered query (owner-thread read; aborts
+  /// on an unknown id — released queries have no state).
+  QueryState query_state(QueryId id) const;
+
+  /// Registered queries currently quarantined (excluding parked) /
+  /// parked. Owner-thread reads, like query_state().
+  int num_quarantined() const;
+  int num_parked() const;
+
+  /// The deterministic retry clock: ticks advance once per Flush() and
+  /// once per Poll() that found no flush already in flight. Exposed so
+  /// tests and operators can reason about backoff schedules.
+  int64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
 
   /// True when mutations were recorded since the last flush (they may still
   /// coalesce to nothing — see StatsRegistry::HasPending).
   bool HasPending() const { return registry_->HasPending(); }
 
   /// Drains the registry's coalesced pending batch, dispatches it as one
-  /// ReoptimizeBatch() pass to every registered optimizer whose relation
-  /// set the batch can affect — serially or on the worker pool, per
-  /// `worker_threads` — then fires PlanChangeEvents and the metrics
-  /// export. Returns the number of StatChanges dispatched; 0 when the
-  /// batch coalesced away (or nothing was pending, or another thread's
-  /// flush is already in flight — the racing batch belongs to that flush).
+  /// ReoptimizeBatch() pass to every registered healthy optimizer whose
+  /// relation set the batch can affect — serially or on the worker pool,
+  /// per `worker_threads` — then fires events and the metrics export.
+  /// Quarantined queries due for retry are rebuilt first. Returns the
+  /// number of StatChanges dispatched; 0 when the batch coalesced away (or
+  /// nothing was pending, or another thread's flush is already in flight —
+  /// the racing batch belongs to that flush).
   size_t Flush();
 
-  /// Consults the flush policy without a mutation having arrived — the
-  /// driver-loop hook for time-based policies (a DeadlinePolicy deadline
-  /// can only be observed when the policy is asked). Flushes and returns
-  /// the dispatched change count when the policy says so; otherwise 0.
-  /// No-op without a policy.
+  /// Consults the flush policy and the quarantine retry schedule without a
+  /// mutation having arrived — the driver-loop hook for time-based
+  /// policies and backoff expiry (the session's poll timer calls exactly
+  /// this). Flushes and returns the dispatched change count when either
+  /// says so; otherwise 0.
   size_t Poll();
 
   /// Read metrics()/last_flush() only from a state where no flush can be
@@ -259,8 +349,8 @@ class ReoptSession final : public StatsSubscriber {
   /// Flush() (one that drained, not one that returned 0 because another
   /// thread's flush held `in_flush_` — backing off does not synchronize
   /// with that flush's writes), or after every mutator thread has joined.
-  /// With a policy + a mutator thread, a flush may be running on *their*
-  /// thread at any moment — quiesce first.
+  /// With a policy + a mutator thread (or the poll timer), a flush may be
+  /// running on *their* thread at any moment — quiesce first.
   const ReoptSessionMetrics& metrics() const { return metrics_; }
 
   /// OptMetrics aggregate of the most recent non-empty flush (read rules
@@ -279,8 +369,8 @@ class ReoptSession final : public StatsSubscriber {
   friend class QueryHandle;
 
   struct Slot {
-    QueryId id;
-    DeclarativeOptimizer* optimizer;
+    QueryId id = -1;
+    DeclarativeOptimizer* optimizer = nullptr;
     /// Plan-change subscriber; null = no notifications, no digest work.
     PlanSubscriber* subscriber = nullptr;
     /// Bumped by every SetSubscriber call: pending-event delivery checks
@@ -289,20 +379,34 @@ class ReoptSession final : public StatsSubscriber {
     /// pointer identity alone cannot see it).
     uint64_t subscription_gen = 0;
     /// True while a computed event has not settled (a throwing subscriber
-    /// unwound delivery before this slot's turn): the next flush
-    /// re-derives the digest even if its batch cannot affect the query,
-    /// so the dropped change is re-detected rather than deferred until
-    /// unrelated churn happens to touch it.
+    /// unwound delivery before this slot's turn, or a rehabilitation
+    /// restored the optimizer against a pre-quarantine baseline): the
+    /// next flush re-derives the digest even if its batch cannot affect
+    /// the query, so the dropped/deferred change is re-detected rather
+    /// than deferred until unrelated churn happens to touch it.
     bool rediff_pending = false;
     /// Winner-closure baseline the next flush diffs against. Valid iff
     /// `subscriber != nullptr` (captured at attach time, advanced by every
-    /// flush that recomputed it).
+    /// flush that recomputed it). A quarantine KEEPS the baseline — the
+    /// post-rehabilitation diff then describes the change relative to the
+    /// last plan the subscriber actually saw.
     PlanDigest digest;
+    // ---- failure domain ----
+    QueryState state = QueryState::kHealthy;
+    /// Consecutive failures (pass throws + failed rebuilds); reset by a
+    /// successful rebuild.
+    int strikes = 0;
+    /// Tick at/after which the next rebuild attempt runs (quarantined
+    /// slots only).
+    int64_t eligible_at_tick = 0;
   };
 
   /// What one dispatched pass reports back to the coordinator (by value,
   /// through the task future — the race-free aggregation path).
   struct PassResult {
+    /// False for the placeholder of a quarantined/parked (skipped) or
+    /// failed pass; RunPass sets it true on every path that returns.
+    bool dispatched = false;
     bool affected = false;
     int64_t eps_seeded = 0;
     int64_t fixpoint_steps = 0;
@@ -316,13 +420,26 @@ class ReoptSession final : public StatsSubscriber {
     PlanDigest digest;
   };
 
+  /// A quarantine/rehabilitation notification queued for the delivery
+  /// phase (computed while the slot walk is stable, fired under the same
+  /// NotifyGuard as plan events, before them, gen-checked the same way).
+  struct ServiceEvent {
+    enum class Kind : uint8_t { kQuarantined, kRehabilitated };
+    Kind kind = Kind::kQuarantined;
+    QueryId query = -1;
+    uint64_t computed_gen = 0;
+    QueryQuarantinedEvent quarantined;
+    QueryRehabilitatedEvent rehabilitated;
+  };
+
   /// One per-query pass: prefilter, ReoptimizeBatch, metrics delta, digest.
   /// Runs on a pool worker (parallel) or the flushing thread (serial).
   /// `force_digest` re-derives the digest even for a prefiltered-away
   /// query (Slot::rediff_pending — an unsettled event from a prior flush).
+  /// `work_budget` > 0 bounds the fixpoint (quarantine on excess).
   static PassResult RunPass(DeclarativeOptimizer* optimizer,
                             const std::vector<StatChange>& changes, uint64_t epoch,
-                            bool want_digest, bool force_digest);
+                            bool want_digest, bool force_digest, int64_t work_budget);
   void AggregatePass(const PassResult& r);
 
   QueryId RegisterImpl(DeclarativeOptimizer* optimizer, PlanSubscriber* subscriber);
@@ -333,13 +450,35 @@ class ReoptSession final : public StatsSubscriber {
   /// current plan as the event baseline on attach.
   void SetSubscriber(QueryId id, PlanSubscriber* subscriber);
   Slot* FindSlot(QueryId id);
+  const Slot* FindSlot(QueryId id) const;
 
-  /// Evaluates the policy under `policy_mu_` and flushes on demand.
-  /// `event` is null for Poll() probes.
+  /// Timer-gated QueryHandle entry points (lock reg_gate_ unless called
+  /// from the flushing thread itself — i.e. from inside a callback).
+  void HandleRelease(QueryId id);
+  void HandleSubscribe(QueryId id, PlanSubscriber* subscriber);
+
+  /// Rebuilds every quarantined query whose backoff expired; appends the
+  /// resulting service events and updates the per-flush strike/rehab
+  /// counters. Coordinator only, called at flush start.
+  void AttemptRehabs(uint64_t epoch, std::vector<ServiceEvent>* events,
+                     int64_t* strikes, int64_t* rehabs);
+  /// Quarantines `slot` for the failure in `err` (classify, tear down if
+  /// needed, schedule/park, emit the event). Bumps *strikes.
+  void RecordStrike(Slot& slot, const std::exception_ptr& err, uint64_t epoch,
+                    std::vector<ServiceEvent>* events, int64_t* strikes);
+  /// Recomputes the timer-readable quarantine atomics from queries_.
+  void RefreshQuarantineIndex();
+  /// Poll body (caller holds the registration gate when one is needed).
+  size_t PollTick();
+  void TimerLoop();
+
+  /// Evaluates the policy and the soft watermark under `policy_mu_` and
+  /// flushes on demand. `event` is null for Poll() probes.
   size_t MaybePolicyFlush(const StatsMutationEvent* event);
   /// The one OnFlush protocol (empty and dispatched flushes alike): read
-  /// the post-drain pending count, then hand it to the policy under
-  /// `policy_mu_`. Registry reads always happen BEFORE the policy mutex.
+  /// the post-drain pending count, then hand the per-query work
+  /// observations and the flush summary to the policy under `policy_mu_`.
+  /// Registry reads always happen BEFORE the policy mutex.
   void PolicyOnFlush(const FlushOptStats& stats, int64_t changes);
 
   StatsRegistry* registry_;
@@ -359,11 +498,35 @@ class ReoptSession final : public StatsSubscriber {
   /// is coordinator-only).
   std::mutex policy_mu_;
   int64_t mutations_since_flush_ = 0;
+  /// (query id, fixpoint work) of the most recent dispatched flush's
+  /// affected passes — the OnQueryPassWork feed. Written by the
+  /// coordinator during aggregation, read in PolicyOnFlush under
+  /// policy_mu_ on the same thread.
+  std::vector<std::pair<QueryId, int64_t>> last_pass_work_;
   /// Mutual exclusion + reentrancy guard for Flush (policy-triggered
   /// callbacks, racing mutator-thread flushes).
   std::atomic<bool> in_flush_{false};
-  /// True while PlanChangeEvents are being delivered (coordinator thread
-  /// only): Unregister defers, Register checks.
+  /// The thread driving the current flush (id{} when none): lets the
+  /// registration gate recognize callback-reentrant handle operations on
+  /// the timer thread and skip re-locking the gate it already holds.
+  std::atomic<std::thread::id> flush_owner_{};
+  /// The retry clock (see ticks()). Relaxed: a lower-bound logical clock;
+  /// backoffs are "at least N ticks".
+  std::atomic<int64_t> ticks_{0};
+  /// Timer-readable quarantine index (the timer must never walk queries_,
+  /// which the coordinator resizes): count of kQuarantined slots and the
+  /// earliest eligible_at_tick among them (INT64_MAX when none).
+  std::atomic<int64_t> quarantined_count_{0};
+  std::atomic<int64_t> next_rehab_tick_{std::numeric_limits<int64_t>::max()};
+  /// Serializes the timer thread's Poll against owner-thread
+  /// Register/Unregister/Subscribe. Only engaged when a timer exists.
+  std::mutex reg_gate_;
+  std::thread timer_;
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  bool timer_stop_ = false;
+  /// True while events are being delivered (coordinator thread only):
+  /// Unregister defers, Register checks.
   bool notifying_ = false;
   std::vector<QueryId> deferred_unregister_;
 };
@@ -393,6 +556,9 @@ class QueryHandle {
   ReoptSession::QueryId id() const { return valid() ? id_ : -1; }
   /// The registered optimizer (null when invalid, as for id()).
   DeclarativeOptimizer* optimizer() const { return valid() ? optimizer_ : nullptr; }
+  /// Failure-domain state (ReoptSession::query_state). kHealthy on an
+  /// invalid handle — a dead session holds no quarantine.
+  QueryState state() const;
 
   /// Attaches (or replaces) the plan-change subscriber; the query's
   /// *current* canonical plan becomes the baseline the next flush diffs

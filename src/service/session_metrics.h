@@ -18,6 +18,11 @@ struct ReoptSessionMetrics {
   int64_t queries_skipped = 0;     // registered queries untouched by a flush
   int64_t eps_seeded = 0;          // memo entries seeded across all passes
   int64_t plan_changes = 0;        // PlanChangeEvents delivered to subscribers
+  // ---- failure domain (docs/ARCHITECTURE.md "Failure domains") ----
+  int64_t quarantines = 0;         // failed passes/rebuilds (strikes recorded)
+  int64_t rehabilitations = 0;     // quarantined queries restored by a rebuild
+  int64_t queries_parked = 0;      // queries that exhausted their strikes
+  int64_t watermark_flushes = 0;   // flushes forced by the soft watermark
 };
 
 /// Aggregated OptMetrics deltas of the most recent non-empty flush, summed

@@ -8,6 +8,8 @@
 #include "baseline/systemr.h"
 #include "baseline/volcano.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/rng.h"
 #include "common/str_util.h"
 #include "core/declarative_optimizer.h"
 #include "service/reopt_session.h"
@@ -73,6 +75,54 @@ class RecordingSubscriber final : public PlanSubscriber {
   int tag_;
   std::vector<RecordedEvent>* out_;
 };
+
+/// RAII for a fault-rotation run: the injector is armed with counting
+/// disabled; every exit path disarms it and restores counting so the next
+/// scenario (or a non-fault caller) starts clean.
+struct FaultRotationGuard {
+  bool active = false;
+  ~FaultRotationGuard() {
+    if (!active) return;
+    FaultInjector::Instance().DisarmAll();
+    FaultInjector::Instance().set_enabled(true);
+  }
+};
+
+/// Derives the deterministic fault plan for a scenario: one single-shot
+/// fault at a seed-chosen site and hit ordinal, plus (batch mode,
+/// sometimes) a dependent rebuild fault so the FIRST rehabilitation
+/// attempt also fails and the strike/backoff ladder is exercised. Every
+/// armed fault is single-shot (period 0), which bounds strikes per query
+/// below the parking threshold and guarantees the recovery loop converges.
+void ArmFaultPlan(uint64_t seed, bool batch_mode) {
+  Rng rng(seed ^ 0xFA17ull);
+  FaultInjector::ArmSpec spec;
+  // Ordinal ranges are sized to each site's hit rate per flush window so a
+  // healthy fraction of seeds actually reach the ordinal; seeds that don't
+  // degenerate to a plain (still checked) differential run.
+  const uint64_t pick = rng.NextBelow(batch_mode ? 3 : 2);
+  if (batch_mode && pick == 0) {
+    spec.site = "service.pass";  // pre-dispatch, optimizer left untorn
+    spec.fire_at_hit = 1 + static_cast<int64_t>(rng.NextBelow(8));
+  } else if (pick <= 1) {
+    spec.site = "reopt.seed";  // mid-seeding, partially applied batch
+    spec.fire_at_hit = 1 + static_cast<int64_t>(rng.NextBelow(24));
+  } else {
+    spec.site = "reopt.fixpoint";  // mid-fixpoint, partially propagated
+    spec.fire_at_hit = 1 + static_cast<int64_t>(rng.NextBelow(200));
+  }
+  spec.action = rng.NextBool(0.25) ? FaultInjector::Action::kBadAlloc
+                                   : FaultInjector::Action::kThrow;
+  FaultInjector::Instance().Arm(spec);
+  if (batch_mode && rng.NextBool(1.0 / 3.0)) {
+    FaultInjector::ArmSpec rebuild;
+    rebuild.site = "reopt.rebuild";
+    rebuild.fire_at_hit = 1;
+    rebuild.action = rng.NextBool(0.25) ? FaultInjector::Action::kBadAlloc
+                                        : FaultInjector::Action::kThrow;
+    FaultInjector::Instance().Arm(rebuild);
+  }
+}
 
 struct StepOracle {
   ScenarioWorld* world;
@@ -208,6 +258,17 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
   auto world = BuildScenarioWorld(scenario);
   StepOracle oracle{world.get(), &scenario, &options};
 
+  // Fault rotation: arm the seed-derived plan with counting DISABLED —
+  // only the ScopedFaultWindow blocks around the primary world's flushes
+  // below count hits, so the oracle's from-scratch optimizers and the
+  // mirror world execute the same armed sites without ever faulting.
+  FaultRotationGuard fault_guard;
+  if (options.fault_rotation) {
+    FaultInjector::Instance().set_enabled(false);
+    ArmFaultPlan(scenario.seed, options.batch_steps >= 1);
+    fault_guard.active = true;
+  }
+
   DeclarativeOptimizer inc(world->enumerator.get(), world->cost_model.get(), &world->registry,
                            scenario.options);
   inc.Optimize();
@@ -255,7 +316,10 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
     prev_shadow_dump = shadow->CanonicalDumpState();
     prev_primary_cost = inc.BestCost();
     prev_shadow_cost = shadow->BestCost();
-    if (options.worker_threads >= 1) {
+    // The mirror world serves two claims: parallel ≡ serial (pooled mode)
+    // and faulted-then-recovered ≡ never-faulted (fault rotation) — so it
+    // also runs, serially, for serial fault-rotation scenarios.
+    if (options.worker_threads >= 1 || options.fault_rotation) {
       mirror_world = BuildScenarioWorld(scenario);
       mirror_inc = std::make_unique<DeclarativeOptimizer>(
           mirror_world->enumerator.get(), mirror_world->cost_model.get(),
@@ -289,8 +353,56 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
     if (session != nullptr) {
       events.clear();
       mirror_events.clear();
-      session->Flush();
-      if (mirror_session != nullptr) mirror_session->Flush();
+      if (options.fault_rotation) {
+        {
+          ScopedFaultWindow window;
+          session->Flush();
+        }
+        // Recovery: each flush ticks the retry clock and rehabilitates
+        // whatever backoff has expired. Faults stay armed (a seed can
+        // fail the rebuild itself — that is the point), but every armed
+        // spec is single-shot, so strikes per query stay below the
+        // parking threshold and the loop converges.
+        int recovery_flushes = 0;
+        while (session->num_quarantined() > 0 || session->num_parked() > 0) {
+          if (++recovery_flushes > 32) {
+            return {false, fail_step,
+                    StrFormat("after churn step %zu: quarantined queries failed to "
+                              "recover within 32 flushes (%d quarantined, %d parked)",
+                              s1 - 1, session->num_quarantined(), session->num_parked())};
+          }
+          ScopedFaultWindow window;
+          session->Flush();
+        }
+      } else {
+        session->Flush();
+      }
+      if (mirror_session != nullptr) mirror_session->Flush();  // never in a window
+    } else if (options.fault_rotation) {
+      // Legacy mode: the throw surfaces to the caller. The core's strong
+      // exception guarantee must leave the optimizer torn down (never
+      // optimized-but-stale: the drained batch is unrecoverable), and a
+      // from-scratch rebuild outside the fault window must restore a state
+      // the oracle cannot tell from never having faulted.
+      bool faulted = false;
+      try {
+        ScopedFaultWindow window;
+        inc.Reoptimize();
+      } catch (const InjectedFault&) {
+        faulted = true;
+      } catch (const std::bad_alloc&) {
+        faulted = true;
+      }
+      if (faulted) {
+        if (inc.optimized()) {
+          return {false, fail_step,
+                  StrFormat("after churn step %zu: strong exception guarantee violated — "
+                            "optimizer still reports optimized() after a faulted "
+                            "Reoptimize()",
+                            s1 - 1)};
+        }
+        inc.RebuildFromScratch();
+      }
     } else {
       inc.Reoptimize();
     }
@@ -316,27 +428,29 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       }
     }
     if (mirror_session != nullptr) {
-      // The direct parallel ≡ serial claim: every registered query of the
-      // pooled session must land byte-identical to its serial twin.
+      // The direct parallel ≡ serial claim (pooled mode) and the
+      // faulted-then-recovered ≡ never-faulted claim (fault rotation):
+      // every registered query must land byte-identical to its twin in
+      // the serial, never-faulted mirror world.
       if (!CostsAgree(mirror_inc->BestCost(), inc.BestCost(), options.rel_tol)) {
         return {false, fail_step,
-                StrFormat("after churn step %zu: parallel flush diverged from serial "
-                          "mirror: parallel=%s serial=%s",
+                StrFormat("after churn step %zu: flush diverged from the mirror world: "
+                          "primary=%s mirror=%s",
                           s1 - 1, DoubleToString(inc.BestCost()).c_str(),
                           DoubleToString(mirror_inc->BestCost()).c_str())};
       }
       if (options.check_dump) {
         if (inc.CanonicalDumpState() != mirror_inc->CanonicalDumpState()) {
           return {false, fail_step,
-                  StrFormat("after churn step %zu: parallel primary dump diverged from "
-                            "serial mirror (worker_threads=%d)",
-                            s1 - 1, options.worker_threads)};
+                  StrFormat("after churn step %zu: primary dump diverged from the mirror "
+                            "world (worker_threads=%d, fault_rotation=%d)",
+                            s1 - 1, options.worker_threads, options.fault_rotation ? 1 : 0)};
         }
         if (shadow->CanonicalDumpState() != mirror_shadow->CanonicalDumpState()) {
           return {false, fail_step,
-                  StrFormat("after churn step %zu: parallel shadow dump diverged from "
-                            "serial mirror (worker_threads=%d)",
-                            s1 - 1, options.worker_threads)};
+                  StrFormat("after churn step %zu: shadow dump diverged from the mirror "
+                            "world (worker_threads=%d, fault_rotation=%d)",
+                            s1 - 1, options.worker_threads, options.fault_rotation ? 1 : 0)};
         }
       }
       if (options.validate_invariants) {
@@ -406,17 +520,39 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
           }
         }
       }
-      if (events.size() == 2 && events[0].query_tag != 0) {
+      // Under fault rotation a quarantined query's event fires in a later
+      // recovery flush than its healthy peer's, so only the PER-QUERY
+      // subsequences are order-comparable; without faults the whole stream
+      // must be in registration order and field-identical to the mirror's.
+      if (!options.fault_rotation && events.size() == 2 && events[0].query_tag != 0) {
         return {false, fail_step,
                 StrFormat("after churn step %zu: events fired out of registration order",
                           s1 - 1)};
       }
-      if (mirror_session != nullptr && !(events == mirror_events)) {
-        return {false, fail_step,
-                StrFormat("after churn step %zu: parallel event stream diverged from serial "
-                          "mirror (%zu vs %zu events, worker_threads=%d)",
-                          s1 - 1, events.size(), mirror_events.size(),
-                          options.worker_threads)};
+      if (mirror_session != nullptr) {
+        bool streams_agree;
+        if (options.fault_rotation) {
+          streams_agree = true;
+          for (int tag = 0; tag <= 1 && streams_agree; ++tag) {
+            std::vector<RecordedEvent> got, want;
+            for (const RecordedEvent& e : events) {
+              if (e.query_tag == tag) got.push_back(e);
+            }
+            for (const RecordedEvent& e : mirror_events) {
+              if (e.query_tag == tag) want.push_back(e);
+            }
+            streams_agree = got == want;
+          }
+        } else {
+          streams_agree = events == mirror_events;
+        }
+        if (!streams_agree) {
+          return {false, fail_step,
+                  StrFormat("after churn step %zu: event stream diverged from the "
+                            "%s mirror (%zu vs %zu events, worker_threads=%d)",
+                            s1 - 1, options.fault_rotation ? "never-faulted" : "serial",
+                            events.size(), mirror_events.size(), options.worker_threads)};
+        }
       }
       prev_primary_dump = primary_dump;
       prev_shadow_dump = shadow_dump;
@@ -424,7 +560,21 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       prev_shadow_cost = shadow_cost;
     }
   }
-  return {};
+  DiffResult result;
+  if (options.fault_rotation) {
+    result.faults_fired = FaultInjector::Instance().fired();
+    if (session != nullptr &&
+        session->metrics().quarantines != result.faults_fired) {
+      // Every single-shot fired action lands inside exactly one query's
+      // pass, rebuild, or seeding — one strike each, no more, no fewer.
+      return {false, static_cast<int>(scenario.churn.size()) - 1,
+              StrFormat("fault accounting diverged: %lld fault(s) fired but the session "
+                        "recorded %lld quarantine strike(s)",
+                        static_cast<long long>(result.faults_fired),
+                        static_cast<long long>(session->metrics().quarantines))};
+    }
+  }
+  return result;
 }
 
 namespace {

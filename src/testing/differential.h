@@ -66,6 +66,20 @@ struct DiffOptions {
   /// "parallel flush ≡ serial flush" claim, on top of the existing
   /// "≡ from-scratch" oracle which the pooled optimizers still face.
   int worker_threads = 0;
+  /// Fault rotation: derive a deterministic fault plan from the scenario
+  /// seed (site, action, hit ordinal), arm it, and confine the counting
+  /// windows to the PRIMARY world's flushes — the oracle's from-scratch
+  /// optimizers and the mirror world run the very same fault-point-bearing
+  /// code with counting disabled, so they never fault. In batch mode an
+  /// injected fault quarantines a query; the harness then drives recovery
+  /// flushes until nothing is quarantined and holds the recovered state to
+  /// the full oracle AND byte-identical (CanonicalDumpState) to the
+  /// never-faulted mirror, which runs even when worker_threads == 0. In
+  /// legacy mode the throw surfaces to the caller; the harness asserts the
+  /// strong exception guarantee (!optimized()) and recovers via
+  /// RebuildFromScratch(). Either way, a run whose fault ordinal is never
+  /// reached degenerates to the plain differential check.
+  bool fault_rotation = false;
   double rel_tol = 1e-9;
 };
 
@@ -89,6 +103,11 @@ struct DiffResult {
   /// after which the divergence appeared.
   int fail_step = -2;
   std::string message;
+  /// Fault-rotation runs only: how many injected faults actually fired
+  /// (0 when the seed-chosen ordinal was never reached). On success the
+  /// harness has already proven quarantines == faults fired and full
+  /// recovery; callers use this to report fault coverage.
+  int64_t faults_fired = 0;
 };
 
 DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options = {},

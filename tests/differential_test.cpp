@@ -10,6 +10,10 @@
 // --time_budget_ms=N  stop early after this much wall clock (0 = unlimited)
 // --workers=N       force worker_threads=N for every batch-mode scenario
 //                   (default -1: rotate seed % 3; the TSan CI smoke pins 4)
+// --faults=N        fault rotation: 1 = every scenario re-runs with a
+//                   seed-derived injected fault (quarantine/recovery must
+//                   land byte-identical to a never-faulted mirror), 0 =
+//                   never (default -1: odd seeds fault-rotate)
 //
 // Every failure prints the scenario seed AND the active flush mode
 // (legacy / batch_steps=K serial / batch_steps=K workers=W) — both are
@@ -41,13 +45,15 @@ uint64_t g_base_seed = 1;
 int g_iters = 2000;
 int g_time_budget_ms = 120'000;
 int g_force_workers = -1;  // --workers override; -1 = rotate seed % 3
+int g_force_faults = -1;   // --faults override; -1 = odd seeds fault-rotate
 
 // Mode of the scenario currently executing, for the SIGABRT handler: a
 // seed alone does not reproduce a batch/parallel failure (the flush mode
-// rotation is part of the repro), so the handler prints all three.
+// rotation is part of the repro), so the handler prints all of it.
 volatile uint64_t g_current_seed = 0;
 volatile int g_current_batch_steps = 0;
 volatile int g_current_workers = 0;
+volatile int g_current_faults = 0;
 
 extern "C" void DifferentialAbortHandler(int) {
   // Async-signal-safe: manual formatting + write(2).
@@ -79,6 +85,7 @@ extern "C" void DifferentialAbortHandler(int) {
       append_u64(static_cast<uint64_t>(g_current_workers));
     }
   }
+  if (g_current_faults != 0) append_str(" faults=1");
   append_str("\n");
   ssize_t ignored = write(STDERR_FILENO, buf, len);
   (void)ignored;
@@ -126,6 +133,8 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
   int64_t reopt_checks = 0;
   int64_t batched_runs = 0;
   int64_t parallel_runs = 0;
+  int64_t fault_runs = 0;
+  int64_t faults_fired = 0;
   bool time_box_hit = false;
   for (int i = 0; i < g_iters; ++i) {
     if (g_time_budget_ms > 0) {
@@ -150,15 +159,24 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
           g_force_workers >= 0 ? g_force_workers : static_cast<int>(seed % 3);
       if (options.worker_threads >= 1) ++parallel_runs;
     }
+    // Fault rotation rides the same mode rotation: odd seeds (or all, under
+    // --faults=1) re-run their flushes with a seed-derived injected fault;
+    // the harness then proves recovery lands identical to a never-faulted
+    // mirror world.
+    options.fault_rotation = g_force_faults == 1 || (g_force_faults < 0 && seed % 2 == 1);
+    if (options.fault_rotation) ++fault_runs;
     g_current_seed = seed;
     g_current_batch_steps = options.batch_steps;
     g_current_workers = options.worker_threads;
+    g_current_faults = options.fault_rotation ? 1 : 0;
     DiffResult result = RunScenario(scenario, options);
     ++ran;
     reopt_checks += static_cast<int64_t>(scenario.churn.size());
+    faults_fired += result.faults_fired;
     if (!result.ok) {
       FAIL() << "seed " << seed << " (batch_steps=" << options.batch_steps
-             << " worker_threads=" << options.worker_threads << "): "
+             << " worker_threads=" << options.worker_threads
+             << " fault_rotation=" << options.fault_rotation << "): "
              << FailureReport(scenario, result, options, FaultInjection{});
     }
   }
@@ -168,10 +186,17 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
   if (ran >= 12 && g_force_workers != 0) {
     EXPECT_GT(parallel_runs, 0);  // the rotation actually covers the pool
   }
+  if (fault_runs >= 50) {
+    // The fault plan's ordinals are sized so a real fraction of seeds
+    // fire; a sweep this big with zero fired faults means the rotation is
+    // silently checking nothing.
+    EXPECT_GT(faults_fired, 0);
+  }
   std::fprintf(stderr,
                "differential: %lld scenarios, %lld reoptimize/from-scratch checks, "
-               "0 divergences\n",
-               static_cast<long long>(ran), static_cast<long long>(reopt_checks));
+               "%lld fault-rotated (%lld faults fired), 0 divergences\n",
+               static_cast<long long>(ran), static_cast<long long>(reopt_checks),
+               static_cast<long long>(fault_runs), static_cast<long long>(faults_fired));
   // Without a binding time box the full requested count must have run. A
   // time-boxed run on a slow machine (sanitized Debug CI) checks whatever
   // fit — the CI sanitize matrix pins a separate unboxed 200-scenario
@@ -181,6 +206,38 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
   } else {
     EXPECT_GE(ran, 1);
   }
+}
+
+// The robustness tentpole, pinned without flags: scenarios run with
+// seed-derived faults injected into their flushes must quarantine exactly
+// the failing query, keep serving the rest, recover via rebuild, and land
+// byte-identical (CanonicalDumpState) to a never-faulted mirror world —
+// and across the sweep at least one fault must actually fire, or the
+// rotation is checking nothing.
+TEST(DifferentialHarnessTest, FaultRotatedScenariosRecoverToMirrorState) {
+  const GeneratorKnobs knobs;
+  int64_t fired = 0;
+  for (uint64_t seed = 5000; seed < 5048; ++seed) {
+    Scenario scenario = GenerateScenario(seed, knobs);
+    DiffOptions options;
+    options.batch_steps = 1 + static_cast<int>(seed % 3);  // always batch mode
+    options.worker_threads = static_cast<int>(seed % 2);   // serial and pooled
+    options.fault_rotation = true;
+    g_current_seed = seed;
+    g_current_batch_steps = options.batch_steps;
+    g_current_workers = options.worker_threads;
+    g_current_faults = 1;
+    DiffResult result = RunScenario(scenario, options);
+    ASSERT_TRUE(result.ok) << "seed " << seed << " (batch_steps=" << options.batch_steps
+                           << " worker_threads=" << options.worker_threads
+                           << " fault_rotation=1): "
+                           << FailureReport(scenario, result, options, FaultInjection{});
+    fired += result.faults_fired;
+  }
+  g_current_faults = 0;
+  EXPECT_GT(fired, 0);
+  std::fprintf(stderr, "fault rotation: 48 scenarios, %lld faults fired, full recovery\n",
+               static_cast<long long>(fired));
 }
 
 // Harness self-test: an injected fault (silently dropping one delta seed
@@ -275,6 +332,8 @@ int main(int argc, char** argv) {
       iqro::testing::g_time_budget_ms = std::atoi(arg + 17);
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
       iqro::testing::g_force_workers = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+      iqro::testing::g_force_faults = std::atoi(arg + 9);
     } else {
       argv[out++] = argv[i];
     }

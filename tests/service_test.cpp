@@ -16,8 +16,10 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "core/declarative_optimizer.h"
 #include "service/reopt_session.h"
 #include "test_util.h"
@@ -902,29 +904,6 @@ TEST(FlushPolicyTest, CountPolicyFiresAfterThreshold) {
   EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
 }
 
-// The deprecated auto_flush_after field must keep working for one PR: it
-// maps onto a CountPolicy at session construction.
-TEST(FlushPolicyTest, DeprecatedAutoFlushShimStillFires) {
-  auto world = ChainWorld();
-  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
-                           &world->registry);
-  opt.Optimize();
-  ReoptSessionOptions so;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  so.auto_flush_after = 2;
-#pragma GCC diagnostic pop
-  ReoptSession session(&world->registry, so);
-  QueryHandle handle = session.Register(opt);
-
-  world->registry.SetBaseRows(0, 999);
-  EXPECT_EQ(session.metrics().flushes, 0);
-  world->registry.SetBaseRows(1, 888);  // second mutation: fires
-  EXPECT_EQ(session.metrics().flushes, 1);
-  opt.ValidateInvariants();
-  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
-}
-
 // DeadlinePolicy with an injected clock: mutations inside the deadline do
 // not flush; once the oldest pending mutation has aged past it, the next
 // policy consultation — here a Poll(), no mutation needed — flushes.
@@ -1057,21 +1036,36 @@ TEST(FlushPolicyTest, CostGatedFloorsZeroWorkCalibration) {
   ctx.pending_stats = 1;
   EXPECT_TRUE(policy.ShouldFlush(ctx));  // no history: eager
 
-  policy.OnFlush(FlushOptStats{}, /*changes=*/3, /*pending_after=*/0);  // zero work
+  // A dispatched flush with no per-query observations (every pass
+  // prefiltered away): calibration ends, estimate floored at 1 work/change.
+  policy.OnFlush(FlushOptStats{}, /*changes=*/3, /*pending_after=*/0);
   EXPECT_EQ(policy.work_per_change(), 1.0);  // floored, not 0, not skipped
   EXPECT_FALSE(policy.ShouldFlush(ctx));     // 1 * 1 < 100: batches now
   ctx.pending_stats = 200;
   EXPECT_TRUE(policy.ShouldFlush(ctx));  // 200 * 1 >= 100: still bounded
 
-  FlushOptStats real;
-  real.fixpoint_steps = 50;
-  real.eps_seeded = 10;
-  policy.OnFlush(real, /*changes=*/1, /*pending_after=*/0);  // 60 work/change
-  // EWMA (smoothing 0.3): 0.7 * 1 + 0.3 * 60 = 18.7 work/change.
+  // Real work arrives per query: first observation seeds that query's EWMA.
+  policy.OnQueryPassWork(/*query_id=*/7, /*fixpoint_work=*/60, /*changes=*/1);
+  policy.OnFlush(FlushOptStats{}, /*changes=*/1, /*pending_after=*/0);
+  EXPECT_EQ(policy.query_work_per_change(7), 60.0);
+  EXPECT_EQ(policy.work_per_change(), 60.0);  // sum over the one query
+  ctx.pending_stats = 1;
+  EXPECT_FALSE(policy.ShouldFlush(ctx));  // 1 * 60 < 100
   ctx.pending_stats = 2;
-  EXPECT_FALSE(policy.ShouldFlush(ctx));  // 2 * 18.7 < 100
-  ctx.pending_stats = 6;
-  EXPECT_TRUE(policy.ShouldFlush(ctx));  // 6 * 18.7 >= 100
+  EXPECT_TRUE(policy.ShouldFlush(ctx));  // 2 * 60 >= 100
+
+  // Second observation blends: 0.7 * 60 + 0.3 * 20 = 48.
+  policy.OnQueryPassWork(7, /*fixpoint_work=*/20, /*changes=*/1);
+  EXPECT_NEAR(policy.query_work_per_change(7), 48.0, 1e-9);
+
+  // A second query's work ADDS to the estimate (every registered query
+  // pays its own fixpoint per flush), and unregistration sheds it.
+  policy.OnQueryPassWork(/*query_id=*/9, /*fixpoint_work=*/12, /*changes=*/1);
+  EXPECT_NEAR(policy.work_per_change(), 60.0, 1e-9);  // 48 + 12
+  policy.OnQueryUnregistered(9);
+  EXPECT_NEAR(policy.work_per_change(), 48.0, 1e-9);
+  policy.OnQueryUnregistered(7);
+  EXPECT_EQ(policy.work_per_change(), 1.0);  // history kept; floor applies
 }
 
 TEST(FlushPolicyTest, CostGatedPolicyTinyBudgetFlushesPerMutation) {
@@ -1139,6 +1133,357 @@ TEST(MetricsExporterTest, JsonExporterReceivesOneReportPerDispatchedFlush) {
   EXPECT_NE(json.find("\"fixpoint_steps\""), std::string::npos);
   EXPECT_EQ(json.front(), '[');
   EXPECT_EQ(json.back(), ']');
+}
+
+// ---------------------------------------------------------------------------
+// Failure domain: quarantine, retry/backoff, park, overload watermarks
+// ---------------------------------------------------------------------------
+
+/// Records all three event kinds; optionally throws from a chosen callback.
+class FailureRecordingSubscriber final : public PlanSubscriber {
+ public:
+  void OnPlanChange(const PlanChangeEvent& e) override { plan_events.push_back(e); }
+  void OnQueryQuarantined(const QueryQuarantinedEvent& e) override {
+    quarantine_events.push_back(e);
+    if (throw_on_quarantine) throw std::runtime_error("subscriber quarantine throw");
+  }
+  void OnQueryRehabilitated(const QueryRehabilitatedEvent& e) override {
+    rehab_events.push_back(e);
+  }
+
+  std::vector<PlanChangeEvent> plan_events;
+  std::vector<QueryQuarantinedEvent> quarantine_events;
+  std::vector<QueryRehabilitatedEvent> rehab_events;
+  bool throw_on_quarantine = false;
+};
+
+/// Flush with the fault injector's counting window open (the session-level
+/// analogue of what the differential harness does around primary flushes).
+size_t FaultedFlush(ReoptSession& session) {
+  ScopedFaultWindow window;
+  return session.Flush();
+}
+
+TEST(QuarantineTest, FaultedQueryIsIsolatedAndPeersComplete) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  a.Optimize();
+  b.Optimize();
+  ReoptSession session(&world->registry);
+  FailureRecordingSubscriber sub_a;
+  QueryHandle ha = session.Register(a, &sub_a);
+  QueryHandle hb = session.Register(b);
+
+  FaultInjector::Instance().set_enabled(false);
+  FaultInjector::ArmSpec spec;
+  spec.site = "service.pass";  // first dispatched pass = query a (serial order)
+  ScopedFaultArm arm(spec);
+
+  world->registry.SetBaseRows(1, world->registry.base_rows(1) * 64);
+  FaultedFlush(session);
+
+  // a struck; b completed its pass and matches from-scratch exactly.
+  EXPECT_EQ(ha.state(), QueryState::kQuarantined);
+  EXPECT_EQ(hb.state(), QueryState::kHealthy);
+  EXPECT_FALSE(a.optimized());  // torn down to the one canonical failed state
+  EXPECT_EQ(session.num_quarantined(), 1);
+  EXPECT_EQ(session.metrics().quarantines, 1);
+  b.ValidateInvariants();
+  EXPECT_EQ(b.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+  ASSERT_EQ(sub_a.quarantine_events.size(), 1u);
+  EXPECT_EQ(sub_a.quarantine_events[0].reason, QueryQuarantinedEvent::Reason::kException);
+  EXPECT_EQ(sub_a.quarantine_events[0].strikes, 1);
+  EXPECT_FALSE(sub_a.quarantine_events[0].parked);
+  EXPECT_EQ(sub_a.quarantine_events[0].retry_in_ticks, 1);
+  EXPECT_TRUE(sub_a.plan_events.empty());  // no plan to report while torn down
+
+  // Next flush: backoff (1 tick) expired, the single-shot fault is spent —
+  // the rebuild succeeds and a lands exactly where b (and scratch) did.
+  FaultedFlush(session);
+  EXPECT_EQ(ha.state(), QueryState::kHealthy);
+  EXPECT_EQ(session.num_quarantined(), 0);
+  EXPECT_EQ(session.metrics().rehabilitations, 1);
+  a.ValidateInvariants();
+  EXPECT_EQ(a.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+  ASSERT_EQ(sub_a.rehab_events.size(), 1u);
+  EXPECT_EQ(sub_a.rehab_events[0].strikes_cleared, 1);
+  // The 64x row change moved the plan's costs, and a's subscriber last saw
+  // the pre-change plan: rehabilitation owes it exactly one change event
+  // against that old baseline.
+  ASSERT_EQ(sub_a.plan_events.size(), 1u);
+  EXPECT_EQ(sub_a.plan_events[0].new_cost, a.BestCost());
+}
+
+TEST(QuarantineTest, PooledFlushIsolatesTheFaultedQueryToo) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  a.Optimize();
+  b.Optimize();
+  ReoptSessionOptions so;
+  so.worker_threads = 2;
+  ReoptSession session(&world->registry, so);
+  QueryHandle ha = session.Register(a);
+  QueryHandle hb = session.Register(b);
+
+  FaultInjector::Instance().set_enabled(false);
+  FaultInjector::ArmSpec spec;
+  spec.site = "service.pass";  // pool: WHICH query faults is a race — either is valid
+  ScopedFaultArm arm(spec);
+
+  world->registry.SetBaseRows(1, world->registry.base_rows(1) * 64);
+  FaultedFlush(session);
+  EXPECT_EQ(session.num_quarantined(), 1);  // exactly one struck, one survived
+  const std::string scratch = ScratchDump(*world, OptimizerOptions::Default());
+  DeclarativeOptimizer& healthy = ha.state() == QueryState::kHealthy ? a : b;
+  EXPECT_EQ(healthy.CanonicalDumpState(), scratch);
+
+  FaultedFlush(session);  // rehab
+  EXPECT_EQ(session.num_quarantined(), 0);
+  EXPECT_EQ(a.CanonicalDumpState(), scratch);
+  EXPECT_EQ(b.CanonicalDumpState(), scratch);
+}
+
+TEST(QuarantineTest, WorkBudgetExceededQuarantinesWithTypedReason) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSessionOptions so;
+  so.per_query_work_budget = 1;  // any real fixpoint blows through this
+  ReoptSession session(&world->registry, so);
+  FailureRecordingSubscriber sub;
+  QueryHandle handle = session.Register(opt, &sub);
+
+  world->registry.SetBaseRows(1, world->registry.base_rows(1) * 64);
+  session.Flush();
+  EXPECT_EQ(handle.state(), QueryState::kQuarantined);
+  ASSERT_EQ(sub.quarantine_events.size(), 1u);
+  EXPECT_EQ(sub.quarantine_events[0].reason, QueryQuarantinedEvent::Reason::kWorkBudget);
+
+  // Rehabilitation rebuilds from scratch, which is NOT budgeted (the
+  // budget bounds incremental passes; recovery must always be able to
+  // land), so the query comes back even though every incremental pass
+  // would keep exceeding.
+  session.Flush();
+  EXPECT_EQ(handle.state(), QueryState::kHealthy);
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+TEST(QuarantineTest, RepeatedRebuildFailuresBackOffExponentiallyThenPark) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSession session(&world->registry);  // max_strikes=3, base=1, cap=8
+  FailureRecordingSubscriber sub;
+  QueryHandle handle = session.Register(opt, &sub);
+
+  FaultInjector::Instance().set_enabled(false);
+  FaultInjector::ArmSpec pass_fault;
+  pass_fault.site = "service.pass";
+  FaultInjector::ArmSpec rebuild_fault;
+  rebuild_fault.site = "reopt.rebuild";
+  rebuild_fault.period = 1;  // EVERY rehabilitation attempt fails
+  ScopedFaultArm arm{pass_fault, rebuild_fault};
+
+  world->registry.SetBaseRows(1, 123456);
+  FaultedFlush(session);  // tick 1: strike 1, eligible at tick 2
+  EXPECT_EQ(handle.state(), QueryState::kQuarantined);
+  FaultedFlush(session);  // tick 2: rehab attempt fails -> strike 2, backoff 2
+  EXPECT_EQ(session.metrics().quarantines, 2);
+  FaultedFlush(session);  // tick 3: backoff not expired, NO attempt
+  EXPECT_EQ(session.metrics().quarantines, 2);
+  FaultedFlush(session);  // tick 4: attempt fails -> strike 3 == max: parked
+  EXPECT_EQ(handle.state(), QueryState::kParked);
+  EXPECT_EQ(session.num_parked(), 1);
+  EXPECT_EQ(session.num_quarantined(), 0);
+  EXPECT_EQ(session.metrics().queries_parked, 1);
+  FaultedFlush(session);  // parked: no further attempts, ever
+  EXPECT_EQ(session.metrics().quarantines, 3);
+
+  ASSERT_EQ(sub.quarantine_events.size(), 3u);
+  EXPECT_EQ(sub.quarantine_events[0].retry_in_ticks, 1);
+  EXPECT_EQ(sub.quarantine_events[1].retry_in_ticks, 2);  // doubled
+  EXPECT_TRUE(sub.quarantine_events[2].parked);
+  EXPECT_EQ(sub.quarantine_events[2].retry_in_ticks, 0);
+  EXPECT_EQ(session.metrics().rehabilitations, 0);
+}
+
+TEST(QuarantineTest, ThrowingQuarantineCallbackLeavesSessionConsistent) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  a.Optimize();
+  b.Optimize();
+  ReoptSession session(&world->registry);
+  FailureRecordingSubscriber sub_a;
+  FailureRecordingSubscriber sub_b;
+  sub_a.throw_on_quarantine = true;
+  QueryHandle ha = session.Register(a, &sub_a);
+  QueryHandle hb = session.Register(b, &sub_b);
+
+  FaultInjector::Instance().set_enabled(false);
+  FaultInjector::ArmSpec spec;
+  spec.site = "service.pass";
+  ScopedFaultArm arm(spec);
+
+  const double before_cost = b.BestCost();
+  world->registry.SetBaseRows(1, world->registry.base_rows(1) * 64);
+  // The quarantine event fires FIRST and its callback throws: the flush
+  // unwinds before b's plan event can deliver.
+  EXPECT_THROW(FaultedFlush(session), std::runtime_error);
+  EXPECT_EQ(ha.state(), QueryState::kQuarantined);  // the strike stuck
+  EXPECT_TRUE(sub_b.plan_events.empty());           // dropped, not lost
+
+  // The session is NOT wedged: the next flush rehabilitates a and
+  // re-detects b's dropped plan change against the baseline its subscriber
+  // actually saw.
+  FaultedFlush(session);
+  EXPECT_EQ(ha.state(), QueryState::kHealthy);
+  ASSERT_EQ(sub_b.plan_events.size(), 1u);
+  EXPECT_EQ(sub_b.plan_events[0].old_cost, before_cost);
+  EXPECT_EQ(sub_b.plan_events[0].new_cost, b.BestCost());
+  EXPECT_EQ(a.CanonicalDumpState(), b.CanonicalDumpState());
+  // The quarantine event is at-most-once: it is NOT redelivered.
+  EXPECT_EQ(sub_a.quarantine_events.size(), 1u);
+}
+
+TEST(OverloadTest, SoftWatermarkForcesEarlyFlushWithoutAPolicy) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSessionOptions so;
+  so.pending_soft_watermark = 2;
+  ReoptSession session(&world->registry, so);
+  QueryHandle handle = session.Register(opt);
+
+  world->registry.SetBaseRows(0, 111);  // pending=1 < soft: waits
+  EXPECT_EQ(session.metrics().flushes, 0);
+  world->registry.SetBaseRows(1, 222);  // pending=2 hits the watermark
+  EXPECT_EQ(session.metrics().flushes, 1);
+  EXPECT_EQ(session.metrics().watermark_flushes, 1);
+  EXPECT_FALSE(session.HasPending());
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+TEST(OverloadTest, HardWatermarkRejectsNewStatsAndRegistrations) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  a.Optimize();
+  b.Optimize();
+  ReoptSessionOptions so;
+  so.pending_hard_watermark = 2;
+  ReoptSession session(&world->registry, so);
+  QueryHandle ha = session.Register(a);
+
+  EXPECT_EQ(world->registry.SetBaseRows(0, 111), RecordOutcome::kApplied);
+  EXPECT_EQ(world->registry.SetBaseRows(1, 222), RecordOutcome::kApplied);
+  // At the ceiling: a NEW pending statistic is refused and the value does
+  // not change — memory stays bounded, the caller is told.
+  const double rows2 = world->registry.base_rows(2);
+  EXPECT_EQ(world->registry.SetBaseRows(2, 333), RecordOutcome::kRejectedBacklog);
+  EXPECT_EQ(world->registry.base_rows(2), rows2);
+  EXPECT_EQ(world->registry.RejectedCount(), 1);
+  // ...but a write COALESCING into an already-pending entry still lands
+  // (it grows nothing).
+  EXPECT_EQ(world->registry.SetBaseRows(0, 123), RecordOutcome::kApplied);
+  // New standing queries are refused too, with a typed exception.
+  EXPECT_THROW(QueryHandle h = session.Register(b), SessionOverloaded);
+
+  // Draining the backlog lifts both refusals. (b sat out the drained
+  // epoch, so it catches up first — the registration freshness CHECK is
+  // orthogonal to the overload gate.)
+  session.Flush();
+  b.Reoptimize();
+  QueryHandle hb = session.Register(b);
+  EXPECT_EQ(world->registry.SetBaseRows(2, 333), RecordOutcome::kApplied);
+  session.Flush();
+  EXPECT_EQ(a.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+  EXPECT_EQ(b.CanonicalDumpState(), a.CanonicalDumpState());
+}
+
+TEST(TimerTest, TimerThreadDrivesDeadlinePolicyWithoutManualPolls) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSessionOptions so;
+  so.flush_policy = std::make_shared<DeadlinePolicy>(std::chrono::milliseconds(20));
+  so.poll_interval = std::chrono::milliseconds(5);
+  ReoptSession session(&world->registry, so);
+  QueryHandle handle = session.Register(opt);
+
+  world->registry.SetBaseRows(1, 4321);
+  EXPECT_EQ(session.metrics().flushes, 0);  // inside the deadline window
+  // No Poll() calls: the session-owned timer must age the deadline out.
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (session.metrics().flushes == 0 && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(session.metrics().flushes, 1);
+  EXPECT_FALSE(session.HasPending());
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+TEST(TimerTest, TimerRetriesQuarantineBackoffWithoutManualPolls) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSessionOptions so;
+  so.poll_interval = std::chrono::milliseconds(5);
+  ReoptSession session(&world->registry, so);
+  QueryHandle handle = session.Register(opt);
+
+  {
+    FaultInjector::Instance().set_enabled(false);
+    FaultInjector::ArmSpec spec;
+    spec.site = "service.pass";
+    ScopedFaultArm arm(spec);
+    world->registry.SetBaseRows(1, 98765);
+    FaultedFlush(session);
+    ASSERT_EQ(handle.state(), QueryState::kQuarantined);
+    // Disarm before waiting: the timer's own flushes run outside any
+    // counting window anyway, but leave the injector clean for the wait.
+  }
+  // No Poll() calls: timer ticks age the backoff out and its flush rehabs.
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (session.num_quarantined() > 0 && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(handle.state(), QueryState::kHealthy);
+  EXPECT_EQ(session.metrics().rehabilitations, 1);
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
+TEST(FlushPolicyTest, CostGatedLearnsPerQueryEwmasThroughTheSession) {
+  auto world = ChainWorld();
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  a.Optimize();
+  b.Optimize();
+  ReoptSessionOptions so;
+  auto policy = std::make_shared<CostGatedPolicy>(/*work_budget=*/1e9);  // never auto-fires
+  so.flush_policy = policy;
+  ReoptSession session(&world->registry, so);
+  QueryHandle ha = session.Register(a);  // query id 0
+  {
+    QueryHandle hb = session.Register(b);  // query id 1
+
+    world->registry.SetBaseRows(1, world->registry.base_rows(1) * 64);
+    session.Flush();  // calibration flush observes BOTH queries' pass work
+    EXPECT_GT(policy->query_work_per_change(0), 0.0);
+    EXPECT_GT(policy->query_work_per_change(1), 0.0);
+    EXPECT_NEAR(policy->work_per_change(),
+                policy->query_work_per_change(0) + policy->query_work_per_change(1), 1e-9);
+  }  // hb released: its EWMA must leave the estimate with it
+  EXPECT_EQ(policy->query_work_per_change(1), 0.0);
+  EXPECT_NEAR(policy->work_per_change(),
+              std::max(1.0, policy->query_work_per_change(0)), 1e-9);
 }
 
 }  // namespace
