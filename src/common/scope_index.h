@@ -1,0 +1,134 @@
+// ScopeSubsetIndex: an inverted index over packed RelSet keys answering the
+// two queries batch seeding needs in O(affected), not O(memo):
+//
+//  * ForEachSupersetOf(scope): every entry whose key is a superset of
+//    `scope` — the kCardinality seeding query ("which EPs mention all of
+//    these relations"). Answered from per-relation posting lists: pick the
+//    rarest relation in `scope`, scan only entries containing it, and keep
+//    those passing the full RelIsSubset test. The scan length is the
+//    smallest posting list, which for sparse scopes tracks the number of
+//    affected entries rather than the index size.
+//  * ForEachWithKey(key): every entry whose key equals `key` exactly — the
+//    kScanCost seeding query (a base relation's scan cost changed; only the
+//    singleton expression's property groups recompute). Answered from an
+//    exact-key map in O(#matches).
+//
+// Both traversals return the number of entries *examined* (candidates
+// tested, not just matches) so callers can expose a true scan-volume
+// counter (OptMetrics::eps_scanned) and benches can assert the
+// eps_scanned ≈ eps_seeded decoupling.
+//
+// Values are append-only between Clear() calls: the memo never physically
+// removes an (expr, prop) pair (eviction flips it dormant but keeps the
+// node, and dormant pairs still need seeding so stale collected state is
+// physically evicted on the statistics change that invalidates it), so the
+// index needs no per-entry erase — exactly the memo's own lifecycle.
+// Entries with key == 0 (no relations) are reachable only via the
+// degenerate scope 0, which falls back to a full scan of `all_`.
+#ifndef IQRO_COMMON_SCOPE_INDEX_H_
+#define IQRO_COMMON_SCOPE_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/relset.h"
+
+namespace iqro {
+
+template <typename T>
+class ScopeSubsetIndex {
+ public:
+  struct Entry {
+    RelSet key;
+    T value;
+  };
+
+  /// Registers `value` under `key`. Duplicate (key, value) inserts are the
+  /// caller's responsibility to avoid (the memo inserts each pair once).
+  void Insert(RelSet key, T value) {
+    all_.push_back(Entry{key, value});
+    RelForEach(key, [&](int r) { by_rel_[r].push_back(Entry{key, value}); });
+    by_key_[key].push_back(value);
+    posting_entries_ += static_cast<size_t>(RelCount(key));
+  }
+
+  void Clear() {
+    all_.clear();
+    for (auto& list : by_rel_) list.clear();
+    by_key_.clear();
+    posting_entries_ = 0;
+  }
+
+  size_t size() const { return all_.size(); }
+
+  /// Approximate heap footprint, for memo residency accounting. O(1),
+  /// size-based (callers sample it every round; capacity overshoot is
+  /// bounded and this feeds an estimate already).
+  size_t bytes() const {
+    return (all_.size() + posting_entries_) * sizeof(Entry) +
+           by_key_.size() * (sizeof(RelSet) + sizeof(void*) * 2 + sizeof(std::vector<T>)) +
+           all_.size() * sizeof(T);
+  }
+
+  /// Entries a ForEachSupersetOf(scope) traversal would examine, without
+  /// running it. Callers batching several queries use this to bound total
+  /// scan volume up front (and fall back to one full scan when the sum
+  /// exceeds size() — a batch of dense scopes would otherwise re-walk the
+  /// same posting lists once per scope).
+  int64_t SupersetScanCost(RelSet scope) const {
+    if (scope == 0) return static_cast<int64_t>(all_.size());
+    size_t shortest = all_.size();
+    RelForEach(scope, [&](int r) { shortest = std::min(shortest, by_rel_[r].size()); });
+    return static_cast<int64_t>(shortest);
+  }
+
+  /// Entries a ForEachWithKey(key) traversal would examine (== matches).
+  int64_t ExactScanCost(RelSet key) const {
+    auto it = by_key_.find(key);
+    return it == by_key_.end() ? 0 : static_cast<int64_t>(it->second.size());
+  }
+
+  /// Calls `fn(value)` for every entry whose key is a superset of `scope`
+  /// (scope == 0 matches everything). Returns the number of candidate
+  /// entries examined.
+  template <typename Fn>
+  int64_t ForEachSupersetOf(RelSet scope, Fn&& fn) const {
+    if (scope == 0) {
+      for (const Entry& e : all_) fn(e.value);
+      return static_cast<int64_t>(all_.size());
+    }
+    const std::vector<Entry>* shortest = nullptr;
+    RelForEach(scope, [&](int r) {
+      if (shortest == nullptr || by_rel_[r].size() < shortest->size()) {
+        shortest = &by_rel_[r];
+      }
+    });
+    for (const Entry& e : *shortest) {
+      if (RelIsSubset(scope, e.key)) fn(e.value);
+    }
+    return static_cast<int64_t>(shortest->size());
+  }
+
+  /// Calls `fn(value)` for every entry whose key equals `key` exactly.
+  /// Returns the number of entries examined (== matches).
+  template <typename Fn>
+  int64_t ForEachWithKey(RelSet key, Fn&& fn) const {
+    auto it = by_key_.find(key);
+    if (it == by_key_.end()) return 0;
+    for (const T& v : it->second) fn(v);
+    return static_cast<int64_t>(it->second.size());
+  }
+
+ private:
+  std::vector<Entry> by_rel_[kMaxRelations];  // posting list per relation bit
+  std::vector<Entry> all_;                    // every entry, insertion order
+  std::unordered_map<RelSet, std::vector<T>> by_key_;  // exact-expression map
+  size_t posting_entries_ = 0;  // sum of posting-list sizes, for bytes()
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_COMMON_SCOPE_INDEX_H_

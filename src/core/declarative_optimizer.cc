@@ -52,7 +52,9 @@ DeclarativeOptimizer::EPState* DeclarativeOptimizer::GetOrCreateEP(RelSet expr, 
   ep->last_bound = kInf;
   *slot = ep;
   eps_in_order_.push_back(ep);
+  scope_index_.Insert(expr, ep);
   reopt_order_stale_ = true;
+  ++memo_growth_gen_;
   return ep;
 }
 
@@ -230,10 +232,13 @@ void DeclarativeOptimizer::TearDown() {
   memo_.Clear();
   queue_.clear();
   arena_.Reset();
+  scope_index_.Clear();
+  seed_scratch_.clear();
   reopt_order_.clear();
-  reopt_order_stale_ = true;
+  reopt_order_stale_ = false;
   per_ep_walk_key_ = -1;
-  per_ep_bytes_cache_ = 0;
+  per_ep_vector_bytes_cache_ = 0;
+  agg_entries_ = 0;
   root_ = nullptr;
   optimized_ = false;
   stats_epoch_ = 0;
@@ -250,6 +255,13 @@ void DeclarativeOptimizer::Reoptimize() {
 void DeclarativeOptimizer::EnableConcurrentFlushes() {
   enumerator_->EnableConcurrentUse();
   cost_model_->summaries().EnableConcurrentUse();
+}
+
+void DeclarativeOptimizer::AttachSharedSummaryCache(SummarySharedCache* shared) {
+  // Sharing is sound only across calculators over one registry: a Summary
+  // is a pure function of registry state (and the epoch keys the store).
+  IQRO_CHECK(&cost_model_->summaries().registry() == registry_);
+  cost_model_->summaries().AttachSharedCache(shared);
 }
 
 int64_t DeclarativeOptimizer::ReoptimizeBatch(const std::vector<StatChange>& changes,
@@ -279,63 +291,99 @@ int64_t DeclarativeOptimizer::ReoptimizeBatchImpl(const std::vector<StatChange>&
     return 0;
   }
 
-  // Whole-batch prefilter masks: an EP can only be affected if it overlaps
-  // some change's scope — `card_union` rejects most EPs with one AND before
-  // the per-change subset loop runs, which matters when a coalesced batch
-  // carries several changes.
-  RelSet card_union = 0;
-  RelSet scan_union = 0;
-  for (const StatChange& c : changes) {
-    if (c.kind == StatChange::Kind::kCardinality) {
-      card_union |= c.scope;
-    } else {
-      scan_union |= c.scope;
-    }
-  }
-
+  // Collect the affected set through the scope index instead of walking the
+  // memo: a cardinality change affects every EP whose expression contains
+  // its scope (a superset posting-list query); a scan-cost change's scope is
+  // the base relation's singleton and only that expression's own property
+  // groups recompute (an exact-key lookup). An EP matched by several changes
+  // of one batch is considered once (seed_mark round stamp). The candidate
+  // counts the traversals examined are surfaced as eps_scanned — the
+  // seeding-efficiency counter benches assert against eps_seeded.
   // Seed deltas bottom-up: children settle before parents, and the
   // (expr, none) entry of an expression precedes its (expr, sorted(..))
   // variants, whose sort enforcers reference it. Every ancestor of an
   // affected pair is itself affected (its expression is a superset), so a
   // single ascending pass evicts collected state before the live state
-  // referencing it is re-driven. The sorted order is cached across calls
-  // and rebuilt only when the memo has grown since.
-  if (reopt_order_stale_) {
-    reopt_order_ = eps_in_order_;
-    std::stable_sort(reopt_order_.begin(), reopt_order_.end(),
-                     [](const EPState* a, const EPState* b) {
-                       int pa = RelCount(a->expr);
-                       int pb = RelCount(b->expr);
-                       if (pa != pb) return pa < pb;
-                       return (a->prop == kPropNone) && (b->prop != kPropNone);
-                     });
-    reopt_order_stale_ = false;
-  }
-
+  // referencing it is re-driven. Both seeding paths below visit the
+  // affected set in the same (|expr|, prop != none, insertion id) total
+  // order — the legacy full-memo stable sort restricted to the affected set
+  // — so fault-point ordinals and differential traces are path-independent.
   int64_t seeded = 0;
-  for (EPState* ep : reopt_order_) {
-    if (!ep->enumerated) continue;
-    if ((ep->expr & (card_union | scan_union)) == 0) continue;
-    bool affected = false;
-    for (const StatChange& c : changes) {
-      if (c.kind == StatChange::Kind::kCardinality) {
-        if (RelIsSubset(c.scope, ep->expr)) affected = true;
-      } else {  // kScanCost: only the relation's own leaf alternatives move
-        if (ep->expr == c.scope) affected = true;
-      }
-      if (affected) break;
-    }
-    if (!affected) continue;
+  auto seed_one = [&](EPState* ep) {
     ++seeded;
     IQRO_FAULT_POINT("reopt.seed");
     if (!Live(*ep)) {
       // Garbage-collected state that the update would invalidate: evict it
       // now (§3.2 + §4 — pruned state is re-derived only if re-referenced).
       Evict(ep);
-      continue;
+      return;
     }
     for (uint32_t i = 0; i < ep->alts.size(); ++i) ScheduleDrive(ep, i);
+  };
+
+  // Bound the total scan volume before traversing: a batch of dense scopes
+  // (several cardinality changes each touching half the memo) would re-walk
+  // overlapping posting lists once per change — strictly worse than the one
+  // full pass the index replaced. The index path only wins when its scans
+  // are substantially smaller than the memo: each candidate it examines
+  // costs a posting-entry load, a subset test, a mark probe and a scratch
+  // push, and the affected set pays an O(k log k) sort the presorted
+  // reopt_order_ walk never does. Empirically the crossover sits around a
+  // quarter of the memo (a 1–2-relation cardinality scope on a single query
+  // already examines ~half the index — cheaper as one full presorted pass),
+  // so take the index path only when the estimated volume stays under
+  // size/4. Genuinely sparse batches — scan-cost changes (exact key) and
+  // narrow-impact feedback in a many-query session — stay O(affected).
+  const int64_t sparse_limit = static_cast<int64_t>(scope_index_.size() / 4);
+  int64_t estimated = 0;
+  for (const StatChange& c : changes) {
+    estimated += c.kind == StatChange::Kind::kCardinality
+                     ? scope_index_.SupersetScanCost(c.scope)
+                     : scope_index_.ExactScanCost(c.scope);
+    if (estimated >= sparse_limit) break;
   }
+  int64_t scanned = 0;
+  if (estimated < sparse_limit) {
+    seed_scratch_.clear();
+    auto consider = [&](EPState* ep) {
+      if (ep->seed_mark == round_) return;  // matched by an earlier change
+      ep->seed_mark = round_;
+      if (ep->enumerated) seed_scratch_.push_back(ep);
+    };
+    for (const StatChange& c : changes) {
+      if (c.kind == StatChange::Kind::kCardinality) {
+        scanned += scope_index_.ForEachSupersetOf(c.scope, consider);
+      } else {  // kScanCost: only the relation's own leaf alternatives move
+        scanned += scope_index_.ForEachWithKey(c.scope, consider);
+      }
+    }
+    std::sort(seed_scratch_.begin(), seed_scratch_.end(), SeedOrderLess);
+    for (EPState* ep : seed_scratch_) seed_one(ep);
+    seed_scratch_.clear();
+  } else {
+    if (reopt_order_stale_) {
+      reopt_order_ = eps_in_order_;
+      std::sort(reopt_order_.begin(), reopt_order_.end(), SeedOrderLess);
+      reopt_order_stale_ = false;
+    }
+    RelSet union_mask = 0;
+    for (const StatChange& c : changes) union_mask |= c.scope;
+    for (EPState* ep : reopt_order_) {
+      if ((ep->expr & union_mask) == 0 || !ep->enumerated) continue;
+      for (const StatChange& c : changes) {
+        const bool affected = c.kind == StatChange::Kind::kCardinality
+                                  ? RelIsSubset(c.scope, ep->expr)
+                                  : ep->expr == c.scope;
+        if (affected) {
+          seed_one(ep);
+          break;
+        }
+      }
+    }
+    scanned = static_cast<int64_t>(eps_in_order_.size());
+  }
+  metrics_.eps_scanned += scanned;
+  metrics_.round_eps_scanned += scanned;
   Drain();
   work_budget_ = 0;
   UpdatePeakMemoBytes();  // O(1) unless this round enumerated new state
@@ -373,6 +421,7 @@ void DeclarativeOptimizer::RunEnumerate(EPState* ep) {
         c->parents.push_back({ep, i, static_cast<uint8_t>(s)});
       }
     }
+    ++memo_growth_gen_;  // alt/parent vectors grew: per-EP bytes are stale
   }
   // Drive cheapest-local-cost alternatives first: "the sooner a min-cost
   // plan is encountered, the more effective the pruning is" (§3.1). With
@@ -433,13 +482,20 @@ void DeclarativeOptimizer::RunDrive(EPState* ep, uint32_t alt_idx) {
       a.cost_known = true;
       a.cost = cost;
       Touch(ep, alt_idx);
+      // Set()/Erase() report min-entry movement, not insertion/removal:
+      // detect entry-count changes by size for the exact aggregate counter
+      // behind the peak-bytes estimate.
+      const size_t agg_size = ep->best_agg.size();
       if (ep->best_agg.Set(alt_idx, cost)) ScheduleBestDirty(ep);
+      agg_entries_ += static_cast<int64_t>(ep->best_agg.size() - agg_size);
     }
   } else if (a.cost_known) {
     // Cascading deletion: a supporting child's BestCost is gone.
     a.cost_known = false;
     Touch(ep, alt_idx);
+    const size_t agg_size = ep->best_agg.size();
     if (ep->best_agg.Erase(alt_idx)) ScheduleBestDirty(ep);
+    agg_entries_ -= static_cast<int64_t>(agg_size - ep->best_agg.size());
   }
 
   // ---- Aggregate selection (§3.1) / recursive bounding (§3.3) gate ----
@@ -628,6 +684,7 @@ void DeclarativeOptimizer::Evict(EPState* ep) {
   Touch(ep);
   ep->dormant = true;
   for (AltState& a : ep->alts) a.cost_known = false;
+  agg_entries_ -= static_cast<int64_t>(ep->best_agg.size());
   ep->best_agg.Clear();
   // The deletion of this pair's BestCost cascades to every dependent
   // PlanCost tuple through the normal delta path.
@@ -673,9 +730,11 @@ void DeclarativeOptimizer::UpdateAltContributions(EPState* ep, uint32_t alt_idx)
     if (contribution == a.last_contrib[s]) continue;
     a.last_contrib[s] = contribution;
     EPState* child = ChildEP(a, s);
+    const size_t agg_size = child->parent_bounds.size();
     if (child->parent_bounds.Set(ContributionKey(*ep, alt_idx, s), contribution)) {
       ScheduleBoundDirty(child);  // r3: MaxBound is the max of contributions
     }
+    agg_entries_ += static_cast<int64_t>(child->parent_bounds.size() - agg_size);
   }
 }
 
@@ -685,9 +744,11 @@ void DeclarativeOptimizer::RemoveAltContributions(EPState* ep, uint32_t alt_idx)
   for (int s = 0; s < a.def.NumChildren(); ++s) {
     a.last_contrib[s] = kNoContribution;
     EPState* child = ChildEP(a, s);
+    const size_t agg_size = child->parent_bounds.size();
     if (child->parent_bounds.Erase(ContributionKey(*ep, alt_idx, s))) {
       ScheduleBoundDirty(child);
     }
+    agg_entries_ -= static_cast<int64_t>(agg_size - child->parent_bounds.size());
   }
 }
 
@@ -695,40 +756,56 @@ void DeclarativeOptimizer::RemoveAltContributions(EPState* ep, uint32_t alt_idx)
 // Results and inspection
 // ---------------------------------------------------------------------------
 
-size_t DeclarativeOptimizer::PerEpBytes() const {
-  // Exact for the vectors; the ExtremeAgg contribution is an estimate (a
-  // sorted-vector entry plus a flat-map slot per retained entry, at the
-  // tables' typical load factor).
-  constexpr size_t kAggEntryBytes = 40;
+namespace {
+// ExtremeAgg entry estimate: a sorted-vector entry plus a flat-map slot per
+// retained entry, at the tables' typical load factor.
+constexpr size_t kAggEntryBytes = 40;
+}  // namespace
+
+size_t DeclarativeOptimizer::PerEpVectorBytes() const {
   size_t bytes = 0;
   for (const EPState* ep : eps_in_order_) {
     bytes += ep->alts.capacity() * sizeof(AltState);
     bytes += ep->parents.capacity() * sizeof(ParentRef);
-    bytes += (ep->best_agg.size() + ep->parent_bounds.size()) * kAggEntryBytes;
   }
   return bytes;
 }
 
+size_t DeclarativeOptimizer::PerEpBytes() const {
+  // Exact for the vectors; the ExtremeAgg contribution is an estimate. The
+  // aggregate entries are re-counted from the memo here rather than read
+  // from agg_entries_, so EstimatedMemoBytes() independently cross-checks
+  // the incremental counter the peak metric relies on.
+  size_t entries = 0;
+  for (const EPState* ep : eps_in_order_) {
+    entries += ep->best_agg.size() + ep->parent_bounds.size();
+  }
+  return PerEpVectorBytes() + entries * kAggEntryBytes;
+}
+
 size_t DeclarativeOptimizer::StructuralBytes() const {
   return arena_.bytes_reserved() + memo_.capacity_bytes() +
-         eps_in_order_.capacity() * sizeof(EPState*) +
+         eps_in_order_.capacity() * sizeof(EPState*) + scope_index_.bytes() +
+         seed_scratch_.capacity() * sizeof(EPState*) +
          reopt_order_.capacity() * sizeof(EPState*) + queue_.capacity_bytes();
 }
 
 void DeclarativeOptimizer::UpdatePeakMemoBytes() {
-  // Sampled at the end of every (re)optimization round, cheaply: the O(1)
-  // structural terms are read fresh — they only grow, and the worklist's
-  // high-water capacity is exactly what a seeding burst inflates — while
-  // the O(#EPs) walk is cached and re-run only when a first-time
-  // enumeration grew an alt or parent vector (keyed on eps_enumerated).
-  // The aggregate entry counts inside the cached term can drift between
-  // walks, so transient mid-round aggregate spikes may be slightly
-  // under-reported; the structural terms are exact high-water marks.
-  if (per_ep_walk_key_ != metrics_.eps_enumerated) {
-    per_ep_bytes_cache_ = PerEpBytes();
-    per_ep_walk_key_ = metrics_.eps_enumerated;
+  // Sampled at the end of every (re)optimization round, O(1): the
+  // structural terms are read fresh (they only grow, and the worklist's
+  // high-water capacity is exactly what a seeding burst inflates), the
+  // aggregate-entry term comes from the incrementally maintained exact
+  // counter — so churn that refills aggregates on an already-enumerated
+  // memo advances the peak — and the vector-capacity walk is cached, keyed
+  // on memo_growth_gen_ (bumped only by the structural growth events: new
+  // pairs and first-time enumerations).
+  if (per_ep_walk_key_ != memo_growth_gen_) {
+    per_ep_vector_bytes_cache_ = PerEpVectorBytes();
+    per_ep_walk_key_ = memo_growth_gen_;
   }
-  const int64_t bytes = static_cast<int64_t>(StructuralBytes() + per_ep_bytes_cache_);
+  const int64_t bytes =
+      static_cast<int64_t>(StructuralBytes() + per_ep_vector_bytes_cache_ +
+                           static_cast<size_t>(agg_entries_) * kAggEntryBytes);
   if (bytes > metrics_.peak_memo_bytes) metrics_.peak_memo_bytes = bytes;
 }
 
@@ -918,6 +995,13 @@ PlanDigest DeclarativeOptimizer::ComputePlanDigestImpl(bool want_structured) con
 
 void DeclarativeOptimizer::ValidateInvariants() const {
   IQRO_CHECK(queue_.empty());  // only meaningful at fixpoint
+  // The incremental aggregate-entry counter behind peak_memo_bytes must
+  // agree with a fresh count over the memo.
+  int64_t agg_entries = 0;
+  for (const EPState* ep : eps_in_order_) {
+    agg_entries += static_cast<int64_t>(ep->best_agg.size() + ep->parent_bounds.size());
+  }
+  IQRO_CHECK(agg_entries == agg_entries_);
   for (const EPState* ep : eps_in_order_) {
     // Reference counts equal the number of active parent alternatives.
     int expected = (ep == root_) ? 1 : 0;

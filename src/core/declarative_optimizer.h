@@ -69,6 +69,7 @@
 #include "common/arena.h"
 #include "common/flat_map.h"
 #include "common/ring_buffer.h"
+#include "common/scope_index.h"
 #include "core/metrics.h"
 #include "core/optimizer_options.h"
 #include "core/plan_digest.h"
@@ -185,6 +186,15 @@ class DeclarativeOptimizer {
   /// it is owned by one task per flush.
   void EnableConcurrentFlushes();
 
+  /// Points this optimizer's summary calculator at a cross-query shared
+  /// cache (stats/summary.h): summaries computed by any optimizer over the
+  /// same registry become visible to all of them, keyed by registry epoch.
+  /// The calculator's registry must be this optimizer's registry — summary
+  /// values depend only on registry state, which is what makes sharing
+  /// across calculators sound. Called by ReoptSession::Register; pass
+  /// nullptr to detach.
+  void AttachSharedSummaryCache(SummarySharedCache* shared);
+
   /// True once Optimize() has run (the precondition of the reoptimize
   /// entry points and of ReoptSession::Register).
   bool optimized() const { return optimized_; }
@@ -212,6 +222,11 @@ class DeclarativeOptimizer {
   std::unique_ptr<PlanTree> GetBestPlan() const;
 
   const OptMetrics& metrics() const { return metrics_; }
+
+  /// Freshly computed estimate of the memo's current resident footprint
+  /// (the quantity peak_memo_bytes is the high-water mark of). O(#EPs);
+  /// exposed for tests of the peak accounting.
+  size_t EstimatedMemoBytes() const { return StructuralBytes() + PerEpBytes(); }
 
   // ---- end-state inspection (evaluation harness) ----
   int64_t NumLiveEps() const;       // plan-table entries currently maintained
@@ -322,11 +337,27 @@ class DeclarativeOptimizer {
     bool bound_dirty = false;
     bool enumerate_queued = false;
     uint32_t touched_round = 0;
+    /// Round stamp for seeding dedup: an EP matched by several changes of
+    /// one batch is seeded once (see ReoptimizeBatchImpl).
+    uint32_t seed_mark = 0;
 
     bool live(bool use_ref_counting) const {
       return use_ref_counting ? refcount > 0 : ever_live;
     }
   };
+
+  /// The bottom-up seeding order: (|expr|, prop != none, insertion id).
+  /// Children precede parents; an expression's (expr, none) entry precedes
+  /// its sorted variants, whose enforcers reference it.
+  static bool SeedOrderLess(const EPState* a, const EPState* b) {
+    const int pa = RelCount(a->expr);
+    const int pb = RelCount(b->expr);
+    if (pa != pb) return pa < pb;
+    const bool sa = a->prop != kPropNone;
+    const bool sb = b->prop != kPropNone;
+    if (sa != sb) return sb;  // (expr, none) precedes (expr, sorted)
+    return a->id < b->id;
+  }
 
   struct Task {
     enum class Kind : uint8_t { kEnumerate, kDrive, kBestDirty, kBoundDirty };
@@ -398,9 +429,13 @@ class DeclarativeOptimizer {
 
   /// Per-EP heap footprint (alt/parent vector capacities + aggregate
   /// entries, the latter estimated): the O(#EPs) walk behind the peak
-  /// counter.
+  /// counter. PerEpVectorBytes is the capacity-only term; PerEpBytes adds
+  /// the aggregate entries, re-counted from the memo (so callers comparing
+  /// it against the peak independently cross-check agg_entries_).
+  size_t PerEpVectorBytes() const;
   size_t PerEpBytes() const;
-  /// O(1) footprint terms: arena blocks, flat table, order vectors, queue.
+  /// O(1)-ish footprint terms: arena blocks, flat table, order vector,
+  /// scope index, seed scratch, queue.
   size_t StructuralBytes() const;
   void UpdatePeakMemoBytes();
 
@@ -420,15 +455,35 @@ class DeclarativeOptimizer {
   uint64_t stats_epoch_ = 0;  // registry epoch the current state reflects
   int64_t work_budget_ = 0;   // per-call cap on round_steps; 0 = unbudgeted
 
-  // Reoptimize()'s bottom-up seeding order; rebuilt only when the memo grew
-  // since the last rebuild (new pairs invalidate it).
+  // Seeding index: every memo pair keyed by its expression, so a batch of
+  // StatChanges enumerates exactly the candidate EPs (supersets of a
+  // cardinality scope; exact matches of a scan-cost scope) instead of
+  // walking the whole memo. Maintained incrementally in GetOrCreateEP;
+  // dormant pairs stay indexed because stale collected state is physically
+  // evicted by the seeding pass that invalidates it.
+  ScopeSubsetIndex<EPState*> scope_index_;
+  // Scratch for the affected set of one batch (avoids a heap vector per
+  // flush); sorted into the legacy bottom-up seeding order before seeding.
+  std::vector<EPState*> seed_scratch_;
+  // Dense-batch fallback order: all pairs presorted by (|expr|, prop !=
+  // none, id) — the bottom-up seeding order — rebuilt lazily on memo
+  // growth, so a full-scan seeding pass pays no per-flush sort. The sparse
+  // path sorts its (small) affected set instead and never touches this.
   std::vector<EPState*> reopt_order_;
-  bool reopt_order_stale_ = true;
-  // Cache for UpdatePeakMemoBytes: the per-EP walk result, valid until the
-  // next first-time enumeration (the only event that grows alt/parent
-  // vectors). Keyed on metrics_.eps_enumerated.
+  bool reopt_order_stale_ = false;
+  // Peak-bytes accounting, O(1) per round. The per-EP footprint has two
+  // parts with different churn rates: vector capacities (alts/parents),
+  // which only grow on structural events — new pair, first-time enumeration
+  // — and aggregate entries, which insert and erase on every re-drive. The
+  // vector walk is cached keyed on memo_growth_gen_ (bumped by exactly
+  // those structural events); aggregate entries are counted exactly and
+  // incrementally (agg_entries_, ±1 at every Set-growth/Erase/Clear site),
+  // so oscillating churn that re-admits entries advances the peak without
+  // ever re-walking the memo.
+  int64_t memo_growth_gen_ = 0;
   int64_t per_ep_walk_key_ = -1;
-  size_t per_ep_bytes_cache_ = 0;
+  size_t per_ep_vector_bytes_cache_ = 0;
+  int64_t agg_entries_ = 0;  // live best_agg + parent_bounds entries, exact
   // RunEnumerate scratch (avoids a heap vector per task).
   std::vector<std::pair<double, uint32_t>> enum_scratch_;
 };

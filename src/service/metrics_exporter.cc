@@ -10,6 +10,7 @@ bench::JsonObj ReportJson(const FlushReport& r) {
   bench::JsonObj opt;
   opt.Put("passes", r.opt.passes)
       .Put("eps_seeded", r.opt.eps_seeded)
+      .Put("eps_scanned", r.opt.eps_scanned)
       .Put("fixpoint_steps", r.opt.fixpoint_steps)
       .Put("touched_eps", r.opt.touched_eps)
       .Put("touched_alts", r.opt.touched_alts)
@@ -38,6 +39,8 @@ bench::JsonObj ReportJson(const FlushReport& r) {
       .Put("quarantines", r.quarantines)
       .Put("rehabilitations", r.rehabilitations)
       .Put("mutations_rejected", r.mutations_rejected)
+      .Put("summary_shared_hits", r.summary_shared_hits)
+      .Put("summary_shared_misses", r.summary_shared_misses)
       .Put("opt", opt)
       .Put("session", session);
   return obj;

@@ -44,6 +44,10 @@ struct FlushReport {
   /// Cumulative registry mutations refused by the pending-backlog limit
   /// (StatsRegistry CoalesceStats::rejected at report time).
   int64_t mutations_rejected = 0;
+  /// Cumulative shared-summary-cache outcomes at report time
+  /// (ReoptSession::summary_cache() — cross-query summary sharing).
+  int64_t summary_shared_hits = 0;
+  int64_t summary_shared_misses = 0;
   /// Aggregated OptMetrics of the dispatched passes.
   FlushOptStats opt;
   /// Cumulative session counters after this flush.

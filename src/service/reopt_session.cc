@@ -69,6 +69,9 @@ ReoptSession::~ReoptSession() {
     timer_cv_.notify_all();
     timer_.join();
   }
+  // Registered optimizers outlive the session, the summary store does not:
+  // detach every remaining calculator before it goes away.
+  for (Slot& slot : queries_) slot.optimizer->AttachSharedSummaryCache(nullptr);
   // Flip the handle liveness token next: a handle destroyed after this
   // point must no-op instead of calling back into a dying session.
   *alive_ = false;
@@ -135,6 +138,14 @@ ReoptSession::QueryId ReoptSession::RegisterImpl(DeclarativeOptimizer* optimizer
     slot.digest = optimizer->ComputePlanDigest();
   }
   queries_.push_back(std::move(slot));
+  // Cross-query summary sharing: point every registered calculator at the
+  // session's epoch-keyed store (sound — same registry, checked above).
+  // Serial and pooled dispatch alike; the store is internally locked. Only
+  // attached from the second query on: a single-query session has nobody
+  // to share with, so it skips the store's lock traffic entirely.
+  if (queries_.size() >= 2) {
+    for (Slot& s : queries_) s.optimizer->AttachSharedSummaryCache(&summary_cache_);
+  }
   return next_id_++;
 }
 
@@ -190,7 +201,14 @@ void ReoptSession::UnregisterImpl(QueryId id) {
     deferred_unregister_.push_back(id);
     return;
   }
+  // The summary store dies with the session; the optimizer may not.
+  slot->optimizer->AttachSharedSummaryCache(nullptr);
   queries_.erase(queries_.begin() + (slot - queries_.data()));
+  // Down to one query: nobody left to share with — detach the survivor so
+  // it stops paying the shared store's lock traffic.
+  if (queries_.size() == 1) {
+    queries_.front().optimizer->AttachSharedSummaryCache(nullptr);
+  }
   if (options_.flush_policy != nullptr) {
     // Per-query policy state (CostGatedPolicy EWMAs) dies with the query.
     std::lock_guard<std::mutex> lock(policy_mu_);
@@ -273,6 +291,7 @@ ReoptSession::PassResult ReoptSession::RunPass(DeclarativeOptimizer* optimizer,
   }
   r.eps_seeded = optimizer->ReoptimizeBatch(changes, epoch, work_budget);
   const OptMetrics& m = optimizer->metrics();
+  r.eps_scanned = m.round_eps_scanned;
   r.fixpoint_steps = m.round_steps;
   r.touched_eps = m.round_touched_eps;
   r.touched_alts = m.round_touched_alts;
@@ -297,6 +316,7 @@ void ReoptSession::AggregatePass(const PassResult& r) {
   ++metrics_.reopt_passes;
   ++last_flush_.passes;
   last_flush_.eps_seeded += r.eps_seeded;
+  last_flush_.eps_scanned += r.eps_scanned;
   last_flush_.fixpoint_steps += r.fixpoint_steps;
   last_flush_.touched_eps += r.touched_eps;
   last_flush_.touched_alts += r.touched_alts;
@@ -534,6 +554,10 @@ size_t ReoptSession::Flush() {
         FlushReport report;
         // Registry reads BEFORE policy_mu_ (lock order; see PolicyOnFlush).
         report.mutations_rejected = s->registry_->RejectedCount();
+        // Safe relaxed reads: the dispatch window is over, so no worker
+        // can still be feeding the store.
+        report.summary_shared_hits = s->summary_cache_.hits();
+        report.summary_shared_misses = s->summary_cache_.misses();
         {
           // metrics_.mutations_observed/watermark_flushes are written by
           // mutator threads under policy_mu_ (concurrent Record() during a

@@ -207,6 +207,7 @@
 #include "service/metrics_exporter.h"
 #include "service/plan_subscriber.h"
 #include "service/session_metrics.h"
+#include "service/shared_summary_cache.h"
 #include "stats/stats_registry.h"
 
 namespace iqro {
@@ -360,6 +361,12 @@ class ReoptSession final : public StatsSubscriber {
   /// The dispatch pool's size (0 = serial dispatch).
   int worker_threads() const { return pool_ ? pool_->size() : 0; }
 
+  /// The session's cross-query summary store: every registered query's
+  /// SummaryCalculator is attached to it at Register() time, so queries
+  /// with overlapping relation sets share epoch-keyed summary computation
+  /// (hit/miss counters follow the metrics() read rules).
+  const SharedSummaryCache& summary_cache() const { return summary_cache_; }
+
   /// StatsSubscriber: counts the mutation and evaluates the flush policy
   /// against the under-lock snapshot. May be invoked from any mutating
   /// thread (no registry lock held).
@@ -409,6 +416,7 @@ class ReoptSession final : public StatsSubscriber {
     bool dispatched = false;
     bool affected = false;
     int64_t eps_seeded = 0;
+    int64_t eps_scanned = 0;
     int64_t fixpoint_steps = 0;
     int64_t touched_eps = 0;
     int64_t touched_alts = 0;
@@ -485,6 +493,9 @@ class ReoptSession final : public StatsSubscriber {
   ReoptSessionOptions options_;
   ReoptSessionMetrics metrics_;
   FlushOptStats last_flush_;
+  /// Cross-query shared summary store (see summary_cache()). Declared
+  /// before queries_ so it outlives any attachment teardown.
+  SharedSummaryCache summary_cache_;
   std::vector<Slot> queries_;
   std::unique_ptr<ThreadPool> pool_;  // null when worker_threads == 0
   QueryId next_id_ = 0;

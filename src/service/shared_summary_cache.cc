@@ -1,0 +1,38 @@
+#include "service/shared_summary_cache.h"
+
+#include <mutex>
+
+namespace iqro {
+
+bool SharedSummaryCache::Lookup(uint64_t epoch, RelSet s, Summary* out) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (epoch_ == epoch) {
+      auto it = cache_.find(s);
+      if (it != cache_.end()) {
+        *out = it->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void SharedSummaryCache::Insert(uint64_t epoch, RelSet s, const Summary& value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (epoch < epoch_) return;  // straggler from a superseded epoch: drop
+  if (epoch > epoch_) {
+    cache_.clear();
+    epoch_ = epoch;
+  }
+  cache_.try_emplace(s, value);  // first insert wins (identical values)
+}
+
+size_t SharedSummaryCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace iqro

@@ -14,7 +14,7 @@ const Summary& SummaryCalculator::Get(RelSet s) const {
     }
     auto it = cache_.find(s);
     if (it != cache_.end()) return it->second;
-    return cache_.emplace(s, Compute(s)).first->second;
+    return cache_.emplace(s, ComputeThroughShared(cached_epoch_, s)).first->second;
   }
   // Concurrent path: reads vastly outnumber misses once the epoch's cache
   // is warm, so the hit path is a shared lock + find. unordered_map nodes
@@ -32,14 +32,24 @@ const Summary& SummaryCalculator::Get(RelSet s) const {
   }
   // Compute outside any lock (pure function of frozen registry state);
   // racing computes of one key produce identical values and the first
-  // insert wins.
-  Summary computed = Compute(s);
+  // insert wins. The shared cross-query store is probed first: another
+  // registered query may already have paid for this expression's summary
+  // at this epoch.
+  Summary computed = ComputeThroughShared(epoch, s);
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (cached_epoch_ != epoch) {
     cache_.clear();
     cached_epoch_ = epoch;
   }
   return cache_.try_emplace(s, computed).first->second;
+}
+
+Summary SummaryCalculator::ComputeThroughShared(uint64_t epoch, RelSet s) const {
+  Summary out;
+  if (shared_ != nullptr && shared_->Lookup(epoch, s, &out)) return out;
+  out = Compute(s);
+  if (shared_ != nullptr) shared_->Insert(epoch, s, out);
+  return out;
 }
 
 Summary SummaryCalculator::Compute(RelSet s) const {

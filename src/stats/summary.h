@@ -22,6 +22,23 @@ struct Summary {
   double width = 0;
 };
 
+/// Cross-calculator summary store: registered queries of one session share
+/// epoch-keyed summary computation for overlapping relation sets (a Summary
+/// is a pure function of registry state, so any calculator over the same
+/// registry computes the identical value). Abstract here so stats/ stays
+/// service-agnostic; the concrete locked implementation lives in
+/// src/service/shared_summary_cache.h. Implementations must be safe for
+/// concurrent Lookup/Insert when the attached calculators are in
+/// concurrent mode, and must treat `epoch` as part of the key (stale-epoch
+/// lookups must miss).
+class SummarySharedCache {
+ public:
+  virtual ~SummarySharedCache() = default;
+  /// True and fills `*out` iff a value for (epoch, s) is present.
+  virtual bool Lookup(uint64_t epoch, RelSet s, Summary* out) const = 0;
+  virtual void Insert(uint64_t epoch, RelSet s, const Summary& value) = 0;
+};
+
 /// Thread-safety: single-threaded by default (the epoch-keyed cache is
 /// unsynchronized). EnableConcurrentUse() (sticky; call while still
 /// single-threaded) switches Get() to an internally locked cache so the
@@ -45,13 +62,23 @@ class SummaryCalculator {
   /// because the cache infrastructure is already logically-const state.
   void EnableConcurrentUse() const { concurrent_ = true; }
 
+  /// Points this calculator at a cross-calculator shared store, consulted
+  /// on local-cache misses (hit: the Compute is skipped; miss: the computed
+  /// value is published). nullptr detaches. The shared store must outlive
+  /// the attachment and be fed only from calculators over the same
+  /// registry. Const for the same reason as EnableConcurrentUse.
+  void AttachSharedCache(SummarySharedCache* shared) const { shared_ = shared; }
+
  private:
   Summary Compute(RelSet s) const;
+  /// Local-miss path: shared-cache lookup, else Compute + publish.
+  Summary ComputeThroughShared(uint64_t epoch, RelSet s) const;
 
   const StatsRegistry* registry_;
   mutable uint64_t cached_epoch_ = 0;
   mutable std::unordered_map<RelSet, Summary> cache_;
   mutable bool concurrent_ = false;
+  mutable SummarySharedCache* shared_ = nullptr;
   mutable std::shared_mutex mu_;
 };
 

@@ -15,13 +15,16 @@
 //                   land byte-identical to a never-faulted mirror), 0 =
 //                   never (default -1: odd seeds fault-rotate)
 //
-// Every failure prints the scenario seed AND the active flush mode
-// (legacy / batch_steps=K serial / batch_steps=K workers=W) — both are
-// needed to reproduce, since the mode rotation is part of the scenario's
-// identity. Reproduce with --seed=<seed> --iters=1 (plus --workers=W if
-// the failing run forced one); a shrunk minimal scenario is printed too.
-// A SIGABRT handler prints the same seed+mode line even when an
-// optimizer-internal IQRO_CHECK aborts.
+// Every failure prints the scenario seed, the active flush mode (legacy /
+// batch_steps=K serial / batch_steps=K workers=W / faults) AND a
+// paste-ready repro command — the mode rotation is part of the scenario's
+// identity, and a bare `--seed=N --iters=1` does NOT pin rotation state
+// that came from forced flags (a failure found under --faults=1 on an even
+// seed, or under any --workers override, would silently replay in a
+// different mode). The printed command therefore always pins --workers and
+// --faults to the effective values; a shrunk minimal scenario is printed
+// too. A SIGABRT handler prints the same seed+mode+repro lines even when
+// an optimizer-internal IQRO_CHECK aborts.
 //
 // This file defines its own main() (flag parsing), so CMakeLists.txt links
 // it against gtest without gtest_main.
@@ -54,10 +57,45 @@ volatile uint64_t g_current_seed = 0;
 volatile int g_current_batch_steps = 0;
 volatile int g_current_workers = 0;
 volatile int g_current_faults = 0;
+// 1 while the executing scenario's mode is the seed-derived rotation of
+// the main Agree sweep — the only case a CLI repro command can express.
+// (FaultRotatedScenariosRecoverToMirrorState pins non-seed-derived modes
+// that no flag combination reproduces, so its aborts print mode only.)
+volatile int g_mode_seed_derived = 0;
+
+// The main sweep's flush-mode rotation, factored out so the printed repro
+// command is derived from the SAME function the sweep uses — the repro
+// self-test below round-trips it.
+struct ScenarioMode {
+  int batch_steps = 0;     // 0 = legacy; 1..3 = batch sizes
+  int worker_threads = 0;  // 0 = serial dispatch
+  bool fault_rotation = false;
+};
+
+ScenarioMode DeriveMode(uint64_t seed, int force_workers, int force_faults) {
+  ScenarioMode m;
+  m.batch_steps = static_cast<int>(seed % 4);
+  if (m.batch_steps >= 1) {
+    m.worker_threads = force_workers >= 0 ? force_workers : static_cast<int>(seed % 3);
+  }
+  m.fault_rotation = force_faults == 1 || (force_faults < 0 && seed % 2 == 1);
+  return m;
+}
+
+// Paste-ready replay flags for a failing seed. --workers/--faults are
+// ALWAYS pinned to the effective mode: forcing them round-trips through
+// DeriveMode to the original mode (batch_steps is pure seed arithmetic,
+// and a forced value is only read where the rotation would have applied),
+// so the replay runs the exact fault plan the failure used.
+std::string ReproCommand(uint64_t seed, const ScenarioMode& mode) {
+  return "--seed=" + std::to_string(seed) +
+         " --iters=1 --workers=" + std::to_string(mode.worker_threads) +
+         " --faults=" + std::string(mode.fault_rotation ? "1" : "0");
+}
 
 extern "C" void DifferentialAbortHandler(int) {
   // Async-signal-safe: manual formatting + write(2).
-  char buf[192];
+  char buf[320];
   size_t len = 0;
   const auto append_str = [&](const char* s) {
     while (*s != '\0' && len + 1 < sizeof(buf)) buf[len++] = *s++;
@@ -87,6 +125,15 @@ extern "C" void DifferentialAbortHandler(int) {
   }
   if (g_current_faults != 0) append_str(" faults=1");
   append_str("\n");
+  if (g_mode_seed_derived != 0) {
+    append_str("reproduce: ./differential_test --seed=");
+    append_u64(g_current_seed);
+    append_str(" --iters=1 --workers=");
+    append_u64(static_cast<uint64_t>(g_current_workers));
+    append_str(" --faults=");
+    append_u64(static_cast<uint64_t>(g_current_faults));
+    append_str("\n");
+  }
   ssize_t ignored = write(STDERR_FILENO, buf, len);
   (void)ignored;
   std::signal(SIGABRT, SIG_DFL);
@@ -150,33 +197,36 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
     const uint64_t seed = g_base_seed + static_cast<uint64_t>(i);
     Scenario scenario = GenerateScenario(seed, knobs);
     DiffOptions options;
-    // Mode is a function of the seed (not the loop index) so that
-    // `--seed=N --iters=1` replays a failure in the mode that found it.
-    options.batch_steps = static_cast<int>(seed % 4);  // 0 = legacy; 1..3 = batch sizes
+    // Mode is a function of the seed and the force flags (not the loop
+    // index), so the printed ReproCommand — which pins the force flags to
+    // the effective values — replays a failure in the mode that found it.
+    // Fault rotation: odd seeds (or all, under --faults=1) re-run their
+    // flushes with a seed-derived injected fault; the harness then proves
+    // recovery lands identical to a never-faulted mirror world.
+    const ScenarioMode mode = DeriveMode(seed, g_force_workers, g_force_faults);
+    options.batch_steps = mode.batch_steps;
+    options.worker_threads = mode.worker_threads;
+    options.fault_rotation = mode.fault_rotation;
     if (options.batch_steps >= 1) {
       ++batched_runs;
-      options.worker_threads =
-          g_force_workers >= 0 ? g_force_workers : static_cast<int>(seed % 3);
       if (options.worker_threads >= 1) ++parallel_runs;
     }
-    // Fault rotation rides the same mode rotation: odd seeds (or all, under
-    // --faults=1) re-run their flushes with a seed-derived injected fault;
-    // the harness then proves recovery lands identical to a never-faulted
-    // mirror world.
-    options.fault_rotation = g_force_faults == 1 || (g_force_faults < 0 && seed % 2 == 1);
     if (options.fault_rotation) ++fault_runs;
     g_current_seed = seed;
     g_current_batch_steps = options.batch_steps;
     g_current_workers = options.worker_threads;
     g_current_faults = options.fault_rotation ? 1 : 0;
+    g_mode_seed_derived = 1;
     DiffResult result = RunScenario(scenario, options);
+    g_mode_seed_derived = 0;
     ++ran;
     reopt_checks += static_cast<int64_t>(scenario.churn.size());
     faults_fired += result.faults_fired;
     if (!result.ok) {
       FAIL() << "seed " << seed << " (batch_steps=" << options.batch_steps
              << " worker_threads=" << options.worker_threads
-             << " fault_rotation=" << options.fault_rotation << "): "
+             << " fault_rotation=" << options.fault_rotation << ")\n"
+             << "reproduce: ./differential_test " << ReproCommand(seed, mode) << "\n"
              << FailureReport(scenario, result, options, FaultInjection{});
     }
   }
@@ -238,6 +288,42 @@ TEST(DifferentialHarnessTest, FaultRotatedScenariosRecoverToMirrorState) {
   EXPECT_GT(fired, 0);
   std::fprintf(stderr, "fault rotation: 48 scenarios, %lld faults fired, full recovery\n",
                static_cast<long long>(fired));
+}
+
+// Repro-line pin: for every launch configuration (bare, forced workers,
+// forced faults on/off), parsing the printed ReproCommand's flags and
+// re-deriving the mode must land on the exact rotation state the failing
+// run used. The historical bug: the printed guidance omitted --faults (and
+// only conditionally mentioned --workers), so a failure found under
+// --faults=1 on an even seed — e.g. the CI fault-injection smoke — replayed
+// with no fault plan at all, and forced-worker failures replayed at
+// seed % 3 workers.
+TEST(DifferentialHarnessTest, ReproCommandPinsRotationState) {
+  const int worker_forces[] = {-1, 0, 2};
+  const int fault_forces[] = {-1, 0, 1};
+  for (uint64_t seed = 100; seed < 140; ++seed) {
+    for (int fw : worker_forces) {
+      for (int ff : fault_forces) {
+        const ScenarioMode mode = DeriveMode(seed, fw, ff);
+        const std::string cmd = ReproCommand(seed, mode);
+        ASSERT_NE(cmd.find("--seed=" + std::to_string(seed)), std::string::npos) << cmd;
+        ASSERT_NE(cmd.find("--iters=1"), std::string::npos) << cmd;
+        // Both rotation flags must be pinned unconditionally.
+        const size_t wpos = cmd.find("--workers=");
+        const size_t fpos = cmd.find("--faults=");
+        ASSERT_NE(wpos, std::string::npos) << cmd;
+        ASSERT_NE(fpos, std::string::npos) << cmd;
+        // Replay: the harness parses these flags into the force globals and
+        // derives the mode again — it must reconstruct the original.
+        const int replay_workers = std::atoi(cmd.c_str() + wpos + 10);
+        const int replay_faults = std::atoi(cmd.c_str() + fpos + 9);
+        const ScenarioMode replay = DeriveMode(seed, replay_workers, replay_faults);
+        EXPECT_EQ(replay.batch_steps, mode.batch_steps) << cmd;
+        EXPECT_EQ(replay.worker_threads, mode.worker_threads) << cmd;
+        EXPECT_EQ(replay.fault_rotation, mode.fault_rotation) << cmd;
+      }
+    }
+  }
 }
 
 // Harness self-test: an injected fault (silently dropping one delta seed

@@ -80,6 +80,39 @@ TEST(RobustnessTest, UpdateStormConvergesToTruth) {
   }
 }
 
+TEST(RobustnessTest, PeakMemoBytesTracksGrowthOfAnAlreadyEnumeratedMemo) {
+  // Regression: the per-EP byte walk was cached on eps_enumerated alone, so
+  // churn that grows an already-enumerated memo (aggregate vectors filling
+  // in, pruning flips re-admitting alternatives) reused a stale byte count
+  // and peak_memo_bytes under-reported the high-water mark. The cache is
+  // now keyed on a growth-generation counter; the invariant below fails
+  // under the old keying.
+  WorldOptions wo;
+  wo.num_relations = 6;
+  wo.shape = GraphShape::kCycle;
+  wo.seed = 41;
+  auto world = MakeWorld(wo);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  Rng rng(911);
+  int64_t prev_peak = opt.metrics().peak_memo_bytes;
+  EXPECT_GT(prev_peak, 0);
+  for (int round = 1; round <= 60; ++round) {
+    ApplyRandomStatUpdate(world.get(), rng);
+    opt.Reoptimize();
+    opt.ValidateInvariants();
+    // The high-water mark is never below what the memo measurably occupies
+    // right now, and never regresses.
+    const int64_t live = static_cast<int64_t>(opt.EstimatedMemoBytes());
+    ASSERT_GE(opt.metrics().peak_memo_bytes, live) << "round " << round;
+    ASSERT_GE(opt.metrics().peak_memo_bytes, prev_peak) << "round " << round;
+    prev_peak = opt.metrics().peak_memo_bytes;
+  }
+  const double truth = Truth(*world);
+  EXPECT_NEAR(opt.BestCost(), truth, 1e-9 * std::max(1.0, truth));
+}
+
 TEST(RobustnessTest, BatchedUpdatesEquivalentToSequential) {
   // Applying N changes then one Reoptimize equals N (change, Reoptimize)
   // steps: the final state depends only on the statistics.

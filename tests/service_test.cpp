@@ -210,6 +210,82 @@ TEST(ReoptSessionTest, MultiQueryFlushDrivesAllRegisteredOptimizers) {
   EXPECT_NEAR(all.BestCost(), nopruning.BestCost(), 1e-9 * std::max(1.0, all.BestCost()));
 }
 
+// The tentpole property: seeding cost scales with the affected set, not the
+// memo. A sparse-scope flush (one scan-cost change, singleton scope) over a
+// multi-query session must examine only the exact-key entries the scope
+// index returns — eps_scanned stays within 2x of eps_seeded and far below
+// the enumerated memo population, even though three memos are registered.
+TEST(ReoptSessionTest, SparseScopeFlushScansOnlyAffectedEps) {
+  auto world = ChainWorld(8, 31);
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::Default());
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::UseAggSel());
+  DeclarativeOptimizer c(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::UseNoPruning());
+  a.Optimize();
+  b.Optimize();
+  c.Optimize();
+  const int64_t memo_eps = a.metrics().eps_enumerated + b.metrics().eps_enumerated +
+                           c.metrics().eps_enumerated;
+
+  ReoptSession session(&world->registry);
+  std::vector<QueryHandle> handles;
+  handles.push_back(session.Register(a));
+  handles.push_back(session.Register(b));
+  handles.push_back(session.Register(c));
+
+  world->registry.SetScanCostMultiplier(3, 2.5);  // singleton scope {3}
+  EXPECT_GT(session.Flush(), 0u);
+
+  EXPECT_GT(session.last_flush().eps_seeded, 0);
+  EXPECT_LE(session.last_flush().eps_scanned, 2 * session.last_flush().eps_seeded);
+  // O(affected), not O(memo): a full-vector scan would have examined every
+  // enumerated EP in all three memos.
+  EXPECT_LT(session.last_flush().eps_scanned, memo_eps / 4);
+
+  for (auto* opt : {&a, &b, &c}) {
+    opt->ValidateInvariants();
+    EXPECT_EQ(opt->CanonicalDumpState(), ScratchDump(*world, opt->options()));
+  }
+}
+
+// Cross-query summary sharing: two registered queries with *independent*
+// SummaryCalculators over one registry. After a cardinality change, the
+// first query to cost a subexpression inserts its Summary into the
+// session's shared cache; the second query's calculator — whose local cache
+// knows nothing — must pick it up instead of recomputing.
+TEST(ReoptSessionTest, SharedSummaryCacheServesSecondQuery) {
+  auto world = ChainWorld(6, 23);
+  SummaryCalculator summaries2(&world->registry);
+  CostModel cost_model2(&summaries2);
+  DeclarativeOptimizer first(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry);
+  DeclarativeOptimizer second(world->enumerator.get(), &cost_model2, &world->registry);
+  first.Optimize();
+  second.Optimize();
+
+  ReoptSession session(&world->registry);
+  QueryHandle h1 = session.Register(first);
+  QueryHandle h2 = session.Register(second);
+  EXPECT_EQ(session.summary_cache().hits(), 0);  // nothing shared pre-flush
+
+  world->registry.SetBaseRows(2, world->registry.base_rows(2) * 9);
+  EXPECT_GT(session.Flush(), 0u);
+
+  // The flush recomputed summaries at the new epoch exactly once across the
+  // session: the first pass misses and publishes, the second pass hits.
+  EXPECT_GT(session.summary_cache().misses(), 0);
+  EXPECT_GT(session.summary_cache().hits(), 0);
+  EXPECT_GT(session.summary_cache().size(), 0u);
+
+  for (auto* opt : {&first, &second}) {
+    opt->ValidateInvariants();
+    EXPECT_EQ(opt->CanonicalDumpState(), ScratchDump(*world, opt->options()));
+  }
+  EXPECT_NEAR(first.BestCost(), second.BestCost(), 1e-9 * std::max(1.0, first.BestCost()));
+}
+
 // ---------------------------------------------------------------------------
 // QueryHandle lifecycle
 // ---------------------------------------------------------------------------
