@@ -1,0 +1,178 @@
+// Minimal byte-stream serialization primitives for the memo/stats
+// lifecycle paths (core memo seeds, stats-registry sections, on-disk
+// snapshots — see service/snapshot.h for the file framing).
+//
+// Design constraints:
+//  * Deterministic: a given logical state always encodes to the same
+//    bytes, so serialized seeds can be compared and checksummed.
+//  * Defensive on the way in: every Read is bounds-checked and every
+//    structural mismatch raises a typed SerializeError — a torn or
+//    corrupted payload must never be half-applied (callers tear down and
+//    rethrow, preserving the optimizer's all-or-nothing guarantee).
+//  * Self-contained integers: fixed-width little-endian, byte-at-a-time
+//    (no reinterpret_cast aliasing, no host-endianness leakage). Doubles
+//    round-trip through their IEEE bit pattern, NaN payloads included —
+//    the optimizer's kNoContribution sentinel survives exactly.
+#ifndef IQRO_COMMON_SERIALIZE_H_
+#define IQRO_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace iqro {
+
+/// Typed failure raised by ByteReader and by every lifecycle decoder
+/// (memo restore, registry restore, snapshot load). The code pins *why*
+/// a payload was rejected, so tests can assert the loader refused a
+/// corrupt file for the right reason.
+struct SerializeError : public std::runtime_error {
+  enum class Code : uint8_t {
+    kIo,          // file could not be read/written/renamed
+    kBadMagic,    // not a snapshot file at all
+    kBadVersion,  // produced by an incompatible format version
+    kTruncated,   // payload ends before its declared contents
+    kChecksum,    // framed section bytes fail their checksum
+    kBadSection,  // section structure (type/length/count) is inconsistent
+    kMismatch,    // payload disagrees with the world it is applied to
+  };
+
+  SerializeError(Code code_in, const std::string& what)
+      : std::runtime_error(what), code(code_in) {}
+
+  Code code;
+};
+
+inline const char* SerializeErrorCodeName(SerializeError::Code c) {
+  switch (c) {
+    case SerializeError::Code::kIo: return "io";
+    case SerializeError::Code::kBadMagic: return "bad_magic";
+    case SerializeError::Code::kBadVersion: return "bad_version";
+    case SerializeError::Code::kTruncated: return "truncated";
+    case SerializeError::Code::kChecksum: return "checksum";
+    case SerializeError::Code::kBadSection: return "bad_section";
+    case SerializeError::Code::kMismatch: return "mismatch";
+  }
+  return "unknown";
+}
+
+/// FNV-1a 64-bit over a byte range: the section checksum of the snapshot
+/// framing. Not cryptographic — it detects torn writes and bit rot, which
+/// is the failure model (the snapshot file is trusted-local, not hostile).
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<uint64_t>(p[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Append-only little-endian encoder over a caller-owned std::string.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void PutU16(uint16_t v) { PutUint(v, 2); }
+  void PutU32(uint32_t v) { PutUint(v, 4); }
+  void PutU64(uint64_t v) { PutUint(v, 8); }
+
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  /// IEEE bit pattern, NaN payloads preserved.
+  void PutF64(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutBytes(const void* data, size_t len) {
+    out_->append(static_cast<const char*>(data), len);
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  void PutUint(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out_->push_back(static_cast<char>(v & 0xFF));
+      v >>= 8;
+    }
+  }
+
+  std::string* out_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range. Every
+/// overrun throws SerializeError{kTruncated}; nothing is ever read past
+/// the payload's end.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t len)
+      : p_(static_cast<const unsigned char*>(data)), len_(len) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+  uint8_t GetU8() {
+    Need(1);
+    return p_[pos_++];
+  }
+
+  uint16_t GetU16() { return static_cast<uint16_t>(GetUint(2)); }
+  uint32_t GetU32() { return static_cast<uint32_t>(GetUint(4)); }
+  uint64_t GetU64() { return GetUint(8); }
+
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+
+  double GetF64() {
+    const uint64_t bits = GetU64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// Borrows `len` bytes from the payload (no copy); the pointer is valid
+  /// as long as the underlying buffer.
+  const unsigned char* GetBytes(size_t len) {
+    Need(len);
+    const unsigned char* out = p_ + pos_;
+    pos_ += len;
+    return out;
+  }
+
+ private:
+  void Need(size_t n) const {
+    if (len_ - pos_ < n) {
+      throw SerializeError(SerializeError::Code::kTruncated,
+                           "payload truncated: need " + std::to_string(n) + " bytes at offset " +
+                               std::to_string(pos_) + " of " + std::to_string(len_));
+    }
+  }
+
+  uint64_t GetUint(int bytes) {
+    Need(static_cast<size_t>(bytes));
+    uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<uint64_t>(p_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos_ += static_cast<size_t>(bytes);
+    return v;
+  }
+
+  const unsigned char* p_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace iqro
+
+#endif  // IQRO_COMMON_SERIALIZE_H_

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/serialize.h"
 #include "common/str_util.h"
 
 namespace iqro {
@@ -991,6 +992,281 @@ PlanDigest DeclarativeOptimizer::ComputePlanDigestImpl(bool want_structured) con
     walk(walk, root_, digest.join_order);
   }
   return digest;
+}
+
+// ---------------------------------------------------------------------------
+// Memo serialization (lifecycle seeds and service snapshots)
+// ---------------------------------------------------------------------------
+//
+// Payload layout (version 1, common/serialize.h little-endian encoding):
+//
+//   u8  version
+//   u8  options fingerprint (pruning toggles + queue discipline)
+//   u32 root expr, root prop content        -- world identity check
+//   u64 EP count
+//   block 1, per EP in insertion order:
+//     u32 expr; prop content (u8 kind, i32 rel, i32 col);
+//     u8 flags (enumerated | ever_live<<1 | dormant<<2)
+//   block 2, per *enumerated* EP in the same order:
+//     u32 alt count (must match Split() in the restoring world)
+//     per alt: u8 flags (active | cost_known<<1 | ever_costed<<2 |
+//                        ever_active<<3 | ever_won<<4);
+//              f64 cost (present iff cost_known);
+//              f64 last_contrib[0], f64 last_contrib[1] (raw bits, NaN = none)
+//   block 3, per EP in the same order:
+//     u32 parent count; per parent: u32 parent id, u32 alt idx, u8 side
+//
+// Alternative *definitions* are not serialized: they are a pure function of
+// the world (PlanEnumerator::Split is memoized and stable-ordered), so the
+// restore re-derives them and cross-checks the count — a seed applied to
+// the wrong world fails with a typed kMismatch instead of silently wiring
+// a different plan space. Properties travel as content (kind + column), not
+// PropId: interning order is history-dependent, so ids are re-interned on
+// restore. Parent-link order IS serialized: it is the one piece of wiring
+// whose order reflects execution history (enumeration order, not insertion
+// order), and restoring it exactly makes the rebuilt memo byte-identical
+// in every observable, not merely canonically equal.
+
+namespace {
+constexpr uint8_t kMemoSeedVersion = 1;
+}  // namespace
+
+namespace {
+uint8_t OptionsFingerprint(const OptimizerOptions& o) {
+  return static_cast<uint8_t>((o.use_agg_selection ? 1 : 0) |
+                              (o.use_source_suppression ? 2 : 0) |
+                              (o.use_ref_counting ? 4 : 0) | (o.use_bounding ? 8 : 0) |
+                              (o.discipline == QueueDiscipline::kFifo ? 16 : 0));
+}
+
+void PutProp(ByteWriter& w, const Prop& p) {
+  w.PutU8(static_cast<uint8_t>(p.kind));
+  w.PutI32(p.col.rel);
+  w.PutI32(p.col.col);
+}
+
+Prop GetProp(ByteReader& r) {
+  const uint8_t kind = r.GetU8();
+  if (kind > static_cast<uint8_t>(Prop::Kind::kIndexed)) {
+    throw SerializeError(SerializeError::Code::kBadSection,
+                         "memo seed: invalid property kind " + std::to_string(kind));
+  }
+  Prop p;
+  p.kind = static_cast<Prop::Kind>(kind);
+  p.col.rel = r.GetI32();
+  p.col.col = r.GetI32();
+  return p;
+}
+}  // namespace
+
+void DeclarativeOptimizer::SerializeState(std::string* out) const {
+  IQRO_CHECK(optimized_);
+  const PropTable& props = enumerator_->props();
+  ByteWriter w(out);
+  w.PutU8(kMemoSeedVersion);
+  w.PutU8(OptionsFingerprint(options_));
+  const EPKey root_key = enumerator_->RootKey();
+  w.PutU32(EPExpr(root_key));
+  PutProp(w, props.Get(EPProp(root_key)));
+  w.PutU64(eps_in_order_.size());
+  for (const EPState* ep : eps_in_order_) {
+    w.PutU32(ep->expr);
+    PutProp(w, props.Get(ep->prop));
+    w.PutU8(static_cast<uint8_t>((ep->enumerated ? 1 : 0) | (ep->ever_live ? 2 : 0) |
+                                 (ep->dormant ? 4 : 0)));
+  }
+  for (const EPState* ep : eps_in_order_) {
+    if (!ep->enumerated) continue;
+    w.PutU32(static_cast<uint32_t>(ep->alts.size()));
+    for (const AltState& a : ep->alts) {
+      w.PutU8(static_cast<uint8_t>((a.active ? 1 : 0) | (a.cost_known ? 2 : 0) |
+                                   (a.ever_costed ? 4 : 0) | (a.ever_active ? 8 : 0) |
+                                   (a.ever_won ? 16 : 0)));
+      // Only derivable costs travel: a stale `cost` value behind a false
+      // cost_known is execution-history noise, and skipping it keeps the
+      // seed a deterministic function of the logical state.
+      if (a.cost_known) w.PutF64(a.cost);
+      w.PutF64(a.last_contrib[0]);
+      w.PutF64(a.last_contrib[1]);
+    }
+  }
+  for (const EPState* ep : eps_in_order_) {
+    w.PutU32(static_cast<uint32_t>(ep->parents.size()));
+    for (const ParentRef& pr : ep->parents) {
+      w.PutU32(pr.ep->id);
+      w.PutU32(pr.alt_idx);
+      w.PutU8(pr.side);
+    }
+  }
+}
+
+void DeclarativeOptimizer::RestoreState(const std::string& payload, uint64_t stats_epoch) {
+  TearDown();
+  try {
+    ByteReader r(payload);
+    const uint8_t version = r.GetU8();
+    if (version != kMemoSeedVersion) {
+      throw SerializeError(SerializeError::Code::kBadVersion,
+                           "memo seed: version " + std::to_string(version) + " != " +
+                               std::to_string(kMemoSeedVersion));
+    }
+    const uint8_t fp = r.GetU8();
+    if (fp != OptionsFingerprint(options_)) {
+      throw SerializeError(SerializeError::Code::kMismatch,
+                           "memo seed: optimizer options fingerprint " + std::to_string(fp) +
+                               " != " + std::to_string(OptionsFingerprint(options_)));
+    }
+    PropTable& props = enumerator_->mutable_props();
+    const EPKey root_key = enumerator_->RootKey();
+    const RelSet seed_root_expr = r.GetU32();
+    const Prop seed_root_prop = GetProp(r);
+    if (seed_root_expr != EPExpr(root_key) ||
+        !(seed_root_prop == props.Get(EPProp(root_key)))) {
+      throw SerializeError(SerializeError::Code::kMismatch,
+                           "memo seed: root key does not match this query's world");
+    }
+    const uint64_t count = r.GetU64();
+
+    // Pass 1: recreate every pair in insertion order — ids, the memo table,
+    // the scope index and eps_in_order_ all land exactly as serialized.
+    for (uint64_t i = 0; i < count; ++i) {
+      const RelSet expr = r.GetU32();
+      const Prop prop = GetProp(r);
+      const uint8_t flags = r.GetU8();
+      EPState* ep = GetOrCreateEP(expr, props.Intern(prop));
+      if (ep->id != static_cast<uint32_t>(i)) {
+        throw SerializeError(SerializeError::Code::kBadSection,
+                             "memo seed: duplicate (expr, prop) pair at record " +
+                                 std::to_string(i));
+      }
+      ep->enumerated = (flags & 1) != 0;
+      ep->ever_live = (flags & 2) != 0;
+      ep->dormant = (flags & 4) != 0;
+    }
+
+    // Pass 2: re-derive alternative definitions from the world, wire child
+    // pointers, and apply the serialized per-alternative state. The closure
+    // property of RunEnumerate (every child of an enumerated alternative is
+    // itself a memo pair) guarantees FindEP succeeds on a well-formed seed.
+    for (EPState* ep : eps_in_order_) {
+      if (!ep->enumerated) continue;
+      const uint32_t nalts = r.GetU32();
+      const std::vector<Alt>& defs = enumerator_->Split(ep->expr, ep->prop);
+      if (nalts != defs.size()) {
+        throw SerializeError(SerializeError::Code::kMismatch,
+                             "memo seed: alternative count " + std::to_string(nalts) +
+                                 " != enumerator's " + std::to_string(defs.size()));
+      }
+      ep->alts.reserve(nalts);
+      for (uint32_t i = 0; i < nalts; ++i) {
+        AltState a;
+        a.def = defs[i];
+        const uint8_t flags = r.GetU8();
+        a.active = (flags & 1) != 0;
+        a.cost_known = (flags & 2) != 0;
+        a.ever_costed = (flags & 4) != 0;
+        a.ever_active = (flags & 8) != 0;
+        a.ever_won = (flags & 16) != 0;
+        if (a.cost_known) a.cost = r.GetF64();
+        a.last_contrib[0] = r.GetF64();
+        a.last_contrib[1] = r.GetF64();
+        for (int s = 0; s < a.def.NumChildren(); ++s) {
+          EPState* c = s == 0 ? FindEP(a.def.lexpr, a.def.lprop)
+                              : FindEP(a.def.rexpr, a.def.rprop);
+          if (c == nullptr) {
+            throw SerializeError(SerializeError::Code::kMismatch,
+                                 "memo seed: child pair of an enumerated alternative "
+                                 "is missing from the seed");
+          }
+          a.child[s] = c;
+        }
+        ep->alts.push_back(a);
+        if (a.cost_known) {
+          const size_t agg_size = ep->best_agg.size();
+          ep->best_agg.Set(i, a.cost);
+          agg_entries_ += static_cast<int64_t>(ep->best_agg.size() - agg_size);
+        }
+      }
+      ++memo_growth_gen_;  // alt vectors grew, as in RunEnumerate
+    }
+
+    // Pass 3: parent links, in the serialized (execution-history) order,
+    // each validated against the child wiring pass 2 produced.
+    for (EPState* ep : eps_in_order_) {
+      const uint32_t nparents = r.GetU32();
+      ep->parents.reserve(nparents);
+      for (uint32_t i = 0; i < nparents; ++i) {
+        const uint32_t pid = r.GetU32();
+        const uint32_t alt_idx = r.GetU32();
+        const uint8_t side = r.GetU8();
+        if (pid >= eps_in_order_.size() || side > 1) {
+          throw SerializeError(SerializeError::Code::kBadSection,
+                               "memo seed: parent reference out of range");
+        }
+        EPState* parent = eps_in_order_[pid];
+        if (!parent->enumerated || alt_idx >= parent->alts.size() ||
+            parent->alts[alt_idx].child[side] != ep) {
+          throw SerializeError(SerializeError::Code::kMismatch,
+                               "memo seed: parent link disagrees with alternative wiring");
+        }
+        ep->parents.push_back({parent, alt_idx, side});
+      }
+    }
+    if (!r.AtEnd()) {
+      throw SerializeError(SerializeError::Code::kBadSection,
+                           "memo seed: " + std::to_string(r.remaining()) +
+                               " trailing bytes after the last section");
+    }
+
+    // Pass 4 (derived state, no payload reads): reference counts are a pure
+    // function of active parent alternatives (+1 for the root's virtual
+    // reference) — recomputed directly, NEVER via RefUp, which would
+    // schedule enumeration/drive work and break the empty-queue postcondition.
+    // ParentBound contributions are the exact bijection of every active
+    // alternative's non-NaN last_contrib; the propagated best/bound values
+    // are structural at any drained-queue state (last_bound stays +inf with
+    // bounding off because ScheduleBoundDirty never runs there).
+    root_ = FindEP(EPExpr(root_key), EPProp(root_key));
+    if (root_ == nullptr) {
+      throw SerializeError(SerializeError::Code::kMismatch,
+                           "memo seed: root pair missing from the seed");
+    }
+    root_->refcount = 1;
+    for (EPState* ep : eps_in_order_) {
+      for (uint32_t i = 0; i < ep->alts.size(); ++i) {
+        AltState& a = ep->alts[i];
+        if (!a.active) continue;
+        for (int s = 0; s < a.def.NumChildren(); ++s) {
+          ++a.child[s]->refcount;
+          const double contrib = a.last_contrib[s];
+          if (!std::isnan(contrib)) {
+            EPState* child = a.child[s];
+            const size_t agg_size = child->parent_bounds.size();
+            child->parent_bounds.Set(ContributionKey(*ep, i, s), contrib);
+            agg_entries_ += static_cast<int64_t>(child->parent_bounds.size() - agg_size);
+          }
+        }
+      }
+    }
+    for (EPState* ep : eps_in_order_) {
+      if (ep->best_agg.empty()) {
+        ep->last_best = kInf;
+        ep->last_best_idx = kNoWinner;
+      } else {
+        const auto min_entry = ep->best_agg.MinEntry();
+        ep->last_best = min_entry.first;
+        ep->last_best_idx = min_entry.second;
+      }
+      ep->last_bound = options_.use_bounding ? CurrentBound(*ep) : kInf;
+    }
+    optimized_ = true;
+    stats_epoch_ = stats_epoch != 0 ? stats_epoch : registry_->epoch();
+    ++round_;  // keep touched_round stamps unique across the restore
+    UpdatePeakMemoBytes();
+  } catch (...) {
+    TearDown();  // all-or-nothing: no partial restore survives a throw
+    throw;
+  }
 }
 
 void DeclarativeOptimizer::ValidateInvariants() const {

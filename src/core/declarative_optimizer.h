@@ -177,6 +177,29 @@ class DeclarativeOptimizer {
   /// serve a plan that may have missed a drained batch.
   void Invalidate() { TearDown(); }
 
+  /// Serializes the complete fixpoint state — every memo pair in insertion
+  /// order with its enumeration/liveness flags, alternative costs and bound
+  /// contributions, plus parent-link order — into a compact, deterministic
+  /// byte seed (common/serialize.h). Requires optimized(). The seed is what
+  /// the ReoptSession's eviction budget spills a dormant query to, and what
+  /// a service snapshot persists per query: RestoreState() on an optimizer
+  /// over the *same world at the same statistics* reconstructs a memo that
+  /// is byte-identical in every observable (DumpState, CanonicalDumpState,
+  /// metrics-bearing aggregates) to the one serialized.
+  void SerializeState(std::string* out) const;
+
+  /// Rebuilds the fixpoint state from a SerializeState() seed, replacing
+  /// whatever state the optimizer holds (TearDown() first). `stats_epoch`
+  /// stamps the registry epoch the seed's costs reflect (0 reads the
+  /// registry's live epoch). The restore is all-or-nothing: any structural
+  /// mismatch (wrong world, wrong options, truncated/corrupt payload)
+  /// throws SerializeError with the optimizer torn down to the canonical
+  /// empty state — recover with RebuildFromScratch(). The restored memo
+  /// satisfies ValidateInvariants() by construction: aggregates, refcounts,
+  /// propagated bests/bounds and the exact agg-entry accounting are all
+  /// rederived, and the work queue is empty.
+  void RestoreState(const std::string& payload, uint64_t stats_epoch = 0);
+
   /// Opts the *shared* parts of this optimizer's world — the split memo,
   /// the PropTable it interns into, and the summary cache — into internal
   /// locking, so several optimizers over the same world can run

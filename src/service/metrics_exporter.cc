@@ -27,7 +27,10 @@ bench::JsonObj ReportJson(const FlushReport& r) {
       .Put("quarantines", r.session.quarantines)
       .Put("rehabilitations", r.session.rehabilitations)
       .Put("queries_parked", r.session.queries_parked)
-      .Put("watermark_flushes", r.session.watermark_flushes);
+      .Put("watermark_flushes", r.session.watermark_flushes)
+      .Put("evictions", r.session.evictions)
+      .Put("rehydrations", r.session.rehydrations)
+      .Put("resident_memo_bytes", r.session.resident_memo_bytes);
   bench::JsonObj obj;
   obj.Put("flush_index", r.flush_index)
       .Put("flush_epoch", static_cast<int64_t>(r.flush_epoch))
@@ -38,6 +41,9 @@ bench::JsonObj ReportJson(const FlushReport& r) {
       .Put("queries_quarantined", r.queries_quarantined)
       .Put("quarantines", r.quarantines)
       .Put("rehabilitations", r.rehabilitations)
+      .Put("evictions", r.evictions)
+      .Put("rehydrations", r.rehydrations)
+      .Put("resident_memo_bytes", r.resident_memo_bytes)
       .Put("mutations_rejected", r.mutations_rejected)
       .Put("summary_shared_hits", r.summary_shared_hits)
       .Put("summary_shared_misses", r.summary_shared_misses)

@@ -41,6 +41,13 @@ struct FlushReport {
   int64_t quarantines = 0;
   /// Rehabilitations this flush performed.
   int64_t rehabilitations = 0;
+  /// Memo lifecycle activity of this flush: budget evictions performed and
+  /// evicted queries rehydrated (seed restore or rebuild fallback).
+  int64_t evictions = 0;
+  int64_t rehydrations = 0;
+  /// Estimated resident memo bytes after this flush's budget enforcement
+  /// (ReoptSessionMetrics::resident_memo_bytes at report time).
+  int64_t resident_memo_bytes = 0;
   /// Cumulative registry mutations refused by the pending-backlog limit
   /// (StatsRegistry CoalesceStats::rejected at report time).
   int64_t mutations_rejected = 0;

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/serialize.h"
+#include "service/snapshot.h"
 
 namespace iqro {
 
@@ -133,6 +135,9 @@ ReoptSession::QueryId ReoptSession::RegisterImpl(DeclarativeOptimizer* optimizer
   Slot slot;
   slot.id = next_id_;
   slot.optimizer = optimizer;
+  // Fresh registrations start "just touched" on the LRU clock: budget
+  // enforcement prefers spilling genuinely dormant peers first.
+  slot.last_active_tick = ticks_.load(std::memory_order_relaxed);
   if (subscriber != nullptr) {
     slot.subscriber = subscriber;
     slot.digest = optimizer->ComputePlanDigest();
@@ -241,17 +246,24 @@ void ReoptSession::SetSubscriber(QueryId id, PlanSubscriber* subscriber) {
   // captured fresh below).
   ++slot->subscription_gen;
   slot->rediff_pending = false;
-  if (subscriber != nullptr && slot->state == QueryState::kHealthy) {
+  if (subscriber != nullptr && slot->state == QueryState::kHealthy && !slot->evicted) {
     // The plan as of *now* is the baseline: the first event this
     // subscriber sees describes a change relative to the plan it attached
     // under, never a replay of older history.
     slot->digest = slot->optimizer->ComputePlanDigest();
   } else {
-    // Detach — or an attach to a quarantined query, whose torn-down
-    // optimizer has no plan to baseline against: the empty digest plus the
-    // rehabilitation-time forced re-diff makes the first post-recovery
-    // event describe everything since attach.
+    // Detach — or an attach to a quarantined/evicted query, whose
+    // torn-down optimizer has no plan to baseline against: the empty
+    // digest plus the forced re-diff (at rehabilitation, or at the
+    // rehydrating flush) makes the first post-recovery event describe
+    // everything since attach.
     slot->digest = PlanDigest{};
+    if (subscriber != nullptr && slot->evicted) {
+      // The pending re-diff also *triggers* the rehydration: the next
+      // flush restores the memo and re-derives the digest even when its
+      // batch cannot affect this query.
+      slot->rediff_pending = true;
+    }
   }
 }
 
@@ -444,6 +456,291 @@ void ReoptSession::RefreshQuarantineIndex() {
   next_rehab_tick_.store(next, std::memory_order_relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// Memo lifecycle: eviction budget + rehydration + snapshot/warm-restart
+// ---------------------------------------------------------------------------
+
+void ReoptSession::EvictSlot(Slot& slot) {
+  slot.seed.clear();
+  slot.optimizer->SerializeState(&slot.seed);
+  slot.seed_epoch = slot.optimizer->stats_epoch();
+  slot.optimizer->Invalidate();
+  slot.evicted = true;
+  // The digest BASELINE is kept, exactly as for a quarantine: rehydration
+  // restores the identical plan, so the next diff describes only changes
+  // the subscriber has not seen. An unsettled re-diff stays pending — it
+  // will trigger (and be satisfied by) the rehydrating flush.
+  ++metrics_.evictions;
+}
+
+bool ReoptSession::RehydrateSlot(Slot& slot, uint64_t epoch,
+                                 std::vector<ServiceEvent>* events, int64_t* strikes) {
+  try {
+    // Same statistics freeze the rehab rebuilds use: the fallback rebuild
+    // reads the statistics values directly. (The seed restore itself reads
+    // only the payload, but holding the lock across both keeps the two
+    // paths indistinguishable to racing mutators.)
+    auto stats_frozen = registry_->ReaderLock();
+    try {
+      slot.optimizer->RestoreState(slot.seed, slot.seed_epoch);
+    } catch (const SerializeError&) {
+      // Seed unusable (corruption, an options change since eviction): the
+      // from-scratch path is the fallback, never an outage. The restore
+      // already tore back down, so the rebuild starts clean.
+      slot.optimizer->RebuildFromScratch();
+    }
+    slot.evicted = false;
+    slot.seed.clear();
+    slot.seed.shrink_to_fit();
+    slot.seed_epoch = 0;
+    slot.last_active_tick = ticks_.load(std::memory_order_relaxed);
+    ++metrics_.rehydrations;
+    return true;
+  } catch (...) {
+    // Even the rebuild failed: this is a failed rebuild like any other —
+    // the query leaves eviction into quarantine (its seed is gone; the
+    // rehab path owns recovery from here).
+    slot.evicted = false;
+    slot.seed.clear();
+    slot.seed.shrink_to_fit();
+    slot.seed_epoch = 0;
+    RecordStrike(slot, std::current_exception(), epoch, events, strikes);
+    return false;
+  }
+}
+
+size_t ReoptSession::ComputeResidentBytes() const {
+  size_t total = 0;
+  for (const Slot& s : queries_) {
+    if (s.state == QueryState::kHealthy && !s.evicted && s.optimizer->optimized()) {
+      total += s.optimizer->EstimatedMemoBytes();
+    }
+  }
+  return total;
+}
+
+void ReoptSession::EnforceMemoBudget(int64_t* evictions_this_flush) {
+  size_t resident = ComputeResidentBytes();
+  if (options_.memo_byte_budget > 0) {
+    while (resident > options_.memo_byte_budget) {
+      // LRU victim: the evictable query least recently affected by a
+      // flush (ties break toward the earliest registration — stable and
+      // deterministic, which the differential harness relies on).
+      Slot* victim = nullptr;
+      for (Slot& s : queries_) {
+        if (s.state != QueryState::kHealthy || s.evicted || !s.optimizer->optimized()) {
+          continue;
+        }
+        if (victim == nullptr || s.last_active_tick < victim->last_active_tick) {
+          victim = &s;
+        }
+      }
+      if (victim == nullptr) break;  // nothing left to spill
+      const size_t bytes = victim->optimizer->EstimatedMemoBytes();
+      EvictSlot(*victim);
+      if (evictions_this_flush != nullptr) ++*evictions_this_flush;
+      resident -= std::min(resident, bytes);
+    }
+  }
+  metrics_.resident_memo_bytes = static_cast<int64_t>(resident);
+}
+
+bool ReoptSession::EvictQuery(QueryId id) {
+  GateLock gate(reg_gate_,
+                timer_.joinable() && flush_owner_.load(std::memory_order_relaxed) !=
+                                         std::this_thread::get_id());
+  IQRO_CHECK(!notifying_);
+  Slot* slot = FindSlot(id);
+  IQRO_CHECK(slot != nullptr);
+  if (slot->state != QueryState::kHealthy || slot->evicted ||
+      !slot->optimizer->optimized()) {
+    return false;
+  }
+  EvictSlot(*slot);
+  metrics_.resident_memo_bytes = static_cast<int64_t>(ComputeResidentBytes());
+  return true;
+}
+
+bool ReoptSession::RehydrateQuery(QueryId id) {
+  GateLock gate(reg_gate_,
+                timer_.joinable() && flush_owner_.load(std::memory_order_relaxed) !=
+                                         std::this_thread::get_id());
+  IQRO_CHECK(!notifying_);
+  Slot* slot = FindSlot(id);
+  IQRO_CHECK(slot != nullptr);
+  if (!slot->evicted) return false;
+  // A manual rehydration outside a flush has no batch epoch or event
+  // queue; a strike it records surfaces through query_state() and the
+  // next flush's rehab schedule (the events vector is dropped — there is
+  // no delivery phase to fire it from).
+  std::vector<ServiceEvent> events;
+  int64_t strikes = 0;
+  const bool ok = RehydrateSlot(*slot, registry_->drained_epoch(), &events, &strikes);
+  if (strikes > 0) RefreshQuarantineIndex();
+  metrics_.resident_memo_bytes = static_cast<int64_t>(ComputeResidentBytes());
+  return ok;
+}
+
+int ReoptSession::num_evicted() const {
+  int n = 0;
+  for (const Slot& s : queries_) n += s.evicted ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+/// Section types of the session snapshot container (service/snapshot.h
+/// treats them as opaque). One kStatsSection first, then one
+/// kQuerySection per registered query in registration order.
+constexpr uint32_t kStatsSection = 1;
+constexpr uint32_t kQuerySection = 2;
+
+/// Query-record kinds inside a kQuerySection payload.
+constexpr uint8_t kQueryCold = 0;  // no memo to persist (quarantined/parked)
+constexpr uint8_t kQueryWarm = 1;  // u64 stats epoch + length-prefixed seed
+
+}  // namespace
+
+void ReoptSession::SaveSnapshot(const std::string& path) {
+  GateLock gate(reg_gate_,
+                timer_.joinable() && flush_owner_.load(std::memory_order_relaxed) !=
+                                         std::this_thread::get_id());
+  IQRO_CHECK(!notifying_);
+  // Settle first: drain whatever is pending so the snapshot captures a
+  // fixpoint state (every warm query exact w.r.t. the drained epoch).
+  Flush();
+  service::SnapshotWriter writer;
+  {
+    std::string stats;
+    registry_->SerializeState(&stats);
+    writer.AddSection(kStatsSection, std::move(stats));
+  }
+  for (Slot& slot : queries_) {
+    std::string payload;
+    ByteWriter w(&payload);
+    if (slot.evicted) {
+      // Already spilled: the stored seed IS the warm state.
+      w.PutU8(kQueryWarm);
+      w.PutU64(slot.seed_epoch);
+      w.PutU64(slot.seed.size());
+      w.PutBytes(slot.seed.data(), slot.seed.size());
+    } else if (slot.state == QueryState::kHealthy && slot.optimizer->optimized()) {
+      std::string seed;
+      slot.optimizer->SerializeState(&seed);
+      w.PutU8(kQueryWarm);
+      w.PutU64(slot.optimizer->stats_epoch());
+      w.PutU64(seed.size());
+      w.PutBytes(seed.data(), seed.size());
+    } else {
+      // Quarantined/parked: the torn-down memo has nothing worth saving —
+      // the restart rebuilds this query from scratch (and a rebuild is
+      // exactly what its recovery owed it anyway).
+      w.PutU8(kQueryCold);
+    }
+    writer.AddSection(kQuerySection, std::move(payload));
+  }
+  writer.WriteAtomic(path);
+}
+
+std::vector<QueryHandle> ReoptSession::LoadSnapshot(
+    const std::string& path, const std::vector<DeclarativeOptimizer*>& optimizers) {
+  GateLock gate(reg_gate_,
+                timer_.joinable() && flush_owner_.load(std::memory_order_relaxed) !=
+                                         std::this_thread::get_id());
+  IQRO_CHECK(!notifying_);
+  IQRO_CHECK(queries_.empty());
+  // The reader checksums and frames every section before returning, and
+  // the record parse below touches no session state: any rejection throws
+  // with the world fully intact (callers fall back to from-scratch).
+  service::SnapshotReader reader(path);
+  const auto& sections = reader.sections();
+  if (sections.empty() || sections[0].type != kStatsSection) {
+    throw SerializeError(SerializeError::Code::kBadSection,
+                         "snapshot: first section is not the statistics state");
+  }
+  if (sections.size() - 1 != optimizers.size()) {
+    throw SerializeError(SerializeError::Code::kMismatch,
+                         "snapshot: holds " + std::to_string(sections.size() - 1) +
+                             " queries, caller supplied " +
+                             std::to_string(optimizers.size()) + " optimizers");
+  }
+  struct QueryRecord {
+    bool warm = false;
+    uint64_t epoch = 0;
+    std::string seed;
+  };
+  std::vector<QueryRecord> records(optimizers.size());
+  for (size_t i = 0; i < optimizers.size(); ++i) {
+    const auto& s = sections[i + 1];
+    if (s.type != kQuerySection) {
+      throw SerializeError(SerializeError::Code::kBadSection,
+                           "snapshot: section " + std::to_string(i + 1) +
+                               " has unknown type " + std::to_string(s.type));
+    }
+    ByteReader r(s.payload);
+    const uint8_t kind = r.GetU8();
+    if (kind == kQueryWarm) {
+      records[i].warm = true;
+      records[i].epoch = r.GetU64();
+      const uint64_t len = r.GetU64();
+      const unsigned char* bytes = r.GetBytes(static_cast<size_t>(len));
+      records[i].seed.assign(reinterpret_cast<const char*>(bytes),
+                             static_cast<size_t>(len));
+    } else if (kind != kQueryCold) {
+      throw SerializeError(SerializeError::Code::kBadSection,
+                           "snapshot: query record " + std::to_string(i) +
+                               " has unknown kind " + std::to_string(kind));
+    }
+    if (!r.AtEnd()) {
+      throw SerializeError(SerializeError::Code::kBadSection,
+                           "snapshot: query record " + std::to_string(i) +
+                               " has trailing bytes");
+    }
+  }
+  // Everything parsed and checksummed: mutate. The registry restore
+  // requires a no-subscribers window, and this session IS its standing
+  // subscriber — step aside for the swap, re-attach either way.
+  registry_->Unsubscribe(this);
+  try {
+    registry_->RestoreState(sections[0].payload);
+  } catch (...) {
+    registry_->Subscribe(this);
+    throw;
+  }
+  registry_->Subscribe(this);
+  std::vector<QueryHandle> handles;
+  handles.reserve(optimizers.size());
+  for (size_t i = 0; i < optimizers.size(); ++i) {
+    DeclarativeOptimizer* optimizer = optimizers[i];
+    IQRO_CHECK(optimizer != nullptr);
+    IQRO_CHECK(optimizer->registry() == registry_);
+    {
+      auto stats_frozen = registry_->ReaderLock();
+      bool restored = false;
+      if (records[i].warm) {
+        try {
+          // Stamp the restored registry's drained epoch, not the seed's
+          // capture epoch: the snapshot was taken post-flush, so a warm
+          // seed is exact w.r.t. that drain (an evicted query's older
+          // seed saw only batches that could not affect it — the same
+          // soundness argument the rehydration path rests on).
+          optimizer->RestoreState(records[i].seed, registry_->drained_epoch());
+          restored = true;
+        } catch (const SerializeError&) {
+          // Unusable seed inside a structurally valid snapshot (an
+          // options/shape change since capture): this query takes the
+          // slow path; its peers stay warm.
+        }
+      }
+      if (!restored) optimizer->RebuildFromScratch();
+    }
+    const QueryId id = RegisterImpl(optimizer, nullptr);
+    handles.push_back(QueryHandle(this, id, optimizer, alive_));
+  }
+  metrics_.resident_memo_bytes = static_cast<int64_t>(ComputeResidentBytes());
+  return handles;
+}
+
 size_t ReoptSession::Flush() {
   // One flush at a time: a second caller (policy reentrancy, or a
   // mutator-thread flush racing the coordinator's) backs off — whatever it
@@ -484,6 +781,26 @@ size_t ReoptSession::Flush() {
   int64_t strikes_this_flush = 0;
   int64_t rehabs_this_flush = 0;
   AttemptRehabs(batch.epoch, &service_events, &strikes_this_flush, &rehabs_this_flush);
+
+  // Rehydration phase: an evicted query rejoins the resident set BEFORE
+  // dispatch when this batch can affect its relations (so no relevant
+  // batch is ever missed — the restore brings back evict-time state,
+  // exact w.r.t. every batch skipped while evicted, all of which were
+  // irrelevant to it by this very test) or when it owes a re-diff (its
+  // torn-down memo has no digest to re-derive).
+  int64_t evictions_this_flush = 0;
+  int64_t rehydrations_this_flush = 0;
+  for (Slot& slot : queries_) {
+    if (!slot.evicted) continue;
+    const RelSet root = slot.optimizer->RootRelations();
+    const bool relevant =
+        std::any_of(batch.changes.begin(), batch.changes.end(),
+                    [root](const StatChange& c) { return RelIsSubset(c.scope, root); });
+    if (!relevant && !slot.rediff_pending) continue;
+    if (RehydrateSlot(slot, batch.epoch, &service_events, &strikes_this_flush)) {
+      ++rehydrations_this_flush;
+    }
+  }
 
   // An unsettled baseline (a prior flush's delivery unwound before some
   // query's event, or a rehabilitation above) must be re-diffed by THIS
@@ -546,6 +863,8 @@ size_t ReoptSession::Flush() {
     const int64_t* delivered;
     const int64_t* strikes;
     const int64_t* rehabs;
+    const int64_t* evictions;
+    const int64_t* rehydrations;
     ~FlushEpilogue() {
       ReoptSession* s = session;
       // Rediff-only passes (changes == 0) are not dispatched flushes: the
@@ -575,6 +894,9 @@ size_t ReoptSession::Flush() {
         report.queries_quarantined = quarantined;
         report.quarantines = *strikes;
         report.rehabilitations = *rehabs;
+        report.evictions = *evictions;
+        report.rehydrations = *rehydrations;
+        report.resident_memo_bytes = report.session.resident_memo_bytes;
         report.opt = s->last_flush_;
         s->options_.metrics_exporter->OnFlushMetrics(report);
       }
@@ -588,7 +910,9 @@ size_t ReoptSession::Flush() {
              &skipped_this_flush,
              &delivered,
              &strikes_this_flush,
-             &rehabs_this_flush};
+             &rehabs_this_flush,
+             &evictions_this_flush,
+             &rehydrations_this_flush};
 
   // If anything unwinds between dispatch and the event-computation loop,
   // some passes may have completed and changed plans with no event
@@ -604,7 +928,10 @@ size_t ReoptSession::Flush() {
     ~RediffOnUnwind() {
       if (!armed) return;
       for (Slot& slot : session->queries_) {
-        if (slot.state == QueryState::kHealthy && slot.subscriber != nullptr) {
+        // Evicted slots were not dispatched: their baseline is intact and
+        // their torn-down memo could not satisfy a forced re-diff anyway.
+        if (slot.state == QueryState::kHealthy && !slot.evicted &&
+            slot.subscriber != nullptr) {
           slot.rediff_pending = true;
         }
       }
@@ -630,7 +957,7 @@ size_t ReoptSession::Flush() {
       std::vector<std::future<PassResult>> passes(queries_.size());
       for (size_t i = 0; i < queries_.size(); ++i) {
         const Slot& slot = queries_[i];
-        if (slot.state != QueryState::kHealthy) continue;
+        if (slot.state != QueryState::kHealthy || slot.evicted) continue;
         DeclarativeOptimizer* optimizer = slot.optimizer;
         const bool want_digest = slot.subscriber != nullptr;
         const bool force_digest = want_digest && slot.rediff_pending;
@@ -661,7 +988,7 @@ size_t ReoptSession::Flush() {
     } else {
       for (size_t i = 0; i < queries_.size(); ++i) {
         const Slot& slot = queries_[i];
-        if (slot.state != QueryState::kHealthy) {
+        if (slot.state != QueryState::kHealthy || slot.evicted) {
           results.push_back(PassResult{});
           continue;
         }
@@ -711,9 +1038,19 @@ size_t ReoptSession::Flush() {
       RecordStrike(slot, errors[i], batch.epoch, &service_events, &strikes_this_flush);
       continue;
     }
-    if (!r.dispatched) continue;  // quarantined/parked: snapshot counted above
+    if (!r.dispatched) {
+      // Quarantined/parked: counted in the dispatch-time snapshot above.
+      // Evicted: the rehydration phase proved this batch cannot affect it
+      // — the same skip the prefilter gives a resident dormant query.
+      if (slot.evicted) {
+        ++metrics_.queries_skipped;
+        ++skipped_this_flush;
+      }
+      continue;
+    }
     AggregatePass(r);
     if (r.affected) {
+      slot.last_active_tick = ticks_.load(std::memory_order_relaxed);
       // The CostGatedPolicy per-query feed (PolicyOnFlush hands these to
       // OnQueryPassWork at epilogue time).
       last_pass_work_.emplace_back(slot.id, r.fixpoint_steps + r.eps_seeded);
@@ -814,6 +1151,12 @@ size_t ReoptSession::Flush() {
       slot->subscriber->OnPlanChange(pe.event);
     }
   }
+  // Budget enforcement runs LAST — after delivery, so no subscriber
+  // callback ever observes a mid-flush teardown of an optimizer its event
+  // points at — and refreshes the resident gauge the epilogue's report
+  // carries. (A throwing subscriber skips it: eviction is best-effort
+  // housekeeping, and the next flush enforces again.)
+  EnforceMemoBudget(&evictions_this_flush);
   // FlushEpilogue fires here (export + policy OnFlush), then InFlushGuard.
   return batch.changes.size();
 }

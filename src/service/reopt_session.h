@@ -280,6 +280,22 @@ struct ReoptSessionOptions {
   /// interval (deadline policies and quarantine backoffs fire without an
   /// application driver loop). 0: no thread; drive Poll() yourself.
   std::chrono::milliseconds poll_interval{0};
+
+  // ---- memo lifecycle ----
+
+  /// > 0: session-wide memo residency budget in (estimated) bytes. After
+  /// each dispatched flush the session sums EstimatedMemoBytes() over the
+  /// healthy, non-evicted queries — the exact quantity peak_memo_bytes is
+  /// the high-water mark of — and, while the sum exceeds the budget,
+  /// EVICTS the least-recently-affected query: its memo/EPState is spilled
+  /// to a compact serialized seed (DeclarativeOptimizer::SerializeState)
+  /// and torn down. An evicted query costs nothing per flush until a batch
+  /// its relation set can be affected by arrives, at which point the same
+  /// flush rehydrates it (RestoreState from the seed; RebuildFromScratch
+  /// if the seed is unusable) *before* dispatch — so no relevant batch is
+  /// ever missed and plans stay exactly oracle-equal. 0: no budget;
+  /// EvictQuery()/RehydrateQuery() remain available manually.
+  size_t memo_byte_budget = 0;
 };
 
 class ReoptSession final : public StatsSubscriber {
@@ -345,6 +361,50 @@ class ReoptSession final : public StatsSubscriber {
   /// says so; otherwise 0.
   size_t Poll();
 
+  // ---- memo lifecycle (docs/ARCHITECTURE.md "Memo lifecycle") ----
+
+  /// Spills a healthy query's memo to a serialized seed and tears it down
+  /// (the budget enforcement path, exposed for manual control). Returns
+  /// false — and does nothing — when the query is quarantined, parked, or
+  /// already evicted. Owner-thread call, like Register.
+  bool EvictQuery(QueryId id);
+
+  /// Restores an evicted query from its seed now instead of waiting for
+  /// the next relevant batch (seed restore; from-scratch rebuild when the
+  /// seed is unusable). Returns false when the query is not evicted.
+  bool RehydrateQuery(QueryId id);
+
+  /// Registered queries currently evicted.
+  int num_evicted() const;
+
+  /// ReoptSessionMetrics::resident_memo_bytes (the post-flush gauge;
+  /// metrics() read rules apply).
+  int64_t resident_memo_bytes() const { return metrics_.resident_memo_bytes; }
+
+  /// Persists the session's warm state — the statistics registry plus one
+  /// memo seed per registered query, in registration order — to `path` via
+  /// the atomic snapshot container (service/snapshot.h). Flushes first, so
+  /// the snapshot is a settled fixpoint state. Quarantined/parked queries
+  /// persist as cold records (their torn-down memo has nothing to save);
+  /// evicted queries persist their stored seed. Throws SerializeError
+  /// (kIo) on filesystem failure; a pre-existing snapshot at `path` is
+  /// never torn. Owner-thread call.
+  void SaveSnapshot(const std::string& path);
+
+  /// Warm-starts an EMPTY session (num_queries() == 0) from a snapshot:
+  /// restores the registry's statistics + epoch, then restores each
+  /// query's memo from its seed (RebuildFromScratch fallback for cold
+  /// records or unusable seeds) and registers it. `optimizers` supplies
+  /// one fresh (constructed, not yet optimized) optimizer per snapshotted
+  /// query, in snapshot order, each wired to this session's registry.
+  /// Post-load statistics churn drains through the normal incremental
+  /// flush path — the warm-restart story bench_warm_restart measures.
+  /// Throws SerializeError before mutating anything when the file is
+  /// corrupt, truncated, version-skewed, or disagrees with `optimizers`
+  /// (callers catch and fall back to from-scratch optimization).
+  std::vector<QueryHandle> LoadSnapshot(
+      const std::string& path, const std::vector<DeclarativeOptimizer*>& optimizers);
+
   /// Read metrics()/last_flush() only from a state where no flush can be
   /// in flight and no mutator is recording: after your own *successful*
   /// Flush() (one that drained, not one that returned 0 because another
@@ -406,6 +466,19 @@ class ReoptSession final : public StatsSubscriber {
     /// Tick at/after which the next rebuild attempt runs (quarantined
     /// slots only).
     int64_t eligible_at_tick = 0;
+    // ---- memo lifecycle ----
+    /// True while the query's memo is spilled to `seed` (state stays
+    /// kHealthy — eviction is a residency decision, not a failure). The
+    /// slot is skipped by dispatch and rehydrated by the first flush whose
+    /// batch can affect it (or that owes it a re-diff).
+    bool evicted = false;
+    /// The SerializeState() seed and the stats epoch it was captured at
+    /// (only meaningful while `evicted`; cleared on rehydration).
+    std::string seed;
+    uint64_t seed_epoch = 0;
+    /// Tick of the last flush whose batch affected this query — the LRU
+    /// key budget enforcement picks eviction victims by.
+    int64_t last_active_tick = 0;
   };
 
   /// What one dispatched pass reports back to the coordinator (by value,
@@ -476,6 +549,21 @@ class ReoptSession final : public StatsSubscriber {
                     std::vector<ServiceEvent>* events, int64_t* strikes);
   /// Recomputes the timer-readable quarantine atomics from queries_.
   void RefreshQuarantineIndex();
+  /// Spills `slot`'s memo to its seed and tears the optimizer down
+  /// (requires healthy + optimized + not evicted).
+  void EvictSlot(Slot& slot);
+  /// Restores `slot` from its seed under the registry reader lock (rebuild
+  /// fallback when the seed is rejected). A failed rebuild records a
+  /// strike like any other failed rebuild. Returns true when the slot left
+  /// eviction healthy.
+  bool RehydrateSlot(Slot& slot, uint64_t epoch, std::vector<ServiceEvent>* events,
+                     int64_t* strikes);
+  /// Sum of EstimatedMemoBytes() over healthy, non-evicted queries.
+  size_t ComputeResidentBytes() const;
+  /// Evicts least-recently-affected queries until the resident sum fits
+  /// `memo_byte_budget` (no-op without a budget) and refreshes the
+  /// resident_memo_bytes gauge either way.
+  void EnforceMemoBudget(int64_t* evictions_this_flush);
   /// Poll body (caller holds the registration gate when one is needed).
   size_t PollTick();
   void TimerLoop();

@@ -23,6 +23,13 @@ struct ReoptSessionMetrics {
   int64_t rehabilitations = 0;     // quarantined queries restored by a rebuild
   int64_t queries_parked = 0;      // queries that exhausted their strikes
   int64_t watermark_flushes = 0;   // flushes forced by the soft watermark
+  // ---- memo lifecycle (docs/ARCHITECTURE.md "Memo lifecycle") ----
+  int64_t evictions = 0;           // memos spilled to a serialized seed
+  int64_t rehydrations = 0;        // evicted memos restored (seed or rebuild)
+  /// Gauge, not a counter: estimated resident memo bytes across healthy
+  /// non-evicted queries, as of the end of the last flush that measured it
+  /// (every dispatched flush; also refreshed by EvictQuery/RehydrateQuery).
+  int64_t resident_memo_bytes = 0;
 };
 
 /// Aggregated OptMetrics deltas of the most recent non-empty flush, summed

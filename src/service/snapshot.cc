@@ -1,0 +1,138 @@
+#include "service/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+namespace iqro::service {
+
+namespace {
+
+std::string IoError(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// stdio RAII so every error path closes (and the caller can unlink) the
+/// temp file.
+struct FileCloser {
+  std::FILE* f = nullptr;
+  ~FileCloser() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+void SnapshotWriter::AddSection(uint32_t type, std::string payload) {
+  sections_.push_back({type, std::move(payload)});
+}
+
+std::string SnapshotWriter::Image() const {
+  std::string image;
+  ByteWriter w(&image);
+  w.PutBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.PutU32(kSnapshotVersion);
+  w.PutU32(static_cast<uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    w.PutU32(s.type);
+    w.PutU64(s.payload.size());
+    w.PutU64(Fnv1a64(s.payload.data(), s.payload.size()));
+    w.PutBytes(s.payload.data(), s.payload.size());
+  }
+  return image;
+}
+
+void SnapshotWriter::WriteAtomic(const std::string& path) const {
+  const std::string image = Image();
+  const std::string tmp = path + ".tmp";
+  try {
+    IQRO_FAULT_POINT("snapshot.write");
+    {
+      FileCloser file;
+      file.f = std::fopen(tmp.c_str(), "wb");
+      if (file.f == nullptr) {
+        throw SerializeError(SerializeError::Code::kIo, IoError("snapshot: cannot open", tmp));
+      }
+      if (!image.empty() && std::fwrite(image.data(), 1, image.size(), file.f) != image.size()) {
+        throw SerializeError(SerializeError::Code::kIo, IoError("snapshot: short write to", tmp));
+      }
+      if (std::fflush(file.f) != 0) {
+        throw SerializeError(SerializeError::Code::kIo, IoError("snapshot: flush failed for", tmp));
+      }
+    }
+    IQRO_FAULT_POINT("snapshot.rename");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw SerializeError(SerializeError::Code::kIo,
+                           IoError("snapshot: rename to", path));
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());  // never leave a torn temp behind
+    throw;
+  }
+}
+
+SnapshotReader::SnapshotReader(const std::string& path) {
+  std::string image;
+  {
+    FileCloser file;
+    file.f = std::fopen(path.c_str(), "rb");
+    if (file.f == nullptr) {
+      throw SerializeError(SerializeError::Code::kIo, IoError("snapshot: cannot open", path));
+    }
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), file.f)) > 0) image.append(buf, n);
+    if (std::ferror(file.f) != 0) {
+      throw SerializeError(SerializeError::Code::kIo, IoError("snapshot: read failed for", path));
+    }
+  }
+  Parse(image);
+}
+
+SnapshotReader::SnapshotReader(FromImage, const std::string& image) { Parse(image); }
+
+void SnapshotReader::Parse(const std::string& image) {
+  ByteReader r(image);
+  if (r.remaining() < sizeof(kSnapshotMagic) ||
+      std::memcmp(r.GetBytes(sizeof(kSnapshotMagic)), kSnapshotMagic,
+                  sizeof(kSnapshotMagic)) != 0) {
+    throw SerializeError(SerializeError::Code::kBadMagic,
+                         "snapshot: missing IQROSNAP magic (not a snapshot file)");
+  }
+  const uint32_t version = r.GetU32();
+  if (version != kSnapshotVersion) {
+    throw SerializeError(SerializeError::Code::kBadVersion,
+                         "snapshot: container version " + std::to_string(version) +
+                             " != supported " + std::to_string(kSnapshotVersion));
+  }
+  const uint32_t count = r.GetU32();
+  sections_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Section s;
+    s.type = r.GetU32();
+    const uint64_t len = r.GetU64();
+    const uint64_t checksum = r.GetU64();
+    if (len > r.remaining()) {
+      throw SerializeError(SerializeError::Code::kTruncated,
+                           "snapshot: section " + std::to_string(i) + " declares " +
+                               std::to_string(len) + " bytes, only " +
+                               std::to_string(r.remaining()) + " remain");
+    }
+    const unsigned char* bytes = r.GetBytes(static_cast<size_t>(len));
+    if (Fnv1a64(bytes, static_cast<size_t>(len)) != checksum) {
+      throw SerializeError(SerializeError::Code::kChecksum,
+                           "snapshot: section " + std::to_string(i) + " fails its checksum");
+    }
+    s.payload.assign(reinterpret_cast<const char*>(bytes), static_cast<size_t>(len));
+    sections_.push_back(std::move(s));
+  }
+  if (!r.AtEnd()) {
+    throw SerializeError(SerializeError::Code::kBadSection,
+                         "snapshot: " + std::to_string(r.remaining()) +
+                             " trailing bytes after the last section");
+  }
+}
+
+}  // namespace iqro::service

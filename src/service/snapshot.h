@@ -1,0 +1,98 @@
+// Versioned on-disk snapshot container for the service layer's
+// warm-restart path (ReoptSession::SaveSnapshot/LoadSnapshot).
+//
+// File format (version 1, little-endian, common/serialize.h encoding):
+//
+//   8 bytes   magic "IQROSNAP"
+//   u32       container version
+//   u32       section count
+//   per section:
+//     u32     section type (opaque to this module; the session assigns
+//             meaning — stats state, per-query memo seeds, ...)
+//     u64     payload length
+//     u64     FNV-1a 64 checksum of the payload bytes
+//     bytes   payload
+//
+// Durability protocol: WriteAtomic() writes the full image to
+// `path + ".tmp"` and renames it over `path` — a crash at any point leaves
+// either the previous complete snapshot or none, never a torn file. The
+// two IQRO_FAULT_POINT sites ("snapshot.write" before the temp-file write,
+// "snapshot.rename" before the rename) let tests inject a crash on either
+// side of the commit point and assert exactly that: the pre-existing good
+// snapshot survives and the temp file is cleaned up.
+//
+// Reading is all-or-nothing: SnapshotReader's constructor parses and
+// checksums EVERY section before returning; any defect raises a typed
+// SerializeError (kIo / kBadMagic / kBadVersion / kTruncated / kChecksum /
+// kBadSection) and no partially decoded state escapes. Versioning rule:
+// a reader accepts exactly its own container version — the format is a
+// cache of rebuildable state, so "reject and rebuild from scratch" IS the
+// backward-compatibility story (documented in docs/API.md).
+#ifndef IQRO_SERVICE_SNAPSHOT_H_
+#define IQRO_SERVICE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace iqro::service {
+
+inline constexpr char kSnapshotMagic[8] = {'I', 'Q', 'R', 'O', 'S', 'N', 'A', 'P'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Accumulates typed sections, then commits them to disk atomically.
+class SnapshotWriter {
+ public:
+  /// Appends one section; sections are written (and read back) in
+  /// insertion order. The payload is moved in.
+  void AddSection(uint32_t type, std::string payload);
+
+  /// Serializes the container to `path + ".tmp"` and renames it over
+  /// `path`. Throws SerializeError{kIo} on any filesystem failure (the
+  /// temp file is removed; a pre-existing `path` is left untouched).
+  /// Fault points: "snapshot.write" fires before the temp write,
+  /// "snapshot.rename" before the commit rename.
+  void WriteAtomic(const std::string& path) const;
+
+  /// The serialized container image (what WriteAtomic persists) — exposed
+  /// for tests that corrupt specific offsets.
+  std::string Image() const;
+
+ private:
+  struct Section {
+    uint32_t type;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Parses and fully validates a snapshot file (or in-memory image) on
+/// construction; see the header comment for the rejection contract.
+class SnapshotReader {
+ public:
+  struct Section {
+    uint32_t type = 0;
+    std::string payload;
+  };
+
+  /// Reads and validates the file at `path`.
+  explicit SnapshotReader(const std::string& path);
+
+  /// Validates an already-loaded container image (tag type disambiguates
+  /// from the path constructor).
+  struct FromImage {};
+  SnapshotReader(FromImage, const std::string& image);
+
+  const std::vector<Section>& sections() const { return sections_; }
+
+ private:
+  void Parse(const std::string& image);
+
+  std::vector<Section> sections_;
+};
+
+}  // namespace iqro::service
+
+#endif  // IQRO_SERVICE_SNAPSHOT_H_

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "common/serialize.h"
 
 namespace iqro {
 
@@ -271,6 +272,106 @@ StatsRegistry::DrainedBatch StatsRegistry::TakePendingBatch() {
   pending_.Clear();
   coalesce_.emitted += static_cast<int64_t>(out.size());
   return batch;
+}
+
+namespace {
+constexpr uint8_t kStatsStateVersion = 1;
+}  // namespace
+
+void StatsRegistry::SerializeState(std::string* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ByteWriter w(out);
+  w.PutU8(kStatsStateVersion);
+  w.PutI32(num_relations_);
+  w.PutU64(epoch_);
+  w.PutU64(drained_epoch_);
+  for (size_t i = 0; i < base_rows_.size(); ++i) {
+    w.PutF64(base_rows_[i]);
+    w.PutF64(local_sel_[i]);
+    w.PutF64(row_width_[i]);
+    w.PutF64(scan_mult_[i]);
+  }
+  w.PutU32(static_cast<uint32_t>(edges_.size()));
+  for (const JoinEdgeStats& e : edges_) {
+    w.PutU32(e.endpoints);
+    w.PutF64(e.selectivity);
+  }
+  w.PutU32(static_cast<uint32_t>(card_mults_.size()));
+  for (const auto& [scope, factor] : card_mults_) {
+    w.PutU32(scope);
+    w.PutF64(factor);
+  }
+}
+
+void StatsRegistry::RestoreState(const std::string& payload) {
+  // Parse and validate EVERYTHING before the first write: a rejected
+  // payload must leave the registry's values untouched.
+  ByteReader r(payload);
+  const uint8_t version = r.GetU8();
+  if (version != kStatsStateVersion) {
+    throw SerializeError(SerializeError::Code::kBadVersion,
+                         "stats state: version " + std::to_string(version) + " != " +
+                             std::to_string(kStatsStateVersion));
+  }
+  const int32_t nrel = r.GetI32();
+  const uint64_t epoch = r.GetU64();
+  const uint64_t drained_epoch = r.GetU64();
+  if (nrel != num_relations_) {
+    throw SerializeError(SerializeError::Code::kMismatch,
+                         "stats state: relation count " + std::to_string(nrel) + " != " +
+                             std::to_string(num_relations_));
+  }
+  std::vector<double> base_rows(static_cast<size_t>(nrel));
+  std::vector<double> local_sel(static_cast<size_t>(nrel));
+  std::vector<double> row_width(static_cast<size_t>(nrel));
+  std::vector<double> scan_mult(static_cast<size_t>(nrel));
+  for (size_t i = 0; i < base_rows.size(); ++i) {
+    base_rows[i] = r.GetF64();
+    local_sel[i] = r.GetF64();
+    row_width[i] = r.GetF64();
+    scan_mult[i] = r.GetF64();
+  }
+  const uint32_t nedges = r.GetU32();
+  if (nedges != edges_.size()) {
+    throw SerializeError(SerializeError::Code::kMismatch,
+                         "stats state: edge count " + std::to_string(nedges) + " != " +
+                             std::to_string(edges_.size()));
+  }
+  std::vector<double> edge_sel(nedges);
+  for (uint32_t i = 0; i < nedges; ++i) {
+    const RelSet endpoints = r.GetU32();
+    if (endpoints != edges_[i].endpoints) {
+      throw SerializeError(SerializeError::Code::kMismatch,
+                           "stats state: edge " + std::to_string(i) +
+                               " endpoints disagree with this world's join graph");
+    }
+    edge_sel[i] = r.GetF64();
+  }
+  const uint32_t nmults = r.GetU32();
+  std::vector<std::pair<RelSet, double>> card_mults;
+  card_mults.reserve(nmults);
+  for (uint32_t i = 0; i < nmults; ++i) {
+    const RelSet scope = r.GetU32();
+    const double factor = r.GetF64();
+    card_mults.emplace_back(scope, factor);
+  }
+  if (!r.AtEnd()) {
+    throw SerializeError(SerializeError::Code::kBadSection,
+                         "stats state: trailing bytes after the last section");
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  IQRO_CHECK(subscribers_.empty());  // setup-time only, like Reset
+  base_rows_ = std::move(base_rows);
+  local_sel_ = std::move(local_sel);
+  row_width_ = std::move(row_width);
+  scan_mult_ = std::move(scan_mult);
+  for (uint32_t i = 0; i < nedges; ++i) edges_[i].selectivity = edge_sel[i];
+  card_mults_ = std::move(card_mults);
+  pending_.Clear();
+  epoch_ = epoch;
+  drained_epoch_ = drained_epoch;
+  frozen_ = true;
 }
 
 void StatsRegistry::Subscribe(StatsSubscriber* subscriber) {

@@ -280,6 +280,28 @@ class StatsRegistry {
   }
   size_t pending_limit() const { return pending_limit_; }
 
+  // ---- lifecycle serialization (service snapshots) ----
+
+  /// Appends an epoch-stamped serialization of every statistic value (base
+  /// rows, selectivities, widths, scan/cardinality multipliers, join-edge
+  /// selectivities) plus the epoch/drained-epoch pair to `out`
+  /// (common/serialize.h encoding). Takes the reader lock; pending
+  /// (undrained) mutations are NOT part of a registry's serialized state —
+  /// a snapshotting session drains them first, so the snapshot is exactly
+  /// "values at a drained epoch" and a warm-started service replays later
+  /// mutations through the normal NetDeltaTable path.
+  void SerializeState(std::string* out) const;
+
+  /// Restores a SerializeState() payload into this registry: values are
+  /// written directly under the exclusive lock (no epoch bumps, no pending
+  /// records, no subscriber notifications), the epoch pair is adopted, the
+  /// pending table is cleared and the registry is left frozen. The payload
+  /// must structurally match this registry (relation count, edge count and
+  /// endpoints) — a mismatch throws SerializeError{kMismatch} with the
+  /// registry's values unmodified. Setup-time only, like Reset: requires
+  /// that no subscriber is attached.
+  void RestoreState(const std::string& payload);
+
   // ---- subscribers ----
   void Subscribe(StatsSubscriber* subscriber);
   void Unsubscribe(StatsSubscriber* subscriber);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <optional>
 
@@ -269,11 +270,13 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
     fault_guard.active = true;
   }
 
-  DeclarativeOptimizer inc(world->enumerator.get(), world->cost_model.get(), &world->registry,
-                           scenario.options);
-  inc.Optimize();
-  if (options.validate_invariants) inc.ValidateInvariants();
-  if (auto err = oracle.Check(inc)) return {false, -1, "initial optimization: " + *err};
+  // Heap-owned so the lifecycle rotation's snapshot-restart can destroy
+  // and recreate it along with its world.
+  auto inc = std::make_unique<DeclarativeOptimizer>(
+      world->enumerator.get(), world->cost_model.get(), &world->registry, scenario.options);
+  inc->Optimize();
+  if (options.validate_invariants) inc->ValidateInvariants();
+  if (auto err = oracle.Check(*inc)) return {false, -1, "initial optimization: " + *err};
 
   // Batch mode: a ReoptSession owns the flushes, and a shadow optimizer
   // (same options, same registry) rides along to prove that one drained
@@ -303,6 +306,15 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
   std::string prev_shadow_dump;
   double prev_primary_cost = 0;
   double prev_shadow_cost = 0;
+  // Lifecycle rotation state: the boundary roll RNG, the snapshot path the
+  // restart arm reuses, and quarantine strikes carried across session
+  // generations (a restart resets the new session's counters; the
+  // end-of-run fault accounting needs the whole scenario's total).
+  Rng lifecycle_rng(scenario.seed ^ 0x11FEull);
+  const std::string snapshot_path =
+      "/tmp/iqro_diff_lifecycle_" + std::to_string(scenario.seed) + ".snap";
+  int64_t quarantines_carried = 0;
+  const bool lifecycle = options.lifecycle_rotation && options.batch_steps >= 1;
   if (options.batch_steps >= 1) {
     shadow = std::make_unique<DeclarativeOptimizer>(
         world->enumerator.get(), world->cost_model.get(), &world->registry, scenario.options);
@@ -310,16 +322,17 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
     ReoptSessionOptions session_options;
     session_options.worker_threads = options.worker_threads;
     session = std::make_unique<ReoptSession>(&world->registry, session_options);
-    handles.push_back(session->Register(inc, &primary_sub));
+    handles.push_back(session->Register(*inc, &primary_sub));
     handles.push_back(session->Register(*shadow, &shadow_sub));
-    prev_primary_dump = inc.CanonicalDumpState();
+    prev_primary_dump = inc->CanonicalDumpState();
     prev_shadow_dump = shadow->CanonicalDumpState();
-    prev_primary_cost = inc.BestCost();
+    prev_primary_cost = inc->BestCost();
     prev_shadow_cost = shadow->BestCost();
-    // The mirror world serves two claims: parallel ≡ serial (pooled mode)
-    // and faulted-then-recovered ≡ never-faulted (fault rotation) — so it
-    // also runs, serially, for serial fault-rotation scenarios.
-    if (options.worker_threads >= 1 || options.fault_rotation) {
+    // The mirror world serves three claims: parallel ≡ serial (pooled
+    // mode), faulted-then-recovered ≡ never-faulted (fault rotation), and
+    // evicted/restarted ≡ undisturbed (lifecycle rotation) — so it also
+    // runs, serially, for serial fault- or lifecycle-rotation scenarios.
+    if (options.worker_threads >= 1 || options.fault_rotation || lifecycle) {
       mirror_world = BuildScenarioWorld(scenario);
       mirror_inc = std::make_unique<DeclarativeOptimizer>(
           mirror_world->enumerator.get(), mirror_world->cost_model.get(),
@@ -377,6 +390,14 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       } else {
         session->Flush();
       }
+      if (lifecycle) {
+        // Deferred rehydration: a query evicted at the previous boundary
+        // whose batch turned out irrelevant is still spilled — restore it
+        // now (outside any fault window) so the oracle below reads a live
+        // memo. The relevant-batch case was already rehydrated inside the
+        // flush; this is a no-op for it.
+        for (QueryHandle& h : handles) session->RehydrateQuery(h.id());
+      }
       if (mirror_session != nullptr) mirror_session->Flush();  // never in a window
     } else if (options.fault_rotation) {
       // Legacy mode: the throw surfaces to the caller. The core's strong
@@ -387,41 +408,41 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       bool faulted = false;
       try {
         ScopedFaultWindow window;
-        inc.Reoptimize();
+        inc->Reoptimize();
       } catch (const InjectedFault&) {
         faulted = true;
       } catch (const std::bad_alloc&) {
         faulted = true;
       }
       if (faulted) {
-        if (inc.optimized()) {
+        if (inc->optimized()) {
           return {false, fail_step,
                   StrFormat("after churn step %zu: strong exception guarantee violated — "
                             "optimizer still reports optimized() after a faulted "
                             "Reoptimize()",
                             s1 - 1)};
         }
-        inc.RebuildFromScratch();
+        inc->RebuildFromScratch();
       }
     } else {
-      inc.Reoptimize();
+      inc->Reoptimize();
     }
     if (options.validate_invariants) {
-      inc.ValidateInvariants();
+      inc->ValidateInvariants();
       if (shadow != nullptr) shadow->ValidateInvariants();
     }
-    if (auto err = oracle.Check(inc)) {
+    if (auto err = oracle.Check(*inc)) {
       return {false, fail_step, StrFormat("after churn step %zu: ", s1 - 1) + *err};
     }
     if (shadow != nullptr) {
-      if (!CostsAgree(shadow->BestCost(), inc.BestCost(), options.rel_tol)) {
+      if (!CostsAgree(shadow->BestCost(), inc->BestCost(), options.rel_tol)) {
         return {false, fail_step,
                 StrFormat("after churn step %zu: shadow session query diverged: "
                           "shadow=%s primary=%s",
                           s1 - 1, DoubleToString(shadow->BestCost()).c_str(),
-                          DoubleToString(inc.BestCost()).c_str())};
+                          DoubleToString(inc->BestCost()).c_str())};
       }
-      if (options.check_dump && shadow->CanonicalDumpState() != inc.CanonicalDumpState()) {
+      if (options.check_dump && shadow->CanonicalDumpState() != inc->CanonicalDumpState()) {
         return {false, fail_step,
                 StrFormat("after churn step %zu: shadow session query dump diverged",
                           s1 - 1)};
@@ -432,15 +453,15 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       // faulted-then-recovered ≡ never-faulted claim (fault rotation):
       // every registered query must land byte-identical to its twin in
       // the serial, never-faulted mirror world.
-      if (!CostsAgree(mirror_inc->BestCost(), inc.BestCost(), options.rel_tol)) {
+      if (!CostsAgree(mirror_inc->BestCost(), inc->BestCost(), options.rel_tol)) {
         return {false, fail_step,
                 StrFormat("after churn step %zu: flush diverged from the mirror world: "
                           "primary=%s mirror=%s",
-                          s1 - 1, DoubleToString(inc.BestCost()).c_str(),
+                          s1 - 1, DoubleToString(inc->BestCost()).c_str(),
                           DoubleToString(mirror_inc->BestCost()).c_str())};
       }
       if (options.check_dump) {
-        if (inc.CanonicalDumpState() != mirror_inc->CanonicalDumpState()) {
+        if (inc->CanonicalDumpState() != mirror_inc->CanonicalDumpState()) {
           return {false, fail_step,
                   StrFormat("after churn step %zu: primary dump diverged from the mirror "
                             "world (worker_threads=%d, fault_rotation=%d)",
@@ -465,9 +486,9 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       // before/after BestCost, in registration order; and (parallel mode)
       // the pooled session's event stream is field-identical to the serial
       // mirror's.
-      const std::string primary_dump = inc.CanonicalDumpState();
+      const std::string primary_dump = inc->CanonicalDumpState();
       const std::string shadow_dump = shadow->CanonicalDumpState();
-      const double primary_cost = inc.BestCost();
+      const double primary_cost = inc->BestCost();
       const double shadow_cost = shadow->BestCost();
       struct Expected {
         int tag;
@@ -559,19 +580,63 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       prev_primary_cost = primary_cost;
       prev_shadow_cost = shadow_cost;
     }
+    // Lifecycle rotation: disturb the primary world AFTER the boundary's
+    // checks, so the next boundary proves the disturbance invisible. All
+    // of this runs outside fault windows — an armed fault plan never
+    // fires inside an eviction, restore, or restart.
+    if (lifecycle && session != nullptr && s1 < scenario.churn.size()) {
+      const uint64_t roll = lifecycle_rng.NextBelow(4);
+      if (roll == 1) {
+        // Evict: spill one or both queries. Whether the next flush
+        // rehydrates them naturally (relevant batch) or the harness does
+        // right after it (irrelevant batch) is up to the churn.
+        session->EvictQuery(handles[0].id());
+        if (lifecycle_rng.NextBool(0.5)) session->EvictQuery(handles[1].id());
+      } else if (roll == 2) {
+        // Snapshot-restart: persist, tear the whole primary world down,
+        // rebuild it fresh, warm-start from the snapshot, re-subscribe.
+        session->SaveSnapshot(snapshot_path);
+        quarantines_carried += session->metrics().quarantines;
+        handles.clear();
+        session.reset();
+        inc.reset();
+        shadow.reset();
+        world = BuildScenarioWorld(scenario);
+        oracle.world = world.get();
+        inc = std::make_unique<DeclarativeOptimizer>(world->enumerator.get(),
+                                                     world->cost_model.get(),
+                                                     &world->registry, scenario.options);
+        shadow = std::make_unique<DeclarativeOptimizer>(world->enumerator.get(),
+                                                        world->cost_model.get(),
+                                                        &world->registry, scenario.options);
+        ReoptSessionOptions session_options;
+        session_options.worker_threads = options.worker_threads;
+        session = std::make_unique<ReoptSession>(&world->registry, session_options);
+        handles = session->LoadSnapshot(snapshot_path, {inc.get(), shadow.get()});
+        std::remove(snapshot_path.c_str());
+        // Re-subscribing baselines each query at its restored (byte-
+        // identical) plan — exactly where the mirror's settled baseline
+        // sits, so the event streams keep agreeing.
+        handles[0].Subscribe(&primary_sub);
+        handles[1].Subscribe(&shadow_sub);
+      }
+    }
   }
   DiffResult result;
   if (options.fault_rotation) {
     result.faults_fired = FaultInjector::Instance().fired();
+    // Strikes recorded by pre-restart session generations were carried
+    // over; the live session holds only the post-restart remainder.
     if (session != nullptr &&
-        session->metrics().quarantines != result.faults_fired) {
+        quarantines_carried + session->metrics().quarantines != result.faults_fired) {
       // Every single-shot fired action lands inside exactly one query's
       // pass, rebuild, or seeding — one strike each, no more, no fewer.
       return {false, static_cast<int>(scenario.churn.size()) - 1,
               StrFormat("fault accounting diverged: %lld fault(s) fired but the session "
                         "recorded %lld quarantine strike(s)",
                         static_cast<long long>(result.faults_fired),
-                        static_cast<long long>(session->metrics().quarantines))};
+                        static_cast<long long>(quarantines_carried +
+                                               session->metrics().quarantines))};
     }
   }
   return result;

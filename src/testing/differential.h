@@ -80,6 +80,19 @@ struct DiffOptions {
   /// RebuildFromScratch(). Either way, a run whose fault ordinal is never
   /// reached degenerates to the plain differential check.
   bool fault_rotation = false;
+  /// Lifecycle rotation (batch mode only): at every flush boundary a
+  /// seed-derived roll either does nothing, EVICTS registered queries
+  /// (memo spilled to a serialized seed and torn down — the next flush
+  /// rehydrates them, naturally when its batch is relevant or manually
+  /// right after it when not), or SNAPSHOT-RESTARTS the primary world
+  /// (ReoptSession::SaveSnapshot, destroy the session/optimizers/world,
+  /// rebuild a fresh world, LoadSnapshot, re-subscribe). The primary must
+  /// stay byte-identical (CanonicalDumpState) to the never-evicted,
+  /// never-restarted mirror world — which always runs under this rotation
+  /// — and to the from-scratch oracle, and the notification stream must
+  /// be unchanged. Lifecycle operations run OUTSIDE fault windows, so a
+  /// fault-rotation plan never fires inside them.
+  bool lifecycle_rotation = false;
   double rel_tol = 1e-9;
 };
 

@@ -14,6 +14,11 @@
 //                   seed-derived injected fault (quarantine/recovery must
 //                   land byte-identical to a never-faulted mirror), 0 =
 //                   never (default -1: odd seeds fault-rotate)
+// --lifecycle=N     lifecycle rotation (batch mode only): 1 = every
+//                   batch-mode scenario rolls seed-derived evictions and
+//                   snapshot-restarts at flush boundaries (the disturbed
+//                   primary must stay byte-identical to an undisturbed
+//                   mirror), 0 = never (default -1: seed bit 2 rotates)
 //
 // Every failure prints the scenario seed, the active flush mode (legacy /
 // batch_steps=K serial / batch_steps=K workers=W / faults) AND a
@@ -49,6 +54,7 @@ int g_iters = 2000;
 int g_time_budget_ms = 120'000;
 int g_force_workers = -1;  // --workers override; -1 = rotate seed % 3
 int g_force_faults = -1;   // --faults override; -1 = odd seeds fault-rotate
+int g_force_lifecycle = -1;  // --lifecycle override; -1 = seed bit 2 rotates
 
 // Mode of the scenario currently executing, for the SIGABRT handler: a
 // seed alone does not reproduce a batch/parallel failure (the flush mode
@@ -57,6 +63,7 @@ volatile uint64_t g_current_seed = 0;
 volatile int g_current_batch_steps = 0;
 volatile int g_current_workers = 0;
 volatile int g_current_faults = 0;
+volatile int g_current_lifecycle = 0;
 // 1 while the executing scenario's mode is the seed-derived rotation of
 // the main Agree sweep — the only case a CLI repro command can express.
 // (FaultRotatedScenariosRecoverToMirrorState pins non-seed-derived modes
@@ -70,15 +77,22 @@ struct ScenarioMode {
   int batch_steps = 0;     // 0 = legacy; 1..3 = batch sizes
   int worker_threads = 0;  // 0 = serial dispatch
   bool fault_rotation = false;
+  bool lifecycle_rotation = false;  // batch mode only
 };
 
-ScenarioMode DeriveMode(uint64_t seed, int force_workers, int force_faults) {
+ScenarioMode DeriveMode(uint64_t seed, int force_workers, int force_faults,
+                        int force_lifecycle) {
   ScenarioMode m;
   m.batch_steps = static_cast<int>(seed % 4);
   if (m.batch_steps >= 1) {
     m.worker_threads = force_workers >= 0 ? force_workers : static_cast<int>(seed % 3);
   }
   m.fault_rotation = force_faults == 1 || (force_faults < 0 && seed % 2 == 1);
+  // Bit 2 is independent of the batch_steps (seed % 4) and fault (seed % 2)
+  // rotations, so lifecycle churn overlaps every other mode combination.
+  m.lifecycle_rotation =
+      m.batch_steps >= 1 &&
+      (force_lifecycle == 1 || (force_lifecycle < 0 && ((seed >> 2) & 1) == 1));
   return m;
 }
 
@@ -90,7 +104,8 @@ ScenarioMode DeriveMode(uint64_t seed, int force_workers, int force_faults) {
 std::string ReproCommand(uint64_t seed, const ScenarioMode& mode) {
   return "--seed=" + std::to_string(seed) +
          " --iters=1 --workers=" + std::to_string(mode.worker_threads) +
-         " --faults=" + std::string(mode.fault_rotation ? "1" : "0");
+         " --faults=" + std::string(mode.fault_rotation ? "1" : "0") +
+         " --lifecycle=" + std::string(mode.lifecycle_rotation ? "1" : "0");
 }
 
 extern "C" void DifferentialAbortHandler(int) {
@@ -124,6 +139,7 @@ extern "C" void DifferentialAbortHandler(int) {
     }
   }
   if (g_current_faults != 0) append_str(" faults=1");
+  if (g_current_lifecycle != 0) append_str(" lifecycle=1");
   append_str("\n");
   if (g_mode_seed_derived != 0) {
     append_str("reproduce: ./differential_test --seed=");
@@ -132,6 +148,8 @@ extern "C" void DifferentialAbortHandler(int) {
     append_u64(static_cast<uint64_t>(g_current_workers));
     append_str(" --faults=");
     append_u64(static_cast<uint64_t>(g_current_faults));
+    append_str(" --lifecycle=");
+    append_u64(static_cast<uint64_t>(g_current_lifecycle));
     append_str("\n");
   }
   ssize_t ignored = write(STDERR_FILENO, buf, len);
@@ -182,6 +200,7 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
   int64_t parallel_runs = 0;
   int64_t fault_runs = 0;
   int64_t faults_fired = 0;
+  int64_t lifecycle_runs = 0;
   bool time_box_hit = false;
   for (int i = 0; i < g_iters; ++i) {
     if (g_time_budget_ms > 0) {
@@ -203,19 +222,23 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
     // Fault rotation: odd seeds (or all, under --faults=1) re-run their
     // flushes with a seed-derived injected fault; the harness then proves
     // recovery lands identical to a never-faulted mirror world.
-    const ScenarioMode mode = DeriveMode(seed, g_force_workers, g_force_faults);
+    const ScenarioMode mode =
+        DeriveMode(seed, g_force_workers, g_force_faults, g_force_lifecycle);
     options.batch_steps = mode.batch_steps;
     options.worker_threads = mode.worker_threads;
     options.fault_rotation = mode.fault_rotation;
+    options.lifecycle_rotation = mode.lifecycle_rotation;
     if (options.batch_steps >= 1) {
       ++batched_runs;
       if (options.worker_threads >= 1) ++parallel_runs;
     }
     if (options.fault_rotation) ++fault_runs;
+    if (options.lifecycle_rotation) ++lifecycle_runs;
     g_current_seed = seed;
     g_current_batch_steps = options.batch_steps;
     g_current_workers = options.worker_threads;
     g_current_faults = options.fault_rotation ? 1 : 0;
+    g_current_lifecycle = options.lifecycle_rotation ? 1 : 0;
     g_mode_seed_derived = 1;
     DiffResult result = RunScenario(scenario, options);
     g_mode_seed_derived = 0;
@@ -225,7 +248,8 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
     if (!result.ok) {
       FAIL() << "seed " << seed << " (batch_steps=" << options.batch_steps
              << " worker_threads=" << options.worker_threads
-             << " fault_rotation=" << options.fault_rotation << ")\n"
+             << " fault_rotation=" << options.fault_rotation
+             << " lifecycle_rotation=" << options.lifecycle_rotation << ")\n"
              << "reproduce: ./differential_test " << ReproCommand(seed, mode) << "\n"
              << FailureReport(scenario, result, options, FaultInjection{});
     }
@@ -242,11 +266,16 @@ TEST(DifferentialHarnessTest, GeneratedScenariosAgreeWithFromScratchOracle) {
     // silently checking nothing.
     EXPECT_GT(faults_fired, 0);
   }
+  if (ran >= 16 && g_force_lifecycle != 0) {
+    EXPECT_GT(lifecycle_runs, 0);  // lifecycle rotation actually covers runs
+  }
   std::fprintf(stderr,
                "differential: %lld scenarios, %lld reoptimize/from-scratch checks, "
-               "%lld fault-rotated (%lld faults fired), 0 divergences\n",
+               "%lld fault-rotated (%lld faults fired), %lld lifecycle-rotated, "
+               "0 divergences\n",
                static_cast<long long>(ran), static_cast<long long>(reopt_checks),
-               static_cast<long long>(fault_runs), static_cast<long long>(faults_fired));
+               static_cast<long long>(fault_runs), static_cast<long long>(faults_fired),
+               static_cast<long long>(lifecycle_runs));
   // Without a binding time box the full requested count must have run. A
   // time-boxed run on a slow machine (sanitized Debug CI) checks whatever
   // fit — the CI sanitize matrix pins a separate unboxed 200-scenario
@@ -290,6 +319,34 @@ TEST(DifferentialHarnessTest, FaultRotatedScenariosRecoverToMirrorState) {
                static_cast<long long>(fired));
 }
 
+// The lifecycle tentpole, pinned without flags: every scenario runs in
+// batch mode with lifecycle rotation forced on — seed-derived evictions
+// and snapshot/destroy/restore cycles at flush boundaries — and must land
+// byte-identical to an undisturbed mirror world and the from-scratch
+// oracle after every flush.
+TEST(DifferentialHarnessTest, LifecycleRotatedScenariosMatchMirrorState) {
+  const GeneratorKnobs knobs;
+  for (uint64_t seed = 6000; seed < 6048; ++seed) {
+    Scenario scenario = GenerateScenario(seed, knobs);
+    DiffOptions options;
+    options.batch_steps = 1 + static_cast<int>(seed % 3);  // always batch mode
+    options.worker_threads = static_cast<int>(seed % 2);   // serial and pooled
+    options.lifecycle_rotation = true;
+    g_current_seed = seed;
+    g_current_batch_steps = options.batch_steps;
+    g_current_workers = options.worker_threads;
+    g_current_lifecycle = 1;
+    DiffResult result = RunScenario(scenario, options);
+    ASSERT_TRUE(result.ok) << "seed " << seed << " (batch_steps=" << options.batch_steps
+                           << " worker_threads=" << options.worker_threads
+                           << " lifecycle_rotation=1): "
+                           << FailureReport(scenario, result, options, FaultInjection{});
+  }
+  g_current_lifecycle = 0;
+  std::fprintf(stderr, "lifecycle rotation: 48 scenarios, evict/rehydrate and "
+                       "snapshot-restart matched the undisturbed mirror\n");
+}
+
 // Repro-line pin: for every launch configuration (bare, forced workers,
 // forced faults on/off), parsing the printed ReproCommand's flags and
 // re-deriving the mode must land on the exact rotation state the failing
@@ -301,26 +358,34 @@ TEST(DifferentialHarnessTest, FaultRotatedScenariosRecoverToMirrorState) {
 TEST(DifferentialHarnessTest, ReproCommandPinsRotationState) {
   const int worker_forces[] = {-1, 0, 2};
   const int fault_forces[] = {-1, 0, 1};
+  const int lifecycle_forces[] = {-1, 0, 1};
   for (uint64_t seed = 100; seed < 140; ++seed) {
     for (int fw : worker_forces) {
       for (int ff : fault_forces) {
-        const ScenarioMode mode = DeriveMode(seed, fw, ff);
-        const std::string cmd = ReproCommand(seed, mode);
-        ASSERT_NE(cmd.find("--seed=" + std::to_string(seed)), std::string::npos) << cmd;
-        ASSERT_NE(cmd.find("--iters=1"), std::string::npos) << cmd;
-        // Both rotation flags must be pinned unconditionally.
-        const size_t wpos = cmd.find("--workers=");
-        const size_t fpos = cmd.find("--faults=");
-        ASSERT_NE(wpos, std::string::npos) << cmd;
-        ASSERT_NE(fpos, std::string::npos) << cmd;
-        // Replay: the harness parses these flags into the force globals and
-        // derives the mode again — it must reconstruct the original.
-        const int replay_workers = std::atoi(cmd.c_str() + wpos + 10);
-        const int replay_faults = std::atoi(cmd.c_str() + fpos + 9);
-        const ScenarioMode replay = DeriveMode(seed, replay_workers, replay_faults);
-        EXPECT_EQ(replay.batch_steps, mode.batch_steps) << cmd;
-        EXPECT_EQ(replay.worker_threads, mode.worker_threads) << cmd;
-        EXPECT_EQ(replay.fault_rotation, mode.fault_rotation) << cmd;
+        for (int fl : lifecycle_forces) {
+          const ScenarioMode mode = DeriveMode(seed, fw, ff, fl);
+          const std::string cmd = ReproCommand(seed, mode);
+          ASSERT_NE(cmd.find("--seed=" + std::to_string(seed)), std::string::npos) << cmd;
+          ASSERT_NE(cmd.find("--iters=1"), std::string::npos) << cmd;
+          // All rotation flags must be pinned unconditionally.
+          const size_t wpos = cmd.find("--workers=");
+          const size_t fpos = cmd.find("--faults=");
+          const size_t lpos = cmd.find("--lifecycle=");
+          ASSERT_NE(wpos, std::string::npos) << cmd;
+          ASSERT_NE(fpos, std::string::npos) << cmd;
+          ASSERT_NE(lpos, std::string::npos) << cmd;
+          // Replay: the harness parses these flags into the force globals
+          // and derives the mode again — it must reconstruct the original.
+          const int replay_workers = std::atoi(cmd.c_str() + wpos + 10);
+          const int replay_faults = std::atoi(cmd.c_str() + fpos + 9);
+          const int replay_lifecycle = std::atoi(cmd.c_str() + lpos + 12);
+          const ScenarioMode replay =
+              DeriveMode(seed, replay_workers, replay_faults, replay_lifecycle);
+          EXPECT_EQ(replay.batch_steps, mode.batch_steps) << cmd;
+          EXPECT_EQ(replay.worker_threads, mode.worker_threads) << cmd;
+          EXPECT_EQ(replay.fault_rotation, mode.fault_rotation) << cmd;
+          EXPECT_EQ(replay.lifecycle_rotation, mode.lifecycle_rotation) << cmd;
+        }
       }
     }
   }
@@ -420,6 +485,8 @@ int main(int argc, char** argv) {
       iqro::testing::g_force_workers = std::atoi(arg + 10);
     } else if (std::strncmp(arg, "--faults=", 9) == 0) {
       iqro::testing::g_force_faults = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--lifecycle=", 12) == 0) {
+      iqro::testing::g_force_lifecycle = std::atoi(arg + 12);
     } else {
       argv[out++] = argv[i];
     }

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -20,8 +21,11 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/serialize.h"
 #include "core/declarative_optimizer.h"
 #include "service/reopt_session.h"
+#include "service/snapshot.h"
+#include "testing/differential.h"
 #include "test_util.h"
 
 namespace iqro::testing {
@@ -1560,6 +1564,356 @@ TEST(FlushPolicyTest, CostGatedLearnsPerQueryEwmasThroughTheSession) {
   EXPECT_EQ(policy->query_work_per_change(1), 0.0);
   EXPECT_NEAR(policy->work_per_change(),
               std::max(1.0, policy->query_work_per_change(0)), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Memo lifecycle: eviction budget, snapshot / warm restart
+// ---------------------------------------------------------------------------
+
+/// Unique per-test snapshot path under /tmp; removed by the destructor.
+struct ScopedSnapshotPath {
+  explicit ScopedSnapshotPath(const std::string& name)
+      : path("/tmp/iqro_service_test_" + name + ".snap") {
+    std::remove(path.c_str());
+  }
+  ~ScopedSnapshotPath() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  std::string path;
+};
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+TEST(MemoLifecycleTest, EvictedQueryRehydratesOnItsFirstRelevantFlush) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(), &world->registry);
+  a.Optimize();
+  b.Optimize();
+  ReoptSession session(&world->registry);
+  QueryHandle ha = session.Register(a);
+  QueryHandle hb = session.Register(b);
+
+  ASSERT_TRUE(session.EvictQuery(ha.id()));
+  EXPECT_FALSE(a.optimized());  // memo torn down, state lives in the seed
+  EXPECT_EQ(session.num_evicted(), 1);
+  EXPECT_EQ(session.metrics().evictions, 1);
+  EXPECT_FALSE(session.EvictQuery(ha.id()));  // already evicted: no-op
+  // The gauge counts only resident memos: b's alone.
+  EXPECT_EQ(session.resident_memo_bytes(),
+            static_cast<int64_t>(b.EstimatedMemoBytes()));
+
+  // A flush whose batch touches the evicted query's relations rehydrates
+  // it BEFORE dispatch: the restored memo then rides the normal delta
+  // seeding and must land exactly where the never-evicted peer does.
+  world->registry.SetBaseRows(1, world->registry.base_rows(1) * 64);
+  EXPECT_GT(session.Flush(), 0u);
+  EXPECT_EQ(session.num_evicted(), 0);
+  EXPECT_EQ(session.metrics().rehydrations, 1);
+  EXPECT_TRUE(a.optimized());
+  a.ValidateInvariants();
+  EXPECT_EQ(a.CanonicalDumpState(), b.CanonicalDumpState());
+  EXPECT_EQ(a.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+  // The gauge is back to both memos resident.
+  EXPECT_EQ(session.resident_memo_bytes(),
+            static_cast<int64_t>(a.EstimatedMemoBytes() + b.EstimatedMemoBytes()));
+}
+
+TEST(MemoLifecycleTest, ManualRehydrateRestoresByteIdenticalState) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  const std::string dump0 = opt.CanonicalDumpState();
+  ReoptSession session(&world->registry);
+  QueryHandle handle = session.Register(opt);
+
+  ASSERT_TRUE(session.EvictQuery(handle.id()));
+  EXPECT_FALSE(opt.optimized());
+  ASSERT_TRUE(session.RehydrateQuery(handle.id()));
+  EXPECT_FALSE(session.RehydrateQuery(handle.id()));  // not evicted: no-op
+  EXPECT_TRUE(opt.optimized());
+  opt.ValidateInvariants();
+  // No churn between evict and rehydrate: the restore is byte-exact.
+  EXPECT_EQ(opt.CanonicalDumpState(), dump0);
+  EXPECT_EQ(session.metrics().evictions, 1);
+  EXPECT_EQ(session.metrics().rehydrations, 1);
+}
+
+// The budget tentpole: with memo_byte_budget set, resident bytes stay at
+// or under the budget after every flush while every query keeps answering
+// oracle-equal — dormant memos spill, never results.
+TEST(MemoLifecycleTest, MemoBudgetEvictsLruAndPlansStayOracleEqual) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::Default());
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::UseAggSel());
+  DeclarativeOptimizer c(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::UseNoPruning());
+  a.Optimize();
+  b.Optimize();
+  c.Optimize();
+  const size_t full = a.EstimatedMemoBytes() + b.EstimatedMemoBytes() +
+                      c.EstimatedMemoBytes();
+
+  ReoptSessionOptions so;
+  so.memo_byte_budget = (full * 2) / 3;  // cannot hold all three memos
+  ReoptSession session(&world->registry, so);
+  std::vector<QueryHandle> handles;
+  handles.push_back(session.Register(a));
+  handles.push_back(session.Register(b));
+  handles.push_back(session.Register(c));
+
+  const double rows0 = world->registry.base_rows(0);
+  for (int round = 0; round < 4; ++round) {
+    world->registry.SetBaseRows(0, rows0 * (round % 2 == 0 ? 50.0 : 1.0));
+    EXPECT_GT(session.Flush(), 0u);
+    EXPECT_LE(session.resident_memo_bytes(),
+              static_cast<int64_t>(so.memo_byte_budget))
+        << "round " << round;
+  }
+  EXPECT_GT(session.metrics().evictions, 0);
+  // Every batch touched relation 0 (in all three root sets), so evicted
+  // queries rehydrated on the very next flush.
+  EXPECT_GT(session.metrics().rehydrations, 0);
+
+  // Rehydrate whatever is still spilled and prove all three answer
+  // exactly as a from-scratch optimizer over the final statistics.
+  for (const QueryHandle& h : handles) session.RehydrateQuery(h.id());
+  for (auto* opt : {&a, &b, &c}) {
+    opt->ValidateInvariants();
+    EXPECT_EQ(opt->CanonicalDumpState(), ScratchDump(*world, opt->options()));
+  }
+}
+
+TEST(SnapshotTest, SaveLoadRoundTripWarmRestartsTheSession) {
+  ScopedSnapshotPath snap("roundtrip");
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::Default());
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::UseAggSel());
+  a.Optimize();
+  b.Optimize();
+  ReoptSession session(&world->registry);
+  QueryHandle ha = session.Register(a);
+  QueryHandle hb = session.Register(b);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 40);
+  world->registry.SetScanCostMultiplier(3, 2.0);
+  session.Flush();
+  // Snapshot a mixed population: a resident, b spilled to its seed.
+  ASSERT_TRUE(session.EvictQuery(hb.id()));
+  session.SaveSnapshot(snap.path);
+  const std::string dump_a = a.CanonicalDumpState();
+
+  // "Restart": a brand-new world (same deterministic construction), fresh
+  // unoptimized optimizers, fresh session — warm-started from the file.
+  auto world2 = ChainWorld(6, 23);
+  DeclarativeOptimizer a2(world2->enumerator.get(), world2->cost_model.get(),
+                          &world2->registry, OptimizerOptions::Default());
+  DeclarativeOptimizer b2(world2->enumerator.get(), world2->cost_model.get(),
+                          &world2->registry, OptimizerOptions::UseAggSel());
+  ReoptSession session2(&world2->registry);
+  std::vector<QueryHandle> handles = session2.LoadSnapshot(snap.path, {&a2, &b2});
+  ASSERT_EQ(handles.size(), 2u);
+  EXPECT_EQ(session2.num_queries(), 2);
+
+  // The restored world answers byte-identically to the pre-restart one...
+  EXPECT_EQ(a2.CanonicalDumpState(), dump_a);
+  a2.ValidateInvariants();
+  b2.ValidateInvariants();
+  EXPECT_EQ(b2.CanonicalDumpState(), ScratchDump(*world2, OptimizerOptions::UseAggSel()));
+
+  // ...and keeps re-optimizing incrementally: post-restart churn flushes
+  // through the restored session and stays oracle-equal.
+  world2->registry.SetBaseRows(2, world2->registry.base_rows(2) * 9);
+  EXPECT_GT(session2.Flush(), 0u);
+  for (auto* opt : {&a2, &b2}) {
+    opt->ValidateInvariants();
+    EXPECT_EQ(opt->CanonicalDumpState(), ScratchDump(*world2, opt->options()));
+  }
+}
+
+// Randomized round-trip fuzz: generated scenarios churned mid-way, some
+// queries evicted, snapshotted, restored into a freshly built world, the
+// remaining churn replayed — the restored query must land exactly where a
+// from-scratch optimizer over the full churn does.
+TEST(SnapshotTest, FuzzRoundTripAcrossGeneratedScenarios) {
+  ScopedSnapshotPath snap("fuzz");
+  int replayed = 0;
+  for (uint64_t seed = 7000; seed < 7024; ++seed) {
+    Scenario scenario = GenerateScenario(seed);
+    if (scenario.churn.size() < 2) continue;
+    const size_t split = scenario.churn.size() / 2;
+
+    auto world = BuildScenarioWorld(scenario);
+    DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                             &world->registry, scenario.options);
+    opt.Optimize();
+    ReoptSession session(&world->registry);
+    QueryHandle handle = session.Register(opt);
+    for (size_t s = 0; s < split; ++s) {
+      for (const StatMutation& m : scenario.churn[s].mutations) {
+        ApplyMutation(&world->registry, m);
+      }
+      session.Flush();
+    }
+    if (seed % 2 == 0) session.EvictQuery(handle.id());  // cover stored seeds
+    session.SaveSnapshot(snap.path);
+
+    auto world2 = BuildScenarioWorld(scenario);
+    DeclarativeOptimizer opt2(world2->enumerator.get(), world2->cost_model.get(),
+                              &world2->registry, scenario.options);
+    ReoptSession session2(&world2->registry);
+    std::vector<QueryHandle> handles = session2.LoadSnapshot(snap.path, {&opt2});
+    ASSERT_EQ(handles.size(), 1u) << "seed " << seed;
+    for (size_t s = split; s < scenario.churn.size(); ++s) {
+      for (const StatMutation& m : scenario.churn[s].mutations) {
+        ApplyMutation(&world2->registry, m);
+      }
+      session2.Flush();
+    }
+    session2.RehydrateQuery(handles[0].id());  // in case every batch missed it
+
+    // Fresh oracle: a third world with ALL churn applied, optimized once.
+    auto world3 = BuildScenarioWorld(scenario);
+    ApplyChurnPrefix(&world3->registry, scenario, scenario.churn.size());
+    DeclarativeOptimizer oracle(world3->enumerator.get(), world3->cost_model.get(),
+                                &world3->registry, scenario.options);
+    oracle.Optimize();
+    opt2.ValidateInvariants();
+    ASSERT_EQ(opt2.CanonicalDumpState(), oracle.CanonicalDumpState())
+        << "seed " << seed << " diverged after snapshot restore + replay";
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 16);  // the seed range really exercised the path
+  std::fprintf(stderr, "snapshot fuzz: %d scenarios round-tripped\n", replayed);
+}
+
+TEST(SnapshotTest, CrashAtWritePointLeavesPreviousSnapshotIntact) {
+  ScopedSnapshotPath snap("crash_write");
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  ReoptSession session(&world->registry);
+  QueryHandle handle = session.Register(opt);
+  session.SaveSnapshot(snap.path);  // the good prior generation
+  const std::string dump0 = opt.CanonicalDumpState();
+
+  for (const char* site : {"snapshot.write", "snapshot.rename"}) {
+    world->registry.SetBaseRows(0, world->registry.base_rows(0) * 3);
+    FaultInjector::Instance().set_enabled(false);
+    FaultInjector::ArmSpec spec;
+    spec.site = site;
+    ScopedFaultArm arm(spec);
+    {
+      ScopedFaultWindow window;
+      EXPECT_THROW(session.SaveSnapshot(snap.path), InjectedFault) << site;
+    }
+    // Crash on either side of the commit point: the previous complete
+    // snapshot survives, no torn temp file is left behind.
+    EXPECT_FALSE(FileExists(snap.path + ".tmp")) << site;
+    auto world2 = ChainWorld(6, 23);
+    DeclarativeOptimizer opt2(world2->enumerator.get(), world2->cost_model.get(),
+                              &world2->registry);
+    ReoptSession session2(&world2->registry);
+    std::vector<QueryHandle> handles = session2.LoadSnapshot(snap.path, {&opt2});
+    EXPECT_EQ(opt2.CanonicalDumpState(), dump0) << site;
+  }
+}
+
+TEST(SnapshotTest, CorruptCorpusIsRejectedWithTypedErrors) {
+  const struct {
+    const char* file;
+    SerializeError::Code code;
+  } corpus[] = {
+      {"empty.snap", SerializeError::Code::kBadMagic},
+      {"short_garbage.snap", SerializeError::Code::kBadMagic},
+      {"bad_magic.snap", SerializeError::Code::kBadMagic},
+      {"bad_version.snap", SerializeError::Code::kBadVersion},
+      {"truncated_header.snap", SerializeError::Code::kTruncated},
+      {"oversized_section.snap", SerializeError::Code::kTruncated},
+      {"bad_checksum.snap", SerializeError::Code::kChecksum},
+      {"trailing_garbage.snap", SerializeError::Code::kBadSection},
+  };
+  for (const auto& entry : corpus) {
+    const std::string path = std::string(IQRO_TEST_DATA_DIR) + "/" + entry.file;
+    ASSERT_TRUE(FileExists(path)) << path << " (regenerate: tools/make_snapshot_corpus.py)";
+    try {
+      service::SnapshotReader reader(path);
+      FAIL() << entry.file << " was accepted; expected "
+             << SerializeErrorCodeName(entry.code);
+    } catch (const SerializeError& e) {
+      EXPECT_EQ(e.code, entry.code)
+          << entry.file << ": rejected as " << SerializeErrorCodeName(e.code)
+          << ", expected " << SerializeErrorCodeName(entry.code);
+    }
+  }
+}
+
+// LoadSnapshot on a bad file must reject BEFORE mutating anything: the
+// session stays empty and usable, and the caller falls back to the cold
+// path (plain Optimize + Register) with no residue from the failed load.
+TEST(SnapshotTest, LoadRejectsCorruptFileAndFallsBackToColdStart) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  ReoptSession session(&world->registry);
+
+  const std::string bad = std::string(IQRO_TEST_DATA_DIR) + "/bad_checksum.snap";
+  EXPECT_THROW(
+      { std::vector<QueryHandle> h = session.LoadSnapshot(bad, {&opt}); },
+      SerializeError);
+  EXPECT_EQ(session.num_queries(), 0);
+  EXPECT_FALSE(opt.optimized());
+
+  // A container that parses but does not lead with the statistics section
+  // is structurally wrong (kBadSection)...
+  ScopedSnapshotPath snap("shape_mismatch");
+  {
+    service::SnapshotWriter writer;
+    writer.AddSection(/*type=*/42, "wrong shape");
+    writer.WriteAtomic(snap.path);
+    try {
+      std::vector<QueryHandle> h = session.LoadSnapshot(snap.path, {&opt});
+      FAIL() << "shape-mismatched snapshot was accepted";
+    } catch (const SerializeError& e) {
+      EXPECT_EQ(e.code, SerializeError::Code::kBadSection);
+    }
+  }
+  // ...while a well-formed container whose query count disagrees with the
+  // supplied optimizer list is rejected as kMismatch (before any payload
+  // is applied).
+  {
+    service::SnapshotWriter writer;
+    writer.AddSection(/*type=*/1, "stats");    // kStatsSection
+    writer.AddSection(/*type=*/2, "query a");  // kQuerySection
+    writer.AddSection(/*type=*/2, "query b");
+    writer.WriteAtomic(snap.path);
+    try {
+      std::vector<QueryHandle> h = session.LoadSnapshot(snap.path, {&opt});
+      FAIL() << "count-mismatched snapshot was accepted";
+    } catch (const SerializeError& e) {
+      EXPECT_EQ(e.code, SerializeError::Code::kMismatch);
+    }
+  }
+
+  // Cold fallback: the session is not wedged.
+  opt.Optimize();
+  QueryHandle handle = session.Register(opt);
+  world->registry.SetBaseRows(1, world->registry.base_rows(1) * 5);
+  EXPECT_GT(session.Flush(), 0u);
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
 }
 
 }  // namespace

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Regenerates the corrupt-snapshot corpus under tests/data/.
+
+Each file is a deliberately broken snapshot container (service/snapshot.h
+format, version 1); tests/service_test.cpp asserts SnapshotReader rejects
+every one with the exact typed SerializeError code named in the filename's
+entry below. The corpus is checked in — rerun this script only when the
+container format changes, and update the expectations in service_test.cpp
+to match.
+
+Usage: tools/make_snapshot_corpus.py [output_dir]   (default tests/data)
+"""
+import os
+import struct
+import sys
+
+MAGIC = b"IQROSNAP"
+VERSION = 1
+
+
+def fnv1a64(data: bytes) -> int:
+    # Must match iqro::Fnv1a64 (common/serialize.h) bit-for-bit.
+    h = 14695981039346656037
+    for b in data:
+        h ^= b
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def section(stype: int, payload: bytes, checksum: int = None) -> bytes:
+    if checksum is None:
+        checksum = fnv1a64(payload)
+    return struct.pack("<IQQ", stype, len(payload), checksum) + payload
+
+
+def container(version: int, sections: list) -> bytes:
+    return MAGIC + struct.pack("<II", version, len(sections)) + b"".join(sections)
+
+
+def corpus() -> dict:
+    payload = b"not a real stats section, but framed correctly"
+    good = container(VERSION, [section(1, payload)])
+    files = {
+        # expected code: bad_magic — too short to even hold the magic
+        "empty.snap": b"",
+        "short_garbage.snap": b"IQ",
+        # expected code: bad_magic — full header, wrong identity
+        "bad_magic.snap": b"NOTASNAP" + good[8:],
+        # expected code: bad_version — well-formed, future container version
+        "bad_version.snap": container(99, [section(1, payload)]),
+        # expected code: truncated — section count says 1, file ends first
+        "truncated_header.snap": MAGIC + struct.pack("<II", VERSION, 1),
+        # expected code: truncated — declared length overruns the file
+        "oversized_section.snap": MAGIC + struct.pack("<II", VERSION, 1) +
+            struct.pack("<IQQ", 1, 1 << 20, fnv1a64(payload)) + payload,
+        # expected code: checksum — one payload bit flipped after framing
+        "bad_checksum.snap": container(
+            VERSION, [section(1, payload, checksum=fnv1a64(payload) ^ 1)]),
+        # expected code: bad_section — valid container plus trailing junk
+        "trailing_garbage.snap": good + b"JUNK",
+    }
+    return files
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tests", "data")
+    os.makedirs(out_dir, exist_ok=True)
+    for name, data in corpus().items():
+        with open(os.path.join(out_dir, name), "wb") as f:
+            f.write(data)
+        print(f"wrote {name} ({len(data)} bytes)")
+
+
+if __name__ == "__main__":
+    main()
