@@ -47,6 +47,7 @@ bench::JsonObj ReportJson(const FlushReport& r) {
       .Put("mutations_rejected", r.mutations_rejected)
       .Put("summary_shared_hits", r.summary_shared_hits)
       .Put("summary_shared_misses", r.summary_shared_misses)
+      .Put("flush_ms", r.flush_ms)
       .Put("opt", opt)
       .Put("session", session);
   return obj;

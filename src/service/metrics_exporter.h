@@ -55,6 +55,10 @@ struct FlushReport {
   /// (ReoptSession::summary_cache() — cross-query summary sharing).
   int64_t summary_shared_hits = 0;
   int64_t summary_shared_misses = 0;
+  /// Wall-clock duration of this flush (drain through delivery and budget
+  /// enforcement), measured on the flushing thread. The stream-churn bench
+  /// derives its flush-latency percentiles from this.
+  double flush_ms = 0;
   /// Aggregated OptMetrics of the dispatched passes.
   FlushOptStats opt;
   /// Cumulative session counters after this flush.

@@ -1,6 +1,7 @@
 #include "service/reopt_session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <utility>
 
@@ -151,6 +152,10 @@ ReoptSession::QueryId ReoptSession::RegisterImpl(DeclarativeOptimizer* optimizer
   if (queries_.size() >= 2) {
     for (Slot& s : queries_) s.optimizer->AttachSharedSummaryCache(&summary_cache_);
   }
+  // The resident gauge tracks the live set exactly — not just at flush
+  // boundaries: a registration grows it immediately, so a monitor reading
+  // metrics() between flushes never sees a stale total.
+  metrics_.resident_memo_bytes = static_cast<int64_t>(ComputeResidentBytes());
   return next_id_++;
 }
 
@@ -219,6 +224,12 @@ void ReoptSession::UnregisterImpl(QueryId id) {
     std::lock_guard<std::mutex> lock(policy_mu_);
     options_.flush_policy->OnQueryUnregistered(id);
   }
+  // Shrink the resident gauge NOW, not at the next dispatched flush: a
+  // release followed by a coalesced-to-empty flush used to leave the dead
+  // query's memo counted until the next real dispatch ran budget
+  // enforcement (and a release while over budget could evict a live peer
+  // on the strength of bytes that no longer exist).
+  metrics_.resident_memo_bytes = static_cast<int64_t>(ComputeResidentBytes());
   RefreshQuarantineIndex();
 }
 
@@ -747,6 +758,9 @@ size_t ReoptSession::Flush() {
   // wanted drained is either in the in-flight batch or stays pending for
   // the next flush.
   if (in_flush_.exchange(true)) return 0;
+  // Timed from here (drain through delivery and budget enforcement); the
+  // epilogue stamps the elapsed wall time into the FlushReport.
+  const auto flush_started = std::chrono::steady_clock::now();
   flush_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   // RAII: an exception escaping the flush (a subscriber callback's throw)
   // must not leave in_flush_ stuck true — that would silently turn every
@@ -855,6 +869,7 @@ size_t ReoptSession::Flush() {
   // policies must not throw (this runs from a destructor).
   struct FlushEpilogue {
     ReoptSession* session;
+    std::chrono::steady_clock::time_point started;
     uint64_t epoch;
     int64_t changes;
     int64_t queries;
@@ -897,12 +912,16 @@ size_t ReoptSession::Flush() {
         report.evictions = *evictions;
         report.rehydrations = *rehydrations;
         report.resident_memo_bytes = report.session.resident_memo_bytes;
+        report.flush_ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - started)
+                .count();
         report.opt = s->last_flush_;
         s->options_.metrics_exporter->OnFlushMetrics(report);
       }
       s->PolicyOnFlush(s->last_flush_, changes);
     }
   } epilogue{this,
+             flush_started,
              batch.epoch,
              static_cast<int64_t>(batch.changes.size()),
              queries_at_dispatch,

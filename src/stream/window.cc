@@ -62,4 +62,18 @@ void SlidingWindow::Rematerialize() {
   for (const auto& row : rows_) table_->AppendRow(row);
 }
 
+int FeedWindowCardinalities(const std::vector<std::unique_ptr<SlidingWindow>>& windows,
+                            StatsRegistry* registry) {
+  IQRO_CHECK(registry != nullptr);
+  int recorded = 0;
+  for (size_t r = 0; r < windows.size(); ++r) {
+    const double rows = std::max<double>(1.0, windows[r]->table().num_rows());
+    if (rows != registry->base_rows(static_cast<int>(r))) {
+      registry->SetBaseRows(static_cast<int>(r), rows);
+      ++recorded;
+    }
+  }
+  return recorded;
+}
+
 }  // namespace iqro

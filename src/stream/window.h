@@ -7,11 +7,13 @@
 #define IQRO_STREAM_WINDOW_H_
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "query/query_spec.h"
+#include "stats/stats_registry.h"
 #include "stream/linear_road.h"
 
 namespace iqro {
@@ -44,6 +46,17 @@ class SlidingWindow {
   // For tuple-based partitioned windows: per-partition row counts.
   std::unordered_map<int64_t, std::deque<size_t>> partition_rows_;
 };
+
+/// Feeds the windows' current cardinalities into a StatsRegistry as
+/// base-row updates: relation r reads windows[r], floored at one row (the
+/// optimizer's zero-information default), with exact no-ops skipped so the
+/// coalescer only ever sees real deltas. This is the registry-facing half
+/// of AdaptiveStreamProcessor::RefreshWindowStatistics, split out so a
+/// ReoptSession-driven stream pipeline (the sustained-churn driver in
+/// bench_adversarial) refreshes statistics exactly the way the AQP loop
+/// does. Returns the number of mutations recorded.
+int FeedWindowCardinalities(const std::vector<std::unique_ptr<SlidingWindow>>& windows,
+                            StatsRegistry* registry);
 
 }  // namespace iqro
 

@@ -256,6 +256,7 @@ Scenario GenerateScenario(uint64_t seed, const GeneratorKnobs& knobs) {
 
 DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
                        const FaultInjection& fault) {
+  DiffResult result;
   auto world = BuildScenarioWorld(scenario);
   StepOracle oracle{world.get(), &scenario, &options};
 
@@ -277,6 +278,20 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
   inc->Optimize();
   if (options.validate_invariants) inc->ValidateInvariants();
   if (auto err = oracle.Check(*inc)) return {false, -1, "initial optimization: " + *err};
+  // Plan-shape baseline for the flip counter (DiffResult::plan_flips): a
+  // detached tree snapshot, so it survives lifecycle restarts of `inc`.
+  auto prev_plan_shape = inc->GetBestPlan();
+  // Accumulates the primary session's seeding counters across every
+  // dispatched flush (last_flush() only keeps the most recent one, and
+  // fault-rotation recovery runs several per boundary).
+  const auto count_flush = [&result](ReoptSession& s) {
+    const size_t n = s.Flush();
+    if (n > 0) {
+      result.eps_seeded += s.last_flush().eps_seeded;
+      result.eps_scanned += s.last_flush().eps_scanned;
+    }
+    return n;
+  };
 
   // Batch mode: a ReoptSession owns the flushes, and a shadow optimizer
   // (same options, same registry) rides along to prove that one drained
@@ -369,7 +384,7 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       if (options.fault_rotation) {
         {
           ScopedFaultWindow window;
-          session->Flush();
+          count_flush(*session);
         }
         // Recovery: each flush ticks the retry clock and rehabilitates
         // whatever backoff has expired. Faults stay armed (a seed can
@@ -385,10 +400,10 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
                               s1 - 1, session->num_quarantined(), session->num_parked())};
           }
           ScopedFaultWindow window;
-          session->Flush();
+          count_flush(*session);
         }
       } else {
-        session->Flush();
+        count_flush(*session);
       }
       if (lifecycle) {
         // Deferred rehydration: a query evicted at the previous boundary
@@ -579,6 +594,13 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       prev_shadow_dump = shadow_dump;
       prev_primary_cost = primary_cost;
       prev_shadow_cost = shadow_cost;
+      result.plan_changes += static_cast<int64_t>(events.size());
+    }
+    ++result.flushes;
+    {
+      auto cur_plan_shape = inc->GetBestPlan();
+      if (!cur_plan_shape->SameShape(*prev_plan_shape)) ++result.plan_flips;
+      prev_plan_shape = std::move(cur_plan_shape);
     }
     // Lifecycle rotation: disturb the primary world AFTER the boundary's
     // checks, so the next boundary proves the disturbance invisible. All
@@ -622,7 +644,6 @@ DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options,
       }
     }
   }
-  DiffResult result;
   if (options.fault_rotation) {
     result.faults_fired = FaultInjector::Instance().fired();
     // Strikes recorded by pre-restart session generations were carried

@@ -121,6 +121,16 @@ struct DiffResult {
   /// harness has already proven quarantines == faults fired and full
   /// recovery; callers use this to report fault coverage.
   int64_t faults_fired = 0;
+  /// Workload-shape counters for per-class attribution (scenario_class.h):
+  /// churn boundaries executed, boundaries after which the primary query's
+  /// best plan changed *shape* (SameShape — operator/join-order change, not
+  /// a mere cost move), PlanChangeEvents delivered (batch mode), and the
+  /// session's cumulative seeding counters (batch mode).
+  int64_t flushes = 0;
+  int64_t plan_flips = 0;
+  int64_t plan_changes = 0;
+  int64_t eps_seeded = 0;
+  int64_t eps_scanned = 0;
 };
 
 DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options = {},

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -1540,6 +1541,78 @@ TEST(TimerTest, TimerRetriesQuarantineBackoffWithoutManualPolls) {
   EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
 }
 
+/// FakeClock is single-threaded by design; the timer storm below advances
+/// time while the session's timer thread reads it, so this variant keeps
+/// the instant in an atomic.
+class AtomicFakeClock final : public Clock {
+ public:
+  std::chrono::steady_clock::time_point Now() const override {
+    return std::chrono::steady_clock::time_point{
+        std::chrono::nanoseconds(nanos_.load(std::memory_order_relaxed))};
+  }
+  void Advance(std::chrono::milliseconds d) {
+    nanos_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(d).count(),
+                     std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> nanos_{0};
+};
+
+// Adversarial timer storm: a 1ms timer thread hammers Poll() while a
+// mutator pushes burst after burst through a 50ms DeadlinePolicy on a
+// hand-advanced clock. Per epoch the deadline must fire EXACTLY one flush:
+// no starvation (every epoch's flush arrives once its window expires — the
+// next epoch's mid-window assertion then proves the count never crept
+// further, i.e. no double-flush) and no spurious fire inside the window no
+// matter how many timer ticks land there.
+TEST(TimerTest, TimerStormFiresExactlyOneFlushPerDeadlineEpoch) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer opt(world->enumerator.get(), world->cost_model.get(),
+                           &world->registry);
+  opt.Optimize();
+  AtomicFakeClock clock;
+  ReoptSessionOptions so;
+  so.flush_policy = std::make_shared<DeadlinePolicy>(std::chrono::milliseconds(50), &clock);
+  so.poll_interval = std::chrono::milliseconds(1);
+  ReoptSession session(&world->registry, so);
+  QueryHandle handle = session.Register(opt);
+
+  const double rows0 = world->registry.base_rows(0);
+  const int kEpochs = 25;
+  for (int e = 0; e < kEpochs; ++e) {
+    // Burst: three mutations land inside the window; thousands of timer
+    // polls see an unexpired deadline and must do nothing.
+    world->registry.SetBaseRows(0, rows0 * (2.0 + e));
+    world->registry.SetScanCostMultiplier(1 + (e % 4), 1.0 + 0.25 * (e + 1));
+    world->registry.SetLocalSelectivity(5, e % 2 == 0 ? 0.4 : 0.7);
+    clock.Advance(std::chrono::milliseconds(10));  // mid-window
+    ASSERT_EQ(session.metrics().flushes, e) << "fired inside the window, epoch " << e;
+    // Age the window out — advancing INSIDE the wait loop: the flushes
+    // counter ticks mid-flush, so this epoch's mutations can race the
+    // previous flush's epilogue, whose pending_after probe re-arms the
+    // deadline at the clock's current instant. A single up-front advance
+    // could land before that re-arm and starve the epoch forever (the
+    // fake clock would never move again); repeated advances age any
+    // re-armed window out within two iterations.
+    const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (session.metrics().flushes == e && std::chrono::steady_clock::now() < give_up) {
+      clock.Advance(std::chrono::milliseconds(30));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(session.metrics().flushes, e + 1) << "flush starved at epoch " << e;
+    EXPECT_FALSE(session.HasPending());
+  }
+  // The last flush disarmed the policy: with nothing pending, an hour of
+  // fake time and dozens more real timer ticks fire nothing.
+  clock.Advance(std::chrono::hours(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(session.metrics().flushes, kEpochs);
+  EXPECT_EQ(session.metrics().empty_flushes, 0);  // every flush carried changes
+  opt.ValidateInvariants();
+  EXPECT_EQ(opt.CanonicalDumpState(), ScratchDump(*world, OptimizerOptions::Default()));
+}
+
 TEST(FlushPolicyTest, CostGatedLearnsPerQueryEwmasThroughTheSession) {
   auto world = ChainWorld();
   DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(), &world->registry);
@@ -1691,6 +1764,124 @@ TEST(MemoLifecycleTest, MemoBudgetEvictsLruAndPlansStayOracleEqual) {
     opt->ValidateInvariants();
     EXPECT_EQ(opt->CanonicalDumpState(), ScratchDump(*world, opt->options()));
   }
+}
+
+// Release-storm accounting: the resident gauge tracks the live set exactly
+// at EVERY interleaving point, not just at flush boundaries. The sharp
+// edge: a release followed by a flush that coalesces to nothing takes the
+// early-return path that skips budget enforcement — the gauge must already
+// have shed the dead query's bytes at release time, or it reports (and
+// budgets against) a memo that no longer exists.
+TEST(MemoLifecycleTest, ReleaseShrinksResidentGaugeBeforeAnyFlush) {
+  auto world = ChainWorld(6, 23);
+  DeclarativeOptimizer a(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::Default());
+  DeclarativeOptimizer b(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::UseAggSel());
+  DeclarativeOptimizer c(world->enumerator.get(), world->cost_model.get(),
+                         &world->registry, OptimizerOptions::UseNoPruning());
+  a.Optimize();
+  b.Optimize();
+  c.Optimize();
+  ReoptSession session(&world->registry);
+  const auto bytes = [](const DeclarativeOptimizer& o) {
+    return static_cast<int64_t>(o.EstimatedMemoBytes());
+  };
+
+  // Registration grows the gauge immediately...
+  QueryHandle ha = session.Register(a);
+  EXPECT_EQ(session.resident_memo_bytes(), bytes(a));
+  QueryHandle hb = session.Register(b);
+  EXPECT_EQ(session.resident_memo_bytes(), bytes(a) + bytes(b));
+  QueryHandle hc = session.Register(c);
+  EXPECT_EQ(session.resident_memo_bytes(), bytes(a) + bytes(b) + bytes(c));
+
+  // ...stays exact through a dispatched flush (memo sizes may change)...
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 7);
+  EXPECT_GT(session.Flush(), 0u);
+  EXPECT_EQ(session.resident_memo_bytes(), bytes(a) + bytes(b) + bytes(c));
+
+  // ...and a release shrinks it NOW — no flush has run yet.
+  hc.Release();
+  EXPECT_EQ(session.resident_memo_bytes(), bytes(a) + bytes(b));
+
+  // Net-zero churn: the flush early-returns before budget enforcement.
+  // The gauge must not regress to the pre-release total.
+  const double rows1 = world->registry.base_rows(1);
+  world->registry.SetBaseRows(1, rows1 * 3);
+  world->registry.SetBaseRows(1, rows1);
+  EXPECT_EQ(session.Flush(), 0u);
+  EXPECT_EQ(session.resident_memo_bytes(), bytes(a) + bytes(b));
+
+  // Manual evict/rehydrate keep the same exactness.
+  ASSERT_TRUE(session.EvictQuery(ha.id()));
+  EXPECT_EQ(session.resident_memo_bytes(), bytes(b));
+  ASSERT_TRUE(session.RehydrateQuery(ha.id()));
+  EXPECT_EQ(session.resident_memo_bytes(), bytes(a) + bytes(b));
+  for (auto* opt : {&a, &b}) {
+    opt->ValidateInvariants();
+    EXPECT_EQ(opt->CanonicalDumpState(), ScratchDump(*world, opt->options()));
+  }
+}
+
+// LRU freshness across handle reuse: a query registered AFTER a release
+// must enter the LRU clock "just touched". If the new slot inherited a
+// stale tick, the next over-budget enforcement would spill the fresh
+// arrival instead of the genuinely oldest query. All four queries run
+// no-pruning so their memos are equal-sized and structurally stable — the
+// budget holds exactly three of them.
+TEST(MemoLifecycleTest, ReRegisteredQueryIsNeverTheEvictionVictim) {
+  auto world = ChainWorld(6, 23);
+  std::vector<std::unique_ptr<DeclarativeOptimizer>> opts;
+  for (int i = 0; i < 5; ++i) {
+    opts.push_back(std::make_unique<DeclarativeOptimizer>(
+        world->enumerator.get(), world->cost_model.get(), &world->registry,
+        OptimizerOptions::UseNoPruning()));
+  }
+  opts[0]->Optimize();
+  const size_t m = opts[0]->EstimatedMemoBytes();
+
+  ReoptSessionOptions so;
+  so.memo_byte_budget = 3 * m + m / 2;  // three residents fit, a fourth spills
+  ReoptSession session(&world->registry, so);
+  opts[1]->Optimize();
+  opts[2]->Optimize();
+  QueryHandle ha = session.Register(*opts[0]);
+  QueryHandle hb = session.Register(*opts[1]);
+  QueryHandle hc = session.Register(*opts[2]);
+
+  world->registry.SetBaseRows(0, world->registry.base_rows(0) * 11);
+  EXPECT_GT(session.Flush(), 0u);
+  EXPECT_EQ(session.metrics().evictions, 0);  // three residents: under budget
+
+  // Release the middle query, then register two fresh ones. The live set
+  // (a, c, d, e) now overflows the budget by one memo.
+  hb.Release();
+  EXPECT_EQ(session.num_queries(), 2);
+  opts[3]->Optimize();
+  opts[4]->Optimize();
+  QueryHandle hd = session.Register(*opts[3]);
+  QueryHandle he = session.Register(*opts[4]);
+
+  world->registry.SetScanCostMultiplier(2, 3.0);
+  EXPECT_GT(session.Flush(), 0u);
+  EXPECT_EQ(session.metrics().evictions, 1);
+
+  // The victim is the oldest survivor (a) — never a just-registered query.
+  // RehydrateQuery's return value probes evicted-ness: true only for a.
+  EXPECT_FALSE(session.RehydrateQuery(hc.id()));
+  EXPECT_FALSE(session.RehydrateQuery(hd.id()));
+  EXPECT_FALSE(session.RehydrateQuery(he.id()));
+  EXPECT_TRUE(session.RehydrateQuery(ha.id()));
+
+  // Rehydrate-all leaves the gauge at the exact live sum.
+  int64_t live_bytes = 0;
+  for (auto* o : {opts[0].get(), opts[2].get(), opts[3].get(), opts[4].get()}) {
+    live_bytes += static_cast<int64_t>(o->EstimatedMemoBytes());
+    o->ValidateInvariants();
+    EXPECT_EQ(o->CanonicalDumpState(), ScratchDump(*world, o->options()));
+  }
+  EXPECT_EQ(session.resident_memo_bytes(), live_bytes);
 }
 
 TEST(SnapshotTest, SaveLoadRoundTripWarmRestartsTheSession) {
