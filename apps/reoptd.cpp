@@ -1,0 +1,114 @@
+// reoptd: the sharded re-optimization daemon. Serves the binary wire
+// protocol (docs/WIRE.md) plus an HTTP /metrics scrape on one Unix-domain
+// or loopback TCP socket; shuts down gracefully on SIGTERM/SIGINT
+// (drains shard queues, runs a final flush, saves per-shard snapshots
+// when --snapshot-dir is set).
+//
+// Usage:
+//   reoptd --unix /tmp/reoptd.sock --shards 4
+//   reoptd --port 0 --shards 2 --snapshot-dir /var/lib/reoptd --load-snapshots
+//
+// Flags:
+//   --unix PATH          listen on a Unix-domain socket (unlinks PATH first)
+//   --port N             listen on 127.0.0.1:N (0 = ephemeral; printed)
+//   --shards N           worker shards (default 1)
+//   --auto-flush N       CountPolicy: flush a world every N mutations
+//   --deadline-ms N      DeadlinePolicy: bound staleness by wall clock
+//   --work-budget N      per-query fixpoint work budget (quarantine past it)
+//   --memo-budget N      session memo residency budget, bytes
+//   --snapshot-dir DIR   enable kSnapshot + shutdown snapshots under DIR
+//   --load-snapshots     warm-restart from --snapshot-dir before accepting
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/daemon.h"
+
+namespace {
+
+iqro::server::Daemon* g_daemon = nullptr;
+
+void HandleSignal(int) {
+  if (g_daemon != nullptr) g_daemon->RequestShutdown();  // async-signal-safe
+}
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix PATH | --port N) [--shards N] [--auto-flush N]\n"
+               "          [--deadline-ms N] [--work-budget N] [--memo-budget N]\n"
+               "          [--snapshot-dir DIR] [--load-snapshots]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iqro::server::DaemonOptions options;
+  bool have_listener = false;
+  auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) Usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--unix") == 0) {
+      options.unix_path = next_arg(i);
+      have_listener = true;
+    } else if (std::strcmp(a, "--port") == 0) {
+      options.tcp_port = static_cast<uint16_t>(std::atoi(next_arg(i)));
+      have_listener = true;
+    } else if (std::strcmp(a, "--shards") == 0) {
+      options.service.num_shards = std::atoi(next_arg(i));
+    } else if (std::strcmp(a, "--auto-flush") == 0) {
+      options.service.auto_flush_count = std::atoi(next_arg(i));
+    } else if (std::strcmp(a, "--deadline-ms") == 0) {
+      options.service.flush_deadline = std::chrono::milliseconds(std::atoll(next_arg(i)));
+    } else if (std::strcmp(a, "--work-budget") == 0) {
+      options.service.per_query_work_budget = std::atoll(next_arg(i));
+    } else if (std::strcmp(a, "--memo-budget") == 0) {
+      options.service.memo_byte_budget = static_cast<size_t>(std::atoll(next_arg(i)));
+    } else if (std::strcmp(a, "--snapshot-dir") == 0) {
+      options.service.snapshot_dir = next_arg(i);
+    } else if (std::strcmp(a, "--load-snapshots") == 0) {
+      options.load_snapshots = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (!have_listener) Usage(argv[0]);
+
+  iqro::server::Daemon daemon(options);
+  try {
+    daemon.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reoptd: %s\n", e.what());
+    return 1;
+  }
+  g_daemon = &daemon;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (options.load_snapshots) {
+    std::printf("reoptd: restored %zu queries from snapshots\n", daemon.restored_queries());
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("reoptd: listening on %s (%d shards)\n", options.unix_path.c_str(),
+                options.service.num_shards);
+  } else {
+    std::printf("reoptd: listening on 127.0.0.1:%u (%d shards)\n", daemon.port(),
+                options.service.num_shards);
+  }
+  std::fflush(stdout);
+
+  daemon.Wait();
+  const iqro::server::ShardedServiceStats stats = daemon.service().Stats();
+  std::printf("reoptd: shutdown: %lld queries, %lld flushes, %lld plan changes%s\n",
+              static_cast<long long>(stats.queries), static_cast<long long>(stats.flushes),
+              static_cast<long long>(stats.plan_changes),
+              options.service.snapshot_dir.empty() ? "" : ", snapshots saved");
+  return 0;
+}

@@ -98,13 +98,6 @@ JsonObj StatsJson(const ClassRunStats& s) {
   return o;
 }
 
-double Percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
-  return v[std::min(idx, v.size() - 1)];
-}
-
 /// Counts delivered plan-change events — without a subscriber the session
 /// diffs winner closures but delivers nothing, and the stream block would
 /// report zero churn regardless of how often the hot spot moved.

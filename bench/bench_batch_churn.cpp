@@ -30,6 +30,9 @@
 #include "service/reopt_session.h"
 
 namespace iqro::bench {
+/// --text: also render the flush trajectory as a Prometheus text artifact
+/// (BENCH_bench_batch_churn_flushes.prom) next to the JSON.
+bool g_text_mode = false;
 namespace {
 
 // Q5 relation slots: r, n, c, o, l, s.
@@ -257,6 +260,7 @@ void Run() {
     }
   }
   exporter.WriteBenchReport("bench_batch_churn_flushes");
+  if (g_text_mode) exporter.WriteTextReport("bench_batch_churn_flushes");
 
   // ---- threads axis: parallel dispatch of the session flush ---------------
   // Eight live queries (the four fig8 configurations, twice over) in one
@@ -427,7 +431,10 @@ void Run() {
 }  // namespace
 }  // namespace iqro::bench
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--text") iqro::bench::g_text_mode = true;
+  }
   iqro::bench::Run();
   return 0;
 }

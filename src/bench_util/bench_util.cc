@@ -82,6 +82,13 @@ double MedianMs(int reps, const std::function<void()>& fn) {
   return times[times.size() / 2];
 }
 
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
 std::unique_ptr<TpchFixture> MakeTpchFixture(double scale_factor, double zipf_theta,
                                              uint32_t partition, uint64_t seed) {
   auto fixture = std::make_unique<TpchFixture>();

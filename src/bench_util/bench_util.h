@@ -45,6 +45,12 @@ std::string Num(double v, int digits = 2);
 /// Median wall time of `fn` over `reps` runs, in milliseconds.
 double MedianMs(int reps, const std::function<void()>& fn);
 
+/// The p-th percentile (p in [0, 1], nearest-rank with rounding) of the
+/// samples in `v`; 0 on an empty vector. Takes `v` by value and sorts the
+/// copy. The latency-percentile helper shared by bench_adversarial and
+/// bench_daemon_load.
+double Percentile(std::vector<double> v, double p);
+
 /// Wall time of one run of `fn`, in milliseconds.
 double OnceMs(const std::function<void()>& fn);
 

@@ -1,0 +1,425 @@
+#include "server/daemon.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace iqro::server {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string HttpMetricsResponse(const std::string& body) {
+  std::string out = "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+/// Appends event frames to the connection's outbox from shard threads.
+/// Owned by the Conn; SetSink(nullptr) runs synchronously on the shard
+/// thread before the Conn dies, so the sink can never be called after
+/// destruction.
+class Daemon::ConnSink final : public EventSink {
+ public:
+  ConnSink(Daemon* daemon, Conn* conn) : daemon_(daemon), conn_(conn) {}
+  void OnServerEvent(const ServerEvent& event) override;
+
+ private:
+  Daemon* daemon_;
+  Conn* conn_;
+};
+
+struct Daemon::Conn {
+  int fd = -1;
+  FrameDecoder decoder;
+  /// First-byte protocol sniff: 'G' = HTTP scrape, anything else = frames.
+  bool sniffed = false;
+  bool http = false;
+  std::string http_buf;
+  /// True once the connection should close as soon as the outbox drains.
+  bool close_after_write = false;
+  /// Bytes queued for the socket. Shard threads append event frames via
+  /// the sink; the loop thread appends responses and drains to the fd.
+  std::mutex outbox_mu;
+  std::string outbox;
+  /// Queries whose events are currently routed to this connection.
+  std::vector<uint64_t> queries;
+  std::unique_ptr<ConnSink> sink;
+};
+
+void Daemon::ConnSink::OnServerEvent(const ServerEvent& event) {
+  std::string frame;
+  if (event.kind == ServerEvent::Kind::kPlanChange) {
+    PlanChangeEventMsg m;
+    m.query_id = event.query_id;
+    m.world_key = event.world_key;
+    m.flush_epoch = event.flush_epoch;
+    m.old_cost = event.old_cost;
+    m.new_cost = event.new_cost;
+    m.changed_operators = event.changed_operators;
+    m.total_operators = event.total_operators;
+    m.join_order_prefix = event.join_order_prefix;
+    m.join_order_len = event.join_order_len;
+    frame = EncodePlanChangeEvent(m);
+  } else {
+    QuarantineEventMsg m;
+    m.query_id = event.query_id;
+    m.world_key = event.world_key;
+    m.reason = event.reason;
+    m.strikes = event.strikes;
+    m.parked = event.parked;
+    m.message = event.message;
+    frame = EncodeQuarantineEvent(m);
+  }
+  {
+    std::lock_guard<std::mutex> lk(conn_->outbox_mu);
+    conn_->outbox += frame;
+  }
+  // Poke the poll loop so it arms POLLOUT. A full pipe means a wakeup is
+  // already pending — dropping the byte is fine.
+  const char b = 'e';
+  [[maybe_unused]] ssize_t n = write(daemon_->wake_fds_[1], &b, 1);
+}
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  service_ = std::make_unique<ShardedService>(options_.service);
+}
+
+Daemon::~Daemon() {
+  Stop();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+}
+
+void Daemon::Start() {
+  if (pipe(wake_fds_) != 0) {
+    throw std::runtime_error("reoptd: pipe() failed: " + std::string(strerror(errno)));
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+
+  if (!options_.unix_path.empty()) {
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("reoptd: socket() failed");
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("reoptd: unix socket path too long: " + options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    unlink(options_.unix_path.c_str());
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw std::runtime_error("reoptd: bind(" + options_.unix_path +
+                               ") failed: " + std::string(strerror(errno)));
+    }
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("reoptd: socket() failed");
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw std::runtime_error("reoptd: bind(127.0.0.1:" + std::to_string(options_.tcp_port) +
+                               ") failed: " + std::string(strerror(errno)));
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port_ = ntohs(addr.sin_port);
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    throw std::runtime_error("reoptd: listen() failed: " + std::string(strerror(errno)));
+  }
+  SetNonBlocking(listen_fd_);
+
+  if (options_.load_snapshots && !options_.service.snapshot_dir.empty()) {
+    restored_queries_ = service_->LoadSnapshots();
+  }
+
+  running_.store(true);
+  loop_ = std::thread([this] { EventLoop(); });
+}
+
+void Daemon::RequestShutdown() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (wake_fds_[1] >= 0) {
+    const char b = 'q';
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &b, 1);
+  }
+}
+
+void Daemon::Stop() {
+  if (!loop_.joinable()) return;
+  RequestShutdown();
+  loop_.join();
+}
+
+void Daemon::Wait() {
+  if (loop_.joinable()) loop_.join();
+}
+
+void Daemon::AcceptPending() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    SetNonBlocking(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->sink = std::make_unique<ConnSink>(this, conn.get());
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void Daemon::HandleRequest(Conn* conn, const std::string& payload) {
+  const Request req = DecodeRequest(payload);  // SerializeError -> caller closes
+  std::string response;
+  try {
+    switch (req.type) {
+      case MsgType::kRegisterQuery: {
+        if (stop_requested_.load(std::memory_order_relaxed)) {
+          throw ServiceError(WireErrorCode::kShuttingDown, "daemon is draining");
+        }
+        const RegisterQueryReq& r = req.register_query;
+        EventSink* sink = r.want_events ? conn->sink.get() : nullptr;
+        const ShardedService::RegisterResult res =
+            service_->RegisterQuery(r.world_key, r.catalog, r.query, r.options_name, sink);
+        if (sink != nullptr) conn->queries.push_back(res.query_id);
+        RegisteredResp resp;
+        resp.query_id = res.query_id;
+        resp.shard = res.shard;
+        resp.best_cost = res.best_cost;
+        response = EncodeRegistered(req.request_id, resp);
+        break;
+      }
+      case MsgType::kReleaseQuery: {
+        const uint64_t id = req.release_query.query_id;
+        if (!service_->ReleaseQuery(id)) {
+          throw ServiceError(WireErrorCode::kUnknownQuery, "unknown query " + std::to_string(id));
+        }
+        std::erase(conn->queries, id);
+        response = EncodeOk(req.request_id, 0);
+        break;
+      }
+      case MsgType::kSubscribeQuery: {
+        const uint64_t id = req.subscribe_query.query_id;
+        if (!service_->SetSink(id, conn->sink.get())) {
+          throw ServiceError(WireErrorCode::kUnknownQuery, "unknown query " + std::to_string(id));
+        }
+        conn->queries.push_back(id);
+        response = EncodeOk(req.request_id, 0);
+        break;
+      }
+      case MsgType::kRecordStatBatch: {
+        const size_t accepted =
+            service_->RecordStatBatch(req.record_stat_batch.world_key,
+                                      req.record_stat_batch.mutations);
+        response = EncodeOk(req.request_id, accepted);
+        break;
+      }
+      case MsgType::kFlush: {
+        const size_t changes =
+            req.flush.all ? service_->FlushAll() : service_->Flush(req.flush.world_key);
+        response = EncodeOk(req.request_id, changes);
+        break;
+      }
+      case MsgType::kSnapshot:
+        response = EncodeOk(req.request_id, service_->SaveSnapshots());
+        break;
+      case MsgType::kGetMetrics:
+        response = EncodeMetricsText(req.request_id, service_->MetricsText());
+        break;
+      case MsgType::kShutdown:
+        response = EncodeOk(req.request_id, 0);
+        stop_requested_.store(true, std::memory_order_relaxed);
+        break;
+      default:
+        throw ServiceError(WireErrorCode::kBadRequest,
+                           std::string("unexpected message type ") + MsgTypeName(req.type));
+    }
+  } catch (const ServiceError& e) {
+    response = EncodeError(req.request_id, e.code, e.what());
+  }
+  std::lock_guard<std::mutex> lk(conn->outbox_mu);
+  conn->outbox += response;
+}
+
+bool Daemon::HandleReadable(Conn* conn) {
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    if (!conn->sniffed) {
+      conn->sniffed = true;
+      conn->http = buf[0] == 'G';
+    }
+    if (conn->http) {
+      conn->http_buf.append(buf, static_cast<size_t>(n));
+      if (conn->http_buf.find("\r\n\r\n") != std::string::npos || conn->http_buf.size() > 8192) {
+        std::lock_guard<std::mutex> lk(conn->outbox_mu);
+        conn->outbox += HttpMetricsResponse(service_->MetricsText());
+        conn->close_after_write = true;
+      }
+      continue;
+    }
+    try {
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      std::string payload;
+      while (conn->decoder.Next(&payload)) HandleRequest(conn, payload);
+    } catch (const SerializeError&) {
+      // Malformed frame: this connection dies; its peers and its queries
+      // (sinks detached in CloseConn) are untouched.
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Daemon::HandleWritable(Conn* conn) {
+  std::string pending;
+  {
+    std::lock_guard<std::mutex> lk(conn->outbox_mu);
+    pending.swap(conn->outbox);
+  }
+  size_t off = 0;
+  while (off < pending.size()) {
+    const ssize_t n = write(conn->fd, pending.data() + off, pending.size() - off);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (off < pending.size()) {
+    // Put the unwritten tail back in front of anything a shard thread
+    // appended meanwhile.
+    std::lock_guard<std::mutex> lk(conn->outbox_mu);
+    conn->outbox.insert(0, pending, off, pending.size() - off);
+  } else if (conn->close_after_write) {
+    std::lock_guard<std::mutex> lk(conn->outbox_mu);
+    if (conn->outbox.empty()) return false;
+  }
+  return true;
+}
+
+void Daemon::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  // Detach synchronously BEFORE the Conn (and its sink) is destroyed: after
+  // SetSink returns, no shard thread can be inside OnServerEvent.
+  for (const uint64_t id : it->second->queries) service_->SetSink(id, nullptr);
+  close(fd);
+  conns_.erase(it);
+}
+
+void Daemon::BeginShutdown() {
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  service_->Drain();
+  service_->FlushAll();  // final events still reach connected subscribers
+  if (!options_.service.snapshot_dir.empty()) service_->SaveSnapshots();
+}
+
+void Daemon::EventLoop() {
+  bool shutting_down = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+  std::vector<pollfd> fds;
+  std::vector<int> dead;
+  for (;;) {
+    fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      {
+        std::lock_guard<std::mutex> lk(conn->outbox_mu);
+        if (!conn->outbox.empty()) events |= POLLOUT;
+      }
+      fds.push_back({fd, events, 0});
+    }
+    poll(fds.data(), fds.size(), shutting_down ? 20 : 200);
+
+    if (fds[0].revents & POLLIN) {
+      char drainbuf[256];
+      while (read(wake_fds_[0], drainbuf, sizeof(drainbuf)) > 0) {
+      }
+    }
+
+    if (!shutting_down && stop_requested_.load(std::memory_order_relaxed)) {
+      shutting_down = true;
+      BeginShutdown();
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.drain_timeout_ms);
+    }
+
+    size_t idx = 1;
+    if (listen_fd_ >= 0) {
+      if (fds[idx].revents & POLLIN) AcceptPending();
+      ++idx;
+    }
+    dead.clear();
+    for (; idx < fds.size(); ++idx) {
+      auto it = conns_.find(fds[idx].fd);
+      if (it == conns_.end()) continue;
+      Conn* conn = it->second.get();
+      bool alive = true;
+      if (fds[idx].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // Half-close still lets us flush the outbox on POLLHUP-free errors;
+        // keep it simple: flush what we can, then drop.
+        alive = HandleWritable(conn) && !(fds[idx].revents & (POLLERR | POLLNVAL));
+        if (fds[idx].revents & POLLHUP) alive = false;
+      } else {
+        if (alive && (fds[idx].revents & POLLIN)) alive = HandleReadable(conn);
+        // Always try to drain the outbox: responses generated this
+        // iteration should not wait for the next poll round.
+        if (alive) alive = HandleWritable(conn);
+      }
+      if (!alive) dead.push_back(fds[idx].fd);
+    }
+    for (const int fd : dead) CloseConn(fd);
+
+    if (shutting_down) {
+      bool outboxes_empty = true;
+      for (auto& [fd, conn] : conns_) {
+        std::lock_guard<std::mutex> lk(conn->outbox_mu);
+        if (!conn->outbox.empty()) outboxes_empty = false;
+      }
+      if (outboxes_empty || std::chrono::steady_clock::now() >= drain_deadline) break;
+    }
+  }
+  while (!conns_.empty()) CloseConn(conns_.begin()->first);
+  if (!options_.unix_path.empty()) unlink(options_.unix_path.c_str());
+  running_.store(false);
+}
+
+}  // namespace iqro::server

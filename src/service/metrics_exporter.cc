@@ -1,10 +1,51 @@
 #include "service/metrics_exporter.h"
 
+#include <cstdio>
+#include <stdexcept>
+
 #include "bench_util/json_report.h"
 
 namespace iqro {
 
 namespace {
+
+/// One exposition sample with its # TYPE header. Values are int64 counters
+/// and gauges; %lld keeps them exact (no %g rounding).
+void PromSample(std::string* out, const char* name, const char* type, const std::string& labels,
+                int64_t value) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+  out->append(name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %lld\n", static_cast<long long>(value));
+  out->append(buf);
+}
+
+void PromSampleF(std::string* out, const char* name, const char* type, const std::string& labels,
+                 double value) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+  out->append(name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " %.6f\n", value);
+  out->append(buf);
+}
 
 bench::JsonObj ReportJson(const FlushReport& r) {
   bench::JsonObj opt;
@@ -61,6 +102,27 @@ bench::JsonArr ReportsArr(const std::vector<FlushReport>& reports) {
 
 }  // namespace
 
+std::string PrometheusSessionText(const ReoptSessionMetrics& m, const std::string& labels) {
+  std::string out;
+  PromSample(&out, "iqro_session_mutations_observed_total", "counter", labels,
+             m.mutations_observed);
+  PromSample(&out, "iqro_session_flushes_total", "counter", labels, m.flushes);
+  PromSample(&out, "iqro_session_empty_flushes_total", "counter", labels, m.empty_flushes);
+  PromSample(&out, "iqro_session_changes_flushed_total", "counter", labels, m.changes_flushed);
+  PromSample(&out, "iqro_session_reopt_passes_total", "counter", labels, m.reopt_passes);
+  PromSample(&out, "iqro_session_queries_skipped_total", "counter", labels, m.queries_skipped);
+  PromSample(&out, "iqro_session_eps_seeded_total", "counter", labels, m.eps_seeded);
+  PromSample(&out, "iqro_session_plan_changes_total", "counter", labels, m.plan_changes);
+  PromSample(&out, "iqro_session_quarantines_total", "counter", labels, m.quarantines);
+  PromSample(&out, "iqro_session_rehabilitations_total", "counter", labels, m.rehabilitations);
+  PromSample(&out, "iqro_session_queries_parked_total", "counter", labels, m.queries_parked);
+  PromSample(&out, "iqro_session_watermark_flushes_total", "counter", labels, m.watermark_flushes);
+  PromSample(&out, "iqro_session_evictions_total", "counter", labels, m.evictions);
+  PromSample(&out, "iqro_session_rehydrations_total", "counter", labels, m.rehydrations);
+  PromSample(&out, "iqro_session_resident_memo_bytes", "gauge", labels, m.resident_memo_bytes);
+  return out;
+}
+
 void JsonMetricsExporter::OnFlushMetrics(const FlushReport& report) {
   reports_.push_back(report);
 }
@@ -71,6 +133,27 @@ void JsonMetricsExporter::WriteBenchReport(const std::string& name) const {
   bench::JsonObj root;
   root.Put("flushes", ReportsArr(reports_));
   bench::WriteBenchJson(name, root);
+}
+
+std::string JsonMetricsExporter::ToPrometheusText() const {
+  if (reports_.empty()) return "# no flushes reported\n";
+  const FlushReport& last = reports_.back();
+  std::string out = PrometheusSessionText(last.session, "");
+  PromSample(&out, "iqro_flush_index", "gauge", "", last.flush_index);
+  PromSample(&out, "iqro_flush_changes", "gauge", "", last.changes);
+  PromSample(&out, "iqro_flush_plan_changes", "gauge", "", last.plan_changes);
+  PromSampleF(&out, "iqro_flush_ms", "gauge", "", last.flush_ms);
+  return out;
+}
+
+void JsonMetricsExporter::WriteTextReport(const std::string& name) const {
+  const std::string path = bench::BenchOutDir() + "/BENCH_" + name + ".prom";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("cannot write " + path);
+  const std::string text = ToPrometheusText();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace iqro

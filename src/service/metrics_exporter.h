@@ -65,6 +65,15 @@ struct FlushReport {
   ReoptSessionMetrics session;
 };
 
+/// Prometheus text-exposition rendering of one cumulative session counter
+/// snapshot: one `iqro_session_<counter>` sample per ReoptSessionMetrics
+/// field (counters suffixed `_total`, the residency gauge bare), each
+/// preceded by its `# TYPE` header. `labels` is a pre-rendered label body
+/// ('shard="0"') spliced into every sample, or empty for none. Shared by
+/// the daemon's GET /metrics scrape and the bench `--text` artifacts so
+/// both surfaces expose the same names.
+std::string PrometheusSessionText(const ReoptSessionMetrics& m, const std::string& labels);
+
 class MetricsExporter {
  public:
   virtual ~MetricsExporter() = default;
@@ -93,6 +102,16 @@ class JsonMetricsExporter final : public MetricsExporter {
   /// Writes `{"flushes": [...]}` to BENCH_<name>.json via
   /// bench_util/json_report (honors $IQRO_BENCH_OUT_DIR).
   void WriteBenchReport(const std::string& name) const;
+
+  /// Prometheus text rendering of the accumulated trajectory: the LAST
+  /// report's cumulative session counters (PrometheusSessionText) plus
+  /// per-flush gauges of that report (flush_ms, changes, plan_changes).
+  /// A comment-only document when no flush has reported yet.
+  std::string ToPrometheusText() const;
+
+  /// Writes ToPrometheusText() to BENCH_<name>.prom next to the JSON
+  /// artifact (same $IQRO_BENCH_OUT_DIR rule) — the bench `--text` mode.
+  void WriteTextReport(const std::string& name) const;
 
  private:
   std::vector<FlushReport> reports_;

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Regenerates the corrupt wire-frame corpus under tests/data/wire/.
+
+Each file is a deliberately broken reoptd wire stream (server/wire.h
+format: "IQR1" magic, u32 payload length, u64 FNV-1a64 checksum, payload).
+tests/server_test.cpp decodes every one and asserts the exact typed
+SerializeError code named below — frame-level defects out of
+DecodeFrames(), payload-level defects out of DecodeRequest(). The corpus
+is checked in; rerun this script only when the wire format changes, and
+update the expectations in server_test.cpp to match.
+
+Usage: tools/make_wire_corpus.py [output_dir]   (default tests/data/wire)
+"""
+import os
+import struct
+import sys
+
+MAGIC = b"IQR1"
+
+
+def fnv1a64(data: bytes) -> int:
+    # Must match iqro::Fnv1a64 (common/serialize.h) bit-for-bit.
+    h = 14695981039346656037
+    for b in data:
+        h ^= b
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def frame(payload: bytes, checksum: int = None, magic: bytes = MAGIC,
+          length: int = None) -> bytes:
+    if checksum is None:
+        checksum = fnv1a64(payload)
+    if length is None:
+        length = len(payload)
+    return magic + struct.pack("<IQ", length, checksum) + payload
+
+
+def flush_payload(request_id: int = 7, all_flag: int = 0,
+                  world_key: int = 0xABCD) -> bytes:
+    # u8 type (kFlush=4), u64 request id, u8 all flag, u64 world key.
+    return struct.pack("<BQBQ", 4, request_id, all_flag, world_key)
+
+
+def corpus() -> dict:
+    good = frame(flush_payload())
+    files = {
+        # ---- frame-level: DecodeFrames() itself throws ----
+        # truncated — stream ends inside the magic (prefix still matches)
+        "short_magic.bin": b"IQ",
+        # bad_magic — not our protocol at all
+        "bad_magic.bin": b"XXXX" + good[4:],
+        # bad_version — our magic, unsupported version digit
+        "bad_version.bin": b"IQR9" + good[4:],
+        # bad_section — hostile length prefix past kMaxFramePayload (8 MiB)
+        "oversize_len.bin": frame(b"", length=9 << 20),
+        # truncated — declared payload longer than the stream
+        "truncated_payload.bin": frame(flush_payload())[:-4],
+        # checksum — one checksum bit flipped after framing
+        "bad_checksum.bin": frame(flush_payload(),
+                                  checksum=fnv1a64(flush_payload()) ^ 1),
+        # bad_magic — valid frame followed by garbage (fail-fast on the tail)
+        "trailing_junk.bin": good + b"JUNK",
+        # ---- payload-level: the frame decodes, DecodeRequest() throws ----
+        # bad_section — message type 42 is not in the vocabulary
+        "unknown_type.bin": frame(struct.pack("<BQ", 42, 7)),
+        # truncated — kFlush body ends before its world key
+        "truncated_body.bin": frame(struct.pack("<BQB", 4, 7, 0)),
+        # bad_section — kFlush body followed by undeclared trailing bytes
+        "trailing_body.bin": frame(flush_payload() + b"xx"),
+        # bad_section — flush-all flag out of range (2 for a 0/1 bool)
+        "bad_flag.bin": frame(flush_payload(all_flag=2)),
+        # bad_section — kRegisterQuery whose relation count (1000) exceeds
+        # kMaxRelations: u64 world key, u8 want_events, catalog{tpch, 0
+        # tables}, query{empty name, 1000 relations...}
+        "relations_overflow.bin": frame(
+            struct.pack("<BQ", 1, 7) + struct.pack("<QB", 1, 1) +
+            struct.pack("<BI", 1, 0) + struct.pack("<I", 0) +
+            struct.pack("<I", 1000)),
+        # bad_section — kRecordStatBatch carrying mutation kind 9 (> kCardMultiplier)
+        "bad_mutation_kind.bin": frame(
+            struct.pack("<BQ", 3, 7) + struct.pack("<QI", 1, 1) +
+            struct.pack("<BiI", 9, 0, 0) + struct.pack("<d", 1.0)),
+    }
+    return files
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tests", "data", "wire")
+    os.makedirs(out_dir, exist_ok=True)
+    for name, data in corpus().items():
+        with open(os.path.join(out_dir, name), "wb") as f:
+            f.write(data)
+        print(f"wrote {name} ({len(data)} bytes)")
+
+
+if __name__ == "__main__":
+    main()
